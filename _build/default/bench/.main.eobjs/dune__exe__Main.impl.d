@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged String Sys Test Time Toolkit Vpc Workloads

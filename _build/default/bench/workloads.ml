@@ -1,0 +1,238 @@
+(* Workload generators for the experiment harness: the paper's own kernels
+   plus synthetic suites exercising the constructs its evaluation
+   discusses (BLAS-like kernels, graphics transforms, pointer-walking
+   loops, call-heavy loops). *)
+
+let nl = String.concat "\n"
+
+(* float array initializer list, deterministic *)
+let float_init n f =
+  String.concat ", " (List.init n (fun i -> Printf.sprintf "%ff" (f i)))
+
+(* §6 backsolve.  Initialized through global initializers so `main` is the
+   kernel plus nothing else. *)
+let backsolve n =
+  nl
+    [
+      Printf.sprintf "float x[%d];" (n + 1);
+      Printf.sprintf "float y[%d] = { %s };" n (float_init (min n 64) (fun i -> float_of_int i *. 0.25));
+      Printf.sprintf "float z[%d] = { %s };" n (float_init (min n 64) (fun _ -> 0.5));
+      "void backsolve(int n)";
+      "{";
+      "  float *p, *q;";
+      "  int i;";
+      "  p = &x[1];";
+      "  q = &x[0];";
+      "  for (i = 0; i < n - 2; i++)";
+      "    p[i] = z[i] * (y[i] - q[i]);";
+      "}";
+      Printf.sprintf "int main() { backsolve(%d); return 0; }" n;
+    ]
+
+(* §9 daxpy, callable form; main runs only the call *)
+let daxpy n =
+  nl
+    [
+      "void daxpy(float *x, float *y, float *z, float alpha, int n)";
+      "{";
+      "  if (n <= 0) return;";
+      "  if (alpha == 0) return;";
+      "  for (; n; n--)";
+      "    *x++ = *y++ + alpha * *z++;";
+      "}";
+      Printf.sprintf "float a[%d], b[%d], c[%d];" n n n;
+      Printf.sprintf "int main() { daxpy(a, b, c, 1.0, %d); return 0; }" n;
+    ]
+
+(* vector add, the parallel-scaling workload *)
+let vector_add n =
+  nl
+    [
+      Printf.sprintf "float a[%d], b[%d], c[%d];" n n n;
+      "int main()";
+      "{";
+      "  int i;";
+      Printf.sprintf "  for (i = 0; i < %d; i++) a[i] = b[i] + c[i];" n;
+      "  return 0;";
+      "}";
+    ]
+
+(* saxpy through a function call, with and without inlining (E7) *)
+let call_in_loop_suite =
+  nl
+    [
+      "float a[256], b[256], c[256], d[256];";
+      "float fma1(float x, float y) { return x * 2.0f + y; }";
+      "float sq(float x) { return x * x; }";
+      "float mix(float x, float y, float t) { return x + (y - x) * t; }";
+      "int main()";
+      "{";
+      "  int i;";
+      "  for (i = 0; i < 256; i++) a[i] = fma1(b[i], c[i]);";
+      "  for (i = 0; i < 256; i++) d[i] = sq(a[i]);";
+      "  for (i = 0; i < 256; i++) c[i] = mix(a[i], d[i], 0.5f);";
+      "  for (i = 0; i < 256; i++) b[i] = a[i] + d[i];   /* no call */";
+      "  return 0;";
+      "}";
+    ]
+
+(* §8: the daxpy(alpha = 0) specialization *)
+let dead_daxpy =
+  nl
+    [
+      "float gx[64], gy[64], gz[64];";
+      "void daxpy(float *x, float *y, float alpha, float *z, int n)";
+      "{";
+      "  int i;";
+      "  if (alpha == 0.0) return;";
+      "  for (i = 0; i < n; i++) x[i] = y[i] + alpha * z[i];";
+      "}";
+      "int main() { daxpy(gx, gy, 0.0, gz, 64); return 0; }";
+    ]
+
+(* k-deep temp chains for the §5.3 backtracking measurement (E5) *)
+let chain_program depth =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "float a[64];\nvoid kernel(int n)\n{\n  float *p;\n";
+  for i = 0 to depth do
+    Buffer.add_string buf (Printf.sprintf "  float *t%d;\n" i)
+  done;
+  Buffer.add_string buf "  p = a;\n  while (n) {\n";
+  Buffer.add_string buf "    t0 = p;\n";
+  for i = 1 to depth do
+    Buffer.add_string buf (Printf.sprintf "    t%d = t%d;\n" i (i - 1))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "    *t%d = 1.0;\n    p = t%d + 4;\n    n--;\n  }\n}\n"
+       depth depth);
+  Buffer.add_string buf "int main() { kernel(64); return 0; }\n";
+  Buffer.contents buf
+
+(* Interleaved induction-variable chains for the §5.3 blocking
+   measurement: recognizing p_j requires p_(j-1) to be recognized first,
+   because p_(j-1)'s update interposes between t_j's definition and its
+   use — the exact situation the paper's "blocking" bookkeeping defers
+   and re-examines.  Worst case, one variable resolves per pass. *)
+let blocking_chain_program depth =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "float out[256];\nvoid kernel(int n)\n{\n";
+  for j = 0 to depth do
+    Buffer.add_string buf (Printf.sprintf "  int p%d;\n" j)
+  done;
+  for j = 1 to depth do
+    Buffer.add_string buf (Printf.sprintf "  int t%d;\n" j)
+  done;
+  for j = 0 to depth do
+    Buffer.add_string buf (Printf.sprintf "  p%d = %d;\n" j j)
+  done;
+  Buffer.add_string buf "  while (n) {\n";
+  for j = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "    t%d = p%d + p%d;\n" j j (j - 1))
+  done;
+  Buffer.add_string buf "    p0 = p0 + 4;\n";
+  for j = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "    p%d = t%d + 8 - p%d;\n" j j (j - 1))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "    out[p%d & 255] += 1.0f;\n" depth);
+  Buffer.add_string buf "    n--;\n  }\n}\n";
+  Buffer.add_string buf
+    "int main() { int k; float s; kernel(64); s = 0;\n\
+    \  for (k = 0; k < 256; k++) s += out[k];\n\
+    \  printf(\"%g\\n\", s); return 0; }\n";
+  Buffer.contents buf
+
+(* while→DO conversion matrix (E4): (name, source, expect_converted) *)
+let conversion_cases =
+  [
+    ("for (i=0; i<n; i++)",
+     "void f(float *a, int n) { int i; for (i = 0; i < n; i++) a[i] = 1.0f; }",
+     true);
+    ("for (i=n; i>0; i--)",
+     "void f(float *a, int n) { int i; for (i = n; i > 0; i--) a[i] = 1.0f; }",
+     true);
+    ("while (n) { ... n--; }",
+     "void f(float *a, int n) { while (n) { a[n] = 1.0f; n--; } }",
+     true);
+    ("for (; n; n--) *p++ = ...",
+     "void f(float *p, int n) { for (; n; n--) *p++ = 0.0f; }",
+     true);
+    ("i != n, i++",
+     "void f(float *a, int n) { int i; for (i = 0; i != n; i++) a[i] = 1.0f; }",
+     true);
+    ("i = temp - s (symbolic, §5.2)",
+     "void f(float *a, int s) { int i, temp; i = 400; while (i) { a[i] = 1.0f; temp = i; i = temp - s; } }",
+     true);
+    ("stride 4",
+     "void f(float *a, int n) { int i; for (i = 0; i < n; i += 4) a[i] = 1.0f; }",
+     true);
+    ("break in body",
+     "void f(float *a, int n) { int i; for (i = 0; i < n; i++) { if (a[i] < 0.0f) break; a[i] = 1.0f; } }",
+     false);
+    ("bound varies",
+     "void f(float *a, int n) { int i; for (i = 0; i < n; i++) { a[i] = 1.0f; if (i > 3) n--; } }",
+     false);
+    ("conditional step",
+     "void f(float *a, int n) { int i; i = 0; while (i < n) { a[i] = 1.0f; if (a[i] > 0.0f) i++; } }",
+     false);
+    ("volatile bound",
+     "volatile int lim; void f(float *a) { int i; i = 0; while (i < lim) { a[i] = 1.0f; i++; } }",
+     false);
+    ("goto into loop",
+     "void f(float *a, int n) { int i; i = 0; if (n > 99) goto mid; while (i < n) { mid: a[i] = 1.0f; i++; } }",
+     false);
+  ]
+
+(* arrays embedded in structures (E10, the Doré deficiency §10) *)
+let struct_arrays =
+  nl
+    [
+      "struct vertex { float pos[4]; float color[4]; };";
+      "struct vertex vs[128];";
+      "float mtx[4][4];";
+      "int main()";
+      "{";
+      "  int i, j;";
+      "  for (i = 0; i < 128; i++)";
+      "    for (j = 0; j < 4; j++)";
+      "      vs[i].pos[j] = vs[i].pos[j] * mtx[j][j] + vs[i].color[j];";
+      "  return 0;";
+      "}";
+    ]
+
+(* pointer-chasing loop (§10's future work, implemented here as a
+   doacross): the pragma supplies the paper's independent-storage
+   assumption; the advance serializes, the body spreads over processors *)
+let list_walk ~pragma =
+  nl
+    [
+      "struct node { float val; int next; };  /* index-linked list */";
+      "struct node pool[1024];";
+      "float out[1024];";
+      "void init() {";
+      "  int k;";
+      "  for (k = 0; k < 1024; k++) {";
+      "    pool[k].val = k * 0.5f;";
+      "    pool[k].next = (k < 1023) ? k + 1 : -1;";
+      "  }";
+      "}";
+      "int main()";
+      "{";
+      "  int p, k;";
+      "  init();";
+      "  k = 0;";
+      "  p = 0;";
+      (if pragma then "  #pragma vpc independent" else "");
+      "  while (p != -1) {";
+      "    out[k] = pool[p].val * 2.0f + pool[p].val * pool[p].val;";
+      "    p = pool[p].next;";
+      "    k++;";
+      "  }";
+      "  return k;";
+      "}";
+    ]
+
+(* a general compile-time workload for the bechamel timings *)
+let compile_time_workload = daxpy 100

@@ -1,0 +1,173 @@
+(* titancc: the command-line compiler.
+
+     titancc [OPTIONS] FILE.c
+
+   Compiles a C source file through the vectorizing/parallelizing
+   pipeline, optionally dumping the IL after each stage, then runs the
+   program on the Titan simulator (and, with --check, also on the IL
+   interpreter, comparing outputs). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_compiler file opt_level inline_only no_parallel no_vectorize
+    assume_noalias vlen procs sched_name dump_stages dump_asm check catalogs
+    save_catalog quiet =
+  try
+    let src = read_file file in
+    let base =
+      match opt_level with
+      | 0 -> Vpc.o0
+      | 1 -> Vpc.o1
+      | 2 -> Vpc.o2
+      | _ -> Vpc.o3
+    in
+    let options =
+      {
+        base with
+        Vpc.inline =
+          (match inline_only with
+          | [] -> base.Vpc.inline
+          | names -> `Only names);
+        parallelize = base.Vpc.parallelize && not no_parallel;
+        vectorize = base.Vpc.vectorize && not no_vectorize;
+        assume_noalias;
+        vlen;
+        catalogs;
+        dump =
+          (if dump_stages then
+             Some
+               (fun stage text ->
+                 Printf.printf "=== after %s ===\n%s\n" stage text)
+           else None);
+      }
+    in
+    let prog, stats = Vpc.compile ~options ~file src in
+    (match save_catalog with
+    | Some path ->
+        Vpc.Inline.Catalog.save prog path;
+        if not quiet then Printf.printf "catalog saved to %s\n" path
+    | None -> ());
+    if dump_asm then begin
+      let layout = Vpc.Titan.Machine.layout_globals prog in
+      let tprog =
+        Vpc.Titan.Codegen.gen_program prog ~global_addr:(fun id ->
+            Hashtbl.find layout.Vpc.Titan.Machine.addr_of id)
+      in
+      Hashtbl.iter
+        (fun _ f -> Format.printf "%a@." Vpc.Titan.Isa.pp_func f)
+        tprog.Vpc.Titan.Isa.funcs
+    end;
+    let sched =
+      match sched_name with
+      | "seq" -> Vpc.Titan.Machine.Sequential
+      | "conservative" -> Vpc.Titan.Machine.Overlap_conservative
+      | _ -> Vpc.Titan.Machine.Overlap_full
+    in
+    let config = { Vpc.Titan.Machine.default_config with procs; sched } in
+    let result = Vpc.run_titan ~config prog in
+    print_string result.Vpc.Titan.Machine.stdout_text;
+    if check then begin
+      let iresult = Vpc.run_interp prog in
+      if iresult.Vpc.Il.Interp.stdout_text <> result.stdout_text then begin
+        Printf.eprintf
+          "CHECK FAILED: interpreter and simulator outputs differ\n\
+           --- interpreter ---\n%s--- simulator ---\n%s"
+          iresult.stdout_text result.stdout_text;
+        exit 2
+      end
+      else if not quiet then Printf.eprintf "check: outputs agree\n"
+    end;
+    if not quiet then begin
+      let m = result.metrics in
+      Printf.eprintf
+        "[titan] cycles=%d insts=%d fp_ops=%d vector_insts=%d \
+         parallel_regions=%d mflops=%.3f (procs=%d sched=%s)\n"
+        m.Vpc.Titan.Machine.cycles m.insts m.fp_ops m.vector_insts
+        m.parallel_regions result.mflops_rate procs sched_name;
+      Printf.eprintf
+        "[opt] loops converted=%d ivs=%d vectorized=%d parallelized=%d \
+         inlined=%d\n"
+        stats.Vpc.while_to_do.converted stats.indvar.ivs_found
+        stats.vectorize.loops_vectorized stats.vectorize.loops_parallelized
+        stats.inline.calls_inlined
+    end;
+    (match result.return_value with
+    | Vpc.Titan.Machine.Vi n -> exit (n land 0xFF)
+    | Vpc.Titan.Machine.Vf _ -> exit 0)
+  with
+  | Vpc.Support.Diag.Error_exn d ->
+      Printf.eprintf "%s\n" (Vpc.Support.Diag.to_string d);
+      exit 1
+  | Vpc.Titan.Machine.Runtime_error m | Vpc.Il.Interp.Runtime_error m ->
+      Printf.eprintf "runtime error: %s\n" m;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc:"C source file")
+
+let opt_arg =
+  Arg.(value & opt int 3 & info [ "O" ] ~docv:"N" ~doc:"Optimization level 0-3")
+
+let inline_only_arg =
+  Arg.(value & opt_all string [] & info [ "inline" ] ~docv:"NAME"
+         ~doc:"Inline only the named functions")
+
+let no_parallel_arg =
+  Arg.(value & flag & info [ "no-parallel" ] ~doc:"Disable parallelization")
+
+let no_vectorize_arg =
+  Arg.(value & flag & info [ "no-vectorize" ] ~doc:"Disable vectorization")
+
+let noalias_arg =
+  Arg.(value & flag & info [ "noalias" ]
+         ~doc:"Assume pointer parameters have Fortran (no-alias) semantics")
+
+let vlen_arg =
+  Arg.(value & opt int 32 & info [ "vlen" ] ~docv:"N" ~doc:"Vector strip length")
+
+let procs_arg =
+  Arg.(value & opt int 1 & info [ "procs"; "p" ] ~docv:"N"
+         ~doc:"Number of Titan processors (1-4)")
+
+let sched_arg =
+  Arg.(value & opt string "full" & info [ "sched" ] ~docv:"MODE"
+         ~doc:"Scheduling model: seq, conservative, full")
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump-il" ] ~doc:"Dump IL after each stage")
+
+let dump_asm_arg =
+  Arg.(value & flag & info [ "dump-asm" ] ~doc:"Dump Titan instructions")
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Also run the IL interpreter and compare outputs")
+
+let catalog_arg =
+  Arg.(value & opt_all string [] & info [ "catalog" ] ~docv:"FILE"
+         ~doc:"Import a procedure catalog before inlining")
+
+let save_catalog_arg =
+  Arg.(value & opt (some string) None & info [ "save-catalog" ] ~docv:"FILE"
+         ~doc:"Save the compiled program as a procedure catalog")
+
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No statistics")
+
+let cmd =
+  let doc = "vectorizing, parallelizing, inlining C compiler for the Titan" in
+  Cmd.v
+    (Cmd.info "titancc" ~doc)
+    Term.(
+      const run_compiler $ file_arg $ opt_arg $ inline_only_arg
+      $ no_parallel_arg $ no_vectorize_arg $ noalias_arg $ vlen_arg $ procs_arg
+      $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
+      $ save_catalog_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/daxpy_inline.mli:

@@ -1,0 +1,1 @@
+examples/math_library.ml: Filename Printf Sys Unix Vpc

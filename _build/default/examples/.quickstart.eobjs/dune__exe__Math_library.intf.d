@@ -1,0 +1,1 @@
+examples/math_library.mli:

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Diag Func Hashtbl List Stmt Vpc_il Vpc_support

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Func Hashtbl Stmt Vpc_il

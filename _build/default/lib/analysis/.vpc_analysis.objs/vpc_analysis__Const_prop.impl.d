@@ -1,0 +1,1 @@
+lib/analysis/const_prop.ml: Expr Func Hashtbl List Prog Reaching Simplify Stmt Vpc_il

@@ -1,0 +1,1 @@
+lib/analysis/const_prop.mli: Func Prog Vpc_il

@@ -1,0 +1,1 @@
+lib/analysis/dce.ml: Func Hashtbl List Liveness Stmt Vpc_il

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bitset Cfg Expr Func Hashtbl List Stmt Var Vpc_il Vpc_support

@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Bitset Cfg Expr Func Hashtbl List Option Prog Stmt Var Vpc_il Vpc_support

@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Expr Func Hashtbl Prog Stmt Vpc_il

@@ -1,0 +1,1 @@
+lib/analysis/simplify.ml: Expr Int32 Stmt Ty Vpc_il

@@ -1,0 +1,1 @@
+lib/analysis/unreachable.ml: Cfg Func Hashtbl Stmt Vpc_il

@@ -1,0 +1,1 @@
+lib/analysis/unreachable.mli: Func Vpc_il

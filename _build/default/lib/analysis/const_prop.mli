@@ -1,0 +1,21 @@
+(** Constant propagation with unreachable-code elimination (paper §8).
+
+    Constants include address constants.  When an [if] condition folds,
+    the dead arm is spliced out and the analysis re-runs — subsuming the
+    paper's requeue heuristic ("all constant assignments whose
+    definitions can reach any statement in this list are then added to
+    the heap for another round") at some compile-time cost. *)
+
+open Vpc_il
+
+type stats = {
+  mutable substitutions : int;
+  mutable branches_folded : int;
+  mutable loops_deleted : int;   (** zero-trip loops removed *)
+  mutable stmts_removed : int;
+}
+
+val new_stats : unit -> stats
+
+(** Run to fixpoint on one function; returns [true] if anything changed. *)
+val run : ?stats:stats -> Prog.t -> Func.t -> bool

@@ -1,0 +1,126 @@
+(* Backward live-variable analysis over the CFG.  Dead-code elimination
+   and induction-variable elimination consult live-out sets; unsafe
+   variables (address-taken, global, volatile) are treated as live
+   everywhere that matters. *)
+
+open Vpc_support
+open Vpc_il
+
+type t = {
+  cfg : Cfg.t;
+  func : Func.t;
+  var_index : (int, int) Hashtbl.t;  (* var id -> bit index *)
+  index_var : int array;
+  live_out : (int, Bitset.t) Hashtbl.t;  (* node id -> live-out set *)
+  unsafe : (int, unit) Hashtbl.t;
+}
+
+let uses_of (s : Stmt.t) = Stmt.shallow_uses s
+
+let def_of (s : Stmt.t) =
+  match s.Stmt.desc with
+  | Stmt.Assign (Stmt.Lvar v, _) -> Some v
+  | Stmt.Call (Some (Stmt.Lvar v), _, _) -> Some v
+  | Stmt.Do_loop d -> Some d.index
+  | _ -> None
+
+let build (func : Func.t) : t =
+  let cfg = Cfg.build func in
+  (* universe of scalar vars *)
+  let var_index = Hashtbl.create 32 in
+  let vars = ref [] in
+  let n = ref 0 in
+  let consider id =
+    if not (Hashtbl.mem var_index id) then begin
+      Hashtbl.replace var_index id !n;
+      vars := id :: !vars;
+      incr n
+    end
+  in
+  let unsafe = Hashtbl.create 16 in
+  Stmt.iter_list
+    (fun s ->
+      List.iter
+        (fun e ->
+          List.iter consider (Expr.read_vars e);
+          List.iter
+            (fun id ->
+              consider id;
+              Hashtbl.replace unsafe id ())
+            (Expr.vars_addressed [] e))
+        (Stmt.shallow_exprs s);
+      match def_of s with Some v -> consider v | None -> ())
+    func.Func.body;
+  List.iter consider func.Func.params;
+  Hashtbl.iter
+    (fun id _idx ->
+      match Func.find_var func id with
+      | Some v -> if v.volatile || Var.is_global v then Hashtbl.replace unsafe id ()
+      | None -> Hashtbl.replace unsafe id ())
+    var_index;
+  let index_var = Array.make !n 0 in
+  Hashtbl.iter (fun id idx -> index_var.(idx) <- id) var_index;
+  let nvars = !n in
+  let live_in = Hashtbl.create 64 in
+  let live_out = Hashtbl.create 64 in
+  Cfg.iter_rpo
+    (fun id _ ->
+      Hashtbl.replace live_in id (Bitset.create nvars);
+      Hashtbl.replace live_out id (Bitset.create nvars))
+    cfg;
+  (* Unsafe vars are live at exit: their values may be observed through
+     memory or by callers. *)
+  let exit_live = Hashtbl.find live_in Cfg.exit_id in
+  Hashtbl.iter
+    (fun id () ->
+      match Hashtbl.find_opt var_index id with
+      | Some idx -> Bitset.add exit_live idx
+      | None -> ())
+    unsafe;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in postorder (reverse of rpo) for backward flow *)
+    List.iter
+      (fun id ->
+        let node = Cfg.node cfg id in
+        let out = Hashtbl.find live_out id in
+        List.iter
+          (fun succ_id ->
+            match Hashtbl.find_opt live_in succ_id with
+            | Some succ_in -> ignore (Bitset.union_into out succ_in)
+            | None -> ())
+          node.Cfg.succs;
+        let in_ = Bitset.copy out in
+        (match node.Cfg.stmt with
+        | None -> ()
+        | Some s ->
+            (match def_of s with
+            | Some v -> (
+                match Hashtbl.find_opt var_index v with
+                | Some idx -> Bitset.remove in_ idx
+                | None -> ())
+            | None -> ());
+            List.iter
+              (fun v ->
+                match Hashtbl.find_opt var_index v with
+                | Some idx -> Bitset.add in_ idx
+                | None -> ())
+              (uses_of s));
+        if not (Bitset.equal in_ (Hashtbl.find live_in id)) then begin
+          changed := true;
+          Hashtbl.replace live_in id in_
+        end)
+      (List.rev cfg.Cfg.rpo)
+  done;
+  { cfg; func; var_index; index_var; live_out; unsafe }
+
+let live_out_of t ~stmt_id ~var =
+  match Hashtbl.find_opt t.var_index var with
+  | None -> false
+  | Some idx -> (
+      if Hashtbl.mem t.unsafe var then true
+      else
+        match Hashtbl.find_opt t.live_out stmt_id with
+        | Some out -> Bitset.mem out idx
+        | None -> false (* unreachable statement: nothing is live *))

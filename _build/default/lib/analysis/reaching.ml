@@ -1,0 +1,283 @@
+(* Reaching definitions and use-def chains — the workhorse of the paper's
+   scalar phase: while→DO conversion, induction-variable substitution and
+   constant propagation are all "driven off the use-def graph" (§8).
+
+   Scalar variables only.  A variable is *unsafe* when stores through
+   pointers or calls may modify it (its address is taken, it has global
+   lifetime, or it is volatile); every memory-writing statement produces a
+   weak definition of each unsafe variable.  A use reached by any weak
+   definition reports [Unknown]. *)
+
+open Vpc_support
+open Vpc_il
+
+type def = {
+  d_index : int;
+  d_stmt : int;  (* defining stmt id; [entry_def_stmt] = function entry *)
+  d_var : int;
+  d_weak : bool;
+  d_value : Expr.t option;  (* RHS when the def is [Assign (Lvar v, rhs)] *)
+}
+
+let entry_def_stmt = -1
+
+type reach =
+  | Defs of def list  (* exactly these strong/entry definitions reach *)
+  | Unknown           (* a weak def (memory write / call) may intervene *)
+
+type t = {
+  cfg : Cfg.t;
+  func : Func.t;
+  prog : Prog.t option;
+  defs : def array;
+  defs_of_var : (int, int list) Hashtbl.t;
+  unsafe : (int, unit) Hashtbl.t;
+  ins : (int, Bitset.t) Hashtbl.t;  (* node id -> IN bitset *)
+  tracked : (int, unit) Hashtbl.t;
+}
+
+(* Resolve variable metadata through the function, then the program. *)
+let find_var_meta ?prog func id =
+  match Func.find_var func id with
+  | Some v -> Some v
+  | None -> Option.bind prog (fun p -> Prog.find_var p (Some func) id)
+
+let is_unsafe t var_id = Hashtbl.mem t.unsafe var_id
+
+(* Variables defined (strongly) by a statement node itself. *)
+let strong_def_of (s : Stmt.t) =
+  match s.Stmt.desc with
+  | Stmt.Assign (Stmt.Lvar v, rhs) -> Some (v, Some rhs)
+  | Stmt.Call (Some (Stmt.Lvar v), _, _) -> Some (v, None)
+  | Stmt.Do_loop d -> Some (d.index, None)
+  | _ -> None
+
+let writes_memory (s : Stmt.t) =
+  match s.Stmt.desc with
+  | Stmt.Assign (Stmt.Lmem _, _) | Stmt.Vector _ | Stmt.Call _ -> true
+  | _ -> false
+
+let build ?(prog : Prog.t option) (func : Func.t) : t =
+  let cfg = Cfg.build func in
+  (* Collect tracked vars and unsafe vars. *)
+  let tracked = Hashtbl.create 32 in
+  let unsafe = Hashtbl.create 16 in
+  let mark_unsafe id = Hashtbl.replace unsafe id () in
+  let consider id =
+    Hashtbl.replace tracked id ();
+    match find_var_meta ?prog func id with
+    | Some v -> if v.volatile || Var.is_global v then mark_unsafe id
+    | None -> mark_unsafe id  (* foreign variable *)
+  in
+  Stmt.iter_list
+    (fun s ->
+      List.iter
+        (fun e ->
+          List.iter consider (Expr.read_vars e);
+          List.iter
+            (fun id ->
+              consider id;
+              mark_unsafe id)
+            (Expr.vars_addressed [] e))
+        (Stmt.shallow_exprs s);
+      match strong_def_of s with Some (v, _) -> consider v | None -> ())
+    func.Func.body;
+  List.iter consider func.Func.params;
+  (match prog with
+  | Some p ->
+      Hashtbl.iter
+        (fun id () -> if Hashtbl.mem p.Prog.globals id then mark_unsafe id)
+        tracked
+  | None -> ());
+  (* Enumerate definitions. *)
+  let defs = ref [] in
+  let count = ref 0 in
+  let defs_of_var : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let add_def d_stmt d_var d_weak d_value =
+    let d = { d_index = !count; d_stmt; d_var; d_weak; d_value } in
+    incr count;
+    defs := d :: !defs;
+    Hashtbl.replace defs_of_var d_var
+      (d.d_index
+      :: Option.value (Hashtbl.find_opt defs_of_var d_var) ~default:[]);
+    d.d_index
+  in
+  let entry_defs = ref [] in
+  Hashtbl.iter
+    (fun id () -> entry_defs := add_def entry_def_stmt id false None :: !entry_defs)
+    tracked;
+  let strong_index : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let weak_of_stmt : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  Stmt.iter_list
+    (fun s ->
+      (match strong_def_of s with
+      | Some (v, value) ->
+          Hashtbl.replace strong_index s.Stmt.id (add_def s.Stmt.id v false value)
+      | None -> ());
+      if writes_memory s then begin
+        let ws =
+          Hashtbl.fold
+            (fun v () acc -> add_def s.Stmt.id v true None :: acc)
+            unsafe []
+        in
+        Hashtbl.replace weak_of_stmt s.Stmt.id ws
+      end)
+    func.Func.body;
+  let defs = Array.of_list (List.rev !defs) in
+  let ndefs = Array.length defs in
+  (* GEN/KILL per node. *)
+  let gen = Hashtbl.create 64 and kill = Hashtbl.create 64 in
+  let empty () = Bitset.create ndefs in
+  Cfg.iter_rpo
+    (fun id node ->
+      let g = empty () and k = empty () in
+      (match node.Cfg.stmt with
+      | None ->
+          if id = Cfg.entry_id then List.iter (Bitset.add g) !entry_defs
+      | Some s ->
+          (match strong_def_of s with
+          | Some (v, _) ->
+              let own = Hashtbl.find strong_index s.Stmt.id in
+              Bitset.add g own;
+              List.iter
+                (fun di -> if di <> own then Bitset.add k di)
+                (Option.value (Hashtbl.find_opt defs_of_var v) ~default:[])
+          | None -> ());
+          match Hashtbl.find_opt weak_of_stmt s.Stmt.id with
+          | Some ws -> List.iter (Bitset.add g) ws
+          | None -> ());
+      Hashtbl.replace gen id g;
+      Hashtbl.replace kill id k)
+    cfg;
+  (* Fixpoint: IN[n] = ∪ OUT[p], OUT = gen ∪ (IN \ kill). *)
+  let ins = Hashtbl.create 64 in
+  let outs = Hashtbl.create 64 in
+  Cfg.iter_rpo
+    (fun id _ ->
+      Hashtbl.replace ins id (empty ());
+      Hashtbl.replace outs id (empty ()))
+    cfg;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Cfg.iter_rpo
+      (fun id node ->
+        let in_ = Hashtbl.find ins id in
+        List.iter
+          (fun p ->
+            match Hashtbl.find_opt outs p with
+            | Some out_p -> ignore (Bitset.union_into in_ out_p)
+            | None -> ())
+          node.Cfg.preds;
+        let out = Bitset.copy in_ in
+        Bitset.transfer ~gen:(Hashtbl.find gen id)
+          ~kill:(Hashtbl.find kill id) out;
+        if not (Bitset.equal out (Hashtbl.find outs id)) then begin
+          changed := true;
+          Hashtbl.replace outs id out
+        end)
+      cfg
+  done;
+  { cfg; func; prog; defs; defs_of_var; unsafe; ins; tracked }
+
+(* Definitions of [var] reaching the *entry* of the statement node
+   [stmt_id] (i.e. visible to uses in that statement). *)
+let reaching t ~stmt_id ~var : reach =
+  match Hashtbl.find_opt t.ins stmt_id with
+  | None -> Unknown  (* unreachable statement *)
+  | Some in_ ->
+      let volatile =
+        match find_var_meta ?prog:t.prog t.func var with
+        | Some v -> v.volatile
+        | None -> true  (* unknown variable: assume the worst *)
+      in
+      if volatile then Unknown
+      else begin
+        let result = ref [] in
+        let weak = ref false in
+        List.iter
+          (fun di ->
+            if Bitset.mem in_ di then begin
+              let d = t.defs.(di) in
+              if d.d_weak then weak := true else result := d :: !result
+            end)
+          (Option.value (Hashtbl.find_opt t.defs_of_var var) ~default:[]);
+        if !weak then Unknown
+        else Defs (List.sort (fun a b -> compare a.d_index b.d_index) !result)
+      end
+
+(* The single reaching definition, when there is exactly one and it is a
+   real statement. *)
+let unique_def t ~stmt_id ~var =
+  match reaching t ~stmt_id ~var with
+  | Defs [ d ] when d.d_stmt <> entry_def_stmt -> Some d
+  | Defs _ | Unknown -> None
+
+(* Is every reaching definition of [var] at [stmt_id] outside the
+   statement-id set [inside]? *)
+let all_defs_outside t ~stmt_id ~var ~inside =
+  match reaching t ~stmt_id ~var with
+  | Unknown -> false
+  | Defs ds ->
+      List.for_all
+        (fun d ->
+          d.d_stmt = entry_def_stmt || not (Hashtbl.mem inside d.d_stmt))
+        ds
+
+(* def-use chains: map def index -> list of (stmt id, var) uses it
+   reaches.  Used by constant propagation's requeue heuristic (§8). *)
+let def_uses t =
+  let uses : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Cfg.iter_rpo
+    (fun id node ->
+      match node.Cfg.stmt with
+      | None -> ()
+      | Some s ->
+          List.iter
+            (fun var ->
+              match reaching t ~stmt_id:id ~var with
+              | Unknown -> ()
+              | Defs ds ->
+                  List.iter
+                    (fun d ->
+                      Hashtbl.replace uses d.d_index
+                        ((s.Stmt.id, var)
+                        :: Option.value
+                             (Hashtbl.find_opt uses d.d_index)
+                             ~default:[]))
+                    ds)
+            (Stmt.shallow_uses s))
+    t.cfg;
+  uses
+
+(* Variables (strongly) defined anywhere within a statement list, plus
+   whether the list writes memory — the ingredients of loop-invariance. *)
+let vars_defined_in (body : Stmt.t list) =
+  let set = Hashtbl.create 16 in
+  let mem_written = ref false in
+  List.iter
+    (fun s ->
+      Stmt.iter
+        (fun s ->
+          (match strong_def_of s with
+          | Some (v, _) -> Hashtbl.replace set v ()
+          | None -> ());
+          if writes_memory s then mem_written := true)
+        s)
+    body;
+  (set, !mem_written)
+
+(* Is expression [e] invariant while [body] executes? *)
+let invariant_in t (body : Stmt.t list) (e : Expr.t) =
+  let defined, mem_written = vars_defined_in body in
+  let ok = ref true in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem defined v then ok := false;
+      if Hashtbl.mem t.unsafe v && mem_written then ok := false;
+      match find_var_meta ?prog:t.prog t.func v with
+      | Some vm -> if vm.volatile then ok := false
+      | None -> ok := false)
+    (Expr.read_vars e);
+  if Expr.contains_load e && mem_written then ok := false;
+  !ok

@@ -1,0 +1,64 @@
+(** Reaching definitions and use-def chains — the workhorse of the
+    paper's scalar phase: while→DO conversion, induction-variable
+    substitution, and constant propagation are all "driven off the
+    use-def graph" (§8).
+
+    Scalar variables only.  A variable is {e unsafe} when stores through
+    pointers or calls may modify it (address taken, global lifetime, or
+    volatile); every memory-writing statement weakly defines each unsafe
+    variable, and a use reached by a weak definition reports
+    {!reach.Unknown}. *)
+
+open Vpc_il
+
+type def = {
+  d_index : int;
+  d_stmt : int;   (** defining stmt id, or {!entry_def_stmt} *)
+  d_var : int;
+  d_weak : bool;
+  d_value : Expr.t option;  (** RHS when the def is [v = rhs] *)
+}
+
+(** Pseudo-definition at function entry (parameter / unknown initial
+    value). *)
+val entry_def_stmt : int
+
+type reach =
+  | Defs of def list  (** exactly these strong/entry definitions reach *)
+  | Unknown           (** a weak def or volatile access intervenes *)
+
+type t
+
+(** Variables the analysis considers unsafe. *)
+val is_unsafe : t -> int -> bool
+
+(** The scalar variable a statement strongly defines, with its RHS. *)
+val strong_def_of : Stmt.t -> (int * Expr.t option) option
+
+val writes_memory : Stmt.t -> bool
+
+(** Build the analysis.  Pass [prog] so global/volatile metadata resolves
+    for variables not in the function's own table. *)
+val build : ?prog:Prog.t -> Func.t -> t
+
+(** Definitions of [var] visible to uses in statement [stmt_id]. *)
+val reaching : t -> stmt_id:int -> var:int -> reach
+
+(** The single reaching definition, when there is exactly one and it is a
+    real statement. *)
+val unique_def : t -> stmt_id:int -> var:int -> def option
+
+(** Does no definition inside the statement-id set [inside] reach the
+    use? *)
+val all_defs_outside :
+  t -> stmt_id:int -> var:int -> inside:(int, unit) Hashtbl.t -> bool
+
+(** def-use chains: def index → (stmt id, var) uses it reaches. *)
+val def_uses : t -> (int, (int * int) list) Hashtbl.t
+
+(** Variables strongly defined in a statement list, and whether it writes
+    memory — the ingredients of loop invariance. *)
+val vars_defined_in : Stmt.t list -> (int, unit) Hashtbl.t * bool
+
+(** Is [e] invariant while [body] executes? *)
+val invariant_in : t -> Stmt.t list -> Expr.t -> bool

@@ -1,0 +1,174 @@
+(* Constant folding and algebraic simplification of pure IL expressions.
+   Shared by constant propagation, induction-variable substitution, and
+   the dependence analyzer's subscript normalizer. *)
+
+open Vpc_il
+
+let wrap32 n =
+  (n land 0xFFFFFFFF) - (if n land 0x80000000 <> 0 then 1 lsl 32 else 0)
+
+let bool_to_int b = if b then 1 else 0
+
+let fold_int_binop (op : Expr.binop) x y : int option =
+  match op with
+  | Expr.Add -> Some (wrap32 (x + y))
+  | Expr.Sub -> Some (wrap32 (x - y))
+  | Expr.Mul -> Some (wrap32 (x * y))
+  | Expr.Div ->
+      if y = 0 then None
+      else
+        let q = abs x / abs y in
+        Some (if (x < 0) <> (y < 0) then -q else q)
+  | Expr.Rem ->
+      if y = 0 then None
+      else
+        let r = abs x mod abs y in
+        Some (if x < 0 then -r else r)
+  | Expr.Shl -> Some (wrap32 (x lsl (y land 31)))
+  | Expr.Shr -> Some (x asr (y land 31))
+  | Expr.Band -> Some (x land y)
+  | Expr.Bor -> Some (x lor y)
+  | Expr.Bxor -> Some (x lxor y)
+  | Expr.Eq -> Some (bool_to_int (x = y))
+  | Expr.Ne -> Some (bool_to_int (x <> y))
+  | Expr.Lt -> Some (bool_to_int (x < y))
+  | Expr.Le -> Some (bool_to_int (x <= y))
+  | Expr.Gt -> Some (bool_to_int (x > y))
+  | Expr.Ge -> Some (bool_to_int (x >= y))
+
+let fold_float_binop (op : Expr.binop) x y : [ `F of float | `I of int ] option =
+  match op with
+  | Expr.Add -> Some (`F (x +. y))
+  | Expr.Sub -> Some (`F (x -. y))
+  | Expr.Mul -> Some (`F (x *. y))
+  | Expr.Div -> if y = 0.0 then None else Some (`F (x /. y))
+  | Expr.Eq -> Some (`I (bool_to_int (x = y)))
+  | Expr.Ne -> Some (`I (bool_to_int (x <> y)))
+  | Expr.Lt -> Some (`I (bool_to_int (x < y)))
+  | Expr.Le -> Some (`I (bool_to_int (x <= y)))
+  | Expr.Gt -> Some (`I (bool_to_int (x > y)))
+  | Expr.Ge -> Some (`I (bool_to_int (x >= y)))
+  | Expr.Rem | Expr.Shl | Expr.Shr | Expr.Band | Expr.Bor | Expr.Bxor -> None
+
+(* One bottom-up simplification pass. *)
+let rec expr (e : Expr.t) : Expr.t =
+  match e.Expr.desc with
+  | Expr.Const_int _ | Expr.Const_float _ | Expr.Var _ | Expr.Addr_of _ -> e
+  | Expr.Load p -> { e with desc = Expr.Load (expr p) }
+  | Expr.Unop (op, a) -> simp_unop e op (expr a)
+  | Expr.Cast (ty, a) -> simp_cast e ty (expr a)
+  | Expr.Binop (op, a, b) -> simp_binop e op (expr a) (expr b)
+
+and simp_unop e op (a : Expr.t) =
+  match op, a.Expr.desc with
+  | Expr.Neg, Expr.Const_int n -> { e with desc = Expr.Const_int (wrap32 (-n)) }
+  | Expr.Neg, Expr.Const_float f -> { e with desc = Expr.Const_float (-.f) }
+  | Expr.Neg, Expr.Unop (Expr.Neg, inner) -> { inner with ty = e.Expr.ty }
+  | Expr.Lognot, Expr.Const_int n ->
+      { e with desc = Expr.Const_int (bool_to_int (n = 0)) }
+  | Expr.Lognot, Expr.Const_float f ->
+      { e with desc = Expr.Const_int (bool_to_int (f = 0.0)) }
+  | Expr.Bitnot, Expr.Const_int n ->
+      { e with desc = Expr.Const_int (wrap32 (lnot n)) }
+  | _ -> { e with desc = Expr.Unop (op, a) }
+
+and simp_cast e ty (a : Expr.t) =
+  if Ty.equal ty a.Expr.ty then a
+  else
+    match ty, a.Expr.desc with
+    | Ty.Int, Expr.Const_int _ -> { a with ty = Ty.Int }
+    | Ty.Int, Expr.Const_float f -> { e with desc = Expr.Const_int (int_of_float f) }
+    | (Ty.Float | Ty.Double), Expr.Const_int n ->
+        let f = float_of_int n in
+        let f = if ty = Ty.Float then Int32.float_of_bits (Int32.bits_of_float f) else f in
+        { Expr.desc = Expr.Const_float f; ty }
+    | Ty.Double, Expr.Const_float _ -> { a with ty }
+    | Ty.Float, Expr.Const_float f ->
+        { Expr.desc = Expr.Const_float (Int32.float_of_bits (Int32.bits_of_float f)); ty }
+    | Ty.Ptr _, (Expr.Addr_of _ | Expr.Var _ | Expr.Binop _) when Ty.is_pointer a.Expr.ty ->
+        (* pointer-to-pointer casts are free *)
+        { a with ty }
+    | _, Expr.Cast (_, inner)
+      when Ty.is_pointer ty && Ty.is_pointer inner.Expr.ty ->
+        simp_cast e ty inner
+    | _ -> { Expr.desc = Expr.Cast (ty, a); ty }
+
+and simp_binop e op (a : Expr.t) (b : Expr.t) =
+  let default () = { e with desc = Expr.Binop (op, a, b) } in
+  let is_float = Ty.is_float e.Expr.ty || Ty.is_float a.Expr.ty in
+  match a.Expr.desc, b.Expr.desc with
+  | Expr.Const_int x, Expr.Const_int y -> (
+      match fold_int_binop op x y with
+      | Some r -> { e with desc = Expr.Const_int r }
+      | None -> default ())
+  | Expr.Const_float x, Expr.Const_float y -> (
+      match fold_float_binop op x y with
+      | Some (`F r) ->
+          let r =
+            if e.Expr.ty = Ty.Float then Int32.float_of_bits (Int32.bits_of_float r)
+            else r
+          in
+          { e with desc = Expr.Const_float r }
+      | Some (`I r) -> { e with desc = Expr.Const_int r }
+      | None -> default ())
+  | _ -> (
+      (* algebraic identities; float identities are restricted to the
+         always-safe ones (x*1, x/1, x+0 changes -0.0 but the paper's
+         compiler took that licence too) *)
+      match op, a.Expr.desc, b.Expr.desc with
+      | Expr.Add, _, Expr.Const_int 0 -> { a with ty = e.Expr.ty }
+      | Expr.Add, Expr.Const_int 0, _ -> { b with ty = e.Expr.ty }
+      | Expr.Sub, _, Expr.Const_int 0 -> { a with ty = e.Expr.ty }
+      | Expr.Mul, _, Expr.Const_int 1 -> { a with ty = e.Expr.ty }
+      | Expr.Mul, Expr.Const_int 1, _ -> { b with ty = e.Expr.ty }
+      | Expr.Mul, _, Expr.Const_int 0 when not is_float ->
+          { e with desc = Expr.Const_int 0 }
+      | Expr.Mul, Expr.Const_int 0, _ when not is_float ->
+          { e with desc = Expr.Const_int 0 }
+      | Expr.Mul, _, Expr.Const_float 1.0 -> { a with ty = e.Expr.ty }
+      | Expr.Mul, Expr.Const_float 1.0, _ -> { b with ty = e.Expr.ty }
+      | Expr.Div, _, Expr.Const_int 1 -> { a with ty = e.Expr.ty }
+      | Expr.Div, _, Expr.Const_float 1.0 -> { a with ty = e.Expr.ty }
+      | Expr.Sub, _, _ when (not is_float) && Expr.equal a b ->
+          { e with desc = Expr.Const_int 0 }
+      (* (x + c1) - (x + c2) and friends: cancel the equal symbolic part *)
+      | Expr.Sub, Expr.Binop (Expr.Add, x1, { desc = Expr.Const_int c1; _ }),
+        Expr.Binop (Expr.Add, x2, { desc = Expr.Const_int c2; _ })
+        when (not is_float) && Expr.equal x1 x2 ->
+          { e with desc = Expr.Const_int (c1 - c2) }
+      | Expr.Sub, _, Expr.Binop (Expr.Add, x2, { desc = Expr.Const_int c2; _ })
+        when (not is_float) && Expr.equal a x2 ->
+          { e with desc = Expr.Const_int (-c2) }
+      | Expr.Sub, Expr.Binop (Expr.Add, x1, { desc = Expr.Const_int c1; _ }), _
+        when (not is_float) && Expr.equal x1 b ->
+          { e with desc = Expr.Const_int c1 }
+      (* reassociate (x + c1) + c2 and (x + c1) - c2 *)
+      | Expr.Add, Expr.Binop (Expr.Add, x, { desc = Expr.Const_int c1; _ }),
+        Expr.Const_int c2 ->
+          simp_binop e Expr.Add x (Expr.int_const (c1 + c2))
+      | Expr.Sub, Expr.Binop (Expr.Add, x, { desc = Expr.Const_int c1; _ }),
+        Expr.Const_int c2 ->
+          simp_binop e Expr.Add x (Expr.int_const (c1 - c2))
+      | Expr.Add, Expr.Binop (Expr.Sub, x, { desc = Expr.Const_int c1; _ }),
+        Expr.Const_int c2 ->
+          simp_binop e Expr.Add x (Expr.int_const (c2 - c1))
+      | _ -> default ())
+
+(* Is the expression a "constant" in the propagation sense?  Address
+   constants (&a) count — §9 relies on propagating them into subscripts. *)
+let is_propagation_constant (e : Expr.t) =
+  match e.Expr.desc with
+  | Expr.Const_int _ | Expr.Const_float _ | Expr.Addr_of _ -> true
+  | Expr.Binop (Expr.Add, { desc = Expr.Addr_of _; _ }, { desc = Expr.Const_int _; _ }) ->
+      true  (* &a + 12 *)
+  | _ -> false
+
+(* Truth value of a constant condition, if decidable. *)
+let const_truth (e : Expr.t) =
+  match e.Expr.desc with
+  | Expr.Const_int n -> Some (n <> 0)
+  | Expr.Const_float f -> Some (f <> 0.0)
+  | Expr.Addr_of _ -> Some true
+  | _ -> None
+
+let stmt_exprs_simplify (s : Stmt.t) = Stmt.map_exprs_shallow expr s

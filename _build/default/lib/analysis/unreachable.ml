@@ -1,0 +1,71 @@
+(* Unreachable-code postpass (paper §8): "code immediately following
+   branches that are always taken is difficult to uncover as unreachable
+   during constant propagation.  The vectorizer has a separate postpass
+   ... a quick heuristic" — statements between an unconditional transfer
+   (goto/return) and the next label are deleted, and a goto directly to
+   the following label is dropped.  A full CFG-reachability sweep is also
+   provided for the stubborn cases. *)
+
+open Vpc_il
+
+type stats = { mutable removed : int }
+
+let new_stats () = { removed = 0 }
+
+(* The quick heuristic, applied within each statement list. *)
+let quick_pass (func : Func.t) stats =
+  let changed = ref false in
+  let rec clean stmts =
+    match stmts with
+    | [] -> []
+    | { Stmt.desc = Stmt.Goto l1; _ } :: ({ Stmt.desc = Stmt.Label l2; _ } as lab) :: rest
+      when l1 = l2 ->
+        changed := true;
+        stats.removed <- stats.removed + 1;
+        clean (lab :: rest)
+    | ({ Stmt.desc = Stmt.Goto _ | Stmt.Return _; _ } as s) :: rest ->
+        let rec drop = function
+          | ({ Stmt.desc = Stmt.Label _; _ } :: _) as rest -> rest
+          | _ :: tail ->
+              changed := true;
+              stats.removed <- stats.removed + 1;
+              drop tail
+          | [] -> []
+        in
+        s :: clean (drop rest)
+    | s :: rest -> recurse s :: clean rest
+  and recurse (s : Stmt.t) =
+    match s.Stmt.desc with
+    | Stmt.If (c, t, e) -> { s with desc = Stmt.If (c, clean t, clean e) }
+    | Stmt.While (li, c, b) -> { s with desc = Stmt.While (li, c, clean b) }
+    | Stmt.Do_loop d -> { s with desc = Stmt.Do_loop { d with body = clean d.body } }
+    | _ -> s
+  in
+  func.Func.body <- clean func.Func.body;
+  !changed
+
+(* Full CFG reachability: delete statements whose node is unreachable from
+   entry (loops and branch heads survive if reachable). *)
+let cfg_pass (func : Func.t) stats =
+  let cfg = Cfg.build func in
+  let reach = Cfg.reachable cfg in
+  let changed = ref false in
+  func.Func.body <-
+    Stmt.map_list
+      (fun s ->
+        match s.Stmt.desc with
+        | Stmt.Nop -> [ s ]
+        | _ ->
+            if Hashtbl.mem reach s.Stmt.id then [ s ]
+            else begin
+              changed := true;
+              stats.removed <- stats.removed + 1;
+              []
+            end)
+      func.Func.body;
+  !changed
+
+let run ?(stats = new_stats ()) (func : Func.t) =
+  let a = quick_pass func stats in
+  let b = cfg_pass func stats in
+  a || b

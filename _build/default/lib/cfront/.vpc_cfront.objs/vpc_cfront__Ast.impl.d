@@ -1,0 +1,1 @@
+lib/cfront/ast.ml: Diag Loc Ty Var Vpc_il Vpc_support

@@ -1,0 +1,1 @@
+lib/cfront/frontend.ml: Lower Parser Sema Vpc_il

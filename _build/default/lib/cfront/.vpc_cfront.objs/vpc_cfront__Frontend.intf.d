@@ -1,0 +1,1 @@
+lib/cfront/frontend.mli: Vpc_il

@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Diag Hashtbl List Loc String Token Vpc_support

@@ -1,0 +1,1 @@
+lib/cfront/lower.ml: Ast Builder Char Diag Expr Func Hashtbl List Option Printf Prog Sema Stmt String Ty Var Vpc_il Vpc_support

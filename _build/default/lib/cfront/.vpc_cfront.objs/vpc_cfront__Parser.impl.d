@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Buffer Char Diag Hashtbl Lexer List Loc Option Printf String Token Ty Vpc_il Vpc_support

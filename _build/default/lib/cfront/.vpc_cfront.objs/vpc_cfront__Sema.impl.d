@@ -1,0 +1,1 @@
+lib/cfront/sema.ml: Ast Diag Func Hashtbl List Option Printf Prog Stack String Ty Var Vpc_il Vpc_support

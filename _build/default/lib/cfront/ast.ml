@@ -1,0 +1,119 @@
+(* Abstract syntax of the C subset.  The parser resolves declarators
+   directly to [Vpc_il.Ty.t]; semantic analysis later fills the mutable
+   annotations ([ty] on expressions, [var] on identifiers) in place. *)
+
+open Vpc_support
+open Vpc_il
+
+type unop =
+  | U_plus    (* unary +, a no-op after promotion *)
+  | U_neg
+  | U_lognot
+  | U_bitnot
+  | U_deref
+  | U_addr
+
+type binop =
+  | B_add | B_sub | B_mul | B_div | B_rem
+  | B_shl | B_shr | B_and | B_or | B_xor
+  | B_eq | B_ne | B_lt | B_le | B_gt | B_ge
+
+type logop = L_and | L_or
+
+type expr = {
+  desc : expr_desc;
+  eloc : Loc.t;
+  mutable ty : Ty.t option;      (* value type (after decay), filled by Sema *)
+  mutable var : Var.t option;    (* E_ident resolution, filled by Sema *)
+  mutable const_size : int option;  (* sizeof nodes: the resolved size *)
+}
+
+and expr_desc =
+  | E_int of int
+  | E_float of float * bool      (* is_double *)
+  | E_char of char
+  | E_string of string
+  | E_ident of string
+  | E_call of expr * expr list
+  | E_index of expr * expr
+  | E_member of expr * string
+  | E_arrow of expr * string
+  | E_unop of unop * expr
+  | E_incdec of { incr : bool; prefix : bool; arg : expr }
+  | E_binop of binop * expr * expr
+  | E_logical of logop * expr * expr
+  | E_cond of expr * expr * expr
+  | E_assign of expr * expr
+  | E_opassign of binop * expr * expr
+  | E_comma of expr * expr
+  | E_cast of Ty.t * expr
+  | E_sizeof_type of Ty.t
+  | E_sizeof_expr of expr
+
+type storage_class = Sc_none | Sc_static | Sc_extern | Sc_typedef
+
+type decl = {
+  d_name : string;
+  d_ty : Ty.t;
+  d_storage : storage_class;
+  d_volatile : bool;
+  d_init : init option;
+  d_loc : Loc.t;
+  mutable d_var : Var.t option;  (* the variable Sema created for this decl *)
+}
+
+and init = I_expr of expr | I_list of init list
+
+type pragma = string list
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | S_expr of expr option
+  | S_block of block_item list
+  | S_if of expr * stmt * stmt option
+  | S_while of pragma list * expr * stmt
+  | S_do of stmt * expr
+  | S_for of pragma list * expr option * expr option * expr option * stmt
+  | S_return of expr option
+  | S_break
+  | S_continue
+  | S_goto of string
+  | S_label of string * stmt
+  | S_switch of expr * stmt
+  | S_case of expr * stmt
+  | S_default of stmt
+
+and block_item = Bi_decl of decl | Bi_stmt of stmt
+
+type param = { p_name : string; p_ty : Ty.t; p_volatile : bool; p_loc : Loc.t }
+
+type fundef = {
+  fd_name : string;
+  fd_ret : Ty.t;
+  fd_params : param list;
+  fd_varargs : bool;
+  fd_static : bool;
+  fd_body : stmt;  (* always an S_block *)
+  fd_loc : Loc.t;
+}
+
+type top =
+  | Top_func of fundef
+  | Top_decl of decl
+  | Top_proto of { name : string; ty : Ty.t; loc : Loc.t }
+
+type translation_unit = {
+  tu_structs : Ty.struct_env;
+  tu_tops : top list;
+}
+
+let mk_expr ?(loc = Loc.dummy) desc =
+  { desc; eloc = loc; ty = None; var = None; const_size = None }
+let mk_stmt ?(loc = Loc.dummy) sdesc = { sdesc; sloc = loc }
+
+(* Type of an annotated expression; Sema must have run. *)
+let ty_exn (e : expr) =
+  match e.ty with
+  | Some t -> t
+  | None -> Diag.internal "expression not annotated by Sema"

@@ -1,0 +1,6 @@
+(* One-call front end: C source text to IL program. *)
+
+let compile ?file src : Vpc_il.Prog.t =
+  let tu = Parser.parse ?file src in
+  let sema = Sema.check_translation_unit tu in
+  Lower.program sema

@@ -1,0 +1,5 @@
+(** One-call front end: C source text to an IL program (parse, semantic
+    analysis, §4 lowering).  Raises [Vpc_support.Diag.Error_exn] on any
+    user-facing error. *)
+
+val compile : ?file:string -> string -> Vpc_il.Prog.t

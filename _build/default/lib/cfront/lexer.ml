@@ -1,0 +1,378 @@
+(* Hand-written lexer for the C subset, with a miniature preprocessor:
+   object-like [#define] substitution, [#pragma vpc ...] passed through as
+   a token, and all other [#] lines skipped with a warning.  This is all
+   the preprocessing the paper's workloads need. *)
+
+open Vpc_support
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  defines : (string, Token.t list) Hashtbl.t;
+  mutable pending : (Token.t * Loc.t) list;  (* expansion queue *)
+  mutable at_line_start : bool;
+}
+
+let create ?(file = "<input>") src =
+  {
+    src;
+    file;
+    pos = 0;
+    line = 1;
+    bol = 0;
+    defines = Hashtbl.create 8;
+    pending = [];
+    at_line_start = true;
+  }
+
+let cur_loc t =
+  let pos = { Loc.line = t.line; col = t.pos - t.bol + 1 } in
+  Loc.make ~file:t.file ~start_pos:pos ~end_pos:pos
+
+let peek t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let peek2 t =
+  if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek t with
+  | Some '\n' ->
+      t.line <- t.line + 1;
+      t.bol <- t.pos + 1;
+      t.at_line_start <- true
+  | Some (' ' | '\t' | '\r') -> ()
+  | Some _ -> t.at_line_start <- false
+  | None -> ());
+  t.pos <- t.pos + 1
+
+let error t fmt = Diag.error ~loc:(cur_loc t) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments t =
+  match peek t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws_and_comments t
+  | Some '/' when peek2 t = Some '*' ->
+      advance t;
+      advance t;
+      let rec go () =
+        match peek t with
+        | None -> error t "unterminated comment"
+        | Some '*' when peek2 t = Some '/' ->
+            advance t;
+            advance t
+        | Some _ ->
+            advance t;
+            go ()
+      in
+      go ();
+      skip_ws_and_comments t
+  | Some '/' when peek2 t = Some '/' ->
+      let rec go () =
+        match peek t with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance t;
+            go ()
+      in
+      go ();
+      skip_ws_and_comments t
+  | Some _ | None -> ()
+
+let read_ident t =
+  let start = t.pos in
+  while (match peek t with Some c -> is_ident_char c | None -> false) do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let read_number t =
+  let start = t.pos in
+  let is_hex = peek t = Some '0' && (peek2 t = Some 'x' || peek2 t = Some 'X') in
+  if is_hex then begin
+    advance t;
+    advance t;
+    while
+      match peek t with
+      | Some c ->
+          is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance t
+    done;
+    Token.Int_lit (int_of_string (String.sub t.src start (t.pos - start)))
+  end
+  else begin
+    while (match peek t with Some c -> is_digit c | None -> false) do
+      advance t
+    done;
+    let is_float = ref false in
+    (if peek t = Some '.' then begin
+       is_float := true;
+       advance t;
+       while (match peek t with Some c -> is_digit c | None -> false) do
+         advance t
+       done
+     end);
+    (match peek t with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance t;
+        (match peek t with Some ('+' | '-') -> advance t | _ -> ());
+        while (match peek t with Some c -> is_digit c | None -> false) do
+          advance t
+        done
+    | _ -> ());
+    let text = String.sub t.src start (t.pos - start) in
+    if !is_float then begin
+      let is_double =
+        match peek t with
+        | Some ('f' | 'F') ->
+            advance t;
+            false
+        | _ -> true
+      in
+      Token.Float_lit (float_of_string text, is_double)
+    end
+    else begin
+      (* swallow integer suffixes l/u *)
+      while (match peek t with Some ('l' | 'L' | 'u' | 'U') -> true | _ -> false) do
+        advance t
+      done;
+      Token.Int_lit (int_of_string text)
+    end
+  end
+
+let read_escape t =
+  match peek t with
+  | Some 'n' -> advance t; '\n'
+  | Some 't' -> advance t; '\t'
+  | Some 'r' -> advance t; '\r'
+  | Some '0' -> advance t; '\000'
+  | Some '\\' -> advance t; '\\'
+  | Some '\'' -> advance t; '\''
+  | Some '"' -> advance t; '"'
+  | Some c -> advance t; c
+  | None -> error t "unterminated escape"
+
+let read_string t =
+  advance t;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek t with
+    | None -> error t "unterminated string literal"
+    | Some '"' -> advance t
+    | Some '\\' ->
+        advance t;
+        Buffer.add_char buf (read_escape t);
+        go ()
+    | Some c ->
+        advance t;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Token.String_lit (Buffer.contents buf)
+
+let read_char_lit t =
+  advance t;
+  let c =
+    match peek t with
+    | Some '\\' ->
+        advance t;
+        read_escape t
+    | Some c ->
+        advance t;
+        c
+    | None -> error t "unterminated character literal"
+  in
+  (match peek t with
+  | Some '\'' -> advance t
+  | _ -> error t "unterminated character literal");
+  Token.Char_lit c
+
+(* Read raw tokens until end of the current line (for #define bodies). *)
+let rec read_line_tokens t acc =
+  skip_ws_same_line t;
+  match peek t with
+  | None | Some '\n' -> ()
+  | Some _ ->
+      let tok = raw_token t in
+      acc := tok :: !acc;
+      read_line_tokens t acc
+
+(* Handle a # directive at start of line.  Returns a pragma token or None. *)
+and directive t =
+  advance t;
+  (* '#' *)
+  skip_ws_same_line t;
+  let name = read_ident t in
+  match name with
+  | "define" ->
+      skip_ws_same_line t;
+      let macro = read_ident t in
+      if peek t = Some '(' then
+        error t "function-like macros are not supported (macro %s)" macro;
+      let body = ref [] in
+      read_line_tokens t body;
+      Hashtbl.replace t.defines macro (List.rev !body);
+      None
+  | "pragma" ->
+      let words = ref [] in
+      let rec go () =
+        skip_ws_same_line t;
+        match peek t with
+        | None | Some '\n' -> ()
+        | Some _ ->
+            words := read_ident_or_word t :: !words;
+            go ()
+      in
+      go ();
+      Some (Token.Pragma (List.rev !words))
+  | other ->
+      Diag.warn ~loc:(cur_loc t) "ignoring unsupported directive #%s" other;
+      let junk = ref [] in
+      read_line_tokens t junk;
+      None
+
+and skip_ws_same_line t =
+  match peek t with
+  | Some (' ' | '\t' | '\r') ->
+      advance t;
+      skip_ws_same_line t
+  | Some '/' when peek2 t = Some '*' ->
+      skip_ws_and_comments t
+  | _ -> ()
+
+and read_ident_or_word t =
+  if (match peek t with Some c -> is_ident_char c | None -> false) then
+    read_ident t
+  else begin
+    let start = t.pos in
+    while
+      match peek t with
+      | Some (' ' | '\t' | '\r' | '\n') | None -> false
+      | Some _ -> true
+    do
+      advance t
+    done;
+    String.sub t.src start (t.pos - start)
+  end
+
+(* One raw token (no macro expansion, no directive handling). *)
+and raw_token t : Token.t =
+  match peek t with
+  | None -> Token.Eof
+  | Some c when is_ident_start c -> (
+      let word = read_ident t in
+      match List.assoc_opt word Token.keyword_table with
+      | Some kw -> kw
+      | None -> Token.Ident word)
+  | Some c when is_digit c -> read_number t
+  | Some '.' when (match peek2 t with Some c -> is_digit c | None -> false) ->
+      read_number t
+  | Some '"' -> read_string t
+  | Some '\'' -> read_char_lit t
+  | Some c ->
+      let two tok = advance t; advance t; tok in
+      let one tok = advance t; tok in
+      let open Token in
+      (match c, peek2 t with
+      | '.', Some '.'
+        when t.pos + 2 < String.length t.src && t.src.[t.pos + 2] = '.' ->
+          advance t; advance t; advance t;
+          Ellipsis
+      | '-', Some '>' -> two Arrow
+      | '-', Some '-' -> two Minus_minus
+      | '-', Some '=' -> two Minus_assign
+      | '+', Some '+' -> two Plus_plus
+      | '+', Some '=' -> two Plus_assign
+      | '*', Some '=' -> two Star_assign
+      | '/', Some '=' -> two Slash_assign
+      | '%', Some '=' -> two Percent_assign
+      | '&', Some '&' -> two Amp_amp
+      | '&', Some '=' -> two Amp_assign
+      | '|', Some '|' -> two Pipe_pipe
+      | '|', Some '=' -> two Pipe_assign
+      | '^', Some '=' -> two Caret_assign
+      | '<', Some '<' ->
+          advance t; advance t;
+          if peek t = Some '=' then one Shl_assign else Shl
+      | '>', Some '>' ->
+          advance t; advance t;
+          if peek t = Some '=' then one Shr_assign else Shr
+      | '<', Some '=' -> two Le
+      | '>', Some '=' -> two Ge
+      | '=', Some '=' -> two Eq_eq
+      | '!', Some '=' -> two Bang_eq
+      | '(', _ -> one Lparen
+      | ')', _ -> one Rparen
+      | '{', _ -> one Lbrace
+      | '}', _ -> one Rbrace
+      | '[', _ -> one Lbracket
+      | ']', _ -> one Rbracket
+      | ';', _ -> one Semi
+      | ',', _ -> one Comma
+      | ':', _ -> one Colon
+      | '?', _ -> one Question
+      | '.', _ -> one Dot
+      | '+', _ -> one Plus
+      | '-', _ -> one Minus
+      | '*', _ -> one Star
+      | '/', _ -> one Slash
+      | '%', _ -> one Percent
+      | '&', _ -> one Amp
+      | '|', _ -> one Pipe
+      | '^', _ -> one Caret
+      | '~', _ -> one Tilde
+      | '!', _ -> one Bang
+      | '<', _ -> one Lt
+      | '>', _ -> one Gt
+      | '=', _ -> one Assign
+      | _ -> error t "unexpected character %c" c)
+
+(* The public token stream: handles whitespace, directives, and #define
+   expansion (non-recursive, which is enough for constants). *)
+let rec next t : Token.t * Loc.t =
+  match t.pending with
+  | (tok, loc) :: rest ->
+      t.pending <- rest;
+      (tok, loc)
+  | [] -> (
+      skip_ws_and_comments t;
+      let loc = cur_loc t in
+      match peek t with
+      | None -> (Token.Eof, loc)
+      | Some '#' when t.at_line_start -> (
+          match directive t with
+          | Some pragma_tok -> (pragma_tok, loc)
+          | None -> next t)
+      | Some _ -> (
+          let tok = raw_token t in
+          match tok with
+          | Token.Ident name when Hashtbl.mem t.defines name -> (
+              let body = Hashtbl.find t.defines name in
+              match body with
+              | [] -> next t
+              | first :: rest ->
+                  t.pending <- List.map (fun tk -> (tk, loc)) rest;
+                  (first, loc))
+          | tok -> (tok, loc)))
+
+(* Convenience for tests: all tokens of a source string. *)
+let tokenize ?file src =
+  let t = create ?file src in
+  let rec go acc =
+    match next t with
+    | Token.Eof, _ -> List.rev (Token.Eof :: acc)
+    | tok, _ -> go (tok :: acc)
+  in
+  go []

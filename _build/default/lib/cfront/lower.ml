@@ -1,0 +1,857 @@
+(* Lowering of the annotated AST into the IL (paper §4).
+
+   Every C expression becomes a pair (statement list, pure expression).
+   All side effects — embedded assignments, ++/--, function calls — become
+   explicit assignment/call statements on compiler temporaries, reproducing
+   the paper's forms exactly: [*a++ = *b++] turns into the temp_1/temp_2
+   sequence of §5.3, and [while]/[for] conditions with side effects get
+   their statement lists duplicated before the loop and at the bottom of
+   the body.  Pointer arithmetic is scaled to bytes here. *)
+
+open Vpc_support
+open Vpc_il
+
+type loop_labels = {
+  break_lbl : string;
+  continue_lbl : string option;  (* switch has break but no continue *)
+  mutable break_used : bool;
+  mutable continue_used : bool;
+}
+
+type ctx = {
+  b : Builder.ctx;
+  structs : Ty.struct_env;
+  fsigs : (string, Sema.fsig) Hashtbl.t;
+  mutable loops : loop_labels list;
+  string_pool : (string, Var.t) Hashtbl.t;
+  ret_ty : Ty.t;
+}
+
+let error loc fmt = Diag.error ~loc fmt
+
+let sizeof ctx ty = Ty.sizeof ctx.structs ty
+
+(* Pointer type for byte-address arithmetic: arrays decay all the way to
+   their innermost element so loads through bases stay scalar-typed. *)
+let rec scalar_ptr ty =
+  match ty with Ty.Array (elt, _) -> scalar_ptr elt | t -> Ty.Ptr t
+
+(* ----------------------------------------------------------------- *)
+(* Small helpers                                                     *)
+(* ----------------------------------------------------------------- *)
+
+let ast_binop_to_il : Ast.binop -> Expr.binop = function
+  | Ast.B_add -> Expr.Add
+  | Ast.B_sub -> Expr.Sub
+  | Ast.B_mul -> Expr.Mul
+  | Ast.B_div -> Expr.Div
+  | Ast.B_rem -> Expr.Rem
+  | Ast.B_shl -> Expr.Shl
+  | Ast.B_shr -> Expr.Shr
+  | Ast.B_and -> Expr.Band
+  | Ast.B_or -> Expr.Bor
+  | Ast.B_xor -> Expr.Bxor
+  | Ast.B_eq -> Expr.Eq
+  | Ast.B_ne -> Expr.Ne
+  | Ast.B_lt -> Expr.Lt
+  | Ast.B_le -> Expr.Le
+  | Ast.B_gt -> Expr.Gt
+  | Ast.B_ge -> Expr.Ge
+
+let is_comparison_ast = function
+  | Ast.B_eq | Ast.B_ne | Ast.B_lt | Ast.B_le | Ast.B_gt | Ast.B_ge -> true
+  | _ -> false
+
+(* The global variable holding a string literal, shared per content. *)
+let string_global ctx s =
+  match Hashtbl.find_opt ctx.string_pool s with
+  | Some v -> v
+  | None ->
+      let id = Prog.fresh_var_id ctx.b.Builder.prog in
+      let v =
+        Var.make ~id
+          ~name:(Printf.sprintf "__str_%d" id)
+          ~ty:(Ty.Array (Ty.Char, Some (String.length s + 1)))
+          ~storage:Var.Static ~is_temp:true ()
+      in
+      Prog.add_global ctx.b.Builder.prog ~ginit:(Prog.Init_string s) v;
+      Hashtbl.replace ctx.string_pool s v;
+      v
+
+(* Cast helper that also promotes int constants to float constants so the
+   IL stays readable (1 becomes 1.0, as in the paper's daxpy listing). *)
+let cast_to ty (e : Expr.t) =
+  match ty, e.desc with
+  | (Ty.Float | Ty.Double), Expr.Const_int n ->
+      Expr.float_const ~ty (float_of_int n)
+  | (Ty.Float | Ty.Double), Expr.Const_float f -> Expr.float_const ~ty f
+  | Ty.Int, Expr.Const_int _ -> e
+  | _ -> Expr.cast ty e
+
+(* ----------------------------------------------------------------- *)
+(* Lvalue access paths                                               *)
+(* ----------------------------------------------------------------- *)
+
+(* An access to an lvalue, evaluated once: [read] is a pure expression for
+   the current value; [write e] is the statement storing [e]. *)
+type access = {
+  read : Expr.t;
+  write : Expr.t -> Stmt.t;
+  acc_ty : Ty.t;
+}
+
+let rec lower_rval ctx (e : Ast.expr) : Stmt.t list * Expr.t =
+  let loc = e.Ast.eloc in
+  let ty = Ast.ty_exn e in
+  match e.Ast.desc with
+  | Ast.E_int n -> ([], Expr.int_const n)
+  | Ast.E_char c -> ([], Expr.int_const (Char.code c))
+  | Ast.E_float (f, _) -> ([], Expr.float_const ~ty f)
+  | Ast.E_string s ->
+      let v = string_global ctx s in
+      ([], Expr.addr_of v)
+  | Ast.E_ident _ -> (
+      match e.Ast.var with
+      | Some v ->
+          if Var.is_memory_object v then ([], Expr.addr_of v)
+          else ([], Expr.var v)
+      | None -> Diag.internal "unresolved identifier")
+  | Ast.E_call _ -> lower_call ctx ~need_value:true e
+  | Ast.E_index _ | Ast.E_member _ | Ast.E_arrow _
+  | Ast.E_unop (Ast.U_deref, _) ->
+      let sl, addr = lower_addr ctx e in
+      (match ty with
+      | Ty.Ptr _ when is_aggregate_lvalue ctx e ->
+          (* an array element that is itself an array: the value is its
+             address, already in [addr] *)
+          (sl, { addr with ty })
+      | _ -> (sl, Expr.load addr))
+  | Ast.E_unop (Ast.U_addr, arg) ->
+      let sl, addr = lower_addr ctx arg in
+      (sl, { addr with ty })
+  | Ast.E_unop (Ast.U_plus, arg) ->
+      let sl, a = lower_rval ctx arg in
+      (sl, cast_to ty a)
+  | Ast.E_unop (Ast.U_neg, arg) ->
+      let sl, a = lower_rval ctx arg in
+      (sl, Expr.unop Expr.Neg (cast_to ty a) ty)
+  | Ast.E_unop (Ast.U_lognot, arg) ->
+      let sl, a = lower_rval ctx arg in
+      (sl, Expr.unop Expr.Lognot a Ty.Int)
+  | Ast.E_unop (Ast.U_bitnot, arg) ->
+      let sl, a = lower_rval ctx arg in
+      (sl, Expr.unop Expr.Bitnot (cast_to Ty.Int a) Ty.Int)
+  | Ast.E_incdec { incr; prefix; arg } ->
+      let sl, access = lower_access ctx arg in
+      let delta = incdec_delta ctx access.acc_ty in
+      let op = if incr then Expr.Add else Expr.Sub in
+      if prefix then begin
+        (* temp = v + 1; v = temp *)
+        let bind_stmt, tv =
+          Builder.bind ctx.b ~loc
+            (Expr.binop op access.read delta access.acc_ty)
+        in
+        (sl @ [ bind_stmt; access.write tv ], tv)
+      end
+      else begin
+        (* temp = v; v = temp + 1  (the paper's §5.3 shape) *)
+        let bind_stmt, tv = Builder.bind ctx.b ~loc access.read in
+        (sl @ [ bind_stmt; access.write (Expr.binop op tv delta access.acc_ty) ],
+         tv)
+      end
+  | Ast.E_binop (op, a, b) -> lower_binop ctx ty op a b
+  | Ast.E_logical (lop, a, b) ->
+      (* t = 0/1 via branches; && and || are control flow in the IL (§4) *)
+      let t = Builder.fresh_temp ctx.b Ty.Int in
+      let sl_a, ea = lower_rval ctx a in
+      let sl_b, eb = lower_rval ctx b in
+      let bool_of e = Expr.unop Expr.Lognot (Expr.unop Expr.Lognot e Ty.Int) Ty.Int in
+      let set_from_b = sl_b @ [ Builder.assign ctx.b ~loc t (bool_of eb) ] in
+      let stmts =
+        match lop with
+        | Ast.L_and ->
+            sl_a
+            @ [
+                Builder.if_ ctx.b ~loc ea set_from_b
+                  [ Builder.assign ctx.b ~loc t (Expr.int_const 0) ];
+              ]
+        | Ast.L_or ->
+            sl_a
+            @ [
+                Builder.if_ ctx.b ~loc ea
+                  [ Builder.assign ctx.b ~loc t (Expr.int_const 1) ]
+                  set_from_b;
+              ]
+      in
+      (stmts, Expr.var t)
+  | Ast.E_cond (c, x, y) ->
+      let t = Builder.fresh_temp ctx.b ty in
+      let sl_c, ec = lower_rval ctx c in
+      let sl_x, ex = lower_rval ctx x in
+      let sl_y, ey = lower_rval ctx y in
+      let then_ = sl_x @ [ Builder.assign ctx.b ~loc t (cast_to ty ex) ] in
+      let else_ = sl_y @ [ Builder.assign ctx.b ~loc t (cast_to ty ey) ] in
+      (sl_c @ [ Builder.if_ ctx.b ~loc ec then_ else_ ], Expr.var t)
+  | Ast.E_assign (lhs, rhs) ->
+      (* (SL1, E1) = (SL2, E2) => (SL1; SL2; t = E2; E1 = t, t): the temp
+         keeps volatile semantics right (v is written once, never read) *)
+      let sl_l, access = lower_access ctx lhs in
+      let sl_r, er = lower_rval ctx rhs in
+      let bind_stmt, tv = Builder.bind ctx.b ~loc (cast_to access.acc_ty er) in
+      (sl_l @ sl_r @ [ bind_stmt; access.write tv ], tv)
+  | Ast.E_opassign (op, lhs, rhs) ->
+      let sl_l, access = lower_access ctx lhs in
+      let sl_r, er = lower_rval ctx rhs in
+      let rhs_e = opassign_rhs ctx access op er (Ast.ty_exn rhs) in
+      let bind_stmt, tv = Builder.bind ctx.b ~loc rhs_e in
+      (sl_l @ sl_r @ [ bind_stmt; access.write tv ], tv)
+  | Ast.E_comma (a, b) ->
+      let sl_a, _ = lower_rval ctx a in
+      let sl_b, eb = lower_rval ctx b in
+      (sl_a @ sl_b, eb)
+  | Ast.E_cast (_, arg) ->
+      let sl, a = lower_rval ctx arg in
+      if ty = Ty.Void then (sl, Expr.int_const 0) else (sl, cast_to ty a)
+  | Ast.E_sizeof_type _ | Ast.E_sizeof_expr _ -> (
+      match e.Ast.const_size with
+      | Some n -> ([], Expr.int_const n)
+      | None -> error loc "sizeof not resolved")
+
+(* Whether this lvalue expression denotes an aggregate (so its "value" is
+   its address). *)
+and is_aggregate_lvalue ctx (e : Ast.expr) =
+  match e.Ast.desc, e.Ast.ty with
+  | (Ast.E_index _ | Ast.E_member _ | Ast.E_arrow _ | Ast.E_unop (Ast.U_deref, _)),
+    Some _ -> (
+      (* Sema annotates an aggregate element with its decayed pointer type;
+         we detect it by re-deriving the unconverted element type. *)
+      match element_ty_of_lvalue ctx e with
+      | Some (Ty.Array _ | Ty.Struct _) -> true
+      | _ -> false)
+  | _ -> false
+
+(* The unconverted element type an lvalue denotes, derived structurally
+   from the annotated operand types. *)
+and element_ty_of_lvalue ctx (e : Ast.expr) : Ty.t option =
+  let field_ty tag field =
+    match Hashtbl.find_opt ctx.structs tag with
+    | Some (def : Ty.struct_def) -> List.assoc_opt field def.fields
+    | None -> None
+  in
+  match e.Ast.desc with
+  | Ast.E_index (base, _) -> (
+      match base.Ast.ty with Some (Ty.Ptr elt) -> Some elt | _ -> None)
+  | Ast.E_unop (Ast.U_deref, p) -> (
+      match p.Ast.ty with Some (Ty.Ptr elt) -> Some elt | _ -> None)
+  | Ast.E_member (base, field) -> (
+      match base.Ast.ty with
+      | Some (Ty.Struct tag) | Some (Ty.Ptr (Ty.Struct tag)) ->
+          field_ty tag field
+      | _ -> None)
+  | Ast.E_arrow (base, field) -> (
+      match base.Ast.ty with
+      | Some (Ty.Ptr (Ty.Struct tag)) -> field_ty tag field
+      | _ -> None)
+  | _ -> None
+
+(* Address of an lvalue: returns a pure pointer expression, scaled in
+   bytes. *)
+and lower_addr ctx (e : Ast.expr) : Stmt.t list * Expr.t =
+  let loc = e.Ast.eloc in
+  match e.Ast.desc with
+  | Ast.E_ident _ -> (
+      match e.Ast.var with
+      | Some v -> ([], Expr.addr_of v)
+      | None -> Diag.internal "unresolved identifier")
+  | Ast.E_string s -> ([], Expr.addr_of (string_global ctx s))
+  | Ast.E_index (base, idx) -> (
+      let sl_b, eb = lower_rval ctx base in
+      let sl_i, ei = lower_rval ctx idx in
+      match base.Ast.ty with
+      | Some (Ty.Ptr elt) ->
+          let scale = sizeof ctx elt in
+          let offset =
+            match ei.desc with
+            | Expr.Const_int n -> Expr.int_const (n * scale)
+            | _ ->
+                Expr.binop Expr.Mul (Expr.int_const scale)
+                  (cast_to Ty.Int ei) Ty.Int
+          in
+          let ptr_ty = scalar_ptr elt in
+          (sl_b @ sl_i, Expr.binop Expr.Add { eb with ty = ptr_ty } offset ptr_ty)
+      | _ -> error loc "subscript of non-pointer")
+  | Ast.E_unop (Ast.U_deref, p) -> lower_rval ctx p
+  | Ast.E_member (base, field) -> (
+      let sl, eb = lower_addr ctx base in
+      match base.Ast.ty with
+      | Some (Ty.Struct tag) | Some (Ty.Ptr (Ty.Struct tag)) ->
+          let off, fty = Ty.field_offset ctx.structs tag field in
+          let ptr_ty = scalar_ptr fty in
+          let addr =
+            if off = 0 then { eb with ty = ptr_ty }
+            else Expr.binop Expr.Add { eb with ty = ptr_ty } (Expr.int_const off) ptr_ty
+          in
+          (sl, addr)
+      | _ -> error loc "member access on non-struct")
+  | Ast.E_arrow (base, field) -> (
+      let sl, eb = lower_rval ctx base in
+      match base.Ast.ty with
+      | Some (Ty.Ptr (Ty.Struct tag)) ->
+          let off, fty = Ty.field_offset ctx.structs tag field in
+          let ptr_ty = scalar_ptr fty in
+          let addr =
+            if off = 0 then { eb with ty = ptr_ty }
+            else Expr.binop Expr.Add { eb with ty = ptr_ty } (Expr.int_const off) ptr_ty
+          in
+          (sl, addr)
+      | _ -> error loc "-> on non-pointer-to-struct")
+  | _ -> error loc "expression is not an lvalue"
+
+(* Evaluate an lvalue once and produce an access path. *)
+and lower_access ctx (e : Ast.expr) : Stmt.t list * access =
+  let acc_ty =
+    match e.Ast.desc, e.Ast.var with
+    | Ast.E_ident _, Some v -> v.ty
+    | _ -> (
+        match element_ty_of_lvalue ctx e with
+        | Some t -> t
+        | None -> Ast.ty_exn e)
+  in
+  match e.Ast.desc, e.Ast.var with
+  | Ast.E_ident _, Some v ->
+      ( [],
+        {
+          read = Expr.var v;
+          write = (fun value -> Builder.assign ctx.b v value);
+          acc_ty;
+        } )
+  | _ ->
+      let sl, addr = lower_addr ctx e in
+      (* if the address is not a trivial expression, hold it in a temp so
+         it is evaluated exactly once *)
+      let sl, addr =
+        match addr.desc with
+        | Expr.Var _ | Expr.Addr_of _ | Expr.Const_int _ -> (sl, addr)
+        | _ ->
+            let bind_stmt, tv = Builder.bind ctx.b ~name:"addr" addr in
+            (sl @ [ bind_stmt ], tv)
+      in
+      ( sl,
+        {
+          read = Expr.load addr;
+          write =
+            (fun value -> Builder.store ctx.b addr (cast_to acc_ty value));
+          acc_ty;
+        } )
+
+and incdec_delta ctx ty : Expr.t =
+  match ty with
+  | Ty.Ptr elt -> Expr.int_const (sizeof ctx elt)
+  | Ty.Float | Ty.Double -> Expr.float_const ~ty 1.0
+  | _ -> Expr.int_const 1
+
+and opassign_rhs ctx access op er rhs_ty : Expr.t =
+  let op_il = ast_binop_to_il op in
+  match access.acc_ty, op with
+  | Ty.Ptr elt, (Ast.B_add | Ast.B_sub) ->
+      let scale = sizeof ctx elt in
+      let scaled =
+        match er.Expr.desc with
+        | Expr.Const_int n -> Expr.int_const (n * scale)
+        | _ -> Expr.binop Expr.Mul (Expr.int_const scale) (cast_to Ty.Int er) Ty.Int
+      in
+      Expr.binop op_il access.read scaled access.acc_ty
+  | _ ->
+      ignore rhs_ty;
+      let common = Ty.common_arith access.acc_ty rhs_ty in
+      cast_to access.acc_ty
+        (Expr.binop op_il (cast_to common access.read) (cast_to common er) common)
+
+and lower_binop ctx ty op a b : Stmt.t list * Expr.t =
+  let sl_a, ea = lower_rval ctx a in
+  let sl_b, eb = lower_rval ctx b in
+  let ta = Ast.ty_exn a and tb = Ast.ty_exn b in
+  let sl = sl_a @ sl_b in
+  let op_il = ast_binop_to_il op in
+  let scale_by n e =
+    match e.Expr.desc with
+    | Expr.Const_int k -> Expr.int_const (k * n)
+    | _ -> Expr.binop Expr.Mul (Expr.int_const n) (cast_to Ty.Int e) Ty.Int
+  in
+  match op, ta, tb with
+  | Ast.B_add, Ty.Ptr elt, _ when Ty.is_integer tb ->
+      (sl, Expr.binop Expr.Add ea (scale_by (sizeof ctx elt) eb) ta)
+  | Ast.B_add, _, Ty.Ptr elt when Ty.is_integer ta ->
+      (sl, Expr.binop Expr.Add eb (scale_by (sizeof ctx elt) ea) tb)
+  | Ast.B_sub, Ty.Ptr elt, _ when Ty.is_integer tb ->
+      (sl, Expr.binop Expr.Sub ea (scale_by (sizeof ctx elt) eb) ta)
+  | Ast.B_sub, Ty.Ptr elt, Ty.Ptr _ ->
+      let diff = Expr.binop Expr.Sub (cast_to Ty.Int ea) (cast_to Ty.Int eb) Ty.Int in
+      (sl, Expr.binop Expr.Div diff (Expr.int_const (sizeof ctx elt)) Ty.Int)
+  | _ when is_comparison_ast op ->
+      let ea, eb =
+        if Ty.is_arith ta && Ty.is_arith tb then
+          let common = Ty.common_arith ta tb in
+          (cast_to common ea, cast_to common eb)
+        else (ea, eb)
+      in
+      (sl, Expr.binop op_il ea eb Ty.Int)
+  | _ ->
+      let common = ty in
+      (sl, Expr.binop op_il (cast_to common ea) (cast_to common eb) common)
+
+(* Calls: arguments are cast to the known formal types; varargs get the
+   default promotions (float -> double). *)
+and lower_call ctx ~need_value (e : Ast.expr) : Stmt.t list * Expr.t =
+  let loc = e.Ast.eloc in
+  match e.Ast.desc with
+  | Ast.E_call ({ desc = Ast.E_ident fname; _ }, args) ->
+      let fsig = Hashtbl.find_opt ctx.fsigs fname in
+      let formals = match fsig with Some { args; _ } -> args | None -> None in
+      let lowered = List.map (lower_rval ctx) args in
+      let sl = List.concat_map fst lowered in
+      let exprs = List.map snd lowered in
+      let exprs =
+        match formals with
+        | Some formal_tys when List.length formal_tys = List.length exprs ->
+            List.map2 cast_to formal_tys exprs
+        | _ ->
+            (* default argument promotions *)
+            List.map
+              (fun (arg : Expr.t) ->
+                match arg.ty with
+                | Ty.Float -> cast_to Ty.Double arg
+                | Ty.Char -> cast_to Ty.Int arg
+                | _ -> arg)
+              exprs
+      in
+      let ret_ty = match fsig with Some { ret; _ } -> ret | None -> Ty.Int in
+      if need_value && ret_ty <> Ty.Void then begin
+        let t = Builder.fresh_temp ctx.b ret_ty in
+        let call =
+          Builder.stmt ctx.b ~loc
+            (Stmt.Call (Some (Stmt.Lvar t.id), Stmt.Direct fname, exprs))
+        in
+        (sl @ [ call ], Expr.var t)
+      end
+      else begin
+        let call =
+          Builder.stmt ctx.b ~loc (Stmt.Call (None, Stmt.Direct fname, exprs))
+        in
+        (sl @ [ call ], Expr.int_const 0)
+      end
+  | _ -> error loc "only direct calls are supported"
+
+(* Evaluate an expression for its side effects only, avoiding the result
+   temporary where the paper's front end would (plain assignment). *)
+let lower_for_effect ctx (e : Ast.expr) : Stmt.t list =
+  match e.Ast.desc with
+  | Ast.E_assign (lhs, rhs) ->
+      let sl_l, access = lower_access ctx lhs in
+      let sl_r, er = lower_rval ctx rhs in
+      sl_l @ sl_r @ [ access.write (cast_to access.acc_ty er) ]
+  | Ast.E_opassign (op, lhs, rhs) ->
+      let sl_l, access = lower_access ctx lhs in
+      let sl_r, er = lower_rval ctx rhs in
+      sl_l @ sl_r @ [ access.write (opassign_rhs ctx access op er (Ast.ty_exn rhs)) ]
+  | Ast.E_call _ -> fst (lower_call ctx ~need_value:false e)
+  | _ -> fst (lower_rval ctx e)
+
+(* ----------------------------------------------------------------- *)
+(* Statements                                                        *)
+(* ----------------------------------------------------------------- *)
+
+let user_label l = "u_" ^ l
+
+let pragma_independent (pragmas : Ast.pragma list) =
+  List.exists
+    (function
+      | [ "vpc"; "independent" ] | [ "vpc"; "safe" ] | [ "independent" ]
+      | [ "ivdep" ] ->
+          true
+      | _ -> false)
+    pragmas
+
+let const_eval_int loc (e : Ast.expr) =
+  let rec go (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.E_int n -> n
+    | Ast.E_char c -> Char.code c
+    | Ast.E_unop (Ast.U_neg, a) -> -go a
+    | _ -> error loc "case label is not an integer constant"
+  in
+  go e
+
+let rec lower_stmt ctx (s : Ast.stmt) : Stmt.t list =
+  let loc = s.Ast.sloc in
+  match s.Ast.sdesc with
+  | Ast.S_expr None -> []
+  | Ast.S_expr (Some e) -> lower_for_effect ctx e
+  | Ast.S_block items ->
+      List.concat_map
+        (function
+          | Ast.Bi_decl d -> lower_decl ctx d
+          | Ast.Bi_stmt s -> lower_stmt ctx s)
+        items
+  | Ast.S_if (c, then_, else_) ->
+      let sl_c, ec = lower_rval ctx c in
+      let then_il = lower_stmt ctx then_ in
+      let else_il = match else_ with Some s -> lower_stmt ctx s | None -> [] in
+      sl_c @ [ Builder.if_ ctx.b ~loc ec then_il else_il ]
+  | Ast.S_while (pragmas, c, body) ->
+      lower_loop ctx ~loc ~pragmas ~init:[] ~cond:(Some c) ~inc:[] body
+  | Ast.S_for (pragmas, init, cond, inc, body) ->
+      let init_sl =
+        match init with Some e -> lower_for_effect ctx e | None -> []
+      in
+      let inc_sl = match inc with Some e -> lower_for_effect ctx e | None -> [] in
+      lower_loop ctx ~loc ~pragmas ~init:init_sl ~cond ~inc:inc_sl body
+  | Ast.S_do (body, c) ->
+      (* Label Lstart; body; [continue:] SL_c; if (Ec) goto Lstart; [break:] *)
+      let start = Func.fresh_label ctx.b.Builder.func "dostart" in
+      let labels =
+        {
+          break_lbl = Func.fresh_label ctx.b.Builder.func "break";
+          continue_lbl = Some (Func.fresh_label ctx.b.Builder.func "cont");
+          break_used = false;
+          continue_used = false;
+        }
+      in
+      ctx.loops <- labels :: ctx.loops;
+      let body_il = lower_stmt ctx body in
+      ctx.loops <- List.tl ctx.loops;
+      let sl_c, ec = lower_rval ctx c in
+      let continue_label =
+        if labels.continue_used then
+          [ Builder.label ctx.b (Option.get labels.continue_lbl) ]
+        else []
+      in
+      let break_label =
+        if labels.break_used then [ Builder.label ctx.b labels.break_lbl ]
+        else []
+      in
+      [ Builder.label ctx.b start ]
+      @ body_il @ continue_label @ sl_c
+      @ [
+          Builder.if_ ctx.b ~loc ec [ Builder.goto ctx.b start ] [];
+        ]
+      @ break_label
+  | Ast.S_return None -> [ Builder.return ctx.b ~loc None ]
+  | Ast.S_return (Some e) ->
+      let sl, ev = lower_rval ctx e in
+      sl @ [ Builder.return ctx.b ~loc (Some (cast_to ctx.ret_ty ev)) ]
+  | Ast.S_break -> (
+      match ctx.loops with
+      | labels :: _ ->
+          labels.break_used <- true;
+          [ Builder.goto ctx.b ~loc labels.break_lbl ]
+      | [] -> error loc "break outside of loop or switch")
+  | Ast.S_continue -> (
+      let rec find = function
+        | [] -> error loc "continue outside of loop"
+        | { continue_lbl = Some l; _ } as labels :: _ ->
+            labels.continue_used <- true;
+            l
+        | { continue_lbl = None; _ } :: rest -> find rest
+      in
+      match ctx.loops with
+      | [] -> error loc "continue outside of loop"
+      | loops -> [ Builder.goto ctx.b ~loc (find loops) ])
+  | Ast.S_goto l -> [ Builder.goto ctx.b ~loc (user_label l) ]
+  | Ast.S_label (l, inner) ->
+      Builder.label ctx.b ~loc (user_label l) :: lower_stmt ctx inner
+  | Ast.S_switch (e, body) -> lower_switch ctx ~loc e body
+  | Ast.S_case (_, _) | Ast.S_default _ ->
+      error loc "case/default outside of switch"
+
+(* Shared loop lowering (§4): the condition's statement list is emitted
+   before the loop and again at the bottom of the body.  [for] loops are
+   while loops by construction — "the C front end represents for loops as
+   while loops". *)
+and lower_loop ctx ~loc ~pragmas ~init ~cond ~inc body : Stmt.t list =
+  let labels =
+    {
+      break_lbl = Func.fresh_label ctx.b.Builder.func "break";
+      continue_lbl = Some (Func.fresh_label ctx.b.Builder.func "cont");
+      break_used = false;
+      continue_used = false;
+    }
+  in
+  ctx.loops <- labels :: ctx.loops;
+  let body_il = lower_stmt ctx body in
+  ctx.loops <- List.tl ctx.loops;
+  let sl_c, ec =
+    match cond with
+    | Some c -> lower_rval ctx c
+    | None -> ([], Expr.int_const 1)
+  in
+  let continue_label =
+    if labels.continue_used then
+      [ Builder.label ctx.b (Option.get labels.continue_lbl) ]
+    else []
+  in
+  let break_label =
+    if labels.break_used then [ Builder.label ctx.b labels.break_lbl ] else []
+  in
+  let info =
+    { Stmt.no_info with Stmt.pragma_independent = pragma_independent pragmas }
+  in
+  let loop_body = body_il @ continue_label @ inc @ sl_c in
+  init @ sl_c
+  @ [ Builder.while_ ctx.b ~loc ~info ec loop_body ]
+  @ break_label
+
+and lower_switch ctx ~loc e body : Stmt.t list =
+  let sl_e, ev = lower_rval ctx e in
+  let bind_stmt, tv = Builder.bind ctx.b ~loc ~name:"switch" ev in
+  (* Collect the case/default statements (recursively, in order). *)
+  let cases : (int option * string) list ref = ref [] in
+  let rec collect (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.S_case (ce, inner) ->
+        let n = const_eval_int s.Ast.sloc ce in
+        cases := (Some n, Func.fresh_label ctx.b.Builder.func "case") :: !cases;
+        collect inner
+    | Ast.S_default inner ->
+        cases := (None, Func.fresh_label ctx.b.Builder.func "default") :: !cases;
+        collect inner
+    | Ast.S_block items ->
+        List.iter (function Ast.Bi_stmt s -> collect s | Ast.Bi_decl _ -> ()) items
+    | Ast.S_label (_, inner) -> collect inner
+    | Ast.S_if (_, a, b) ->
+        collect a;
+        Option.iter collect b
+    | _ -> ()
+  in
+  collect body;
+  let cases_in_order = List.rev !cases in
+  let labels =
+    {
+      break_lbl = Func.fresh_label ctx.b.Builder.func "swbreak";
+      continue_lbl = None;
+      break_used = false;
+      continue_used = false;
+    }
+  in
+  ctx.loops <- labels :: ctx.loops;
+  (* Lower the body, replacing case/default markers by labels.  We rely on
+     a mutable queue matched in the same traversal order as [collect]. *)
+  let pending = ref cases_in_order in
+  let take () =
+    match !pending with
+    | c :: rest ->
+        pending := rest;
+        c
+    | [] -> Diag.internal "switch case bookkeeping"
+  in
+  let rec lower_case_stmt (s : Ast.stmt) : Stmt.t list =
+    match s.Ast.sdesc with
+    | Ast.S_case (_, inner) ->
+        let _, lbl = take () in
+        Builder.label ctx.b lbl :: lower_case_stmt inner
+    | Ast.S_default inner ->
+        let _, lbl = take () in
+        Builder.label ctx.b lbl :: lower_case_stmt inner
+    | Ast.S_block items ->
+        List.concat_map
+          (function
+            | Ast.Bi_stmt s -> lower_case_stmt s
+            | Ast.Bi_decl d -> lower_decl ctx d)
+          items
+    | Ast.S_label (l, inner) ->
+        Builder.label ctx.b (user_label l) :: lower_case_stmt inner
+    | Ast.S_if (c, a, b) ->
+        let sl_c, ec = lower_rval ctx c in
+        let a_il = lower_case_stmt a in
+        let b_il = match b with Some s -> lower_case_stmt s | None -> [] in
+        sl_c @ [ Builder.if_ ctx.b ec a_il b_il ]
+    | _ -> lower_stmt ctx s
+  in
+  let body_il = lower_case_stmt body in
+  ctx.loops <- List.tl ctx.loops;
+  let dispatch =
+    List.filter_map
+      (fun (value, lbl) ->
+        match value with
+        | Some n ->
+            Some
+              (Builder.if_ ctx.b
+                 (Expr.binop Expr.Eq tv (Expr.int_const n) Ty.Int)
+                 [ Builder.goto ctx.b lbl ]
+                 [])
+        | None -> None)
+      cases_in_order
+  in
+  let default_jump =
+    match List.find_opt (fun (v, _) -> v = None) cases_in_order with
+    | Some (_, lbl) -> [ Builder.goto ctx.b lbl ]
+    | None ->
+        labels.break_used <- true;
+        [ Builder.goto ctx.b labels.break_lbl ]
+  in
+  let break_label =
+    if labels.break_used then [ Builder.label ctx.b labels.break_lbl ] else []
+  in
+  sl_e @ [ bind_stmt ] @ dispatch @ default_jump @ body_il @ break_label
+
+(* ----------------------------------------------------------------- *)
+(* Declarations                                                      *)
+(* ----------------------------------------------------------------- *)
+
+and lower_decl ctx (d : Ast.decl) : Stmt.t list =
+  let v =
+    match d.Ast.d_var with
+    | Some v -> v
+    | None -> Diag.internal "declaration not resolved by Sema"
+  in
+  match d.d_init with
+  | None -> []
+  | Some init -> (
+      match v.storage with
+      | Var.Static | Var.Global | Var.Extern ->
+          set_global_init ctx.b.Builder.prog ctx.structs d.d_loc v init;
+          []
+      | Var.Auto | Var.Param -> lower_local_init ctx d.d_loc v init)
+
+and lower_local_init ctx loc (v : Var.t) (init : Ast.init) : Stmt.t list =
+  match v.ty, init with
+  | Ty.Array (elt, _), Ast.I_list items ->
+      let base = Expr.addr_of v in
+      let esize = sizeof ctx elt in
+      List.concat
+        (List.mapi
+           (fun i item ->
+             match item, elt with
+             | Ast.I_expr e, _ ->
+                 let sl, ev = lower_rval ctx e in
+                 let addr =
+                   if i = 0 then base
+                   else Expr.binop Expr.Add base (Expr.int_const (i * esize))
+                          (Ty.Ptr elt)
+                 in
+                 sl @ [ Builder.store ctx.b ~loc addr (cast_to elt ev) ]
+             | Ast.I_list _, _ -> error loc "nested initializer lists on locals are not supported")
+           items)
+  | Ty.Array (Ty.Char, _), Ast.I_expr { desc = Ast.E_string s; _ } ->
+      let base = Expr.addr_of v in
+      List.concat
+        (List.mapi
+           (fun i c ->
+             let addr =
+               if i = 0 then base
+               else Expr.binop Expr.Add base (Expr.int_const i) (Ty.Ptr Ty.Char)
+             in
+             [ Builder.store ctx.b ~loc addr (Expr.int_const (Char.code c)) ])
+           (List.init (String.length s + 1) (fun i ->
+                if i < String.length s then s.[i] else '\000')))
+  | Ty.Struct tag, Ast.I_list items ->
+      let def =
+        match Hashtbl.find_opt ctx.structs tag with
+        | Some d -> d
+        | None -> error loc "undefined struct %s" tag
+      in
+      let base = Expr.addr_of v in
+      List.concat
+        (List.mapi
+           (fun i item ->
+             match item, List.nth_opt def.fields i with
+             | Ast.I_expr e, Some (fname, fty) ->
+                 let off, _ = Ty.field_offset ctx.structs tag fname in
+                 let sl, ev = lower_rval ctx e in
+                 let addr =
+                   if off = 0 then { base with ty = Ty.Ptr fty }
+                   else Expr.binop Expr.Add base (Expr.int_const off) (Ty.Ptr fty)
+                 in
+                 sl @ [ Builder.store ctx.b ~loc addr (cast_to fty ev) ]
+             | Ast.I_list _, _ -> error loc "nested struct initializers are not supported"
+             | _, None -> error loc "too many initializers")
+           items)
+  | _, Ast.I_expr e ->
+      let sl, ev = lower_rval ctx e in
+      sl @ [ Builder.assign ctx.b ~loc v ev ]
+  | _, Ast.I_list _ -> error loc "brace initializer for scalar"
+
+and set_global_init prog structs loc (v : Var.t) (init : Ast.init) =
+  let rec const_expr (e : Ast.expr) : Expr.t =
+    match e.Ast.desc with
+    | Ast.E_int n -> Expr.int_const n
+    | Ast.E_char c -> Expr.int_const (Char.code c)
+    | Ast.E_float (f, is_double) ->
+        Expr.float_const ~ty:(if is_double then Ty.Double else Ty.Float) f
+    | Ast.E_unop (Ast.U_neg, a) -> (
+        let inner = const_expr a in
+        match inner.Expr.desc with
+        | Expr.Const_int n -> Expr.int_const (-n)
+        | Expr.Const_float f -> Expr.float_const ~ty:inner.Expr.ty (-.f)
+        | _ -> error loc "global initializer is not constant")
+    | Ast.E_cast (ty, a) -> Expr.cast (Ty.decay ty) (const_expr a)
+    | _ -> error loc "global initializer is not constant"
+  in
+  ignore structs;
+  let ginit =
+    match init, v.ty with
+    | Ast.I_expr { desc = Ast.E_string s; _ }, Ty.Array (Ty.Char, _) ->
+        Prog.Init_string s
+    | Ast.I_expr e, _ -> Prog.Init_scalar (const_expr e)
+    | Ast.I_list items, _ ->
+        Prog.Init_array
+          (List.map
+             (function
+               | Ast.I_expr e -> const_expr e
+               | Ast.I_list _ -> error loc "nested global initializers are not supported")
+             items)
+  in
+  Prog.add_global prog ~ginit v
+
+(* ----------------------------------------------------------------- *)
+(* Entry point                                                       *)
+(* ----------------------------------------------------------------- *)
+
+let check_labels (func : Func.t) loc =
+  let labels = Hashtbl.create 8 in
+  Stmt.iter_list
+    (fun s ->
+      match s.Stmt.desc with
+      | Stmt.Label l -> Hashtbl.replace labels l ()
+      | _ -> ())
+    func.Func.body;
+  Stmt.iter_list
+    (fun s ->
+      match s.Stmt.desc with
+      | Stmt.Goto l when not (Hashtbl.mem labels l) ->
+          error loc "goto to undefined label %s in %s"
+            (if String.length l > 2 then String.sub l 2 (String.length l - 2)
+             else l)
+            func.Func.name
+      | _ -> ())
+    func.Func.body
+
+let lower_function (sema : Sema.result) string_pool (func : Func.t)
+    (fd : Ast.fundef) =
+  let ctx =
+    {
+      b = Builder.ctx sema.prog func;
+      structs = sema.prog.Prog.structs;
+      fsigs = sema.fsigs;
+      loops = [];
+      string_pool;
+      ret_ty = fd.fd_ret;
+    }
+  in
+  func.Func.body <- lower_stmt ctx fd.fd_body;
+  check_labels func fd.fd_loc
+
+let program (sema : Sema.result) : Prog.t =
+  let string_pool = Hashtbl.create 8 in
+  (* global initializers *)
+  List.iter
+    (fun (d : Ast.decl) ->
+      match d.d_var, d.d_init with
+      | Some v, Some init ->
+          set_global_init sema.prog sema.prog.Prog.structs d.d_loc v init
+      | _ -> ())
+    sema.globals;
+  List.iter
+    (fun (func, fd) -> lower_function sema string_pool func fd)
+    sema.fundefs;
+  sema.prog

@@ -1,0 +1,941 @@
+(* Recursive-descent parser for the C subset.  Declarators resolve
+   directly to IL types; struct definitions are registered into the
+   translation unit's struct environment as they are parsed; typedef names
+   are tracked so the declaration/statement ambiguity resolves the usual
+   way. *)
+
+open Vpc_support
+open Vpc_il
+
+type t = {
+  lexer : Lexer.t;
+  mutable tok : Token.t;
+  mutable loc : Loc.t;
+  structs : Ty.struct_env;
+  typedefs : (string, Ty.t) Hashtbl.t;
+  enum_constants : (string, int) Hashtbl.t;
+  mutable anon_struct_count : int;
+}
+
+let advance p =
+  let tok, loc = Lexer.next p.lexer in
+  p.tok <- tok;
+  p.loc <- loc
+
+let create ?file src =
+  let lexer = Lexer.create ?file src in
+  let tok, loc = Lexer.next lexer in
+  {
+    lexer;
+    tok;
+    loc;
+    structs = Hashtbl.create 8;
+    typedefs = Hashtbl.create 8;
+    enum_constants = Hashtbl.create 8;
+    anon_struct_count = 0;
+  }
+
+let error p fmt = Diag.error ~loc:p.loc fmt
+
+let expect p tok =
+  if p.tok = tok then advance p
+  else error p "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string p.tok)
+
+let expect_ident p =
+  match p.tok with
+  | Token.Ident name ->
+      advance p;
+      name
+  | other -> error p "expected identifier, found '%s'" (Token.to_string other)
+
+let accept p tok =
+  if p.tok = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+(* Binary operator precedence levels, loosest first. *)
+let binop_levels =
+  [|
+    [ (Token.Pipe, Ast.B_or) ];
+    [ (Token.Caret, Ast.B_xor) ];
+    [ (Token.Amp, Ast.B_and) ];
+    [ (Token.Eq_eq, Ast.B_eq); (Token.Bang_eq, Ast.B_ne) ];
+    [ (Token.Lt, Ast.B_lt); (Token.Le, Ast.B_le); (Token.Gt, Ast.B_gt);
+      (Token.Ge, Ast.B_ge) ];
+    [ (Token.Shl, Ast.B_shl); (Token.Shr, Ast.B_shr) ];
+    [ (Token.Plus, Ast.B_add); (Token.Minus, Ast.B_sub) ];
+    [ (Token.Star, Ast.B_mul); (Token.Slash, Ast.B_div);
+      (Token.Percent, Ast.B_rem) ];
+  |]
+
+(* ----------------------------------------------------------------- *)
+(* Type parsing                                                      *)
+(* ----------------------------------------------------------------- *)
+
+let is_typedef_name p name = Hashtbl.mem p.typedefs name
+
+(* Does the current token start a declaration? *)
+let starts_decl p =
+  match p.tok with
+  | Token.Kw_void | Token.Kw_char | Token.Kw_int | Token.Kw_float
+  | Token.Kw_double | Token.Kw_long | Token.Kw_short | Token.Kw_unsigned
+  | Token.Kw_signed | Token.Kw_struct | Token.Kw_union | Token.Kw_enum
+  | Token.Kw_static | Token.Kw_extern | Token.Kw_register | Token.Kw_auto
+  | Token.Kw_typedef | Token.Kw_volatile | Token.Kw_const ->
+      true
+  | Token.Ident name -> is_typedef_name p name
+  | _ -> false
+
+type declspecs = {
+  base : Ty.t;
+  storage : Ast.storage_class;
+  volatile : bool;
+}
+
+(* Integer modifiers (long/short/signed/unsigned) all collapse onto [int];
+   the Titan subset has a single integer width, as §2's machine does. *)
+let rec parse_declspecs p =
+  let base = ref None in
+  let storage = ref Ast.Sc_none in
+  let volatile = ref false in
+  let saw_int_modifier = ref false in
+  let set_base ty =
+    match !base with
+    | None -> base := Some ty
+    | Some Ty.Int when ty = Ty.Double ->
+        (* "long double" etc.: keep the float type *)
+        base := Some ty
+    | Some _ -> error p "conflicting type specifiers"
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    (match p.tok with
+    | Token.Kw_void -> advance p; set_base Ty.Void
+    | Token.Kw_char -> advance p; set_base Ty.Char
+    | Token.Kw_int -> advance p; if !base = None then base := Some Ty.Int
+    | Token.Kw_float -> advance p; set_base Ty.Float
+    | Token.Kw_double -> advance p; set_base Ty.Double
+    | Token.Kw_long | Token.Kw_short | Token.Kw_unsigned | Token.Kw_signed ->
+        advance p;
+        saw_int_modifier := true
+    | Token.Kw_struct | Token.Kw_union -> set_base (parse_struct p)
+    | Token.Kw_enum -> set_base (parse_enum p)
+    | Token.Kw_static -> advance p; storage := Ast.Sc_static
+    | Token.Kw_extern -> advance p; storage := Ast.Sc_extern
+    | Token.Kw_typedef -> advance p; storage := Ast.Sc_typedef
+    | Token.Kw_register | Token.Kw_auto -> advance p
+    | Token.Kw_volatile -> advance p; volatile := true
+    | Token.Kw_const -> advance p
+    | Token.Ident name when !base = None && not !saw_int_modifier
+                            && is_typedef_name p name ->
+        advance p;
+        base := Some (Hashtbl.find p.typedefs name)
+    | _ -> continue_ := false);
+    match p.tok with
+    | Token.Ident name when !base <> None || !saw_int_modifier ->
+        (* an identifier after a complete type is the declarator *)
+        ignore name;
+        continue_ := false
+    | _ -> ()
+  done;
+  let base =
+    match !base with
+    | Some t -> t
+    | None when !saw_int_modifier -> Ty.Int
+    | None -> error p "expected type specifier"
+  in
+  { base; storage = !storage; volatile = !volatile }
+
+and parse_struct p =
+  (match p.tok with
+  | Token.Kw_union -> Diag.warn ~loc:p.loc "union treated as struct"
+  | _ -> ());
+  advance p;
+  (* struct/union *)
+  let tag =
+    match p.tok with
+    | Token.Ident name ->
+        advance p;
+        name
+    | _ ->
+        p.anon_struct_count <- p.anon_struct_count + 1;
+        Printf.sprintf "__anon%d" p.anon_struct_count
+  in
+  if accept p Token.Lbrace then begin
+    let fields = ref [] in
+    while p.tok <> Token.Rbrace do
+      let specs = parse_declspecs p in
+      let rec field_loop () =
+        let name, ty = parse_declarator p specs.base in
+        (match name with
+        | Some n -> fields := (n, ty) :: !fields
+        | None -> error p "expected field name");
+        if accept p Token.Comma then field_loop ()
+      in
+      field_loop ();
+      expect p Token.Semi
+    done;
+    expect p Token.Rbrace;
+    Hashtbl.replace p.structs tag { Ty.tag; fields = List.rev !fields }
+  end;
+  Ty.Struct tag
+
+(* enum [tag] { A, B = k, C } — enumerators become integer constants in
+   the parser's constant table; the type is plain int. *)
+and parse_enum p =
+  advance p;
+  (* 'enum' *)
+  (match p.tok with
+  | Token.Ident _ -> advance p  (* tags carry no information for us *)
+  | _ -> ());
+  if accept p Token.Lbrace then begin
+    let next = ref 0 in
+    let rec go () =
+      match p.tok with
+      | Token.Rbrace -> ()
+      | Token.Ident name ->
+          advance p;
+          (if accept p Token.Assign then
+             let v = parse_const_int p in
+             next := v);
+          Hashtbl.replace p.enum_constants name !next;
+          incr next;
+          if accept p Token.Comma then go ()
+      | _ -> error p "expected enumerator name"
+    in
+    go ();
+    expect p Token.Rbrace
+  end;
+  Ty.Int
+
+(* Parse a declarator given the base type; returns (name option, type).
+   Implements the usual inside-out C declarator reading. *)
+and parse_declarator p base : string option * Ty.t =
+  (* pointers *)
+  let rec pointers ty =
+    if accept p Token.Star then begin
+      (* qualifiers after * apply to the pointer; we drop const, keep going *)
+      while accept p Token.Kw_const || accept p Token.Kw_volatile do
+        ()
+      done;
+      pointers (Ty.Ptr ty)
+    end
+    else ty
+  in
+  let ty = pointers base in
+  parse_direct_declarator p ty
+
+and parse_direct_declarator p ty : string option * Ty.t =
+  (* Parenthesized declarators (function pointers) are outside the subset:
+     C's indirect calls are not supported, as the paper's compiler also
+     assumed direct calls for inlining. *)
+  let name =
+    match p.tok with
+    | Token.Ident n ->
+        advance p;
+        Some n
+    | _ -> None
+  in
+  let rec suffixes ty =
+    match p.tok with
+    | Token.Lbracket ->
+        advance p;
+        let size =
+          if p.tok = Token.Rbracket then None else Some (parse_const_int p)
+        in
+        expect p Token.Rbracket;
+        let ty = suffixes ty in
+        Ty.Array (ty, size)
+    | Token.Lparen ->
+        advance p;
+        let params = parse_param_types p in
+        expect p Token.Rparen;
+        Ty.Func (ty, params)
+    | _ -> ty
+  in
+  (name, suffixes ty)
+
+and parse_param_types p : Ty.t list =
+  if p.tok = Token.Rparen then []
+  else if p.tok = Token.Kw_void then begin
+    (* could be (void) or (void *x, ...) *)
+    let specs = parse_declspecs p in
+    if p.tok = Token.Rparen && specs.base = Ty.Void then []
+    else begin
+      let _, ty = parse_declarator p specs.base in
+      let ty = Ty.decay ty in
+      ty :: parse_more_param_types p
+    end
+  end
+  else begin
+    let specs = parse_declspecs p in
+    let _, ty = parse_declarator p specs.base in
+    Ty.decay ty :: parse_more_param_types p
+  end
+
+and parse_more_param_types p =
+  if accept p Token.Comma then begin
+    if p.tok = Token.Ellipsis then begin
+      advance p;
+      []
+    end
+    else begin
+      let specs = parse_declspecs p in
+      let _, ty = parse_declarator p specs.base in
+      Ty.decay ty :: parse_more_param_types p
+    end
+  end
+  else []
+
+(* ----------------------------------------------------------------- *)
+(* Constant expressions (array sizes, case labels)                   *)
+(* ----------------------------------------------------------------- *)
+
+and parse_const_int p =
+  let e = parse_cond_expr p in
+  const_eval p e
+
+and const_eval p (e : Ast.expr) : int =
+  match e.desc with
+  | Ast.E_int n -> n
+  | Ast.E_char c -> Char.code c
+  | Ast.E_unop (Ast.U_neg, a) -> -const_eval p a
+  | Ast.E_unop (Ast.U_bitnot, a) -> lnot (const_eval p a)
+  | Ast.E_unop (Ast.U_lognot, a) -> if const_eval p a = 0 then 1 else 0
+  | Ast.E_binop (op, a, b) -> (
+      let x = const_eval p a and y = const_eval p b in
+      match op with
+      | Ast.B_add -> x + y
+      | Ast.B_sub -> x - y
+      | Ast.B_mul -> x * y
+      | Ast.B_div ->
+          if y = 0 then error p "division by zero in constant" else x / y
+      | Ast.B_rem ->
+          if y = 0 then error p "modulo by zero in constant" else x mod y
+      | Ast.B_shl -> x lsl y
+      | Ast.B_shr -> x asr y
+      | Ast.B_and -> x land y
+      | Ast.B_or -> x lor y
+      | Ast.B_xor -> x lxor y
+      | Ast.B_eq -> if x = y then 1 else 0
+      | Ast.B_ne -> if x <> y then 1 else 0
+      | Ast.B_lt -> if x < y then 1 else 0
+      | Ast.B_le -> if x <= y then 1 else 0
+      | Ast.B_gt -> if x > y then 1 else 0
+      | Ast.B_ge -> if x >= y then 1 else 0)
+  | Ast.E_sizeof_type ty -> Ty.sizeof p.structs ty
+  | _ -> error p "expected integer constant expression"
+
+(* ----------------------------------------------------------------- *)
+(* Expressions                                                       *)
+(* ----------------------------------------------------------------- *)
+
+and parse_expr p : Ast.expr =
+  let e = parse_assign_expr p in
+  if p.tok = Token.Comma then begin
+    advance p;
+    let rhs = parse_expr p in
+    Ast.mk_expr ~loc:e.Ast.eloc (Ast.E_comma (e, rhs))
+  end
+  else e
+
+and parse_assign_expr p : Ast.expr =
+  let lhs = parse_cond_expr p in
+  let mk op =
+    advance p;
+    let rhs = parse_assign_expr p in
+    Ast.mk_expr ~loc:lhs.Ast.eloc
+      (match op with
+      | None -> Ast.E_assign (lhs, rhs)
+      | Some op -> Ast.E_opassign (op, lhs, rhs))
+  in
+  match p.tok with
+  | Token.Assign -> mk None
+  | Token.Plus_assign -> mk (Some Ast.B_add)
+  | Token.Minus_assign -> mk (Some Ast.B_sub)
+  | Token.Star_assign -> mk (Some Ast.B_mul)
+  | Token.Slash_assign -> mk (Some Ast.B_div)
+  | Token.Percent_assign -> mk (Some Ast.B_rem)
+  | Token.Amp_assign -> mk (Some Ast.B_and)
+  | Token.Pipe_assign -> mk (Some Ast.B_or)
+  | Token.Caret_assign -> mk (Some Ast.B_xor)
+  | Token.Shl_assign -> mk (Some Ast.B_shl)
+  | Token.Shr_assign -> mk (Some Ast.B_shr)
+  | _ -> lhs
+
+and parse_cond_expr p : Ast.expr =
+  let c = parse_logor_expr p in
+  if accept p Token.Question then begin
+    let t = parse_expr p in
+    expect p Token.Colon;
+    let e = parse_cond_expr p in
+    Ast.mk_expr ~loc:c.Ast.eloc (Ast.E_cond (c, t, e))
+  end
+  else c
+
+and parse_logor_expr p =
+  let rec go lhs =
+    if accept p Token.Pipe_pipe then
+      let rhs = parse_logand_expr p in
+      go (Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.E_logical (Ast.L_or, lhs, rhs)))
+    else lhs
+  in
+  go (parse_logand_expr p)
+
+and parse_logand_expr p =
+  let rec go lhs =
+    if accept p Token.Amp_amp then
+      let rhs = parse_bitor_expr p in
+      go (Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.E_logical (Ast.L_and, lhs, rhs)))
+    else lhs
+  in
+  go (parse_bitor_expr p)
+
+and parse_bitor_expr p = parse_binop_level p 0
+
+and parse_binop_level p level =
+  if level >= Array.length binop_levels then parse_cast_expr p
+  else begin
+    let ops = binop_levels.(level) in
+    let rec go lhs =
+      match List.assoc_opt p.tok ops with
+      | Some op ->
+          advance p;
+          let rhs = parse_binop_level p (level + 1) in
+          go (Ast.mk_expr ~loc:lhs.Ast.eloc (Ast.E_binop (op, lhs, rhs)))
+      | None -> lhs
+    in
+    go (parse_binop_level p (level + 1))
+
+  end
+
+and parse_unary_expr p : Ast.expr =
+  let loc = p.loc in
+  match p.tok with
+  | Token.Plus_plus ->
+      advance p;
+      let arg = parse_unary_expr p in
+      Ast.mk_expr ~loc (Ast.E_incdec { incr = true; prefix = true; arg })
+  | Token.Minus_minus ->
+      advance p;
+      let arg = parse_unary_expr p in
+      Ast.mk_expr ~loc (Ast.E_incdec { incr = false; prefix = true; arg })
+  | Token.Plus ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_unop (Ast.U_plus, parse_cast_expr p))
+  | Token.Minus ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_unop (Ast.U_neg, parse_cast_expr p))
+  | Token.Bang ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_unop (Ast.U_lognot, parse_cast_expr p))
+  | Token.Tilde ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_unop (Ast.U_bitnot, parse_cast_expr p))
+  | Token.Star ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_unop (Ast.U_deref, parse_cast_expr p))
+  | Token.Amp ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_unop (Ast.U_addr, parse_cast_expr p))
+  | Token.Kw_sizeof ->
+      advance p;
+      if p.tok = Token.Lparen then begin
+        (* sizeof(type) or sizeof(expr) *)
+        advance p;
+        if starts_decl p then begin
+          let ty = parse_type_name p in
+          expect p Token.Rparen;
+          Ast.mk_expr ~loc (Ast.E_sizeof_type ty)
+        end
+        else begin
+          let e = parse_expr p in
+          expect p Token.Rparen;
+          Ast.mk_expr ~loc (Ast.E_sizeof_expr e)
+        end
+      end
+      else Ast.mk_expr ~loc (Ast.E_sizeof_expr (parse_unary_expr p))
+  | _ -> parse_postfix_expr p
+
+and parse_type_name p : Ty.t =
+  let specs = parse_declspecs p in
+  let name, ty = parse_declarator p specs.base in
+  (match name with
+  | Some n -> error p "unexpected identifier %s in type name" n
+  | None -> ());
+  ty
+
+and parse_cast_expr p : Ast.expr =
+  match p.tok with
+  | Token.Lparen -> (
+      (* lookahead: is this a cast? *)
+      let tok2, loc2 = Lexer.next p.lexer in
+      let is_type =
+        match tok2 with
+        | Token.Kw_void | Token.Kw_char | Token.Kw_int | Token.Kw_float
+        | Token.Kw_double | Token.Kw_long | Token.Kw_short | Token.Kw_unsigned
+        | Token.Kw_signed | Token.Kw_struct | Token.Kw_union | Token.Kw_enum
+        | Token.Kw_const | Token.Kw_volatile ->
+            true
+        | Token.Ident name -> is_typedef_name p name
+        | _ -> false
+      in
+      (* push the lookahead token back *)
+      p.lexer.Lexer.pending <- (tok2, loc2) :: p.lexer.Lexer.pending;
+      if is_type then begin
+        let loc = p.loc in
+        advance p;
+        (* '(' *)
+        let ty = parse_type_name p in
+        expect p Token.Rparen;
+        let arg = parse_cast_expr p in
+        Ast.mk_expr ~loc (Ast.E_cast (ty, arg))
+      end
+      else parse_unary_expr p)
+  | _ -> parse_unary_expr p
+
+and parse_postfix_expr p : Ast.expr =
+  let e = parse_primary_expr p in
+  let rec go e =
+    let loc = p.loc in
+    match p.tok with
+    | Token.Lbracket ->
+        advance p;
+        let idx = parse_expr p in
+        expect p Token.Rbracket;
+        go (Ast.mk_expr ~loc (Ast.E_index (e, idx)))
+    | Token.Lparen ->
+        advance p;
+        let args = ref [] in
+        if p.tok <> Token.Rparen then begin
+          let rec arg_loop () =
+            args := parse_assign_expr p :: !args;
+            if accept p Token.Comma then arg_loop ()
+          in
+          arg_loop ()
+        end;
+        expect p Token.Rparen;
+        go (Ast.mk_expr ~loc (Ast.E_call (e, List.rev !args)))
+    | Token.Dot ->
+        advance p;
+        let f = expect_ident p in
+        go (Ast.mk_expr ~loc (Ast.E_member (e, f)))
+    | Token.Arrow ->
+        advance p;
+        let f = expect_ident p in
+        go (Ast.mk_expr ~loc (Ast.E_arrow (e, f)))
+    | Token.Plus_plus ->
+        advance p;
+        go (Ast.mk_expr ~loc (Ast.E_incdec { incr = true; prefix = false; arg = e }))
+    | Token.Minus_minus ->
+        advance p;
+        go (Ast.mk_expr ~loc (Ast.E_incdec { incr = false; prefix = false; arg = e }))
+    | _ -> e
+  in
+  go e
+
+and parse_primary_expr p : Ast.expr =
+  let loc = p.loc in
+  match p.tok with
+  | Token.Int_lit n ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_int n)
+  | Token.Float_lit (f, is_double) ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_float (f, is_double))
+  | Token.Char_lit c ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.E_char c)
+  | Token.String_lit s ->
+      advance p;
+      (* adjacent string literal concatenation *)
+      let buf = Buffer.create (String.length s) in
+      Buffer.add_string buf s;
+      let rec more () =
+        match p.tok with
+        | Token.String_lit s2 ->
+            advance p;
+            Buffer.add_string buf s2;
+            more ()
+        | _ -> ()
+      in
+      more ();
+      Ast.mk_expr ~loc (Ast.E_string (Buffer.contents buf))
+  | Token.Ident name -> (
+      advance p;
+      match Hashtbl.find_opt p.enum_constants name with
+      | Some v -> Ast.mk_expr ~loc (Ast.E_int v)
+      | None -> Ast.mk_expr ~loc (Ast.E_ident name))
+  | Token.Lparen ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.Rparen;
+      e
+  | other -> error p "expected expression, found '%s'" (Token.to_string other)
+
+(* ----------------------------------------------------------------- *)
+(* Statements                                                        *)
+(* ----------------------------------------------------------------- *)
+
+let rec parse_stmt p : Ast.stmt =
+  let loc = p.loc in
+  match p.tok with
+  | Token.Pragma words ->
+      advance p;
+      let rec collect acc =
+        match p.tok with
+        | Token.Pragma more ->
+            advance p;
+            collect (more :: acc)
+        | _ -> List.rev acc
+      in
+      let pragmas = collect [ words ] in
+      let stmt = parse_stmt p in
+      attach_pragmas p pragmas stmt
+  | Token.Lbrace -> parse_block p
+  | Token.Semi ->
+      advance p;
+      Ast.mk_stmt ~loc (Ast.S_expr None)
+  | Token.Kw_if ->
+      advance p;
+      expect p Token.Lparen;
+      let cond = parse_expr p in
+      expect p Token.Rparen;
+      let then_ = parse_stmt p in
+      let else_ = if accept p Token.Kw_else then Some (parse_stmt p) else None in
+      Ast.mk_stmt ~loc (Ast.S_if (cond, then_, else_))
+  | Token.Kw_while ->
+      advance p;
+      expect p Token.Lparen;
+      let cond = parse_expr p in
+      expect p Token.Rparen;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.S_while ([], cond, body))
+  | Token.Kw_do ->
+      advance p;
+      let body = parse_stmt p in
+      expect p Token.Kw_while;
+      expect p Token.Lparen;
+      let cond = parse_expr p in
+      expect p Token.Rparen;
+      expect p Token.Semi;
+      Ast.mk_stmt ~loc (Ast.S_do (body, cond))
+  | Token.Kw_for ->
+      advance p;
+      expect p Token.Lparen;
+      let init = if p.tok = Token.Semi then None else Some (parse_expr p) in
+      expect p Token.Semi;
+      let cond = if p.tok = Token.Semi then None else Some (parse_expr p) in
+      expect p Token.Semi;
+      let inc = if p.tok = Token.Rparen then None else Some (parse_expr p) in
+      expect p Token.Rparen;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.S_for ([], init, cond, inc, body))
+  | Token.Kw_return ->
+      advance p;
+      let e = if p.tok = Token.Semi then None else Some (parse_expr p) in
+      expect p Token.Semi;
+      Ast.mk_stmt ~loc (Ast.S_return e)
+  | Token.Kw_break ->
+      advance p;
+      expect p Token.Semi;
+      Ast.mk_stmt ~loc Ast.S_break
+  | Token.Kw_continue ->
+      advance p;
+      expect p Token.Semi;
+      Ast.mk_stmt ~loc Ast.S_continue
+  | Token.Kw_goto ->
+      advance p;
+      let l = expect_ident p in
+      expect p Token.Semi;
+      Ast.mk_stmt ~loc (Ast.S_goto l)
+  | Token.Kw_switch ->
+      advance p;
+      expect p Token.Lparen;
+      let e = parse_expr p in
+      expect p Token.Rparen;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.S_switch (e, body))
+  | Token.Kw_case ->
+      advance p;
+      let e = parse_cond_expr p in
+      expect p Token.Colon;
+      let s = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.S_case (e, s))
+  | Token.Kw_default ->
+      advance p;
+      expect p Token.Colon;
+      let s = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.S_default s)
+  | Token.Ident name -> (
+      (* label or expression statement: look ahead one token *)
+      let tok2, loc2 = Lexer.next p.lexer in
+      if tok2 = Token.Colon then begin
+        (* the colon was already consumed from the lexer by the lookahead;
+           one advance fetches the token after it *)
+        advance p;
+        let s = parse_stmt p in
+        Ast.mk_stmt ~loc (Ast.S_label (name, s))
+      end
+      else begin
+        p.lexer.Lexer.pending <- (tok2, loc2) :: p.lexer.Lexer.pending;
+        let e = parse_expr p in
+        expect p Token.Semi;
+        Ast.mk_stmt ~loc (Ast.S_expr (Some e))
+      end)
+  | _ ->
+      let e = parse_expr p in
+      expect p Token.Semi;
+      Ast.mk_stmt ~loc (Ast.S_expr (Some e))
+
+and attach_pragmas p pragmas (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.S_while (old, c, b) ->
+      { s with sdesc = Ast.S_while (old @ pragmas, c, b) }
+  | Ast.S_for (old, i, c, inc, b) ->
+      { s with sdesc = Ast.S_for (old @ pragmas, i, c, inc, b) }
+  | _ ->
+      Diag.warn ~loc:s.sloc "pragma ignored (not followed by a loop)";
+      ignore p;
+      s
+
+and parse_block p : Ast.stmt =
+  let loc = p.loc in
+  expect p Token.Lbrace;
+  let items = ref [] in
+  while p.tok <> Token.Rbrace do
+    if starts_decl p then
+      List.iter (fun d -> items := Ast.Bi_decl d :: !items) (parse_local_decl p)
+    else items := Ast.Bi_stmt (parse_stmt p) :: !items
+  done;
+  expect p Token.Rbrace;
+  Ast.mk_stmt ~loc (Ast.S_block (List.rev !items))
+
+(* One declaration statement, possibly declaring several names. *)
+and parse_local_decl p : Ast.decl list =
+  let loc = p.loc in
+  let specs = parse_declspecs p in
+  if p.tok = Token.Semi then begin
+    (* bare struct declaration *)
+    advance p;
+    []
+  end
+  else begin
+    let decls = ref [] in
+    let rec go () =
+      let name, ty = parse_declarator p specs.base in
+      let name =
+        match name with Some n -> n | None -> error p "expected declarator"
+      in
+      if specs.storage = Ast.Sc_typedef then Hashtbl.replace p.typedefs name ty
+      else begin
+        let init =
+          if accept p Token.Assign then Some (parse_initializer p) else None
+        in
+        decls :=
+          {
+            Ast.d_name = name;
+            d_ty = ty;
+            d_storage = specs.storage;
+            d_volatile = specs.volatile;
+            d_init = init;
+            d_loc = loc;
+            d_var = None;
+          }
+          :: !decls
+      end;
+      if accept p Token.Comma then go ()
+    in
+    go ();
+    expect p Token.Semi;
+    List.rev !decls
+  end
+
+and parse_initializer p : Ast.init =
+  if p.tok = Token.Lbrace then begin
+    advance p;
+    let items = ref [] in
+    if p.tok <> Token.Rbrace then begin
+      let rec go () =
+        items := parse_initializer p :: !items;
+        if accept p Token.Comma && p.tok <> Token.Rbrace then go ()
+      in
+      go ()
+    end;
+    expect p Token.Rbrace;
+    Ast.I_list (List.rev !items)
+  end
+  else Ast.I_expr (parse_assign_expr p)
+
+(* ----------------------------------------------------------------- *)
+(* Top level                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let parse_params_full p : Ast.param list * bool =
+  (* Parse a parameter list with names for a function definition. *)
+  if p.tok = Token.Rparen then ([], false)
+  else begin
+    let params = ref [] in
+    let varargs = ref false in
+    let one () =
+      let specs = parse_declspecs p in
+      if specs.base = Ty.Void && p.tok = Token.Rparen then ()
+      else begin
+        let name, ty = parse_declarator p specs.base in
+        let name = Option.value name ~default:"" in
+        params :=
+          {
+            Ast.p_name = name;
+            p_ty = Ty.decay ty;
+            p_volatile = specs.volatile;
+            p_loc = p.loc;
+          }
+          :: !params
+      end
+    in
+    one ();
+    let rec more () =
+      if accept p Token.Comma then begin
+        if p.tok = Token.Ellipsis then begin
+          advance p;
+          varargs := true
+        end
+        else begin
+          one ();
+          more ()
+        end
+      end
+    in
+    more ();
+    (List.rev !params, !varargs)
+  end
+
+let parse_top p : Ast.top list =
+  let loc = p.loc in
+  (* K&R-style "name() { ... }" with implied int return *)
+  let specs =
+    if starts_decl p then parse_declspecs p
+    else { base = Ty.Int; storage = Ast.Sc_none; volatile = false }
+  in
+  if p.tok = Token.Semi then begin
+    advance p;
+    []
+  end
+  else begin
+    (* Parse first declarator by hand so we can see a following '{'. *)
+    let rec pointers ty = if accept p Token.Star then pointers (Ty.Ptr ty) else ty in
+    let base = pointers specs.base in
+    let name = expect_ident p in
+    if p.tok = Token.Lparen then begin
+      advance p;
+      let params, varargs = parse_params_full p in
+      expect p Token.Rparen;
+      if p.tok = Token.Lbrace then begin
+        let body = parse_block p in
+        [
+          Ast.Top_func
+            {
+              fd_name = name;
+              fd_ret = base;
+              fd_params = params;
+              fd_varargs = varargs;
+              fd_static = specs.storage = Ast.Sc_static;
+              fd_body = body;
+              fd_loc = loc;
+            };
+        ]
+      end
+      else begin
+        expect p Token.Semi;
+        [
+          Ast.Top_proto
+            {
+              name;
+              ty = Ty.Func (base, List.map (fun (pr : Ast.param) -> pr.p_ty) params);
+              loc;
+            };
+        ]
+      end
+    end
+    else begin
+      (* global variable(s) *)
+      let rec suffixes ty =
+        if accept p Token.Lbracket then begin
+          let size = if p.tok = Token.Rbracket then None else Some (parse_const_int p) in
+          expect p Token.Rbracket;
+          Ty.Array (suffixes ty, size)
+        end
+        else ty
+      in
+      let first_ty = suffixes base in
+      let mk_decl name ty init =
+        {
+          Ast.d_name = name;
+          d_ty = ty;
+          d_storage = specs.storage;
+          d_volatile = specs.volatile;
+          d_init = init;
+          d_loc = loc;
+          d_var = None;
+        }
+      in
+      if specs.storage = Ast.Sc_typedef then begin
+        Hashtbl.replace p.typedefs name first_ty;
+        let rec more () =
+          if accept p Token.Comma then begin
+            let n2, t2 = parse_declarator p specs.base in
+            (match n2 with
+            | Some n -> Hashtbl.replace p.typedefs n t2
+            | None -> error p "expected name in typedef");
+            more ()
+          end
+        in
+        more ();
+        expect p Token.Semi;
+        []
+      end
+      else begin
+        let decls = ref [] in
+        let init =
+          if accept p Token.Assign then Some (parse_initializer p) else None
+        in
+        decls := [ Ast.Top_decl (mk_decl name first_ty init) ];
+        let rec more () =
+          if accept p Token.Comma then begin
+            let n2, t2 = parse_declarator p specs.base in
+            let n2 = match n2 with Some n -> n | None -> error p "expected name" in
+            let init2 =
+              if accept p Token.Assign then Some (parse_initializer p) else None
+            in
+            decls := Ast.Top_decl (mk_decl n2 t2 init2) :: !decls;
+            more ()
+          end
+        in
+        more ();
+        expect p Token.Semi;
+        List.rev !decls
+      end
+    end
+  end
+
+let parse_translation_unit p : Ast.translation_unit =
+  let tops = ref [] in
+  while p.tok <> Token.Eof do
+    match p.tok with
+    | Token.Pragma _ ->
+        Diag.warn ~loc:p.loc "file-scope pragma ignored";
+        advance p
+    | _ -> List.iter (fun top -> tops := top :: !tops) (parse_top p)
+  done;
+  { Ast.tu_structs = p.structs; tu_tops = List.rev !tops }
+
+let parse ?file src =
+  let p = create ?file src in
+  parse_translation_unit p
+
+let parse_expr_string ?file src =
+  let p = create ?file src in
+  parse_expr p

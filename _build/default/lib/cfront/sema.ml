@@ -1,0 +1,479 @@
+(* Semantic analysis: scope resolution, type checking and annotation.
+   Sema builds the program skeleton (structs, globals, function shells
+   with parameter variables) and annotates the AST in place; Lower then
+   translates the annotated AST into IL bodies. *)
+
+open Vpc_support
+open Vpc_il
+
+type fsig = { ret : Ty.t; args : Ty.t list option (* None = unknown/varargs *) }
+
+type t = {
+  prog : Prog.t;
+  scopes : (string, Var.t) Hashtbl.t Stack.t;
+  fsigs : (string, fsig) Hashtbl.t;
+  mutable current : Func.t option;
+  mutable static_count : int;
+}
+
+(* Known library functions the Titan runtime provides (paper §2: math and
+   graphics libraries). *)
+let builtin_sigs =
+  [
+    ("printf", { ret = Ty.Int; args = None });
+    ("putchar", { ret = Ty.Int; args = Some [ Ty.Int ] });
+    ("puts", { ret = Ty.Int; args = Some [ Ty.Ptr Ty.Char ] });
+    ("sqrt", { ret = Ty.Double; args = Some [ Ty.Double ] });
+    ("sqrtf", { ret = Ty.Float; args = Some [ Ty.Float ] });
+    ("fabs", { ret = Ty.Double; args = Some [ Ty.Double ] });
+    ("fabsf", { ret = Ty.Float; args = Some [ Ty.Float ] });
+    ("abs", { ret = Ty.Int; args = Some [ Ty.Int ] });
+    ("exp", { ret = Ty.Double; args = Some [ Ty.Double ] });
+    ("sin", { ret = Ty.Double; args = Some [ Ty.Double ] });
+    ("cos", { ret = Ty.Double; args = Some [ Ty.Double ] });
+  ]
+
+let create () =
+  let t =
+    {
+      prog = Prog.create ();
+      scopes = Stack.create ();
+      fsigs = Hashtbl.create 16;
+      current = None;
+      static_count = 0;
+    }
+  in
+  List.iter (fun (n, s) -> Hashtbl.replace t.fsigs n s) builtin_sigs;
+  t
+
+let error loc fmt = Diag.error ~loc fmt
+
+let push_scope t = Stack.push (Hashtbl.create 8) t.scopes
+let pop_scope t = ignore (Stack.pop t.scopes)
+
+let lookup t name =
+  Stack.fold
+    (fun acc scope ->
+      match acc with Some _ -> acc | None -> Hashtbl.find_opt scope name)
+    None t.scopes
+
+let declare t name (v : Var.t) =
+  match Stack.top_opt t.scopes with
+  | Some scope -> Hashtbl.replace scope name v
+  | None -> Diag.internal "no scope to declare %s" name
+
+(* ----------------------------------------------------------------- *)
+(* Expression typing                                                 *)
+(* ----------------------------------------------------------------- *)
+
+(* The "value type" of an expression: arrays decay to pointers. *)
+let value_ty ty = Ty.decay ty
+
+let is_lvalue (e : Ast.expr) =
+  match e.desc with
+  | Ast.E_ident _ -> (
+      match e.var with
+      | Some v -> not (Var.is_memory_object v)  (* arrays are not assignable *)
+      | None -> false)
+  | Ast.E_index _ | Ast.E_member _ | Ast.E_arrow _
+  | Ast.E_unop (Ast.U_deref, _) ->
+      true
+  | _ -> false
+
+(* Can [e] be the operand of &?  Same as lvalue, plus whole arrays. *)
+let is_addressable (e : Ast.expr) =
+  is_lvalue e
+  || match e.desc with Ast.E_ident _ -> e.var <> None | _ -> false
+
+let struct_of t loc ty =
+  match ty with
+  | Ty.Struct tag -> (
+      match Hashtbl.find_opt t.prog.Prog.structs tag with
+      | Some def -> def
+      | None -> error loc "struct %s has no definition" tag)
+  | other -> error loc "member access on non-struct type %s" (Ty.to_string other)
+
+let rec check_expr t (e : Ast.expr) : Ty.t =
+  let ty = infer_expr t e in
+  e.Ast.ty <- Some ty;
+  ty
+
+and infer_expr t (e : Ast.expr) : Ty.t =
+  let loc = e.Ast.eloc in
+  match e.Ast.desc with
+  | Ast.E_int _ -> Ty.Int
+  | Ast.E_float (_, is_double) -> if is_double then Ty.Double else Ty.Float
+  | Ast.E_char _ -> Ty.Int  (* character constants have type int in C *)
+  | Ast.E_string _ -> Ty.Ptr Ty.Char
+  | Ast.E_ident name -> (
+      match lookup t name with
+      | Some v ->
+          e.Ast.var <- Some v;
+          value_ty v.ty
+      | None -> error loc "undeclared identifier %s" name)
+  | Ast.E_call (callee, args) -> (
+      let arg_tys = List.map (check_expr t) args in
+      match callee.Ast.desc with
+      | Ast.E_ident fname -> (
+          callee.Ast.ty <- Some Ty.Void;
+          match Hashtbl.find_opt t.fsigs fname with
+          | Some { ret; args = Some formals } ->
+              if List.length formals <> List.length arg_tys then
+                error loc "call to %s with %d arguments (expected %d)" fname
+                  (List.length arg_tys) (List.length formals);
+              ret
+          | Some { ret; args = None } -> ret
+          | None ->
+              Diag.warn ~loc "implicit declaration of function %s" fname;
+              Hashtbl.replace t.fsigs fname { ret = Ty.Int; args = None };
+              Ty.Int)
+      | _ -> error loc "only direct calls are supported")
+  | Ast.E_index (base, idx) -> (
+      let bty = check_expr t base in
+      let ity = check_expr t idx in
+      if not (Ty.is_integer ity) then error loc "array subscript is not an integer";
+      match bty with
+      | Ty.Ptr elt -> value_ty elt
+      | _ -> error loc "subscripted value is not an array or pointer")
+  | Ast.E_member (base, field) ->
+      let bty = check_expr t base in
+      let def = struct_of t loc bty in
+      (match List.assoc_opt field def.fields with
+      | Some fty -> value_ty fty
+      | None -> error loc "no member %s in struct %s" field def.tag)
+  | Ast.E_arrow (base, field) -> (
+      let bty = check_expr t base in
+      match bty with
+      | Ty.Ptr sty ->
+          let def = struct_of t loc sty in
+          (match List.assoc_opt field def.fields with
+          | Some fty -> value_ty fty
+          | None -> error loc "no member %s in struct %s" field def.tag)
+      | _ -> error loc "-> applied to non-pointer")
+  | Ast.E_unop (op, arg) -> (
+      let aty = check_expr t arg in
+      match op with
+      | Ast.U_plus | Ast.U_neg ->
+          if not (Ty.is_arith aty) then error loc "unary +/- on non-arithmetic";
+          if Ty.is_integer aty then Ty.Int else aty
+      | Ast.U_lognot ->
+          if not (Ty.is_scalar aty) then error loc "! on non-scalar";
+          Ty.Int
+      | Ast.U_bitnot ->
+          if not (Ty.is_integer aty) then error loc "~ on non-integer";
+          Ty.Int
+      | Ast.U_deref -> (
+          match aty with
+          | Ty.Ptr elt -> value_ty elt
+          | _ -> error loc "dereference of non-pointer")
+      | Ast.U_addr ->
+          if not (is_addressable arg) then error loc "& of non-lvalue";
+          (* &array-var has the array's element pointer type in our IL *)
+          (match arg.Ast.desc, arg.Ast.var with
+          | Ast.E_ident _, Some v -> (
+              match v.ty with
+              | Ty.Array (elt, _) -> Ty.Ptr elt
+              | ty -> Ty.Ptr ty)
+          | _ -> Ty.Ptr aty))
+  | Ast.E_incdec { arg; _ } ->
+      let aty = check_expr t arg in
+      if not (is_lvalue arg) then error loc "++/-- on non-lvalue";
+      if not (Ty.is_scalar aty) then error loc "++/-- on non-scalar";
+      aty
+  | Ast.E_binop (op, a, b) -> (
+      let ta = check_expr t a in
+      let tb = check_expr t b in
+      match op with
+      | Ast.B_add -> (
+          match ta, tb with
+          | Ty.Ptr _, i when Ty.is_integer i -> ta
+          | i, Ty.Ptr _ when Ty.is_integer i -> tb
+          | _ when Ty.is_arith ta && Ty.is_arith tb -> Ty.common_arith ta tb
+          | _ -> error loc "invalid operands to +")
+      | Ast.B_sub -> (
+          match ta, tb with
+          | Ty.Ptr _, i when Ty.is_integer i -> ta
+          | Ty.Ptr _, Ty.Ptr _ -> Ty.Int
+          | _ when Ty.is_arith ta && Ty.is_arith tb -> Ty.common_arith ta tb
+          | _ -> error loc "invalid operands to -")
+      | Ast.B_mul | Ast.B_div ->
+          if not (Ty.is_arith ta && Ty.is_arith tb) then
+            error loc "invalid operands to * or /";
+          Ty.common_arith ta tb
+      | Ast.B_rem | Ast.B_shl | Ast.B_shr | Ast.B_and | Ast.B_or | Ast.B_xor ->
+          if not (Ty.is_integer ta && Ty.is_integer tb) then
+            error loc "integer operator on non-integers";
+          Ty.Int
+      | Ast.B_eq | Ast.B_ne | Ast.B_lt | Ast.B_le | Ast.B_gt | Ast.B_ge ->
+          if not ((Ty.is_arith ta && Ty.is_arith tb)
+                 || (Ty.is_pointer ta && Ty.is_pointer tb)
+                 || (Ty.is_pointer ta && Ty.is_integer tb)
+                 || (Ty.is_integer ta && Ty.is_pointer tb))
+          then error loc "invalid comparison operands";
+          Ty.Int)
+  | Ast.E_logical (_, a, b) ->
+      let ta = check_expr t a and tb = check_expr t b in
+      if not (Ty.is_scalar ta && Ty.is_scalar tb) then
+        error loc "&&/|| on non-scalar operands";
+      Ty.Int
+  | Ast.E_cond (c, x, y) ->
+      let tc = check_expr t c in
+      if not (Ty.is_scalar tc) then error loc "condition is not scalar";
+      let tx = check_expr t x and ty_ = check_expr t y in
+      if Ty.is_arith tx && Ty.is_arith ty_ then Ty.common_arith tx ty_
+      else if Ty.equal tx ty_ then tx
+      else if Ty.is_pointer tx && Ty.is_integer ty_ then tx
+      else if Ty.is_integer tx && Ty.is_pointer ty_ then ty_
+      else error loc "incompatible branches of ?:"
+  | Ast.E_assign (lhs, rhs) ->
+      let tl = check_expr t lhs in
+      let tr = check_expr t rhs in
+      if not (is_lvalue lhs) then error loc "assignment to non-lvalue";
+      check_assignable loc tl tr;
+      tl
+  | Ast.E_opassign (op, lhs, rhs) ->
+      let tl = check_expr t lhs in
+      let tr = check_expr t rhs in
+      if not (is_lvalue lhs) then error loc "assignment to non-lvalue";
+      (match op with
+      | Ast.B_add | Ast.B_sub when Ty.is_pointer tl && Ty.is_integer tr -> ()
+      | _ when Ty.is_arith tl && Ty.is_arith tr -> ()
+      | _ -> error loc "invalid compound assignment operands");
+      tl
+  | Ast.E_comma (a, b) ->
+      ignore (check_expr t a);
+      check_expr t b
+  | Ast.E_cast (ty, arg) ->
+      let aty = check_expr t arg in
+      if not (Ty.is_scalar aty || ty = Ty.Void) then
+        error loc "cast of non-scalar value";
+      if ty = Ty.Void then Ty.Void else value_ty ty
+  | Ast.E_sizeof_type ty ->
+      e.Ast.const_size <- Some (Ty.sizeof t.prog.Prog.structs ty);
+      Ty.Int
+  | Ast.E_sizeof_expr arg ->
+      ignore (check_expr t arg);
+      (* unconverted type where it matters: arrays via the resolved var *)
+      let size =
+        match arg.Ast.desc, arg.Ast.var with
+        | Ast.E_ident _, Some v -> Ty.sizeof t.prog.Prog.structs v.ty
+        | _ -> Ty.sizeof t.prog.Prog.structs (Ast.ty_exn arg)
+      in
+      e.Ast.const_size <- Some size;
+      Ty.Int
+
+and check_assignable loc dst src =
+  let ok =
+    (Ty.is_arith dst && Ty.is_arith src)
+    || (Ty.is_pointer dst && Ty.is_pointer src)
+    || (Ty.is_pointer dst && Ty.is_integer src)  (* p = 0 and friends *)
+    || (Ty.is_integer dst && Ty.is_pointer src)
+    || Ty.equal dst src
+  in
+  if not ok then
+    error loc "incompatible types in assignment (%s from %s)"
+      (Ty.to_string dst) (Ty.to_string src)
+
+(* ----------------------------------------------------------------- *)
+(* Declarations and statements                                       *)
+(* ----------------------------------------------------------------- *)
+
+let make_var t ?(storage = Var.Auto) ?(volatile = false) ?(is_temp = false)
+    name ty =
+  Var.make ~id:(Prog.fresh_var_id t.prog) ~name ~ty ~volatile ~storage ~is_temp
+    ()
+
+let complete_array_from_init (d : Ast.decl) =
+  match d.d_ty, d.d_init with
+  | Ty.Array (elt, None), Some (Ast.I_list items) ->
+      Ty.Array (elt, Some (List.length items))
+  | Ty.Array (Ty.Char, None), Some (Ast.I_expr { desc = Ast.E_string s; _ }) ->
+      Ty.Array (Ty.Char, Some (String.length s + 1))
+  | ty, _ -> ty
+
+let rec check_init t loc ty (init : Ast.init) =
+  match init with
+  | Ast.I_expr e ->
+      let ety = check_expr t e in
+      (match ty with
+      | Ty.Array (Ty.Char, _) -> ()  (* string initializer *)
+      | _ -> check_assignable loc (value_ty ty) ety)
+  | Ast.I_list items -> (
+      match ty with
+      | Ty.Array (elt, _) -> List.iter (check_init t loc elt) items
+      | Ty.Struct tag ->
+          let def = struct_of t loc (Ty.Struct tag) in
+          (try
+             List.iter2 (fun (_, fty) item -> check_init t loc fty item)
+               (List.filteri (fun i _ -> i < List.length items) def.fields)
+               items
+           with Invalid_argument _ ->
+             error loc "too many initializers for struct %s" tag)
+      | _ -> error loc "brace initializer for scalar")
+
+let check_local_decl t (d : Ast.decl) =
+  let func =
+    match t.current with
+    | Some f -> f
+    | None -> Diag.internal "local declaration outside function"
+  in
+  let ty = complete_array_from_init d in
+  (match ty with
+  | Ty.Array (_, None) -> error d.d_loc "array %s has unknown size" d.d_name
+  | _ -> ());
+  let v =
+    match d.d_storage with
+    | Ast.Sc_static ->
+        (* §7: statics inside inlinable procedures must be externally known;
+           we promote them to uniquely-named globals up front. *)
+        t.static_count <- t.static_count + 1;
+        let gname = Printf.sprintf "%s.%s" func.Func.name d.d_name in
+        let v = make_var t ~storage:Var.Static ~volatile:d.d_volatile gname ty in
+        Prog.add_global t.prog v;
+        v
+    | Ast.Sc_extern ->
+        let v = make_var t ~storage:Var.Extern ~volatile:d.d_volatile d.d_name ty in
+        Prog.add_global t.prog v;
+        v
+    | Ast.Sc_none | Ast.Sc_typedef ->
+        let v = make_var t ~storage:Var.Auto ~volatile:d.d_volatile d.d_name ty in
+        Func.add_var func v;
+        v
+  in
+  d.d_var <- Some v;
+  declare t d.d_name v;
+  Option.iter (check_init t d.d_loc ty) d.d_init
+
+let rec check_stmt t (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.S_expr None -> ()
+  | Ast.S_expr (Some e) -> ignore (check_expr t e)
+  | Ast.S_block items ->
+      push_scope t;
+      List.iter
+        (function
+          | Ast.Bi_decl d -> check_local_decl t d
+          | Ast.Bi_stmt s -> check_stmt t s)
+        items;
+      pop_scope t
+  | Ast.S_if (c, then_, else_) ->
+      ignore (check_expr t c);
+      check_stmt t then_;
+      Option.iter (check_stmt t) else_
+  | Ast.S_while (_, c, body) ->
+      ignore (check_expr t c);
+      check_stmt t body
+  | Ast.S_do (body, c) ->
+      check_stmt t body;
+      ignore (check_expr t c)
+  | Ast.S_for (_, init, cond, inc, body) ->
+      Option.iter (fun e -> ignore (check_expr t e)) init;
+      Option.iter (fun e -> ignore (check_expr t e)) cond;
+      Option.iter (fun e -> ignore (check_expr t e)) inc;
+      check_stmt t body
+  | Ast.S_return None -> ()
+  | Ast.S_return (Some e) -> ignore (check_expr t e)
+  | Ast.S_break | Ast.S_continue | Ast.S_goto _ -> ()
+  | Ast.S_label (_, s) -> check_stmt t s
+  | Ast.S_switch (e, body) ->
+      let ty = check_expr t e in
+      if not (Ty.is_integer ty) then
+        error s.Ast.sloc "switch on non-integer value";
+      check_stmt t body
+  | Ast.S_case (e, body) ->
+      ignore (check_expr t e);
+      check_stmt t body
+  | Ast.S_default body -> check_stmt t body
+
+(* ----------------------------------------------------------------- *)
+(* Top level                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let check_global_decl t (d : Ast.decl) =
+  let ty = complete_array_from_init d in
+  (match ty with
+  | Ty.Array (_, None) when d.d_init = None && d.d_storage <> Ast.Sc_extern ->
+      error d.d_loc "global array %s has unknown size" d.d_name
+  | _ -> ());
+  let storage =
+    match d.d_storage with
+    | Ast.Sc_static -> Var.Static
+    | Ast.Sc_extern -> Var.Extern
+    | Ast.Sc_none | Ast.Sc_typedef -> Var.Global
+  in
+  let v = make_var t ~storage ~volatile:d.d_volatile d.d_name ty in
+  d.d_var <- Some v;
+  Prog.add_global t.prog v;
+  declare t d.d_name v;
+  Option.iter (check_init t d.d_loc ty) d.d_init
+
+let check_fundef t (fd : Ast.fundef) : Func.t =
+  let func =
+    Func.create ~name:fd.fd_name ~ret_ty:fd.fd_ret ~is_static:fd.fd_static
+      ~loc:fd.fd_loc ()
+  in
+  Hashtbl.replace t.fsigs fd.fd_name
+    {
+      ret = fd.fd_ret;
+      args =
+        (if fd.fd_varargs then None
+         else Some (List.map (fun (p : Ast.param) -> p.p_ty) fd.fd_params));
+    };
+  Prog.add_func t.prog func;
+  t.current <- Some func;
+  push_scope t;
+  let params =
+    List.map
+      (fun (p : Ast.param) ->
+        if p.p_name = "" then error p.p_loc "parameter missing a name";
+        let v =
+          make_var t ~storage:Var.Param ~volatile:p.p_volatile p.p_name p.p_ty
+        in
+        Func.add_var func v;
+        declare t p.p_name v;
+        v.id)
+      fd.fd_params
+  in
+  let func = { func with params } in
+  Prog.replace_func t.prog func;
+  t.current <- Some func;
+  check_stmt t fd.fd_body;
+  pop_scope t;
+  t.current <- None;
+  func
+
+type result = {
+  prog : Prog.t;
+  fundefs : (Func.t * Ast.fundef) list;
+  globals : Ast.decl list;  (* with d_var filled *)
+  fsigs : (string, fsig) Hashtbl.t;
+}
+
+let check_translation_unit (tu : Ast.translation_unit) : result =
+  Diag.reset_warnings ();
+  let t = create () in
+  Hashtbl.iter (Hashtbl.replace t.prog.Prog.structs) tu.tu_structs;
+  push_scope t;  (* file scope *)
+  let fundefs = ref [] in
+  let globals = ref [] in
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Top_decl d ->
+          check_global_decl t d;
+          globals := d :: !globals
+      | Ast.Top_proto { name; ty = Ty.Func (ret, args); _ } ->
+          Hashtbl.replace t.fsigs name { ret; args = Some args }
+      | Ast.Top_proto { name; loc; _ } ->
+          error loc "bad prototype for %s" name
+      | Ast.Top_func fd ->
+          let func = check_fundef t fd in
+          fundefs := (func, fd) :: !fundefs)
+    tu.tu_tops;
+  pop_scope t;
+  {
+    prog = t.prog;
+    fundefs = List.rev !fundefs;
+    globals = List.rev !globals;
+    fsigs = t.fsigs;
+  }

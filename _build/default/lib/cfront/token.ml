@@ -1,0 +1,84 @@
+(* Tokens of the C subset.  Pragmas survive lexing as tokens so the parser
+   can attach them to the following loop (the paper's mechanism for
+   asserting that a loop is safe to vectorize). *)
+
+type t =
+  | Int_lit of int
+  | Float_lit of float * bool  (* value, is_double (no 'f' suffix) *)
+  | Char_lit of char
+  | String_lit of string
+  | Ident of string
+  (* keywords *)
+  | Kw_void | Kw_char | Kw_int | Kw_float | Kw_double
+  | Kw_long | Kw_short | Kw_unsigned | Kw_signed
+  | Kw_struct | Kw_union | Kw_enum
+  | Kw_if | Kw_else | Kw_while | Kw_do | Kw_for | Kw_switch | Kw_case
+  | Kw_default | Kw_break | Kw_continue | Kw_return | Kw_goto
+  | Kw_static | Kw_extern | Kw_register | Kw_auto | Kw_typedef
+  | Kw_volatile | Kw_const | Kw_sizeof
+  (* punctuation *)
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma | Colon | Question | Dot | Arrow | Ellipsis
+  (* operators *)
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde | Bang
+  | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe
+  | Assign
+  | Plus_assign | Minus_assign | Star_assign | Slash_assign | Percent_assign
+  | Amp_assign | Pipe_assign | Caret_assign | Shl_assign | Shr_assign
+  | Plus_plus | Minus_minus
+  | Pragma of string list  (* #pragma vpc <words> *)
+  | Eof
+
+let keyword_table =
+  [
+    ("void", Kw_void); ("char", Kw_char); ("int", Kw_int);
+    ("float", Kw_float); ("double", Kw_double); ("long", Kw_long);
+    ("short", Kw_short); ("unsigned", Kw_unsigned); ("signed", Kw_signed);
+    ("struct", Kw_struct); ("union", Kw_union); ("enum", Kw_enum);
+    ("if", Kw_if);
+    ("else", Kw_else); ("while", Kw_while); ("do", Kw_do); ("for", Kw_for);
+    ("switch", Kw_switch); ("case", Kw_case); ("default", Kw_default);
+    ("break", Kw_break); ("continue", Kw_continue); ("return", Kw_return);
+    ("goto", Kw_goto); ("static", Kw_static); ("extern", Kw_extern);
+    ("register", Kw_register); ("auto", Kw_auto); ("typedef", Kw_typedef);
+    ("volatile", Kw_volatile); ("const", Kw_const); ("sizeof", Kw_sizeof);
+  ]
+
+let to_string = function
+  | Int_lit n -> string_of_int n
+  | Float_lit (f, _) -> string_of_float f
+  | Char_lit c -> Printf.sprintf "'%c'" c
+  | String_lit s -> Printf.sprintf "%S" s
+  | Ident s -> s
+  | Kw_void -> "void" | Kw_char -> "char" | Kw_int -> "int"
+  | Kw_float -> "float" | Kw_double -> "double" | Kw_long -> "long"
+  | Kw_short -> "short" | Kw_unsigned -> "unsigned" | Kw_signed -> "signed"
+  | Kw_struct -> "struct" | Kw_union -> "union" | Kw_enum -> "enum"
+  | Kw_if -> "if"
+  | Kw_else -> "else" | Kw_while -> "while" | Kw_do -> "do" | Kw_for -> "for"
+  | Kw_switch -> "switch" | Kw_case -> "case" | Kw_default -> "default"
+  | Kw_break -> "break" | Kw_continue -> "continue" | Kw_return -> "return"
+  | Kw_goto -> "goto" | Kw_static -> "static" | Kw_extern -> "extern"
+  | Kw_register -> "register" | Kw_auto -> "auto" | Kw_typedef -> "typedef"
+  | Kw_volatile -> "volatile" | Kw_const -> "const" | Kw_sizeof -> "sizeof"
+  | Lparen -> "(" | Rparen -> ")" | Lbrace -> "{" | Rbrace -> "}"
+  | Lbracket -> "[" | Rbracket -> "]" | Semi -> ";" | Comma -> ","
+  | Colon -> ":" | Question -> "?" | Dot -> "." | Arrow -> "->"
+  | Ellipsis -> "..."
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Percent -> "%"
+  | Amp -> "&" | Pipe -> "|" | Caret -> "^" | Tilde -> "~" | Bang -> "!"
+  | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp_amp -> "&&" | Pipe_pipe -> "||"
+  | Assign -> "="
+  | Plus_assign -> "+=" | Minus_assign -> "-=" | Star_assign -> "*="
+  | Slash_assign -> "/=" | Percent_assign -> "%="
+  | Amp_assign -> "&=" | Pipe_assign -> "|=" | Caret_assign -> "^="
+  | Shl_assign -> "<<=" | Shr_assign -> ">>="
+  | Plus_plus -> "++" | Minus_minus -> "--"
+  | Pragma ws -> "#pragma " ^ String.concat " " ws
+  | Eof -> "<eof>"

@@ -1,0 +1,205 @@
+(* The public face of the compiler: options, the full pass pipeline in the
+   paper's order, and compile-and-run entry points against both the IL
+   interpreter (reference semantics) and the Titan simulator (timing).
+
+   Pipeline (§5.2 fixes the placement: while→DO conversion runs right
+   after use-def chains are available, before the phases that simplify DO
+   loops):
+
+     parse → sema → lower
+       → inline (optional, catalogs + same file)
+       → constant propagation + unreachable code (§8) → DCE
+       → while→DO conversion (§5.2)
+       → induction-variable substitution (§5.3)
+       → constant propagation → DCE → unreachable postpass
+       → vectorize / parallelize (Allen-Kennedy distribution, §9)
+       → scalar replacement (§6) → strength reduction (§6)
+       → final DCE *)
+
+module Support = Vpc_support
+module Il = Vpc_il
+module Cfront = Vpc_cfront
+module Analysis = Vpc_analysis
+module Dependence = Vpc_dependence
+module Transform = Vpc_transform
+module Vectorize = Vpc_vectorize
+module Inline = Vpc_inline
+module Titan = Vpc_titan
+
+type options = {
+  inline : [ `None | `All | `Only of string list ];
+  doacross : bool;             (* §10: parallelize pragma-marked list loops *)
+  scalar_opt : bool;           (* constant propagation + DCE + unreachable *)
+  while_conversion : bool;     (* §5.2 *)
+  indvar_substitution : bool;  (* §5.3 *)
+  vectorize : bool;
+  parallelize : bool;
+  vlen : int;
+  assume_noalias : bool;       (* pointer params get Fortran semantics *)
+  scalar_replacement : bool;   (* §6 *)
+  strength_reduction : bool;   (* §6 *)
+  catalogs : string list;      (* procedure databases to import (§7) *)
+  dump : (string -> string -> unit) option;  (* stage name, IL text *)
+}
+
+(* -O0: the naive translation. *)
+let o0 =
+  {
+    inline = `None;
+    doacross = false;
+    scalar_opt = false;
+    while_conversion = false;
+    indvar_substitution = false;
+    vectorize = false;
+    parallelize = false;
+    vlen = 32;
+    assume_noalias = false;
+    scalar_replacement = false;
+    strength_reduction = false;
+    catalogs = [];
+    dump = None;
+  }
+
+(* -O1: classical scalar optimization. *)
+let o1 =
+  {
+    o0 with
+    scalar_opt = true;
+    while_conversion = true;
+    indvar_substitution = true;
+    strength_reduction = true;
+  }
+
+(* -O2: vectorization and parallelization, no inlining. *)
+let o2 =
+  {
+    o1 with
+    vectorize = true;
+    parallelize = true;
+    scalar_replacement = true;
+    doacross = true;
+  }
+
+(* -O3: everything, including automatic inlining. *)
+let o3 = { o2 with inline = `All }
+
+let default_options = o3
+
+type stats = {
+  while_to_do : Transform.While_to_do.stats;
+  indvar : Transform.Indvar.stats;
+  forward_sub : Transform.Forward_sub.stats;
+  doacross : Transform.Doacross.stats;
+  const_prop : Analysis.Const_prop.stats;
+  dce : Analysis.Dce.stats;
+  unreachable : Analysis.Unreachable.stats;
+  vectorize : Vectorize.Vectorize.stats;
+  inline : Inline.Inline.stats;
+  scalar_replace : Transform.Scalar_replace.stats;
+  strength_reduction : Transform.Strength_reduction.stats;
+}
+
+let new_stats () =
+  {
+    while_to_do = Transform.While_to_do.new_stats ();
+    indvar = Transform.Indvar.new_stats ();
+    forward_sub = Transform.Forward_sub.new_stats ();
+    doacross = Transform.Doacross.new_stats ();
+    const_prop = Analysis.Const_prop.new_stats ();
+    dce = Analysis.Dce.new_stats ();
+    unreachable = Analysis.Unreachable.new_stats ();
+    vectorize = Vectorize.Vectorize.new_stats ();
+    inline = Inline.Inline.new_stats ();
+    scalar_replace = Transform.Scalar_replace.new_stats ();
+    strength_reduction = Transform.Strength_reduction.new_stats ();
+  }
+
+let dump_stage options prog stage =
+  match options.dump with
+  | Some f -> f stage (Il.Pp.prog_to_string prog)
+  | None -> ()
+
+(* Run the optimization pipeline in place. *)
+let optimize ?(options = default_options) ?(stats = new_stats ())
+    (prog : Il.Prog.t) =
+  List.iter
+    (fun file -> Inline.Catalog.import ~into:prog (Inline.Catalog.load file))
+    options.catalogs;
+  (match options.inline with
+  | `None -> ()
+  | `All ->
+      Inline.Inline.expand ~stats:stats.inline prog;
+      dump_stage options prog "inline"
+  | `Only names ->
+      Inline.Inline.expand
+        ~options:{ Inline.Inline.default_options with only = Some names }
+        ~stats:stats.inline prog;
+      dump_stage options prog "inline");
+  let scalar_cleanup f =
+    if options.scalar_opt then begin
+      ignore (Analysis.Const_prop.run ~stats:stats.const_prop prog f);
+      ignore (Analysis.Dce.run ~stats:stats.dce f);
+      ignore (Analysis.Unreachable.run ~stats:stats.unreachable f);
+      ignore (Analysis.Dce.run ~stats:stats.dce f)
+    end
+  in
+  List.iter
+    (fun f ->
+      scalar_cleanup f;
+      if options.while_conversion then
+        ignore (Transform.While_to_do.run ~stats:stats.while_to_do prog f);
+      if options.indvar_substitution then
+        ignore (Transform.Indvar.run ~stats:stats.indvar prog f);
+      scalar_cleanup f;
+      if options.indvar_substitution then begin
+        ignore (Transform.Forward_sub.run ~stats:stats.forward_sub prog f);
+        scalar_cleanup f
+      end;
+      if options.vectorize || options.parallelize then begin
+        let vopts =
+          {
+            Vectorize.Vectorize.vectorize = options.vectorize;
+            parallelize = options.parallelize;
+            vlen = options.vlen;
+            assume_noalias = options.assume_noalias;
+          }
+        in
+        ignore (Vectorize.Vectorize.run ~options:vopts ~stats:stats.vectorize prog f)
+      end;
+      if options.doacross then
+        ignore (Transform.Doacross.run ~stats:stats.doacross prog f);
+      if options.scalar_replacement then
+        ignore (Transform.Scalar_replace.run ~stats:stats.scalar_replace prog f);
+      if options.strength_reduction then
+        ignore
+          (Transform.Strength_reduction.run ~stats:stats.strength_reduction prog
+             f);
+      if options.scalar_opt then ignore (Analysis.Dce.run ~stats:stats.dce f))
+    prog.Il.Prog.funcs;
+  dump_stage options prog "final";
+  stats
+
+(* Front end only. *)
+let parse ?file src : Il.Prog.t = Cfront.Frontend.compile ?file src
+
+(* Parse and optimize. *)
+let compile ?(options = default_options) ?file src : Il.Prog.t * stats =
+  let prog = parse ?file src in
+  dump_stage options prog "front-end";
+  let stats = optimize ~options prog in
+  (prog, stats)
+
+(* Reference execution on the IL interpreter. *)
+let run_interp ?max_steps ?entry ?args prog =
+  Il.Interp.run ?max_steps ?entry ?args prog
+
+(* Timed execution on the Titan simulator. *)
+let run_titan ?config ?entry ?args prog =
+  Titan.Machine.run ?config ?entry ?args prog
+
+(* Convenience: compile under [options], simulate under [config]. *)
+let compile_and_simulate ?(options = default_options)
+    ?(config = Titan.Machine.default_config) src =
+  let prog, stats = compile ~options src in
+  let result = run_titan ~config prog in
+  (prog, stats, result)

@@ -1,0 +1,1 @@
+lib/dependence/alias.ml: Expr List Sexp Ty Vpc_il Vpc_support

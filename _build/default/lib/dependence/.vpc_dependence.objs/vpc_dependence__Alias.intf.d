@@ -1,0 +1,1 @@
+lib/dependence/alias.mli: Expr Vpc_il

@@ -1,0 +1,1 @@
+lib/dependence/graph.ml: Array Hashtbl List Option Stmt Subscript Test Vpc_il

@@ -1,0 +1,1 @@
+lib/dependence/graph.mli: Expr Stmt Subscript Vpc_il

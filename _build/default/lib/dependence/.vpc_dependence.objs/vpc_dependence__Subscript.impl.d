@@ -1,0 +1,1 @@
+lib/dependence/subscript.ml: Expr List Option Stmt Ty Vpc_il

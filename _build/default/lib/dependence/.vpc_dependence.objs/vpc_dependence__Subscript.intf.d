@@ -1,0 +1,1 @@
+lib/dependence/subscript.mli: Expr Stmt Ty Vpc_il

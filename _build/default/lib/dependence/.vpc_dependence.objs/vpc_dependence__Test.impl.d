@@ -1,0 +1,1 @@
+lib/dependence/test.ml: Alias Option Subscript

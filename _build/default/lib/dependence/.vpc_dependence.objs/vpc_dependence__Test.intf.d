@@ -1,0 +1,1 @@
+lib/dependence/test.mli: Hashtbl Subscript Vpc_il

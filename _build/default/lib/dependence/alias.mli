@@ -1,0 +1,27 @@
+(** Base-address alias analysis.  C imposes no constraints on argument
+    aliasing (§1), so distinct pointer variables may address the same
+    storage; only named objects are certainly distinct.  The paper's
+    escape hatches are reproduced: the per-loop pragma and the compiler
+    option giving pointer parameters Fortran semantics. *)
+
+open Vpc_il
+
+type root =
+  | Object of int   (** [&v]: distinct variables are distinct storage *)
+  | Pointer of int  (** the (invariant) value of pointer variable [p] *)
+
+(** [root + offset + syms]: constant byte offset plus symbolic invariant
+    addends (e.g. an outer loop's [32*i]). *)
+type canon = { root : root option; offset : int; syms : Expr.t list }
+
+type result =
+  | No_alias
+  | Must_alias of int  (** byte distance: base2 - base1 *)
+  | May_alias
+
+val canonicalize : Expr.t -> canon option
+
+(** Alias verdict for two base addresses.  Same root and equal symbolic
+    parts give an exact distance; distinct named objects never alias;
+    [assume_noalias] separates unrelated pointers. *)
+val bases : ?assume_noalias:bool -> Expr.t -> Expr.t -> result

@@ -1,0 +1,118 @@
+(* Affine memory-reference extraction from DO-loop bodies.
+
+   After induction-variable substitution every interesting address has the
+   form  base + coeff * k  with [base] loop-invariant and [coeff] a byte
+   stride ("the implicit representation of subscripts as star operations
+   ... did require some special tuning in the vectorizer", §9).  This
+   module recognizes that form directly on the IL's pointer arithmetic —
+   both explicit subscripts and the *(p + 4*i) pointer style decompose the
+   same way. *)
+
+open Vpc_il
+
+type affine = {
+  base : Expr.t;  (* loop-invariant byte address of the k = 0 element *)
+  coeff : int;    (* byte stride per iteration *)
+}
+
+type access_kind = Read | Write
+
+type reference = {
+  ref_stmt : int;          (* stmt id containing the access *)
+  ref_pos : int;           (* top-level position within the body *)
+  kind : access_kind;
+  addr : Expr.t;           (* the raw address expression *)
+  affine : affine option;  (* decomposition when the address is affine *)
+  elt : Ty.t;              (* element type accessed *)
+}
+
+(* Decompose [e] as an affine function of variable [index].  [invariant]
+   decides loop-invariance of subexpressions. *)
+let affine_of ~index ~invariant (e : Expr.t) : affine option =
+  (* returns (coeff, base-term list) *)
+  let exception Not_affine in
+  let rec go (e : Expr.t) : int * Expr.t option =
+    if invariant e then (0, Some e)
+    else
+      match e.Expr.desc with
+      | Expr.Var v when v = index -> (1, None)
+      | Expr.Binop (Expr.Add, a, b) ->
+          let ca, ba = go a and cb, bb = go b in
+          (ca + cb, combine Expr.Add ba bb)
+      | Expr.Binop (Expr.Sub, a, b) ->
+          let ca, ba = go a and cb, bb = go b in
+          let bb = Option.map (fun e -> Expr.unop Expr.Neg e e.Expr.ty) bb in
+          (ca - cb, combine Expr.Add ba bb)
+      | Expr.Binop (Expr.Mul, { desc = Expr.Const_int c; _ }, b) ->
+          let cb, bb = go b in
+          (c * cb, Option.map (scale c) bb)
+      | Expr.Binop (Expr.Mul, a, { desc = Expr.Const_int c; _ }) ->
+          let ca, ba = go a in
+          (c * ca, Option.map (scale c) ba)
+      | Expr.Cast (ty, a) when Ty.is_integer ty || Ty.is_pointer ty -> go a
+      | _ -> raise Not_affine
+  and combine op a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Expr.binop op a b a.Expr.ty)
+  and scale c e = Expr.binop Expr.Mul (Expr.int_const c) e e.Expr.ty
+  in
+  match go e with
+  | coeff, base ->
+      let base =
+        match base with
+        | Some b -> b
+        | None -> Expr.int_const 0
+      in
+      Some { base; coeff }
+  | exception Not_affine -> None
+
+(* All memory references in an expression (loads), with their element
+   types. *)
+let rec loads_of (e : Expr.t) acc =
+  match e.Expr.desc with
+  | Expr.Load p -> (p, e.Expr.ty) :: loads_of p acc
+  | Expr.Const_int _ | Expr.Const_float _ | Expr.Var _ | Expr.Addr_of _ -> acc
+  | Expr.Binop (_, a, b) -> loads_of a (loads_of b acc)
+  | Expr.Unop (_, a) | Expr.Cast (_, a) -> loads_of a acc
+
+(* Collect references of a loop body's top-level statements.  Statements
+   other than assignments (or with calls) yield [None]: the loop cannot be
+   analyzed. *)
+let references ~index ~invariant (body : Stmt.t list) : reference list option
+    =
+  let refs = ref [] in
+  let ok = ref true in
+  let add pos stmt_id kind (addr : Expr.t) elt =
+    refs :=
+      {
+        ref_stmt = stmt_id;
+        ref_pos = pos;
+        kind;
+        addr;
+        affine = affine_of ~index ~invariant addr;
+        elt;
+      }
+      :: !refs
+  in
+  List.iteri
+    (fun pos (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Assign (lv, rhs) ->
+          (match lv with
+          | Stmt.Lmem addr ->
+              let elt =
+                match addr.Expr.ty with Ty.Ptr t -> t | t -> t
+              in
+              add pos s.Stmt.id Write addr elt;
+              List.iter
+                (fun (p, ty) -> add pos s.Stmt.id Read p ty)
+                (loads_of addr [])
+          | Stmt.Lvar _ -> ());
+          List.iter (fun (p, ty) -> add pos s.Stmt.id Read p ty) (loads_of rhs [])
+      | Stmt.Nop | Stmt.Label _ -> ()
+      | Stmt.Call _ | Stmt.If _ | Stmt.While _ | Stmt.Do_loop _ | Stmt.Goto _
+      | Stmt.Return _ | Stmt.Vector _ ->
+          ok := false)
+    body;
+  if !ok then Some (List.rev !refs) else None

@@ -1,0 +1,41 @@
+(** Affine memory-reference extraction from DO-loop bodies.  After
+    induction-variable substitution, interesting addresses have the form
+    [base + coeff * k] with [base] loop-invariant and [coeff] a byte
+    stride — both explicit subscripts and the [*(p + 4*i)] pointer form
+    decompose identically ("the implicit representation of subscripts as
+    star operations ... did require some special tuning", §9). *)
+
+open Vpc_il
+
+type affine = {
+  base : Expr.t;  (** invariant byte address of the k = 0 element *)
+  coeff : int;    (** byte stride per iteration *)
+}
+
+type access_kind = Read | Write
+
+type reference = {
+  ref_stmt : int;           (** id of the statement containing the access *)
+  ref_pos : int;            (** top-level position within the body *)
+  kind : access_kind;
+  addr : Expr.t;
+  affine : affine option;   (** when the address is affine in the index *)
+  elt : Ty.t;
+}
+
+(** Decompose [e] as affine in [index]; [invariant] decides
+    loop-invariance of subexpressions. *)
+val affine_of :
+  index:int -> invariant:(Expr.t -> bool) -> Expr.t -> affine option
+
+(** All loads within an expression, with their element types. *)
+val loads_of : Expr.t -> (Expr.t * Ty.t) list -> (Expr.t * Ty.t) list
+
+(** References of the body's top-level statements; [None] when the body
+    contains anything other than assignments (calls, control flow) and so
+    cannot be analyzed. *)
+val references :
+  index:int ->
+  invariant:(Expr.t -> bool) ->
+  Stmt.t list ->
+  reference list option

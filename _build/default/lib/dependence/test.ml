@@ -1,0 +1,105 @@
+(* Dependence tests on affine single-index subscripts: ZIV, strong SIV,
+   and the GCD and Banerjee tests for the general case [Bane 76, Wolf 78,
+   Alle 83].
+
+   Both references run over iterations 0..U (U = trip-1, possibly
+   unknown).  Reference 1 touches  D1 + c1*i,  reference 2 touches
+   D2 + c2*j  with the byte distance  delta = D2 - D1  known from alias
+   analysis; a dependence exists iff  c1*i - c2*j = delta  has a solution
+   in range. *)
+
+type verdict =
+  | Independent
+  | Dependent of { distance : int option }
+      (* distance in iterations when both strides are equal and the
+         solution is unique; [None] = unknown/varying.  distance > 0:
+         reference 2's access happens that many iterations after
+         reference 1 touches the same location. *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Conservative iteration-count bound; [None] = unknown (unbounded). *)
+type bound = int option
+
+let ziv ~delta = if delta = 0 then Dependent { distance = Some 0 } else Independent
+
+(* strong SIV: equal strides c: c*i - c*j = delta  ⇒  i - j = delta/c *)
+let strong_siv ~c ~delta ~(trip : bound) =
+  if delta mod c <> 0 then Independent
+  else
+    let d = -(delta / c) in
+    (* location touched by ref1 at iteration i equals ref2 at j = i - delta/c;
+       distance (j - i after normalization) = -delta/c in our convention *)
+    let in_range =
+      match trip with None -> true | Some u -> abs d < u
+    in
+    if in_range then Dependent { distance = Some d } else Independent
+
+(* weak-zero SIV: one reference is loop-invariant (stride 0); the other
+   hits it in at most one iteration. *)
+let weak_zero_siv ~c ~delta ~(trip : bound) =
+  (* c*i = delta *)
+  if c = 0 then if delta = 0 then Dependent { distance = None } else Independent
+  else if delta mod c <> 0 then Independent
+  else
+    let i = delta / c in
+    let in_range =
+      i >= 0 && match trip with None -> true | Some u -> i < u
+    in
+    if in_range then Dependent { distance = None } else Independent
+
+(* GCD test for c1*i - c2*j = delta. *)
+let gcd_test ~c1 ~c2 ~delta =
+  let g = gcd c1 c2 in
+  if g = 0 then delta = 0
+  else delta mod g = 0
+
+(* Banerjee bounds: is delta within [min, max] of c1*i - c2*j for
+   0 <= i, j <= U-1? *)
+let banerjee ~c1 ~c2 ~delta ~(trip : bound) =
+  match trip with
+  | None -> true  (* unbounded: cannot exclude *)
+  | Some u ->
+      let m = u - 1 in
+      if m < 0 then false
+      else
+        let pos x = max x 0 and neg x = min x 0 in
+        let lo = (neg c1 * m) - (pos c2 * m) in
+        let hi = (pos c1 * m) - (neg c2 * m) in
+        delta >= lo && delta <= hi
+
+(* Main entry: dependence between two affine references with byte strides
+   [c1], [c2], and byte distance [delta] between their bases (base2 -
+   base1), over [trip] iterations.  Accesses conflict on byte-address
+   equality: the lowering keeps all scalar accesses width-aligned, so
+   same-width references at unequal addresses never partially overlap. *)
+let affine ~c1 ~c2 ~delta ~trip =
+  if c1 = 0 && c2 = 0 then ziv ~delta
+  else if c1 = c2 then strong_siv ~c:c1 ~delta ~trip
+  else if c1 = 0 then weak_zero_siv ~c:c2 ~delta:(-delta) ~trip
+  else if c2 = 0 then weak_zero_siv ~c:c1 ~delta ~trip
+  else if not (gcd_test ~c1 ~c2 ~delta) then Independent
+  else if not (banerjee ~c1 ~c2 ~delta ~trip) then Independent
+  else Dependent { distance = None }
+
+(* Test two references given their subscript decompositions and an alias
+   verdict on their bases. *)
+let references ?(assume_noalias = false) ~trip (r1 : Subscript.reference)
+    (r2 : Subscript.reference) structs : verdict =
+  ignore structs;
+  match r1.Subscript.affine, r2.Subscript.affine with
+  | Some a1, Some a2 -> (
+      match Alias.bases ~assume_noalias a1.Subscript.base a2.Subscript.base with
+      | Alias.No_alias -> Independent
+      | Alias.Must_alias delta ->
+          affine ~c1:a1.Subscript.coeff ~c2:a2.Subscript.coeff ~delta ~trip
+      | Alias.May_alias -> Dependent { distance = None })
+  | _ ->
+      (* a non-affine reference may touch anything its base can reach *)
+      (match
+         ( Option.map (fun (a : Subscript.affine) -> a.Subscript.base) r1.affine,
+           Option.map (fun (a : Subscript.affine) -> a.Subscript.base) r2.affine )
+       with
+      | Some b1, Some b2 when Alias.bases ~assume_noalias b1 b2 = Alias.No_alias ->
+          Independent
+      | _ -> Dependent { distance = None })

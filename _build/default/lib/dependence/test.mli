@@ -1,0 +1,42 @@
+(** Dependence tests on affine single-index subscripts: ZIV, strong SIV,
+    GCD, and Banerjee bounds [Bane 76, Wolf 78, Alle 83].
+
+    Reference 1 touches [D1 + c1*i], reference 2 [D2 + c2*j], for
+    iterations in [0, trip); [delta = D2 - D1] comes from alias analysis.
+    A dependence exists iff [c1*i - c2*j = delta] has a solution in
+    range. *)
+
+type verdict =
+  | Independent
+  | Dependent of { distance : int option }
+      (** [distance d]: reference 2 touches the common location [d]
+          iterations after reference 1 ([d] < 0: before); [None]:
+          unknown or varying. *)
+
+val gcd : int -> int -> int
+
+type bound = int option  (** iteration count; [None] = unknown *)
+
+val ziv : delta:int -> verdict
+val strong_siv : c:int -> delta:int -> trip:bound -> verdict
+
+(** One reference invariant (stride 0): at most one conflicting
+    iteration. *)
+val weak_zero_siv : c:int -> delta:int -> trip:bound -> verdict
+val gcd_test : c1:int -> c2:int -> delta:int -> bool
+val banerjee : c1:int -> c2:int -> delta:int -> trip:bound -> bool
+
+(** The dispatcher: picks the strongest applicable test.  Sound: never
+    reports [Independent] when a conflict exists (property-tested against
+    brute force). *)
+val affine : c1:int -> c2:int -> delta:int -> trip:bound -> verdict
+
+(** Test two extracted references (affine decomposition + alias
+    analysis); conservative when either is non-affine. *)
+val references :
+  ?assume_noalias:bool ->
+  trip:bound ->
+  Subscript.reference ->
+  Subscript.reference ->
+  (string, Vpc_il.Ty.struct_def) Hashtbl.t ->
+  verdict

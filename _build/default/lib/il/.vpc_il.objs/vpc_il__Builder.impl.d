@@ -1,0 +1,1 @@
+lib/il/builder.ml: Expr Func Printf Prog Stmt Var

@@ -1,0 +1,1 @@
+lib/il/builder.mli: Expr Func Prog Stmt Ty Var Vpc_support

@@ -1,0 +1,1 @@
+lib/il/expr.ml: Char Diag Sexp Ty Var Vpc_support

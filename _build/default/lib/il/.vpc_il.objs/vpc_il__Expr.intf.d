@@ -1,0 +1,1 @@
+lib/il/expr.mli: Ty Var Vpc_support

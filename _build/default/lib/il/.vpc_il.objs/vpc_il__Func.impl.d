@@ -1,0 +1,1 @@
+lib/il/func.ml: Diag Expr Gensym Hashtbl List Loc Sexp Stmt Ty Var Vpc_support

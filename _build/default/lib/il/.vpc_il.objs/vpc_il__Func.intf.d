@@ -1,0 +1,1 @@
+lib/il/func.mli: Hashtbl Stmt Ty Var Vpc_support

@@ -1,0 +1,1 @@
+lib/il/interp.ml: Array Buffer Bytes Char Expr Float Fmt Format Func Hashtbl Int32 Int64 List Printf Prog Scanf Stmt String Ty Var

@@ -1,0 +1,1 @@
+lib/il/pp.ml: Expr Float Fmt Func List Printf Prog Stmt String Ty Var

@@ -1,0 +1,1 @@
+lib/il/pp.mli: Expr Format Func Prog Stmt

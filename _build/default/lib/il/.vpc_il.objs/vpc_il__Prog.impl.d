@@ -1,0 +1,1 @@
+lib/il/prog.ml: Diag Expr Func Gensym Hashtbl List Option Sexp Ty Var Vpc_support

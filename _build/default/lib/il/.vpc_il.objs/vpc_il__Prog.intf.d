@@ -1,0 +1,1 @@
+lib/il/prog.mli: Expr Func Hashtbl Ty Var Vpc_support

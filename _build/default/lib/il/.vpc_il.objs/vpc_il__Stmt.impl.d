@@ -1,0 +1,1 @@
+lib/il/stmt.ml: Expr List Loc Option Sexp Ty Vpc_support

@@ -1,0 +1,1 @@
+lib/il/stmt.mli: Expr Ty Vpc_support

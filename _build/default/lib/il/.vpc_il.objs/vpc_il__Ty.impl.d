@@ -1,0 +1,1 @@
+lib/il/ty.ml: Diag Fmt Hashtbl List Sexp Vpc_support

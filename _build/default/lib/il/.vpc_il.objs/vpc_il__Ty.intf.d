@@ -1,0 +1,1 @@
+lib/il/ty.mli: Format Hashtbl Vpc_support

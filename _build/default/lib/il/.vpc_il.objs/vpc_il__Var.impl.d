@@ -1,0 +1,1 @@
+lib/il/var.ml: Fmt Sexp Ty Vpc_support

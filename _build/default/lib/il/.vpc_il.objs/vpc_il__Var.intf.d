@@ -1,0 +1,1 @@
+lib/il/var.mli: Format Ty Vpc_support

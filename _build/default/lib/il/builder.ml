@@ -1,0 +1,48 @@
+(* Convenience constructors used by the front end and the passes: fresh
+   temporaries (allocated program-wide, registered in the current
+   function) and fresh statements. *)
+
+type ctx = { prog : Prog.t; func : Func.t }
+
+let ctx prog func = { prog; func }
+
+let fresh_temp ctx ?(name = "temp") ty =
+  let id = Prog.fresh_var_id ctx.prog in
+  let v =
+    Var.make ~id
+      ~name:(Printf.sprintf "%s_%d" name id)
+      ~ty ~storage:Var.Auto ~is_temp:true ()
+  in
+  Func.add_var ctx.func v;
+  v
+
+let stmt ctx ?loc desc = Func.fresh_stmt ctx.func ?loc desc
+
+let assign ctx ?loc (v : Var.t) e =
+  stmt ctx ?loc (Stmt.Assign (Stmt.Lvar v.id, Expr.cast v.ty e))
+
+let assign_id ctx ?loc id e = stmt ctx ?loc (Stmt.Assign (Stmt.Lvar id, e))
+
+let store ctx ?loc addr e = stmt ctx ?loc (Stmt.Assign (Stmt.Lmem addr, e))
+
+let goto ctx ?loc l = stmt ctx ?loc (Stmt.Goto l)
+let label ctx ?loc l = stmt ctx ?loc (Stmt.Label l)
+let nop ctx = stmt ctx Stmt.Nop
+
+let if_ ctx ?loc cond then_ else_ = stmt ctx ?loc (Stmt.If (cond, then_, else_))
+
+let while_ ctx ?loc ?(info = Stmt.no_info) cond body =
+  stmt ctx ?loc (Stmt.While (info, cond, body))
+
+let do_loop ctx ?loc ?(parallel = false) ?(independent = false) ~index ~lo
+    ~hi ~step body =
+  stmt ctx ?loc
+    (Stmt.Do_loop { index; lo; hi; step; body; parallel; independent })
+
+let return ctx ?loc e = stmt ctx ?loc (Stmt.Return e)
+
+(* Bind expression [e] to a fresh temporary and return (stmt, read-expr).
+   This is the pervasive (SL, E) building block of the front end (§4). *)
+let bind ctx ?loc ?(name = "temp") e =
+  let v = fresh_temp ctx ~name e.Expr.ty in
+  (assign ctx ?loc v e, Expr.var v)

@@ -1,0 +1,55 @@
+(** Convenience constructors used by the front end and the passes:
+    fresh temporaries (allocated program-wide, registered in the current
+    function) and fresh statements. *)
+
+type ctx = { prog : Prog.t; func : Func.t }
+
+val ctx : Prog.t -> Func.t -> ctx
+
+(** A fresh compiler temporary of the given type, registered in the
+    function's variable table. *)
+val fresh_temp : ctx -> ?name:string -> Ty.t -> Var.t
+
+val stmt : ctx -> ?loc:Vpc_support.Loc.t -> Stmt.desc -> Stmt.t
+
+(** [assign ctx v e]: [v = e], casting [e] to [v]'s type. *)
+val assign : ctx -> ?loc:Vpc_support.Loc.t -> Var.t -> Expr.t -> Stmt.t
+
+val assign_id : ctx -> ?loc:Vpc_support.Loc.t -> int -> Expr.t -> Stmt.t
+
+(** [store ctx addr e]: [*addr = e]. *)
+val store : ctx -> ?loc:Vpc_support.Loc.t -> Expr.t -> Expr.t -> Stmt.t
+
+val goto : ctx -> ?loc:Vpc_support.Loc.t -> string -> Stmt.t
+val label : ctx -> ?loc:Vpc_support.Loc.t -> string -> Stmt.t
+val nop : ctx -> Stmt.t
+
+val if_ :
+  ctx -> ?loc:Vpc_support.Loc.t -> Expr.t -> Stmt.t list -> Stmt.t list -> Stmt.t
+
+val while_ :
+  ctx ->
+  ?loc:Vpc_support.Loc.t ->
+  ?info:Stmt.loop_info ->
+  Expr.t ->
+  Stmt.t list ->
+  Stmt.t
+
+val do_loop :
+  ctx ->
+  ?loc:Vpc_support.Loc.t ->
+  ?parallel:bool ->
+  ?independent:bool ->
+  index:int ->
+  lo:Expr.t ->
+  hi:Expr.t ->
+  step:Expr.t ->
+  Stmt.t list ->
+  Stmt.t
+
+val return : ctx -> ?loc:Vpc_support.Loc.t -> Expr.t option -> Stmt.t
+
+(** Bind [e] to a fresh temporary: [(t = e, read of t)] — the pervasive
+    (SL, E) building block of the §4 lowering. *)
+val bind :
+  ctx -> ?loc:Vpc_support.Loc.t -> ?name:string -> Expr.t -> Stmt.t * Expr.t

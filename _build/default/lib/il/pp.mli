@@ -1,0 +1,19 @@
+(** Pretty-printing of the IL in a C-like notation.  Counted loops print
+    in the paper's [do fortran] / [do parallel] style and vector
+    statements in its colon notation, so golden tests compare directly
+    against the paper's listings. *)
+
+type env = { prog : Prog.t; func : Func.t option }
+
+val var_name : env -> int -> string
+val pp_expr : env -> ?prec:int -> Format.formatter -> Expr.t -> unit
+val pp_lvalue : env -> Format.formatter -> Stmt.lvalue -> unit
+val pp_section : env -> Format.formatter -> Stmt.section -> unit
+val pp_vexpr : env -> ?prec:int -> Format.formatter -> Stmt.vexpr -> unit
+val pp_stmt : env -> indent:int -> Format.formatter -> Stmt.t -> unit
+val pp_stmts : env -> indent:int -> Format.formatter -> Stmt.t list -> unit
+val pp_func : Prog.t -> Format.formatter -> Func.t -> unit
+val func_to_string : Prog.t -> Func.t -> string
+val stmts_to_string : Prog.t -> Func.t -> Stmt.t list -> string
+val pp_prog : Format.formatter -> Prog.t -> unit
+val prog_to_string : Prog.t -> string

@@ -1,0 +1,159 @@
+(* C types as carried through the IL.  Struct layout lives in a
+   [struct_env] held by the program so that types themselves stay small,
+   comparable, and serializable (the IL must be pointer-free, paper §7). *)
+
+open Vpc_support
+
+type t =
+  | Void
+  | Char
+  | Int
+  | Float
+  | Double
+  | Ptr of t
+  | Array of t * int option
+  | Struct of string
+  | Func of t * t list
+
+type struct_def = {
+  tag : string;
+  fields : (string * t) list;
+}
+
+type struct_env = (string, struct_def) Hashtbl.t
+
+let is_integer = function Char | Int -> true | _ -> false
+let is_float = function Float | Double -> true | _ -> false
+let is_arith t = is_integer t || is_float t
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_scalar t = is_arith t || is_pointer t
+
+(* Decay of array-of-T to pointer-to-T, as in C expression contexts. *)
+let decay = function
+  | Array (elt, _) -> Ptr elt
+  | Func _ as f -> Ptr f
+  | t -> t
+
+let pointee = function
+  | Ptr t -> t
+  | Array (t, _) -> t
+  | _ -> Diag.internal "Ty.pointee: not a pointer type"
+
+let rec sizeof env = function
+  | Void -> Diag.internal "sizeof void"
+  | Char -> 1
+  | Int -> 4
+  | Float -> 4
+  | Double -> 8
+  | Ptr _ -> 4
+  | Array (elt, Some n) -> n * sizeof env elt
+  | Array (_, None) -> Diag.internal "sizeof of unsized array"
+  | Struct tag -> (
+      match Hashtbl.find_opt env tag with
+      | None -> Diag.internal "sizeof of undefined struct %s" tag
+      | Some def ->
+          let size =
+            List.fold_left
+              (fun off (_, fty) ->
+                let a = alignof env fty in
+                let off = (off + a - 1) / a * a in
+                off + sizeof env fty)
+              0 def.fields
+          in
+          let a = alignof env (Struct tag) in
+          (size + a - 1) / a * a)
+  | Func _ -> Diag.internal "sizeof of function type"
+
+and alignof env = function
+  | Void -> 1
+  | Char -> 1
+  | Int | Float | Ptr _ -> 4
+  | Double -> 8
+  | Array (elt, _) -> alignof env elt
+  | Struct tag -> (
+      match Hashtbl.find_opt env tag with
+      | None -> Diag.internal "alignof of undefined struct %s" tag
+      | Some def ->
+          List.fold_left (fun a (_, fty) -> max a (alignof env fty)) 1 def.fields)
+  | Func _ -> 4
+
+(* Byte offset of [field] within struct [tag]. *)
+let field_offset env tag field =
+  match Hashtbl.find_opt env tag with
+  | None -> Diag.internal "field_offset: undefined struct %s" tag
+  | Some def ->
+      let rec go off = function
+        | [] -> Diag.internal "field_offset: no field %s in %s" field tag
+        | (name, fty) :: rest ->
+            let a = alignof env fty in
+            let off = (off + a - 1) / a * a in
+            if name = field then (off, fty) else go (off + sizeof env fty) rest
+      in
+      go 0 def.fields
+
+let rec equal a b =
+  match a, b with
+  | Void, Void | Char, Char | Int, Int | Float, Float | Double, Double -> true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, na), Array (b, nb) -> equal a b && na = nb
+  | Struct ta, Struct tb -> ta = tb
+  | Func (ra, aa), Func (rb, ab) ->
+      equal ra rb
+      && List.length aa = List.length ab
+      && List.for_all2 equal aa ab
+  | (Void | Char | Int | Float | Double | Ptr _ | Array _ | Struct _ | Func _), _
+    -> false
+
+(* The usual arithmetic conversions, simplified to our four scalar
+   arithmetic types. *)
+let common_arith a b =
+  match a, b with
+  | Double, _ | _, Double -> Double
+  | Float, _ | _, Float -> Float
+  | _ -> Int
+
+let rec pp ppf = function
+  | Void -> Fmt.string ppf "void"
+  | Char -> Fmt.string ppf "char"
+  | Int -> Fmt.string ppf "int"
+  | Float -> Fmt.string ppf "float"
+  | Double -> Fmt.string ppf "double"
+  | Ptr t -> Fmt.pf ppf "%a*" pp t
+  | Array (t, Some n) -> Fmt.pf ppf "%a[%d]" pp t n
+  | Array (t, None) -> Fmt.pf ppf "%a[]" pp t
+  | Struct tag -> Fmt.pf ppf "struct %s" tag
+  | Func (ret, args) ->
+      Fmt.pf ppf "%a(%a)" pp ret Fmt.(list ~sep:comma pp) args
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Serialization *)
+
+let rec to_sexp : t -> Sexp.t = function
+  | Void -> Sexp.atom "void"
+  | Char -> Sexp.atom "char"
+  | Int -> Sexp.atom "int"
+  | Float -> Sexp.atom "float"
+  | Double -> Sexp.atom "double"
+  | Ptr t -> Sexp.list [ Sexp.atom "ptr"; to_sexp t ]
+  | Array (t, Some n) -> Sexp.list [ Sexp.atom "array"; to_sexp t; Sexp.int n ]
+  | Array (t, None) -> Sexp.list [ Sexp.atom "array"; to_sexp t ]
+  | Struct tag -> Sexp.list [ Sexp.atom "struct"; Sexp.atom tag ]
+  | Func (ret, args) ->
+      Sexp.list (Sexp.atom "func" :: to_sexp ret :: List.map to_sexp args)
+
+let rec of_sexp (s : Sexp.t) : t =
+  match s with
+  | Sexp.Atom "void" -> Void
+  | Sexp.Atom "char" -> Char
+  | Sexp.Atom "int" -> Int
+  | Sexp.Atom "float" -> Float
+  | Sexp.Atom "double" -> Double
+  | Sexp.Atom other -> raise (Sexp.Parse_error ("unknown type " ^ other))
+  | Sexp.List [ Sexp.Atom "ptr"; t ] -> Ptr (of_sexp t)
+  | Sexp.List [ Sexp.Atom "array"; t; n ] -> Array (of_sexp t, Some (Sexp.as_int n))
+  | Sexp.List [ Sexp.Atom "array"; t ] -> Array (of_sexp t, None)
+  | Sexp.List [ Sexp.Atom "struct"; tag ] -> Struct (Sexp.as_atom tag)
+  | Sexp.List (Sexp.Atom "func" :: ret :: args) ->
+      Func (of_sexp ret, List.map of_sexp args)
+  | Sexp.List _ -> raise (Sexp.Parse_error "bad type sexp")

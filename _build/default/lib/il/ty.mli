@@ -1,0 +1,46 @@
+(** C types as carried through the IL.  Struct layouts live in a
+    {!struct_env} held by the program, keeping types small and
+    serializable (the IL is pointer-free, paper §7). *)
+
+type t =
+  | Void
+  | Char    (** signed, 1 byte *)
+  | Int     (** 32-bit signed; long/short/unsigned collapse here *)
+  | Float   (** 32-bit *)
+  | Double  (** 64-bit *)
+  | Ptr of t
+  | Array of t * int option  (** element type, optional element count *)
+  | Struct of string         (** by tag; layout in the {!struct_env} *)
+  | Func of t * t list       (** return type, parameter types *)
+
+type struct_def = { tag : string; fields : (string * t) list }
+type struct_env = (string, struct_def) Hashtbl.t
+
+val is_integer : t -> bool
+val is_float : t -> bool
+val is_arith : t -> bool
+val is_pointer : t -> bool
+val is_scalar : t -> bool
+
+(** Array-of-T decays to pointer-to-T; functions to function pointers. *)
+val decay : t -> t
+
+(** Element type behind a pointer or array; internal error otherwise. *)
+val pointee : t -> t
+
+val sizeof : struct_env -> t -> int
+val alignof : struct_env -> t -> int
+
+(** [field_offset env tag field] is the byte offset and type of [field]
+    within [struct tag]. *)
+val field_offset : struct_env -> string -> string -> int * t
+
+val equal : t -> t -> bool
+
+(** The usual arithmetic conversions over our scalar types. *)
+val common_arith : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_sexp : t -> Vpc_support.Sexp.t
+val of_sexp : Vpc_support.Sexp.t -> t

@@ -1,0 +1,1 @@
+lib/inline/catalog.ml: Clone Func Hashtbl List Prog Sexp Var Vpc_il Vpc_support

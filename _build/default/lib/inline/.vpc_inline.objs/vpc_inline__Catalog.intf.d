@@ -1,0 +1,1 @@
+lib/inline/catalog.mli: Prog Vpc_il

@@ -1,0 +1,1 @@
+lib/inline/clone.ml: Expr Hashtbl List Option Stmt Vpc_il Vpc_support

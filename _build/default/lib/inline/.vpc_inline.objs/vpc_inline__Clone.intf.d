@@ -1,0 +1,1 @@
+lib/inline/clone.mli: Expr Hashtbl Stmt Vpc_il Vpc_support

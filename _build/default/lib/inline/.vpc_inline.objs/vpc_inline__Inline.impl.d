@@ -1,0 +1,1 @@
+lib/inline/inline.ml: Builder Clone Expr Func Hashtbl List Printf Prog Stmt Ty Var Vpc_il

@@ -1,0 +1,1 @@
+lib/inline/inline.mli: Expr Func Prog Stmt Vpc_il

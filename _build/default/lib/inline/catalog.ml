@@ -1,0 +1,85 @@
+(* Procedure catalogs (paper §7): "math libraries can be 'compiled' into
+   databases and used as a base for inlining, much as include directories
+   are used as a source for header files."
+
+   A catalog is a serialized program (structs, globals, functions) in the
+   pointer-free sexp form.  Importing a catalog merges it into a target
+   program, remapping variable ids; globals are unified by name so that a
+   library's statics keep a single storage location however often it is
+   imported. *)
+
+open Vpc_support
+open Vpc_il
+
+let save (prog : Prog.t) file =
+  let oc = open_out file in
+  (try output_string oc (Sexp.to_string (Prog.to_sexp prog))
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let load file : Prog.t =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  Prog.of_sexp (Sexp.of_string content)
+
+let of_string s : Prog.t = Prog.of_sexp (Sexp.of_string s)
+let to_string (prog : Prog.t) = Sexp.to_string (Prog.to_sexp prog)
+
+(* Merge [src] into [into].  Functions already present in [into] win;
+   globals are unified by name. *)
+let import ~(into : Prog.t) (src : Prog.t) =
+  (* structs *)
+  Hashtbl.iter
+    (fun tag def ->
+      if not (Hashtbl.mem into.Prog.structs tag) then
+        Hashtbl.replace into.Prog.structs tag def)
+    src.Prog.structs;
+  (* globals: build the id remapping *)
+  let var_map = Hashtbl.create 16 in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Prog.global) -> Hashtbl.replace by_name g.gvar.Var.name g.gvar)
+    (Prog.globals_list into);
+  List.iter
+    (fun (g : Prog.global) ->
+      match Hashtbl.find_opt by_name g.gvar.Var.name with
+      | Some existing -> Hashtbl.replace var_map g.gvar.Var.id existing.Var.id
+      | None ->
+          let id = Prog.fresh_var_id into in
+          Hashtbl.replace var_map g.gvar.Var.id id;
+          Prog.add_global into ~ginit:g.ginit { g.gvar with id })
+    (Prog.globals_list src);
+  (* functions *)
+  List.iter
+    (fun (f : Func.t) ->
+      match Prog.find_func into f.Func.name with
+      | Some _ -> ()  (* already defined locally: local definition wins *)
+      | None ->
+          let nf =
+            Func.create ~name:f.Func.name ~ret_ty:f.Func.ret_ty
+              ~is_static:f.Func.is_static ()
+          in
+          (* remap every local var to a fresh id in [into] *)
+          let local_map = Hashtbl.copy var_map in
+          Hashtbl.iter
+            (fun old_id (v : Var.t) ->
+              let id = Prog.fresh_var_id into in
+              Hashtbl.replace local_map old_id id;
+              Func.add_var nf { v with id })
+            f.Func.vars;
+          let renaming =
+            {
+              Clone.var_map = local_map;
+              label_map = Hashtbl.create 1;  (* labels are function-local *)
+              stmt_gen = nf.Func.stmt_gen;
+            }
+          in
+          let params = List.map (Clone.map_var renaming) f.Func.params in
+          let nf = { nf with params } in
+          nf.Func.body <- Clone.clone_stmts renaming f.Func.body;
+          Prog.add_func into nf)
+    src.Prog.funcs

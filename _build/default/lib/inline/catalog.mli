@@ -1,0 +1,16 @@
+(** Procedure catalogs (paper §7): "math libraries can be 'compiled' into
+    databases and used as a base for inlining, much as include
+    directories are used as a source for header files."  A catalog is a
+    serialized program in the pointer-free sexp form; importing merges it
+    into a target program, remapping ids, with globals unified by name so
+    a library's statics keep one storage location. *)
+
+open Vpc_il
+
+val save : Prog.t -> string -> unit
+val load : string -> Prog.t
+val of_string : string -> Prog.t
+val to_string : Prog.t -> string
+
+(** Merge [src] into [into].  Functions already defined in [into] win. *)
+val import : into:Prog.t -> Prog.t -> unit

@@ -1,0 +1,88 @@
+(* Statement-tree cloning with variable and label renaming — the engine
+   under both inlining (§7) and catalog import.  The IL is pointer-free,
+   so cloning is a pure id-remapping walk. *)
+
+open Vpc_il
+
+type renaming = {
+  var_map : (int, int) Hashtbl.t;       (* old var id -> new var id *)
+  label_map : (string, string) Hashtbl.t;
+  stmt_gen : Vpc_support.Gensym.t;      (* target function's stmt ids *)
+}
+
+let map_var r id = Option.value (Hashtbl.find_opt r.var_map id) ~default:id
+
+let map_label r l =
+  Option.value (Hashtbl.find_opt r.label_map l) ~default:l
+
+let rec clone_expr r (e : Expr.t) : Expr.t =
+  match e.Expr.desc with
+  | Expr.Const_int _ | Expr.Const_float _ -> e
+  | Expr.Var id -> { e with desc = Expr.Var (map_var r id) }
+  | Expr.Addr_of id -> { e with desc = Expr.Addr_of (map_var r id) }
+  | Expr.Load p -> { e with desc = Expr.Load (clone_expr r p) }
+  | Expr.Binop (op, a, b) ->
+      { e with desc = Expr.Binop (op, clone_expr r a, clone_expr r b) }
+  | Expr.Unop (op, a) -> { e with desc = Expr.Unop (op, clone_expr r a) }
+  | Expr.Cast (ty, a) -> { e with desc = Expr.Cast (ty, clone_expr r a) }
+
+let clone_lvalue r = function
+  | Stmt.Lvar id -> Stmt.Lvar (map_var r id)
+  | Stmt.Lmem e -> Stmt.Lmem (clone_expr r e)
+
+let rec clone_vexpr r = function
+  | Stmt.Vsec sec -> Stmt.Vsec (clone_section r sec)
+  | Stmt.Vscalar e -> Stmt.Vscalar (clone_expr r e)
+  | Stmt.Viota (off, scale) -> Stmt.Viota (clone_expr r off, clone_expr r scale)
+  | Stmt.Vcast (ty, a) -> Stmt.Vcast (ty, clone_vexpr r a)
+  | Stmt.Vbin (op, a, b) -> Stmt.Vbin (op, clone_vexpr r a, clone_vexpr r b)
+  | Stmt.Vun (op, a) -> Stmt.Vun (op, clone_vexpr r a)
+
+and clone_section r (sec : Stmt.section) =
+  {
+    Stmt.base = clone_expr r sec.Stmt.base;
+    count = clone_expr r sec.Stmt.count;
+    stride = clone_expr r sec.Stmt.stride;
+  }
+
+let rec clone_stmt r (s : Stmt.t) : Stmt.t =
+  let fresh_id = Vpc_support.Gensym.fresh r.stmt_gen in
+  let desc =
+    match s.Stmt.desc with
+    | Stmt.Assign (lv, e) -> Stmt.Assign (clone_lvalue r lv, clone_expr r e)
+    | Stmt.Call (dst, tgt, args) ->
+        let tgt =
+          match tgt with
+          | Stmt.Direct _ -> tgt
+          | Stmt.Indirect e -> Stmt.Indirect (clone_expr r e)
+        in
+        Stmt.Call
+          (Option.map (clone_lvalue r) dst, tgt, List.map (clone_expr r) args)
+    | Stmt.If (c, t, e) ->
+        Stmt.If (clone_expr r c, clone_stmts r t, clone_stmts r e)
+    | Stmt.While (li, c, body) -> Stmt.While (li, clone_expr r c, clone_stmts r body)
+    | Stmt.Do_loop d ->
+        Stmt.Do_loop
+          {
+            d with
+            index = map_var r d.index;
+            lo = clone_expr r d.lo;
+            hi = clone_expr r d.hi;
+            step = clone_expr r d.step;
+            body = clone_stmts r d.body;
+          }
+    | Stmt.Goto l -> Stmt.Goto (map_label r l)
+    | Stmt.Label l -> Stmt.Label (map_label r l)
+    | Stmt.Return e -> Stmt.Return (Option.map (clone_expr r) e)
+    | Stmt.Vector v ->
+        Stmt.Vector
+          {
+            v with
+            vdst = clone_section r v.Stmt.vdst;
+            vsrc = clone_vexpr r v.Stmt.vsrc;
+          }
+    | Stmt.Nop -> Stmt.Nop
+  in
+  { s with Stmt.id = fresh_id; desc }
+
+and clone_stmts r stmts = List.map (clone_stmt r) stmts

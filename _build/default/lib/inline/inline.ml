@@ -1,0 +1,166 @@
+(* Inline expansion of procedure calls (paper §7).
+
+   Call sites are replaced by the callee body with fresh variables and
+   labels; arguments bind to [in_]-prefixed parameter copies, exactly the
+   §9 shape:
+
+       in_x = &a; in_y = &b; ... if (in_n <= 0) goto lb_1; ... lb_1:;
+
+   Returns become a store to a result temporary and a goto to a fresh exit
+   label.  Statics were already promoted to globals by the front end, so
+   their single storage survives inlining.  Functions are processed
+   callees-first ("order is very important"), and recursion — which "can
+   lead to infinite inlining if care is not taken" — is cut by refusing
+   cycles and bounding depth. *)
+
+open Vpc_il
+
+type options = {
+  max_callee_stmts : int;  (* size threshold for automatic inlining *)
+  max_depth : int;
+  only : string list option;  (* when set, inline only these callees *)
+}
+
+let default_options = { max_callee_stmts = 200; max_depth = 8; only = None }
+
+type stats = {
+  mutable calls_inlined : int;
+  mutable calls_skipped_recursive : int;
+  mutable calls_skipped_size : int;
+  mutable calls_skipped_unknown : int;  (* no body available (library) *)
+}
+
+let new_stats () =
+  {
+    calls_inlined = 0;
+    calls_skipped_recursive = 0;
+    calls_skipped_size = 0;
+    calls_skipped_unknown = 0;
+  }
+
+let func_size (f : Func.t) = List.length (Func.all_stmts f)
+
+(* Expand one call site within [caller]; returns the replacement
+   statements. *)
+let expand_call (prog : Prog.t) (caller : Func.t) (callee : Func.t)
+    (dst : Stmt.lvalue option) (args : Expr.t list) : Stmt.t list =
+  let b = Builder.ctx prog caller in
+  let var_map = Hashtbl.create 16 in
+  (* fresh copies of every callee-local variable *)
+  Hashtbl.iter
+    (fun old_id (v : Var.t) ->
+      let id = Prog.fresh_var_id prog in
+      let name =
+        if List.mem old_id callee.Func.params then "in_" ^ v.Var.name
+        else Printf.sprintf "%s_i%d" v.Var.name id
+      in
+      Hashtbl.replace var_map old_id id;
+      Func.add_var caller
+        { v with Var.id; name; storage = Var.Auto; is_temp = true })
+    callee.Func.vars;
+  (* fresh labels *)
+  let label_map = Hashtbl.create 4 in
+  Stmt.iter_list
+    (fun s ->
+      match s.Stmt.desc with
+      | Stmt.Label l ->
+          if not (Hashtbl.mem label_map l) then
+            Hashtbl.replace label_map l (Func.fresh_label caller "in")
+      | _ -> ())
+    callee.Func.body;
+  let exit_label = Func.fresh_label caller "lb" in
+  let ret_var =
+    if callee.Func.ret_ty = Ty.Void then None
+    else Some (Builder.fresh_temp b ~name:"ret" callee.Func.ret_ty)
+  in
+  let renaming =
+    { Clone.var_map; label_map; stmt_gen = caller.Func.stmt_gen }
+  in
+  (* parameter binding *)
+  let bind_params =
+    List.map2
+      (fun param_id arg ->
+        let v = Func.var_exn callee param_id in
+        let new_id = Hashtbl.find var_map param_id in
+        Builder.assign_id b new_id (Expr.cast v.Var.ty arg))
+      callee.Func.params args
+  in
+  (* clone the body, rewriting returns *)
+  let body = Clone.clone_stmts renaming callee.Func.body in
+  let rewrite_return (s : Stmt.t) : Stmt.t list =
+    match s.Stmt.desc with
+    | Stmt.Return (Some e) -> (
+        match ret_var with
+        | Some rv ->
+            [
+              Builder.assign b rv e;
+              Builder.goto b exit_label;
+            ]
+        | None -> [ Builder.goto b exit_label ])
+    | Stmt.Return None -> [ Builder.goto b exit_label ]
+    | _ -> [ s ]
+  in
+  let body = Stmt.map_list rewrite_return body in
+  let epilogue =
+    Builder.label b exit_label
+    ::
+    (match dst, ret_var with
+    | Some lv, Some rv ->
+        [ Builder.stmt b (Stmt.Assign (lv, Expr.var rv)) ]
+    | _ -> [])
+  in
+  bind_params @ body @ epilogue
+
+(* Inline eligible calls in [caller]'s body.  Each function is expanded
+   exactly once ([done_set]), callees before callers; [stack] holds the
+   expansion chain for the recursion cutoff.  A call that survives inside
+   an expanded callee (because it was recursive or too large) is inlined
+   as-is and never re-expanded — this is what bounds recursive inlining. *)
+let rec expand_in_function (opts : options) stats (prog : Prog.t)
+    (caller : Func.t) ~stack ~done_set =
+  if Hashtbl.mem done_set caller.Func.name then ()
+  else begin
+    Hashtbl.replace done_set caller.Func.name ();
+    let eligible name =
+      match opts.only with Some names -> List.mem name names | None -> true
+    in
+    let replace (s : Stmt.t) : Stmt.t list =
+      match s.Stmt.desc with
+      | Stmt.Call (dst, Stmt.Direct name, args) when eligible name -> (
+          match Prog.find_func prog name with
+          | None ->
+              stats.calls_skipped_unknown <- stats.calls_skipped_unknown + 1;
+              [ s ]
+          | Some callee ->
+              if List.mem name stack || List.length stack >= opts.max_depth
+              then begin
+                stats.calls_skipped_recursive <-
+                  stats.calls_skipped_recursive + 1;
+                [ s ]
+              end
+              else if func_size callee > opts.max_callee_stmts then begin
+                stats.calls_skipped_size <- stats.calls_skipped_size + 1;
+                [ s ]
+              end
+              else if List.length args <> List.length callee.Func.params then
+                [ s ]  (* arity mismatch: leave the call alone *)
+              else begin
+                (* make sure the callee itself is fully expanded first *)
+                expand_in_function opts stats prog callee
+                  ~stack:(name :: stack) ~done_set;
+                stats.calls_inlined <- stats.calls_inlined + 1;
+                expand_call prog caller callee dst args
+              end)
+      | _ -> [ s ]
+    in
+    caller.Func.body <- Stmt.map_list replace caller.Func.body
+  end
+
+(* Expand calls across the whole program, callees before callers. *)
+let expand ?(options = default_options) ?(stats = new_stats ())
+    (prog : Prog.t) =
+  let done_set = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      expand_in_function options stats prog f ~stack:[ f.Func.name ] ~done_set)
+    prog.Prog.funcs

@@ -1,0 +1,33 @@
+(** Inline expansion of procedure calls (paper §7).  Call sites are
+    replaced by the callee body with fresh variables ([in_]-prefixed
+    parameter copies, the §9 shape) and labels; returns become a store to
+    a result temporary and a goto to a fresh exit label.  Functions are
+    expanded callees-first ("order is very important"); recursion is cut
+    by refusing cycles and bounding depth. *)
+
+open Vpc_il
+
+type options = {
+  max_callee_stmts : int;      (** size threshold for automatic inlining *)
+  max_depth : int;             (** expansion-chain bound *)
+  only : string list option;   (** when set, inline only these callees *)
+}
+
+val default_options : options
+
+type stats = {
+  mutable calls_inlined : int;
+  mutable calls_skipped_recursive : int;
+  mutable calls_skipped_size : int;
+  mutable calls_skipped_unknown : int;  (** library / no body available *)
+}
+
+val new_stats : unit -> stats
+
+(** Expand one call site (the callee should already be fully expanded). *)
+val expand_call :
+  Prog.t -> Func.t -> Func.t -> Stmt.lvalue option -> Expr.t list ->
+  Stmt.t list
+
+(** Expand calls across the whole program, callees before callers. *)
+val expand : ?options:options -> ?stats:stats -> Prog.t -> unit

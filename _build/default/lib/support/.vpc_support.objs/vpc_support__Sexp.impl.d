@@ -1,0 +1,1 @@
+lib/support/sexp.ml: Buffer Fmt List Printf String

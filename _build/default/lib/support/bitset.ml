@@ -1,0 +1,70 @@
+(* Dense mutable bitsets for dataflow IN/OUT vectors. *)
+
+type t = { bits : Bytes.t; size : int }
+
+let create size = { bits = Bytes.make ((size + 7) / 8) '\000'; size }
+
+let copy t = { bits = Bytes.copy t.bits; size = t.size }
+
+let mem t i =
+  assert (i >= 0 && i < t.size);
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  assert (i >= 0 && i < t.size);
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i land 7))))
+
+let remove t i =
+  assert (i >= 0 && i < t.size);
+  let byte = i lsr 3 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (i land 7)) land 0xFF))
+
+let equal a b = Bytes.equal a.bits b.bits
+
+(* a := a ∪ b; returns true if a changed *)
+let union_into a b =
+  let changed = ref false in
+  for i = 0 to Bytes.length a.bits - 1 do
+    let old = Char.code (Bytes.get a.bits i) in
+    let nw = old lor Char.code (Bytes.get b.bits i) in
+    if nw <> old then begin
+      changed := true;
+      Bytes.set a.bits i (Char.chr nw)
+    end
+  done;
+  !changed
+
+(* a := (a \ kill) ∪ gen *)
+let transfer ~gen ~kill a =
+  for i = 0 to Bytes.length a.bits - 1 do
+    let v =
+      Char.code (Bytes.get a.bits i)
+      land lnot (Char.code (Bytes.get kill.bits i))
+      land 0xFF
+      lor Char.code (Bytes.get gen.bits i)
+    in
+    Bytes.set a.bits i (Char.chr v)
+  done
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    if mem t i then f i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let cardinal t = fold (fun _ n -> n + 1) t 0
+
+let is_empty t =
+  let rec go i =
+    i >= Bytes.length t.bits || (Bytes.get t.bits i = '\000' && go (i + 1))
+  in
+  go 0

@@ -1,0 +1,25 @@
+(** Dense mutable bitsets for dataflow IN/OUT vectors. *)
+
+type t
+
+(** [create n]: an empty set over the universe [0 .. n-1]. *)
+val create : int -> t
+
+val copy : t -> t
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val equal : t -> t -> bool
+
+(** [union_into a b]: [a := a ∪ b]; returns [true] if [a] changed. *)
+val union_into : t -> t -> bool
+
+(** [transfer ~gen ~kill a]: [a := (a \ kill) ∪ gen], the dataflow
+    transfer function. *)
+val transfer : gen:t -> kill:t -> t -> unit
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val cardinal : t -> int
+val is_empty : t -> bool

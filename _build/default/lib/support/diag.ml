@@ -1,0 +1,38 @@
+(* Diagnostics: errors and warnings carrying source locations.  Front-end
+   and semantic errors raise [Error]; passes that detect internal
+   inconsistencies raise [Internal]. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+}
+
+exception Error_exn of t
+exception Internal of string
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error_exn { severity = Error; loc; message }))
+    fmt
+
+let internal fmt = Format.kasprintf (fun m -> raise (Internal m)) fmt
+
+(* Warnings are collected rather than printed so tests can assert on them. *)
+let warnings : t list ref = ref []
+
+let reset_warnings () = warnings := []
+
+let warn ?(loc = Loc.dummy) fmt =
+  Format.kasprintf
+    (fun message ->
+      warnings := { severity = Warning; loc; message } :: !warnings)
+    fmt
+
+let pp ppf t =
+  let tag = match t.severity with Error -> "error" | Warning -> "warning" in
+  Fmt.pf ppf "%a: %s: %s" Loc.pp t.loc tag t.message
+
+let to_string t = Fmt.str "%a" pp t

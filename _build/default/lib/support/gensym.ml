@@ -1,0 +1,17 @@
+(* Fresh-name and fresh-id generation.  Each [t] is an independent counter
+   so distinct functions or passes can number their temporaries densely. *)
+
+type t = { mutable next : int }
+
+let create ?(start = 0) () = { next = start }
+
+let fresh t =
+  let n = t.next in
+  t.next <- n + 1;
+  n
+
+let peek t = t.next
+
+let advance_past t n = if n >= t.next then t.next <- n + 1
+
+let fresh_name t prefix = Printf.sprintf "%s%d" prefix (fresh t)

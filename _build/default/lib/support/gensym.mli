@@ -1,0 +1,20 @@
+(** Fresh-name and fresh-id generation.  Each [t] is an independent
+    counter, so distinct functions or passes can number their temporaries
+    densely. *)
+
+type t
+
+val create : ?start:int -> unit -> t
+
+(** The next id; increments the counter. *)
+val fresh : t -> int
+
+(** The id [fresh] would return, without consuming it. *)
+val peek : t -> int
+
+(** Ensure future ids are greater than [n] (used when importing
+    serialized entities that carry their own ids). *)
+val advance_past : t -> int -> unit
+
+(** [fresh_name t "p"] is ["p<n>"] for a fresh [n]. *)
+val fresh_name : t -> string -> string

@@ -1,0 +1,31 @@
+(* Source locations for diagnostics.  A [t] is a half-open span within one
+   file; [dummy] marks compiler-generated constructs. *)
+
+type pos = {
+  line : int;  (* 1-based *)
+  col : int;   (* 1-based *)
+}
+
+type t = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let dummy_pos = { line = 0; col = 0 }
+let dummy = { file = "<builtin>"; start_pos = dummy_pos; end_pos = dummy_pos }
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let is_dummy t = t.start_pos.line = 0
+
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { a with end_pos = b.end_pos }
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<builtin>"
+  else Fmt.pf ppf "%s:%d:%d" t.file t.start_pos.line t.start_pos.col
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,1 @@
+lib/titan/codegen.ml: Array Expr Format Func Gensym Hashtbl Isa List Option Printf Prog Stmt Ty Var Vpc_il Vpc_support

@@ -1,0 +1,1 @@
+lib/titan/codegen.mli: Func Isa Prog Vpc_il

@@ -1,0 +1,1 @@
+lib/titan/cost.mli:

@@ -1,0 +1,1 @@
+lib/titan/isa.ml: Array Fmt Hashtbl Prog Ty Vpc_il

@@ -1,0 +1,1 @@
+lib/titan/machine.ml: Array Buffer Bytes Char Codegen Cost Expr Float Format Func Hashtbl Int32 Int64 Isa List Option Printf Prog Scanf String Ty Var Vpc_il

@@ -1,0 +1,1 @@
+lib/titan/machine.mli: Hashtbl Prog Vpc_il

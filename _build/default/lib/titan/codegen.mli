@@ -1,0 +1,17 @@
+(** Code generation from optimized IL to Titan instructions.  Scalars
+    live in virtual registers unless address-taken or volatile (volatile
+    accesses are marked memory operations the simulator never reorders or
+    caches, §1); vector statements map onto vector loads/ALU ops/stores;
+    a parallel DO loop is bracketed with Par_enter/Par_iter/Par_exit
+    markers the simulator uses to spread iterations over processors. *)
+
+open Vpc_il
+
+exception Codegen_error of string
+
+(** [gen_func prog ~global_addr f]: compile one function; [global_addr]
+    resolves a global variable id to its absolute address (from
+    {!Machine.layout_globals}). *)
+val gen_func : Prog.t -> global_addr:(int -> int) -> Func.t -> Isa.func
+
+val gen_program : Prog.t -> global_addr:(int -> int) -> Isa.program

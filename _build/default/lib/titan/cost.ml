@@ -1,0 +1,39 @@
+(* The Titan timing model.  Parameters are calibrated so the machine's
+   published character holds: a 16 MHz multi-processor whose pipelined
+   floating-point unit needs vector instructions to stay full (§2), where
+   a well-scheduled scalar loop runs a few times faster than a naive one
+   (§6's 0.5 → 1.9 MFLOPS) and a vectorized, two-processor loop runs an
+   order of magnitude faster than scalar code (§9's 12×). *)
+
+type unit_ = IU | FPU | MEM | CTRL
+
+(* issue interval (pipelined units accept one op per cycle), result
+   latency *)
+type op_cost = { unit_ : unit_; issue : int; latency : int }
+
+let imov = { unit_ = IU; issue = 1; latency = 1 }
+let ialu = { unit_ = IU; issue = 1; latency = 1 }
+let imul = { unit_ = IU; issue = 2; latency = 5 }
+let idiv = { unit_ = IU; issue = 12; latency = 18 }
+let falu = { unit_ = FPU; issue = 1; latency = 8 }
+let fmul = { unit_ = FPU; issue = 1; latency = 8 }
+let fdiv = { unit_ = FPU; issue = 12; latency = 22 }
+let fcvt = { unit_ = FPU; issue = 1; latency = 4 }
+let load = { unit_ = MEM; issue = 1; latency = 6 }
+let store = { unit_ = MEM; issue = 1; latency = 1 }
+let branch = { unit_ = CTRL; issue = 1; latency = 2 }
+let jump = { unit_ = CTRL; issue = 1; latency = 1 }
+
+(* vector operations: startup + one element per cycle *)
+let vector_startup_mem = 14
+let vector_startup_fpu = 8
+let viota_startup = 4
+
+(* call/return overhead beyond the callee's own cycles *)
+let call_overhead = 16
+let ret_overhead = 4
+
+(* synchronization barrier closing a parallel loop *)
+let barrier_cycles = 120
+
+let clock_mhz = 16.0

@@ -1,0 +1,39 @@
+(** The Titan timing model.  Parameters were calibrated once against the
+    paper's two published backsolve rates (§6: 0.5 and 1.9 MFLOPS) and
+    then left alone; every experiment uses this single model. *)
+
+type unit_ = IU | FPU | MEM | CTRL
+
+(** Per-operation cost: the execution unit, the issue interval (pipelined
+    units accept one per cycle), and the result latency. *)
+type op_cost = { unit_ : unit_; issue : int; latency : int }
+
+val imov : op_cost
+val ialu : op_cost
+val imul : op_cost
+val idiv : op_cost
+val falu : op_cost
+val fmul : op_cost
+val fdiv : op_cost
+val fcvt : op_cost
+val load : op_cost
+val store : op_cost
+val branch : op_cost
+val jump : op_cost
+
+(** Vector operations cost startup + one element per cycle. *)
+val vector_startup_mem : int
+
+val vector_startup_fpu : int
+val viota_startup : int
+
+(** Call/return overhead beyond the callee's own cycles. *)
+val call_overhead : int
+
+val ret_overhead : int
+
+(** Synchronization closing a parallel loop. *)
+val barrier_cycles : int
+
+(** The Titan clock: 16 MHz. *)
+val clock_mhz : float

@@ -1,0 +1,168 @@
+(* The Titan instruction set, as this reproduction models it (paper §2):
+   a RISC integer unit, a pipelined floating-point unit that also executes
+   all vector instructions, and a large vector register file addressable
+   at any base and length.
+
+   Registers are virtual (unbounded): the real machine's register file is
+   so large (8192 words) that spilling is not the phenomenon of interest,
+   and the paper itself leans on "global register allocation ... generate
+   temporary variables with a fair amount of impunity". *)
+
+open Vpc_il
+
+type reg = int   (* scalar register (integer or float by use) *)
+type vreg = int  (* vector register *)
+
+type operand =
+  | Reg of reg
+  | Imm_int of int
+  | Imm_float of float
+
+type ialu_op =
+  | Iadd | Isub | Imul | Idiv | Irem
+  | Ishl | Ishr | Iand | Ior | Ixor
+  | Icmp_eq | Icmp_ne | Icmp_lt | Icmp_le | Icmp_gt | Icmp_ge
+  | Inot  (* bitwise complement, second operand ignored *)
+
+type falu_op =
+  | Fadd | Fsub | Fmul | Fdiv
+  | Fcmp_eq | Fcmp_ne | Fcmp_lt | Fcmp_le | Fcmp_gt | Fcmp_ge
+
+type vsrc =
+  | Vr of vreg
+  | Vscal of operand  (* scalar operand broadcast *)
+
+type label = string
+
+type inst =
+  | Imov of reg * operand
+  | Ialu of ialu_op * reg * operand * operand
+  | Falu of falu_op * reg * operand * operand * Ty.t
+  | Fneg of reg * operand * Ty.t
+  | Cvt_if of reg * operand  (* int -> float *)
+  | Cvt_fi of reg * operand  (* float -> int (truncate) *)
+  | Cvt_ff of reg * operand * Ty.t  (* float width change *)
+  | Load of { dst : reg; addr : operand; ty : Ty.t; volatile : bool }
+  | Store of { src : operand; addr : operand; ty : Ty.t; volatile : bool }
+  | Jump of label
+  | Branch_zero of operand * label     (* jump when operand = 0 *)
+  | Branch_nonzero of operand * label
+  | Label_def of label
+  | Call of { dst : reg option; name : string; args : operand list }
+  | Ret of operand option
+  (* vector unit *)
+  | Vload of { dst : vreg; base : operand; stride : operand; len : operand; ty : Ty.t }
+  | Vstore of { src : vreg; base : operand; stride : operand; len : operand; ty : Ty.t }
+  | Vop of { op : falu_op_or_int; dst : vreg; a : vsrc; b : vsrc; len : operand; ty : Ty.t }
+  | Vneg of { dst : vreg; a : vsrc; len : operand; ty : Ty.t }
+  | Viota of { dst : vreg; offset : operand; scale : operand; len : operand }
+  | Vcvt of { dst : vreg; a : vreg; len : operand; to_ : Ty.t }
+  (* parallel-region markers: the simulator spreads the iterations of the
+     bracketed loop over the machine's processors *)
+  | Par_enter
+  | Par_iter   (* marks the start of each parallel iteration *)
+  | Par_serial_end
+      (* end of a doacross iteration's serialized prefix (§10) *)
+  | Par_exit
+
+and falu_op_or_int = Fop of falu_op | Iop of ialu_op
+
+type func = {
+  fn_name : string;
+  code : inst array;
+  (* var id -> scalar register *)
+  reg_of_var : (int, reg) Hashtbl.t;
+  (* var id -> frame offset (memory-resident locals) *)
+  frame_offset : (int, int) Hashtbl.t;
+  frame_size : int;
+  param_ids : int list;
+  labels : (string, int) Hashtbl.t;  (* label -> pc *)
+  nregs : int;
+  nvregs : int;
+}
+
+type program = {
+  funcs : (string, func) Hashtbl.t;
+  prog : Prog.t;  (* for global layout and metadata *)
+}
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "r%d" r
+  | Imm_int n -> Fmt.pf ppf "#%d" n
+  | Imm_float f -> Fmt.pf ppf "#%g" f
+
+let ialu_name = function
+  | Iadd -> "add" | Isub -> "sub" | Imul -> "mul" | Idiv -> "div"
+  | Irem -> "rem" | Ishl -> "shl" | Ishr -> "shr" | Iand -> "and"
+  | Ior -> "or" | Ixor -> "xor" | Icmp_eq -> "cmpeq" | Icmp_ne -> "cmpne"
+  | Icmp_lt -> "cmplt" | Icmp_le -> "cmple" | Icmp_gt -> "cmpgt"
+  | Icmp_ge -> "cmpge" | Inot -> "not"
+
+let falu_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fcmp_eq -> "fcmpeq" | Fcmp_ne -> "fcmpne" | Fcmp_lt -> "fcmplt"
+  | Fcmp_le -> "fcmple" | Fcmp_gt -> "fcmpgt" | Fcmp_ge -> "fcmpge"
+
+let pp_vsrc ppf = function
+  | Vr v -> Fmt.pf ppf "v%d" v
+  | Vscal o -> pp_operand ppf o
+
+let pp_inst ppf = function
+  | Imov (d, s) -> Fmt.pf ppf "mov r%d, %a" d pp_operand s
+  | Ialu (op, d, a, b) ->
+      Fmt.pf ppf "%s r%d, %a, %a" (ialu_name op) d pp_operand a pp_operand b
+  | Falu (op, d, a, b, ty) ->
+      Fmt.pf ppf "%s.%s r%d, %a, %a" (falu_name op)
+        (if ty = Ty.Float then "s" else "d")
+        d pp_operand a pp_operand b
+  | Fneg (d, a, ty) ->
+      Fmt.pf ppf "fneg.%s r%d, %a"
+        (if ty = Ty.Float then "s" else "d")
+        d pp_operand a
+  | Cvt_if (d, a) -> Fmt.pf ppf "cvtif r%d, %a" d pp_operand a
+  | Cvt_fi (d, a) -> Fmt.pf ppf "cvtfi r%d, %a" d pp_operand a
+  | Cvt_ff (d, a, ty) -> Fmt.pf ppf "cvtff[%a] r%d, %a" Ty.pp ty d pp_operand a
+  | Load { dst; addr; ty; volatile } ->
+      Fmt.pf ppf "load%s[%a] r%d, (%a)" (if volatile then ".v" else "") Ty.pp ty
+        dst pp_operand addr
+  | Store { src; addr; ty; volatile } ->
+      Fmt.pf ppf "store%s[%a] %a, (%a)" (if volatile then ".v" else "") Ty.pp
+        ty pp_operand src pp_operand addr
+  | Jump l -> Fmt.pf ppf "jmp %s" l
+  | Branch_zero (o, l) -> Fmt.pf ppf "bz %a, %s" pp_operand o l
+  | Branch_nonzero (o, l) -> Fmt.pf ppf "bnz %a, %s" pp_operand o l
+  | Label_def l -> Fmt.pf ppf "%s:" l
+  | Call { dst; name; args } ->
+      Fmt.pf ppf "call %a%s(%a)"
+        Fmt.(option (fmt "r%d = "))
+        dst name
+        Fmt.(list ~sep:comma pp_operand)
+        args
+  | Ret None -> Fmt.string ppf "ret"
+  | Ret (Some o) -> Fmt.pf ppf "ret %a" pp_operand o
+  | Vload { dst; base; stride; len; ty } ->
+      Fmt.pf ppf "vload[%a] v%d, (%a):%a:%a" Ty.pp ty dst pp_operand base
+        pp_operand stride pp_operand len
+  | Vstore { src; base; stride; len; ty } ->
+      Fmt.pf ppf "vstore[%a] v%d, (%a):%a:%a" Ty.pp ty src pp_operand base
+        pp_operand stride pp_operand len
+  | Vop { op; dst; a; b; len; _ } ->
+      let name = match op with Fop f -> falu_name f | Iop i -> ialu_name i in
+      Fmt.pf ppf "v%s v%d, %a, %a, len=%a" name dst pp_vsrc a pp_vsrc b
+        pp_operand len
+  | Vneg { dst; a; len; _ } ->
+      Fmt.pf ppf "vneg v%d, %a, len=%a" dst pp_vsrc a pp_operand len
+  | Viota { dst; offset; scale; len } ->
+      Fmt.pf ppf "viota v%d, %a, %a, len=%a" dst pp_operand offset pp_operand
+        scale pp_operand len
+  | Vcvt { dst; a; len; to_ } ->
+      Fmt.pf ppf "vcvt[%a] v%d, v%d, len=%a" Ty.pp to_ dst a pp_operand len
+  | Par_enter -> Fmt.string ppf "par.enter"
+  | Par_iter -> Fmt.string ppf "par.iter"
+  | Par_serial_end -> Fmt.string ppf "par.serial_end"
+  | Par_exit -> Fmt.string ppf "par.exit"
+
+let pp_func ppf (f : func) =
+  Fmt.pf ppf "%s:  ; %d regs, %d vregs, frame %d@." f.fn_name f.nregs f.nvregs
+    f.frame_size;
+  Array.iter (fun i -> Fmt.pf ppf "  %a@." pp_inst i) f.code

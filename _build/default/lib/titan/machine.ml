@@ -1,0 +1,922 @@
+(* The Titan simulator: executes Titan instructions for real values while
+   accounting cycles under a configurable scheduling model.
+
+   Scheduling models (§6's "dependence-driven" scheduling):
+     - [Sequential]: each instruction starts when the previous one
+       completes — the naive scalar code the paper measures at 0.5 MFLOPS
+       on the backsolve loop;
+     - [Overlap_conservative]: integer/FP/memory units overlap, but every
+       load waits for every earlier store (no dependence information);
+     - [Overlap_full]: loads bypass stores — legal when the compiler's
+       dependence graph proved the references independent, which is the
+       information "passed back to the code generation to allow better
+       overlap" (§6).
+
+   A parallel DO loop's iterations are distributed round-robin over the
+   configured processors; the region costs the maximum per-processor time
+   plus a barrier. *)
+
+open Vpc_il
+open Isa
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+type sched_mode = Sequential | Overlap_conservative | Overlap_full
+
+type config = {
+  procs : int;
+  sched : sched_mode;
+  clock_mhz : float;
+  max_insts : int;
+}
+
+let default_config =
+  { procs = 1; sched = Overlap_full; clock_mhz = Cost.clock_mhz; max_insts = 200_000_000 }
+
+type value = Vi of int | Vf of float
+
+let as_int = function Vi n -> n | Vf _ -> error "expected integer"
+let as_float = function Vf f -> f | Vi n -> float_of_int n
+
+let wrap32 n =
+  (n land 0xFFFFFFFF) - (if n land 0x80000000 <> 0 then 1 lsl 32 else 0)
+
+(* ----------------------------------------------------------------- *)
+(* Global layout                                                     *)
+(* ----------------------------------------------------------------- *)
+
+type layout = {
+  addr_of : (int, int) Hashtbl.t;  (* global var id -> address *)
+  globals_top : int;
+  lprog : Prog.t;
+}
+
+let mem_size = 1 lsl 22
+
+let layout_globals (prog : Prog.t) : layout =
+  let addr_of = Hashtbl.create 16 in
+  let top = ref 16 in
+  List.iter
+    (fun (g : Prog.global) ->
+      let size = Ty.sizeof prog.Prog.structs g.gvar.Var.ty in
+      let align = Ty.alignof prog.Prog.structs g.gvar.Var.ty in
+      let addr = (!top + align - 1) / align * align in
+      Hashtbl.replace addr_of g.gvar.Var.id addr;
+      top := addr + size)
+    (Prog.globals_list prog);
+  { addr_of; globals_top = !top; lprog = prog }
+
+(* ----------------------------------------------------------------- *)
+(* Machine state                                                     *)
+(* ----------------------------------------------------------------- *)
+
+type metrics = {
+  mutable cycles : int;          (* wall-clock cycles, parallel-adjusted *)
+  mutable insts : int;
+  mutable fp_ops : int;
+  mutable mem_ops : int;
+  mutable vector_insts : int;
+  mutable vector_elems : int;
+  mutable parallel_regions : int;
+  mutable calls : int;
+}
+
+let new_metrics () =
+  {
+    cycles = 0;
+    insts = 0;
+    fp_ops = 0;
+    mem_ops = 0;
+    vector_insts = 0;
+    vector_elems = 0;
+    parallel_regions = 0;
+    calls = 0;
+  }
+
+let mflops m ~clock_mhz =
+  if m.cycles = 0 then 0.0
+  else float_of_int m.fp_ops /. (float_of_int m.cycles /. (clock_mhz *. 1e6)) /. 1e6
+
+type state = {
+  program : Isa.program;
+  config : config;
+  mem : Bytes.t;
+  layout : layout;
+  mutable stack_top : int;
+  output : Buffer.t;
+  metrics : metrics;
+  (* timing *)
+  mutable clock : int;           (* current in-order issue front *)
+  mutable saved : int;           (* cycles recovered by parallel regions *)
+  unit_free : (Cost.unit_, int) Hashtbl.t;
+  mutable last_store_done : int;
+  mutable last_mem_done : int;   (* for volatile ordering *)
+  (* parallel region bookkeeping *)
+  mutable par_buckets : int array;
+  mutable par_iter : int;
+  mutable par_iter_start : int;
+  mutable par_enter_clock : int;
+  mutable par_active : bool;
+  mutable par_serial_total : int;  (* doacross: serialized prefix time *)
+  mutable insts_executed : int;
+  mutable issued : int;  (* instructions issued, for the issue-width floor *)
+}
+
+type frame = {
+  func : Isa.func;
+  regs : value array;
+  ready : int array;             (* per-register ready time *)
+  vregs : value array array;
+  vready : int array;
+  frame_base : int;
+}
+
+(* memory access *)
+
+let check st addr size =
+  if addr < 16 || addr + size > Bytes.length st.mem then
+    error "memory access out of bounds at %d" addr
+
+let load_mem st ty addr : value =
+  match ty with
+  | Ty.Char ->
+      check st addr 1;
+      let b = Char.code (Bytes.get st.mem addr) in
+      Vi (if b > 127 then b - 256 else b)
+  | Ty.Int | Ty.Ptr _ | Ty.Func _ ->
+      check st addr 4;
+      Vi (Int32.to_int (Bytes.get_int32_le st.mem addr))
+  | Ty.Float ->
+      check st addr 4;
+      Vf (Int32.float_of_bits (Bytes.get_int32_le st.mem addr))
+  | Ty.Double ->
+      check st addr 8;
+      Vf (Int64.float_of_bits (Bytes.get_int64_le st.mem addr))
+  | Ty.Void | Ty.Array _ | Ty.Struct _ -> error "bad load type"
+
+let store_mem st ty addr (v : value) =
+  match ty with
+  | Ty.Char ->
+      check st addr 1;
+      Bytes.set st.mem addr (Char.chr (as_int v land 0xFF))
+  | Ty.Int | Ty.Ptr _ | Ty.Func _ ->
+      check st addr 4;
+      Bytes.set_int32_le st.mem addr (Int32.of_int (as_int v))
+  | Ty.Float ->
+      check st addr 4;
+      Bytes.set_int32_le st.mem addr (Int32.bits_of_float (as_float v))
+  | Ty.Double ->
+      check st addr 8;
+      Bytes.set_int64_le st.mem addr (Int64.bits_of_float (as_float v))
+  | Ty.Void | Ty.Array _ | Ty.Struct _ -> error "bad store type"
+
+let convert ty (v : value) : value =
+  match ty with
+  | Ty.Char ->
+      let b = as_int v land 0xFF in
+      Vi (if b > 127 then b - 256 else b)
+  | Ty.Int -> Vi (wrap32 (match v with Vi n -> n | Vf f -> int_of_float f))
+  | Ty.Ptr _ | Ty.Func _ -> Vi (as_int v)
+  | Ty.Float -> Vf (Int32.float_of_bits (Int32.bits_of_float (as_float v)))
+  | Ty.Double -> Vf (as_float v)
+  | Ty.Void -> v
+  | Ty.Array _ | Ty.Struct _ -> error "bad conversion"
+
+(* ----------------------------------------------------------------- *)
+(* Timing                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let unit_free st u =
+  Option.value (Hashtbl.find_opt st.unit_free u) ~default:0
+
+(* Issue an operation: [ops_ready] is when its inputs are available.
+   Returns the completion time (when its result is ready).
+
+   [Sequential] starts each operation when the previous completes.
+   [Overlap_conservative] issues in order: an operation whose inputs are
+   not ready stalls everything behind it.  [Overlap_full] is
+   dataflow-limited: the compiler's dependence graph licensed the
+   scheduler to reorder freely, so an operation waits only for its inputs
+   and its unit — the model of a perfectly list-scheduled loop (§6). *)
+let issue st (cost : Cost.op_cost) ~ops_ready : int =
+  match st.config.sched with
+  | Sequential ->
+      let start = max st.clock ops_ready in
+      let done_ = start + cost.Cost.latency in
+      st.clock <- done_;
+      done_
+  | Overlap_conservative ->
+      let start = max (max st.clock (unit_free st cost.Cost.unit_)) ops_ready in
+      Hashtbl.replace st.unit_free cost.Cost.unit_ (start + cost.Cost.issue);
+      st.clock <- start;  (* in-order issue: next op cannot start earlier *)
+      start + cost.Cost.latency
+  | Overlap_full ->
+      (* dataflow-limited: the list scheduler reorders compute ops freely;
+         the single memory port keeps its occupancy, and a machine-wide
+         issue width of 4 (one per unit) floors everything *)
+      let slot = st.issued / 4 in
+      st.issued <- st.issued + 1;
+      let start =
+        match cost.Cost.unit_ with
+        | Cost.MEM -> max (max (unit_free st Cost.MEM) ops_ready) slot
+        | Cost.IU | Cost.FPU | Cost.CTRL -> max ops_ready slot
+      in
+      if cost.Cost.unit_ = Cost.MEM then
+        Hashtbl.replace st.unit_free Cost.MEM (start + cost.Cost.issue);
+      st.clock <- max st.clock (start + cost.Cost.latency);
+      start + cost.Cost.latency
+
+(* A vector operation occupies its unit for startup + len cycles. *)
+let issue_vector st ~unit_ ~startup ~len ~ops_ready : int =
+  let busy = startup + len in
+  match st.config.sched with
+  | Sequential ->
+      let start = max st.clock ops_ready in
+      let done_ = start + busy in
+      st.clock <- done_;
+      done_
+  | Overlap_conservative ->
+      let start = max (max st.clock (unit_free st unit_)) ops_ready in
+      Hashtbl.replace st.unit_free unit_ (start + busy);
+      st.clock <- start;
+      start + busy
+  | Overlap_full ->
+      let start = max (unit_free st unit_) ops_ready in
+      Hashtbl.replace st.unit_free unit_ (start + busy);
+      st.clock <- max st.clock (start + busy);
+      start + busy
+
+(* A control transfer serializes issue, except under full
+   dependence-driven scheduling where the compiler has already proven the
+   loop's operations independent and the scheduler overlaps across the
+   loop-closing branch (§6: "completely overlap the integer and floating
+   point instructions in the loop"). *)
+let issue_branch st ~ops_ready =
+  match st.config.sched with
+  | Overlap_full ->
+      let slot = st.issued / 4 in
+      st.issued <- st.issued + 1;
+      let start = max ops_ready slot in
+      st.clock <- max st.clock (start + Cost.branch.Cost.latency);
+      start + Cost.branch.Cost.latency
+  | Sequential | Overlap_conservative ->
+      let start = max st.clock ops_ready in
+      let done_ = start + Cost.branch.Cost.latency in
+      st.clock <- done_;
+      done_
+
+(* ----------------------------------------------------------------- *)
+(* Builtins                                                          *)
+(* ----------------------------------------------------------------- *)
+
+let read_cstring st addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    check st a 1;
+    let c = Bytes.get st.mem a in
+    if c <> '\000' then begin
+      Buffer.add_char buf c;
+      go (a + 1)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+let do_printf st fmt args =
+  let out = st.output in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> error "printf: missing argument"
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '%' && !i + 1 < n then begin
+      (* collect flags / width / precision *)
+      let spec = Buffer.create 8 in
+      Buffer.add_char spec '%';
+      incr i;
+      while
+        !i < n
+        && (match fmt.[!i] with
+           | '0' .. '9' | '-' | '+' | ' ' | '.' | '#' -> true
+           | _ -> false)
+      do
+        Buffer.add_char spec fmt.[!i];
+        incr i
+      done;
+      if !i >= n then error "printf: truncated conversion";
+      let conv = fmt.[!i] in
+      let spec_with c = Buffer.contents spec ^ String.make 1 c in
+      (match conv with
+      | 'd' | 'i' ->
+          Buffer.add_string out
+            (Printf.sprintf
+               (Scanf.format_from_string (spec_with 'd') "%d")
+               (as_int (next ())))
+      | 'f' | 'g' | 'e' ->
+          Buffer.add_string out
+            (Printf.sprintf
+               (Scanf.format_from_string (spec_with conv) "%f")
+               (as_float (next ())))
+      | 'c' -> Buffer.add_char out (Char.chr (as_int (next ()) land 0xFF))
+      | 's' ->
+          Buffer.add_string out
+            (Printf.sprintf
+               (Scanf.format_from_string (spec_with 's') "%s")
+               (read_cstring st (as_int (next ()))))
+      | '%' -> Buffer.add_char out '%'
+      | other -> error "printf: unsupported conversion %%%c" other);
+      incr i
+    end
+    else begin
+      Buffer.add_char out c;
+      incr i
+    end
+  done
+
+let builtin st name (args : value list) : value option =
+  match name, args with
+  | "printf", fmt :: rest ->
+      do_printf st (read_cstring st (as_int fmt)) rest;
+      Some (Vi 0)
+  | "putchar", [ c ] ->
+      Buffer.add_char st.output (Char.chr (as_int c land 0xFF));
+      Some (Vi (as_int c))
+  | "puts", [ s ] ->
+      Buffer.add_string st.output (read_cstring st (as_int s));
+      Buffer.add_char st.output '\n';
+      Some (Vi 0)
+  | ("sqrt" | "sqrtf"), [ x ] ->
+      st.metrics.fp_ops <- st.metrics.fp_ops + 1;
+      Some (Vf (sqrt (as_float x)))
+  | ("fabs" | "fabsf"), [ x ] -> Some (Vf (Float.abs (as_float x)))
+  | "abs", [ x ] -> Some (Vi (abs (as_int x)))
+  | ("exp" | "sin" | "cos"), [ x ] ->
+      st.metrics.fp_ops <- st.metrics.fp_ops + 1;
+      Some
+        (Vf
+           ((match name with
+            | "exp" -> exp
+            | "sin" -> sin
+            | _ -> cos)
+              (as_float x)))
+  | _ -> None
+
+(* ----------------------------------------------------------------- *)
+(* Execution                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let eval_ialu op x y =
+  let bool_ b = if b then 1 else 0 in
+  match op with
+  | Iadd -> wrap32 (x + y)
+  | Isub -> wrap32 (x - y)
+  | Imul -> wrap32 (x * y)
+  | Idiv ->
+      if y = 0 then error "division by zero"
+      else
+        let q = abs x / abs y in
+        if (x < 0) <> (y < 0) then -q else q
+  | Irem ->
+      if y = 0 then error "modulo by zero"
+      else
+        let r = abs x mod abs y in
+        if x < 0 then -r else r
+  | Ishl -> wrap32 (x lsl (y land 31))
+  | Ishr -> x asr (y land 31)
+  | Iand -> x land y
+  | Ior -> x lor y
+  | Ixor -> x lxor y
+  | Icmp_eq -> bool_ (x = y)
+  | Icmp_ne -> bool_ (x <> y)
+  | Icmp_lt -> bool_ (x < y)
+  | Icmp_le -> bool_ (x <= y)
+  | Icmp_gt -> bool_ (x > y)
+  | Icmp_ge -> bool_ (x >= y)
+  | Inot -> wrap32 (lnot x)
+
+let round_sp (v : value) =
+  match v with
+  | Vf f -> Vf (Int32.float_of_bits (Int32.bits_of_float f))
+  | Vi _ -> v
+
+let eval_falu op x y =
+  match op with
+  | Fadd -> Vf (x +. y)
+  | Fsub -> Vf (x -. y)
+  | Fmul -> Vf (x *. y)
+  | Fdiv -> Vf (x /. y)
+  | Fcmp_eq -> Vi (if x = y then 1 else 0)
+  | Fcmp_ne -> Vi (if x <> y then 1 else 0)
+  | Fcmp_lt -> Vi (if x < y then 1 else 0)
+  | Fcmp_le -> Vi (if x <= y then 1 else 0)
+  | Fcmp_gt -> Vi (if x > y then 1 else 0)
+  | Fcmp_ge -> Vi (if x >= y then 1 else 0)
+
+let rec run_function st (fname : string) (args : value list) : value * int =
+  match Hashtbl.find_opt st.program.Isa.funcs fname with
+  | Some f -> run_func st f args
+  | None -> (
+      match builtin st fname args with
+      | Some v -> (v, st.clock)
+      | None -> error "undefined function %s" fname)
+
+and run_func st (f : Isa.func) (args : value list) : value * int =
+  let saved_stack = st.stack_top in
+  let frame_base = (st.stack_top + 7) / 8 * 8 in
+  st.stack_top <- frame_base + f.frame_size;
+  if st.stack_top > Bytes.length st.mem then error "stack overflow";
+  let fr =
+    {
+      func = f;
+      regs = Array.make (max f.nregs 1) (Vi 0);
+      ready = Array.make (max f.nregs 1) 0;
+      vregs = Array.make (max f.nvregs 1) [||];
+      vready = Array.make (max f.nvregs 1) 0;
+      frame_base;
+    }
+  in
+  fr.regs.(0) <- Vi frame_base;
+  (* bind parameters *)
+  (try
+     List.iter2
+       (fun id arg ->
+         match Hashtbl.find_opt f.frame_offset id with
+         | Some off ->
+             let v = param_ty st f id in
+             store_mem st v (frame_base + off) (convert v arg)
+         | None -> (
+             match Hashtbl.find_opt f.reg_of_var id with
+             | Some r -> fr.regs.(r) <- arg
+             | None -> ()  (* unused parameter *)))
+       f.param_ids args
+   with Invalid_argument _ -> error "arity mismatch calling %s" f.fn_name);
+  let result = exec st fr in
+  st.stack_top <- saved_stack;
+  result
+
+and param_ty st (f : Isa.func) id =
+  match Prog.find_var st.program.Isa.prog None id with
+  | Some v -> v.Var.ty
+  | None -> (
+      match
+        List.find_map
+          (fun (fn : Func.t) ->
+            if fn.Func.name = f.fn_name then Func.find_var fn id else None)
+          st.program.Isa.prog.Prog.funcs
+      with
+      | Some v -> v.Var.ty
+      | None -> Ty.Int)
+
+and operand st fr (o : operand) : value * int =
+  ignore st;
+  match o with
+  | Reg r -> (fr.regs.(r), fr.ready.(r))
+  | Imm_int n -> (Vi n, 0)
+  | Imm_float f -> (Vf f, 0)
+
+and exec st fr : value * int =
+  let f = fr.func in
+  let pc = ref 0 in
+  let result = ref (Vi 0) in
+  let running = ref true in
+  let code = f.code in
+  let ncode = Array.length code in
+  let set_reg r v ~ready =
+    fr.regs.(r) <- v;
+    fr.ready.(r) <- ready
+  in
+  let goto_label l =
+    match Hashtbl.find_opt f.labels l with
+    | Some target -> pc := target
+    | None -> error "unknown label %s in %s" l f.fn_name
+  in
+  while !running && !pc < ncode do
+    st.insts_executed <- st.insts_executed + 1;
+    if st.insts_executed > st.config.max_insts then
+      error "instruction budget exceeded (infinite loop?)";
+    st.metrics.insts <- st.metrics.insts + 1;
+    let next = !pc + 1 in
+    (match code.(!pc) with
+    | Label_def _ -> pc := next
+    | Imov (d, s) ->
+        let v, r = operand st fr s in
+        let done_ = issue st Cost.imov ~ops_ready:r in
+        set_reg d v ~ready:done_;
+        pc := next
+    | Ialu (op, d, a, b) ->
+        let va, ra = operand st fr a in
+        let vb, rb = operand st fr b in
+        let cost =
+          match op with
+          | Imul -> Cost.imul
+          | Idiv | Irem -> Cost.idiv
+          | _ -> Cost.ialu
+        in
+        let done_ = issue st cost ~ops_ready:(max ra rb) in
+        set_reg d (Vi (eval_ialu op (as_int va) (as_int vb))) ~ready:done_;
+        pc := next
+    | Falu (op, d, a, b, ty) ->
+        let va, ra = operand st fr a in
+        let vb, rb = operand st fr b in
+
+        let cost = match op with Fdiv -> Cost.fdiv | Fmul -> Cost.fmul | _ -> Cost.falu in
+        let done_ = issue st cost ~ops_ready:(max ra rb) in
+        st.metrics.fp_ops <- st.metrics.fp_ops + 1;
+        let v = eval_falu op (as_float va) (as_float vb) in
+        let v = if ty = Ty.Float then round_sp v else v in
+        set_reg d v ~ready:done_;
+        pc := next
+    | Fneg (d, a, ty) ->
+        let va, ra = operand st fr a in
+        let done_ = issue st Cost.falu ~ops_ready:ra in
+        st.metrics.fp_ops <- st.metrics.fp_ops + 1;
+        let v = Vf (-.as_float va) in
+        let v = if ty = Ty.Float then round_sp v else v in
+        set_reg d v ~ready:done_;
+        pc := next
+    | Cvt_if (d, a) ->
+        let va, ra = operand st fr a in
+        let done_ = issue st Cost.fcvt ~ops_ready:ra in
+        set_reg d (Vf (float_of_int (as_int va))) ~ready:done_;
+        pc := next
+    | Cvt_fi (d, a) ->
+        let va, ra = operand st fr a in
+        let done_ = issue st Cost.fcvt ~ops_ready:ra in
+        set_reg d (Vi (wrap32 (int_of_float (as_float va)))) ~ready:done_;
+        pc := next
+    | Cvt_ff (d, a, ty) ->
+        let va, ra = operand st fr a in
+        let done_ = issue st Cost.fcvt ~ops_ready:ra in
+        let v =
+          if ty = Ty.Float then
+            Vf (Int32.float_of_bits (Int32.bits_of_float (as_float va)))
+          else Vf (as_float va)
+        in
+        set_reg d v ~ready:done_;
+        pc := next
+    | Load { dst; addr; ty; volatile } ->
+        let va, ra = operand st fr addr in
+        let ops_ready =
+          match st.config.sched, volatile with
+          | _, true -> max ra st.last_mem_done
+          | Overlap_conservative, false -> max ra st.last_store_done
+          | (Overlap_full | Sequential), false -> ra
+        in
+        let done_ = issue st Cost.load ~ops_ready in
+        st.metrics.mem_ops <- st.metrics.mem_ops + 1;
+        if volatile then st.last_mem_done <- done_;
+        set_reg dst (load_mem st ty (as_int va)) ~ready:done_;
+        pc := next
+    | Store { src; addr; ty; volatile } ->
+        let vs, rs = operand st fr src in
+        let va, ra = operand st fr addr in
+        let ops_ready =
+          (* under full scheduling a store enters the store buffer as soon
+             as its address is known; the data is forwarded when ready *)
+          let data_wait =
+            match st.config.sched with Overlap_full -> ra | _ -> max rs ra
+          in
+          if volatile then max (max rs ra) st.last_mem_done else data_wait
+        in
+        let done_ = issue st Cost.store ~ops_ready in
+        st.metrics.mem_ops <- st.metrics.mem_ops + 1;
+        st.last_store_done <- max st.last_store_done done_;
+        if volatile then st.last_mem_done <- done_;
+        store_mem st ty (as_int va) (convert ty vs);
+        pc := next
+    | Jump l ->
+        ignore (issue_branch st ~ops_ready:0);
+        goto_label l
+    | Branch_zero (o, l) ->
+        let v, r = operand st fr o in
+        ignore (issue_branch st ~ops_ready:r);
+        if as_int (convert Ty.Int v) = 0 then goto_label l else pc := next
+    | Branch_nonzero (o, l) ->
+        let v, r = operand st fr o in
+        ignore (issue_branch st ~ops_ready:r);
+        if as_int (convert Ty.Int v) <> 0 then goto_label l else pc := next
+    | Call { dst; name; args } ->
+        let vals_readies = List.map (operand st fr) args in
+        let ops_ready =
+          List.fold_left (fun acc (_, r) -> max acc r) 0 vals_readies
+        in
+        st.clock <- max st.clock ops_ready;
+        st.clock <- st.clock + Cost.call_overhead;
+        st.metrics.calls <- st.metrics.calls + 1;
+        let v, _ = run_function st name (List.map fst vals_readies) in
+        st.clock <- st.clock + Cost.ret_overhead;
+        (match dst with
+        | Some d -> set_reg d v ~ready:st.clock
+        | None -> ());
+        pc := next
+    | Ret o ->
+        (match o with
+        | Some o ->
+            let v, r = operand st fr o in
+            st.clock <- max st.clock r;
+            result := v
+        | None -> ());
+        running := false
+    | Vload { dst; base; stride; len; ty } ->
+        let vb, rb = operand st fr base in
+        let vs, rs = operand st fr stride in
+        let vl, rl = operand st fr len in
+        let n = as_int vl in
+        let ops_ready =
+          let r = max (max rb rs) rl in
+          match st.config.sched with
+          | Overlap_conservative -> max r st.last_store_done
+          | Overlap_full | Sequential -> r
+        in
+        let done_ =
+          issue_vector st ~unit_:Cost.MEM ~startup:Cost.vector_startup_mem
+            ~len:n ~ops_ready
+        in
+        st.metrics.vector_insts <- st.metrics.vector_insts + 1;
+        st.metrics.vector_elems <- st.metrics.vector_elems + n;
+        st.metrics.mem_ops <- st.metrics.mem_ops + n;
+        let b = as_int vb and s = as_int vs in
+        fr.vregs.(dst) <- Array.init n (fun i -> load_mem st ty (b + (i * s)));
+        fr.vready.(dst) <- done_;
+        pc := next
+    | Vstore { src; base; stride; len; ty } ->
+        let vb, rb = operand st fr base in
+        let vs, rs = operand st fr stride in
+        let vl, rl = operand st fr len in
+        let n = as_int vl in
+        let ops_ready = max (max (max rb rs) rl) fr.vready.(src) in
+        let done_ =
+          issue_vector st ~unit_:Cost.MEM ~startup:Cost.vector_startup_mem
+            ~len:n ~ops_ready
+        in
+        st.metrics.vector_insts <- st.metrics.vector_insts + 1;
+        st.metrics.vector_elems <- st.metrics.vector_elems + n;
+        st.metrics.mem_ops <- st.metrics.mem_ops + n;
+        st.last_store_done <- max st.last_store_done done_;
+        let b = as_int vb and s = as_int vs in
+        let data = fr.vregs.(src) in
+        if Array.length data < n then error "vector register shorter than store";
+        for i = 0 to n - 1 do
+          store_mem st ty (b + (i * s)) (convert ty data.(i))
+        done;
+        pc := next
+    | Vop { op; dst; a; b; len; ty } ->
+        let n, rl =
+          let v, r = operand st fr len in
+          (as_int v, r)
+        in
+        let get_src = function
+          | Vr vr -> (Array.map (fun x -> x) fr.vregs.(vr), fr.vready.(vr))
+          | Vscal o ->
+              let v, r = operand st fr o in
+              (Array.make (max n 1) v, r)
+        in
+        let da, ra = get_src a in
+        let db, rb = get_src b in
+        let ops_ready = max (max ra rb) rl in
+        let done_ =
+          issue_vector st ~unit_:Cost.FPU ~startup:Cost.vector_startup_fpu
+            ~len:n ~ops_ready
+        in
+        st.metrics.vector_insts <- st.metrics.vector_insts + 1;
+        st.metrics.vector_elems <- st.metrics.vector_elems + n;
+        if Ty.is_float ty then st.metrics.fp_ops <- st.metrics.fp_ops + n;
+        let elt i =
+          let x = if i < Array.length da then da.(i) else Vi 0 in
+          let y = if i < Array.length db then db.(i) else Vi 0 in
+          match op with
+          | Fop fop ->
+              let v = eval_falu fop (as_float x) (as_float y) in
+              if ty = Ty.Float then round_sp v else v
+          | Iop iop -> Vi (eval_ialu iop (as_int x) (as_int y))
+        in
+        fr.vregs.(dst) <- Array.init n elt;
+        fr.vready.(dst) <- done_;
+        pc := next
+    | Vneg { dst; a; len; ty } ->
+        let n, rl =
+          let v, r = operand st fr len in
+          (as_int v, r)
+        in
+        let da, ra =
+          match a with
+          | Vr vr -> (fr.vregs.(vr), fr.vready.(vr))
+          | Vscal o ->
+              let v, r = operand st fr o in
+              (Array.make (max n 1) v, r)
+        in
+        let done_ =
+          issue_vector st ~unit_:Cost.FPU ~startup:Cost.vector_startup_fpu
+            ~len:n ~ops_ready:(max ra rl)
+        in
+        st.metrics.vector_insts <- st.metrics.vector_insts + 1;
+        st.metrics.vector_elems <- st.metrics.vector_elems + n;
+        if Ty.is_float ty then st.metrics.fp_ops <- st.metrics.fp_ops + n;
+        fr.vregs.(dst) <-
+          Array.init n (fun i ->
+              match da.(i) with
+              | Vi x -> Vi (wrap32 (-x))
+              | Vf x -> if ty = Ty.Float then round_sp (Vf (-.x)) else Vf (-.x));
+        fr.vready.(dst) <- done_;
+        pc := next
+    | Viota { dst; offset; scale; len } ->
+        let vo, ro = operand st fr offset in
+        let vs, rs = operand st fr scale in
+        let vl, rl = operand st fr len in
+        let n = as_int vl in
+        let done_ =
+          issue_vector st ~unit_:Cost.FPU ~startup:Cost.viota_startup ~len:n
+            ~ops_ready:(max (max ro rs) rl)
+        in
+        st.metrics.vector_insts <- st.metrics.vector_insts + 1;
+        st.metrics.vector_elems <- st.metrics.vector_elems + n;
+        (* iota broadcasts scalars too: scale 0 replicates a float *)
+        fr.vregs.(dst) <-
+          (match vo, as_int vs with
+          | Vf f, 0 -> Array.make n (Vf f)
+          | _, s -> Array.init n (fun i -> Vi (wrap32 (as_int vo + (s * i)))));
+        fr.vready.(dst) <- done_;
+        pc := next
+    | Vcvt { dst; a; len; to_ } ->
+        let vl, rl = operand st fr len in
+        let n = as_int vl in
+        let done_ =
+          issue_vector st ~unit_:Cost.FPU ~startup:Cost.vector_startup_fpu
+            ~len:n ~ops_ready:(max fr.vready.(a) rl)
+        in
+        st.metrics.vector_insts <- st.metrics.vector_insts + 1;
+        st.metrics.vector_elems <- st.metrics.vector_elems + n;
+        let src = fr.vregs.(a) in
+        fr.vregs.(dst) <-
+          Array.init n (fun i ->
+              convert to_ (if i < Array.length src then src.(i) else Vi 0));
+        fr.vready.(dst) <- done_;
+        pc := next
+    | Par_enter ->
+        if st.par_active then ()  (* nested: account serially *)
+        else begin
+          st.par_active <- true;
+          st.par_enter_clock <- st.clock;
+          st.par_buckets <- Array.make (max st.config.procs 1) 0;
+          st.par_iter <- -1;
+          st.par_iter_start <- st.clock;
+          st.par_serial_total <- 0;
+          st.metrics.parallel_regions <- st.metrics.parallel_regions + 1
+        end;
+        pc := next
+    | Par_serial_end ->
+        (* doacross (§10): the time since this iteration began is the
+           serialized pointer-advance part; it accumulates globally *)
+        if st.par_active then begin
+          st.par_serial_total <-
+            st.par_serial_total + (st.clock - st.par_iter_start);
+          st.par_iter_start <- st.clock
+        end;
+        pc := next
+    | Par_iter ->
+        if st.par_active then begin
+          if st.par_iter >= 0 then begin
+            let dt = st.clock - st.par_iter_start in
+            let p = st.par_iter mod Array.length st.par_buckets in
+            st.par_buckets.(p) <- st.par_buckets.(p) + dt
+          end;
+          st.par_iter <- st.par_iter + 1;
+          st.par_iter_start <- st.clock
+        end;
+        pc := next
+    | Par_exit ->
+        if st.par_active then begin
+          (if st.par_iter >= 0 then begin
+             let dt = st.clock - st.par_iter_start in
+             let p = st.par_iter mod Array.length st.par_buckets in
+             st.par_buckets.(p) <- st.par_buckets.(p) + dt
+           end);
+          let serial_time = st.clock - st.par_enter_clock in
+          let par_time =
+            st.par_serial_total
+            + Array.fold_left max 0 st.par_buckets
+            + Cost.barrier_cycles
+          in
+          if par_time < serial_time then
+            st.saved <- st.saved + (serial_time - par_time);
+          st.par_active <- false
+        end;
+        pc := next);
+    ()
+  done;
+  (!result, st.clock)
+
+(* ----------------------------------------------------------------- *)
+(* Entry points                                                      *)
+(* ----------------------------------------------------------------- *)
+
+type run_result = {
+  return_value : value;
+  stdout_text : string;
+  metrics : metrics;
+  mflops_rate : float;
+  final_state : state;
+}
+
+let rec const_value (e : Expr.t) : value =
+  match e.Expr.desc with
+  | Expr.Const_int n -> Vi n
+  | Expr.Const_float f -> Vf f
+  | Expr.Cast (ty, a) -> convert ty (const_value a)
+  | Expr.Unop (Expr.Neg, a) -> (
+      match const_value a with Vi n -> Vi (-n) | Vf f -> Vf (-.f))
+  | _ -> error "non-constant global initializer"
+
+let init_globals st =
+  List.iter
+    (fun (g : Prog.global) ->
+      let addr = Hashtbl.find st.layout.addr_of g.gvar.Var.id in
+      let ty = g.gvar.Var.ty in
+      match g.Prog.ginit with
+      | Prog.Init_none -> ()
+      | Prog.Init_scalar e ->
+          store_mem st ty addr (convert ty (const_value e))
+      | Prog.Init_array es ->
+          let elt = match ty with Ty.Array (e, _) -> e | t -> t in
+          let esize = Ty.sizeof st.layout.lprog.Prog.structs elt in
+          List.iteri
+            (fun i e ->
+              store_mem st elt (addr + (i * esize)) (convert elt (const_value e)))
+            es
+      | Prog.Init_string s ->
+          String.iteri (fun i c -> Bytes.set st.mem (addr + i) c) s;
+          Bytes.set st.mem (addr + String.length s) '\000')
+    (Prog.globals_list st.layout.lprog)
+
+let create_state ?(config = default_config) (program : Isa.program)
+    (layout : layout) : state =
+  let st =
+    {
+      program;
+      config;
+      mem = Bytes.make mem_size '\000';
+      layout;
+      stack_top = layout.globals_top + 64;
+      output = Buffer.create 256;
+      metrics = new_metrics ();
+      clock = 0;
+      saved = 0;
+      unit_free = Hashtbl.create 4;
+      last_store_done = 0;
+      last_mem_done = 0;
+      par_buckets = [||];
+      par_iter = -1;
+      par_iter_start = 0;
+      par_enter_clock = 0;
+      par_active = false;
+      par_serial_total = 0;
+      insts_executed = 0;
+      issued = 0;
+    }
+  in
+  init_globals st;
+  st
+
+let run ?config ?(entry = "main") ?(args = []) (prog : Prog.t) : run_result =
+  let layout = layout_globals prog in
+  let program =
+    Codegen.gen_program prog ~global_addr:(fun id ->
+        match Hashtbl.find_opt layout.addr_of id with
+        | Some a -> a
+        | None -> error "no address for global %d" id)
+  in
+  let st = create_state ?config program layout in
+  let return_value, _ = run_function st entry args in
+  st.metrics.cycles <- st.clock - st.saved;
+  {
+    return_value;
+    stdout_text = Buffer.contents st.output;
+    metrics = st.metrics;
+    mflops_rate = mflops st.metrics ~clock_mhz:st.config.clock_mhz;
+    final_state = st;
+  }
+
+(* Read back a named global array, for tests comparing against the IL
+   interpreter. *)
+let global_array st prog name n =
+  let g =
+    List.find_opt
+      (fun (g : Prog.global) -> g.gvar.Var.name = name)
+      (Prog.globals_list prog)
+  in
+  match g with
+  | None -> error "no global %s" name
+  | Some g ->
+      let elt = match g.gvar.Var.ty with Ty.Array (e, _) -> e | t -> t in
+      let size = Ty.sizeof prog.Prog.structs elt in
+      let addr = Hashtbl.find st.layout.addr_of g.gvar.Var.id in
+      List.init n (fun i -> load_mem st elt (addr + (i * size)))

@@ -1,0 +1,1 @@
+lib/transform/doacross.ml: Array Builder Expr Func Hashtbl List Option Prog Stmt Var Vpc_il

@@ -1,0 +1,1 @@
+lib/transform/doacross.mli: Func Prog Vpc_il

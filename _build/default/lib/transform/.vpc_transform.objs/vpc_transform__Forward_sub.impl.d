@@ -1,0 +1,1 @@
+lib/transform/forward_sub.ml: Array Expr Func Hashtbl List Option Prog Stmt Var Vpc_analysis Vpc_il

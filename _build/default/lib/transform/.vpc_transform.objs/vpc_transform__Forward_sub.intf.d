@@ -1,0 +1,1 @@
+lib/transform/forward_sub.mli: Func Prog Vpc_il

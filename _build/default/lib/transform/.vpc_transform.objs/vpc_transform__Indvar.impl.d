@@ -1,0 +1,1 @@
+lib/transform/indvar.ml: Array Builder Expr Func Hashtbl List Option Printf Prog Stmt Ty Var Vpc_analysis Vpc_il

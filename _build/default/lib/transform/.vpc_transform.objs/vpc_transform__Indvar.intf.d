@@ -1,0 +1,1 @@
+lib/transform/indvar.mli: Func Prog Vpc_il

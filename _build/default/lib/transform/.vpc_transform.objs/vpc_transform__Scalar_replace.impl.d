@@ -1,0 +1,1 @@
+lib/transform/scalar_replace.ml: Alias Builder Expr Func Hashtbl List Option Prog Stmt Subscript Ty Var Vpc_analysis Vpc_dependence Vpc_il

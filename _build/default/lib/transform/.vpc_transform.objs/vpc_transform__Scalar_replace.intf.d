@@ -1,0 +1,1 @@
+lib/transform/scalar_replace.mli: Func Prog Vpc_il

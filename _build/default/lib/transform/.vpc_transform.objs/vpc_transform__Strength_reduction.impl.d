@@ -1,0 +1,1 @@
+lib/transform/strength_reduction.ml: Builder Expr Func Hashtbl List Prog Stmt Subscript Ty Var Vpc_analysis Vpc_dependence Vpc_il

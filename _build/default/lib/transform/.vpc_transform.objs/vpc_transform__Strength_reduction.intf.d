@@ -1,0 +1,1 @@
+lib/transform/strength_reduction.mli: Func Prog Vpc_il

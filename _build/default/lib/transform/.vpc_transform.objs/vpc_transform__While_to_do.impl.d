@@ -1,0 +1,1 @@
+lib/transform/while_to_do.ml: Builder Expr Func List Prog Stmt Ty Var Vpc_analysis Vpc_il

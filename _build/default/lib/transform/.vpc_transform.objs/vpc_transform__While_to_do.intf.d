@@ -1,0 +1,1 @@
+lib/transform/while_to_do.mli: Func Prog Vpc_il

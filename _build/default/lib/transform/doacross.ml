@@ -1,0 +1,260 @@
+(* Parallelization of pointer-chasing while loops (paper §10):
+
+     "a prime example of such a loop is code that operates on a linked
+      list.  Such a loop cannot be vectorized with any benefit, but it can
+      be spread across multiple processors by pulling the code for moving
+      to the next element into the serialized portion of the parallel
+      loop.  ...  it does require an assumption that each motion down a
+      pointer goes to independent storage."
+
+   For a while loop carrying the independence pragma, the body splits
+   into a *serial prefix* — the statements computing the loop-carried
+   scalar state (the pointer advance, counters, anything the condition
+   needs) — and a *parallel rest* (the memory work).  The prefix is moved
+   to the front behind per-iteration copies of the values the rest reads,
+   and the loop is marked [doacross]; the Titan simulator then charges
+   the prefix serially and spreads the rest over processors. *)
+
+open Vpc_il
+
+type stats = {
+  mutable loops_transformed : int;
+  mutable rejected_shape : int;     (* calls, gotos, non-assign serial *)
+  mutable rejected_dependence : int;(* parallel part feeds serial part *)
+}
+
+let new_stats () =
+  { loops_transformed = 0; rejected_shape = 0; rejected_dependence = 0 }
+
+(* Top-level positions defining each scalar var, or None when some var has
+   a nested definition (we do not untangle those). *)
+let top_defs (body : Stmt.t array) : (int, int list) Hashtbl.t option =
+  let defs = Hashtbl.create 8 in
+  let nested = ref false in
+  Array.iteri
+    (fun pos (s : Stmt.t) ->
+      (match s.Stmt.desc with
+      | Stmt.Assign (Stmt.Lvar v, _) ->
+          Hashtbl.replace defs v
+            (Option.value (Hashtbl.find_opt defs v) ~default:[] @ [ pos ])
+      | _ -> ());
+      Stmt.iter
+        (fun inner ->
+          if inner.Stmt.id <> s.Stmt.id then
+            match inner.Stmt.desc with
+            | Stmt.Assign (Stmt.Lvar _, _) | Stmt.Call (Some (Stmt.Lvar _), _, _)
+              ->
+                nested := true
+            | _ -> ())
+        s)
+    body;
+  if !nested then None else Some defs
+
+(* Positions (including nested statements and the loop condition, encoded
+   as position -1) where each var is read. *)
+let uses_by_var cond (body : Stmt.t array) : (int, int list) Hashtbl.t =
+  let uses = Hashtbl.create 8 in
+  let add v pos =
+    Hashtbl.replace uses v
+      (Option.value (Hashtbl.find_opt uses v) ~default:[] @ [ pos ])
+  in
+  List.iter (fun v -> add v (-1)) (Expr.read_vars cond);
+  Array.iteri
+    (fun pos s ->
+      Stmt.iter (fun inner -> List.iter (fun v -> add v pos) (Stmt.shallow_uses inner)) s)
+    body;
+  uses
+
+let has_control (body : Stmt.t array) =
+  let bad = ref false in
+  Array.iter
+    (fun s ->
+      Stmt.iter
+        (fun inner ->
+          match inner.Stmt.desc with
+          | Stmt.Goto _ | Stmt.Label _ | Stmt.Return _ | Stmt.Call _
+          | Stmt.While _ | Stmt.Do_loop _ ->
+              bad := true
+          | _ -> ())
+        s)
+    body;
+  !bad
+
+let process_loop prog (func : Func.t) stats (s : Stmt.t)
+    (li : Stmt.loop_info) cond (body_l : Stmt.t list) : Stmt.t option =
+  let body = Array.of_list body_l in
+  let n = Array.length body in
+  if has_control body then begin
+    stats.rejected_shape <- stats.rejected_shape + 1;
+    None
+  end
+  else
+    match top_defs body with
+    | None ->
+        stats.rejected_shape <- stats.rejected_shape + 1;
+        None
+    | Some defs ->
+        let uses = uses_by_var cond body in
+        (* loop-carried scalar vars: used by the condition, or used at a
+           position not after their first definition *)
+        let carried = Hashtbl.create 4 in
+        Hashtbl.iter
+          (fun v def_positions ->
+            match def_positions with
+            | [] -> ()
+            | first_def :: _ ->
+                let vuses = Option.value (Hashtbl.find_opt uses v) ~default:[] in
+                if List.exists (fun p -> p <= first_def) vuses then
+                  Hashtbl.replace carried v ())
+          defs;
+        (* close over what the carried updates themselves read *)
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          Hashtbl.iter
+            (fun v () ->
+              List.iter
+                (fun pos ->
+                  match body.(pos).Stmt.desc with
+                  | Stmt.Assign (Stmt.Lvar _, rhs) ->
+                      List.iter
+                        (fun w ->
+                          if Hashtbl.mem defs w && not (Hashtbl.mem carried w)
+                          then begin
+                            Hashtbl.replace carried w ();
+                            changed := true
+                          end)
+                        (Expr.read_vars rhs)
+                  | _ -> ())
+                (Option.value (Hashtbl.find_opt defs v) ~default:[]))
+            carried
+        done;
+        let is_serial pos =
+          match body.(pos).Stmt.desc with
+          | Stmt.Assign (Stmt.Lvar v, _) -> Hashtbl.mem carried v
+          | _ -> false
+        in
+        let serial_pos = List.filter is_serial (List.init n (fun i -> i)) in
+        let parallel_pos =
+          List.filter (fun i -> not (is_serial i)) (List.init n (fun i -> i))
+        in
+        if serial_pos = [] || parallel_pos = [] then None
+        else begin
+          (* safety: parallel statements must not define carried vars, and
+             every parallel read of a carried var must precede its first
+             serial definition (so the front-of-loop copy is its value) *)
+          let ok = ref true in
+          List.iter
+            (fun pos ->
+              match body.(pos).Stmt.desc with
+              | Stmt.Assign (Stmt.Lvar v, _) when Hashtbl.mem carried v ->
+                  ok := false
+              | _ -> ())
+            parallel_pos;
+          Hashtbl.iter
+            (fun v () ->
+              let first_def =
+                match Hashtbl.find_opt defs v with
+                | Some (p :: _) -> p
+                | _ -> max_int
+              in
+              List.iter
+                (fun pos ->
+                  if (not (is_serial pos))
+                     && List.mem v
+                          (let acc = ref [] in
+                           Stmt.iter
+                             (fun inner ->
+                               acc := Stmt.shallow_uses inner @ !acc)
+                             body.(pos);
+                           !acc)
+                     && pos > first_def
+                  then ok := false)
+                parallel_pos)
+            carried;
+          if not !ok then begin
+            stats.rejected_dependence <- stats.rejected_dependence + 1;
+            None
+          end
+          else begin
+            let b = Builder.ctx prog func in
+            (* copies of carried vars the parallel part reads *)
+            let copies = ref [] in
+            let substs = ref [] in
+            Hashtbl.iter
+              (fun v () ->
+                let read_by_parallel =
+                  List.exists
+                    (fun pos ->
+                      let acc = ref [] in
+                      Stmt.iter
+                        (fun inner -> acc := Stmt.shallow_uses inner @ !acc)
+                        body.(pos);
+                      List.mem v !acc)
+                    parallel_pos
+                in
+                if read_by_parallel then begin
+                  let meta = Prog.var_exn prog (Some func) v in
+                  let cur =
+                    Builder.fresh_temp b ~name:(meta.Var.name ^ "_cur")
+                      meta.Var.ty
+                  in
+                  copies := Builder.assign b cur (Expr.var meta) :: !copies;
+                  substs := (v, Expr.var cur) :: !substs
+                end)
+              carried;
+            let subst_deep (st : Stmt.t) =
+              let rewrite e =
+                List.fold_left
+                  (fun e (v, by) -> Expr.subst_var v by e)
+                  e !substs
+              in
+              let rec deep st =
+                let st = Stmt.map_exprs_shallow rewrite st in
+                match st.Stmt.desc with
+                | Stmt.If (c, t, e) ->
+                    { st with Stmt.desc = Stmt.If (c, List.map deep t, List.map deep e) }
+                | _ -> st
+              in
+              deep st
+            in
+            let serial_stmts = List.map (fun i -> body.(i)) serial_pos in
+            let parallel_stmts =
+              List.map (fun i -> subst_deep body.(i)) parallel_pos
+            in
+            let new_body = !copies @ serial_stmts @ parallel_stmts in
+            let info =
+              {
+                li with
+                Stmt.doacross = true;
+                serial_prefix = List.length !copies + List.length serial_stmts;
+              }
+            in
+            stats.loops_transformed <- stats.loops_transformed + 1;
+            Some { s with Stmt.desc = Stmt.While (info, cond, new_body) }
+          end
+        end
+
+(* Apply to pragma-marked while loops the earlier phases could not turn
+   into DO loops. *)
+let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+  let changed = ref false in
+  let rec walk stmts = List.map walk_stmt stmts
+  and walk_stmt (s : Stmt.t) =
+    match s.Stmt.desc with
+    | Stmt.While (li, cond, body)
+      when li.Stmt.pragma_independent && not li.Stmt.doacross -> (
+        match process_loop prog func stats s li cond (walk body) with
+        | Some s' ->
+            changed := true;
+            s'
+        | None -> s)
+    | Stmt.While (li, c, body) ->
+        { s with desc = Stmt.While (li, c, walk body) }
+    | Stmt.If (c, t, e) -> { s with desc = Stmt.If (c, walk t, walk e) }
+    | Stmt.Do_loop d ->
+        { s with desc = Stmt.Do_loop { d with body = walk d.body } }
+    | _ -> s
+  in
+  func.Func.body <- walk func.Func.body;
+  !changed

@@ -1,0 +1,18 @@
+(** Parallelization of pointer-chasing while loops (paper §10): the body
+    splits into a serialized prefix — the statements computing the
+    loop-carried scalar state (the pointer advance, counters, the
+    condition's inputs) — and a parallel rest (the memory work), which
+    the Titan spreads over processors.  Applied only to loops carrying
+    the independence pragma, which supplies the paper's "assumption that
+    each motion down a pointer goes to independent storage". *)
+
+open Vpc_il
+
+type stats = {
+  mutable loops_transformed : int;
+  mutable rejected_shape : int;
+  mutable rejected_dependence : int;
+}
+
+val new_stats : unit -> stats
+val run : ?stats:stats -> Prog.t -> Func.t -> bool

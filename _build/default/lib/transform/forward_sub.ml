@@ -1,0 +1,136 @@
+(* In-loop forward substitution: collapse the front end's single-use
+   temporaries inside DO-loop bodies so each memory store becomes one
+   self-contained assignment the vectorizer can turn into a vector
+   statement.  After inlining, §9's loops look like
+
+       in_x = *(&b + 4*k);
+       ret = in_x * 2.0 + 1.0;
+       *(&a + 4*k) = ret;
+
+   and must become  *(&a + 4*k) = *(&b + 4*k) * 2.0 + 1.0.
+
+   A definition  t = rhs  at position p substitutes into its single use at
+   position q > p when:
+     - t is a compiler temp with no other defs or uses (and dead after
+       the loop, which being a temp with a single in-loop use implies
+       here: we additionally require it not be live out);
+     - no variable rhs reads is redefined in (p, q);
+     - if rhs loads memory, no statement in (p, q) writes memory — the
+       use's own store happens after its RHS evaluation, so the store at
+       q itself is fine. *)
+
+open Vpc_il
+
+type stats = { mutable substituted : int }
+
+let new_stats () = { substituted = 0 }
+
+let is_normalized (d : Stmt.do_loop) =
+  Expr.is_zero d.lo
+  && (match d.step.Expr.desc with Expr.Const_int 1 -> true | _ -> false)
+
+let process_loop (func : Func.t) (live : Vpc_analysis.Liveness.t) stats
+    (loop_stmt : Stmt.t) (d : Stmt.do_loop) : Stmt.do_loop =
+  let top = Array.of_list d.body in
+  let n = Array.length top in
+  (* plain assign bodies only *)
+  let plain =
+    Array.for_all
+      (fun (s : Stmt.t) ->
+        match s.Stmt.desc with Stmt.Assign _ | Stmt.Nop -> true | _ -> false)
+      top
+  in
+  if not plain then d
+  else begin
+    (* def positions and use positions per var *)
+    let defs = Hashtbl.create 16 and uses = Hashtbl.create 16 in
+    let addp tbl v p =
+      Hashtbl.replace tbl v (p :: Option.value (Hashtbl.find_opt tbl v) ~default:[])
+    in
+    Array.iteri
+      (fun p (s : Stmt.t) ->
+        (match s.Stmt.desc with
+        | Stmt.Assign (Stmt.Lvar v, _) -> addp defs v p
+        | _ -> ());
+        List.iter (fun v -> addp uses v p) (Stmt.shallow_uses s))
+      top;
+    let writes_mem p =
+      match top.(p).Stmt.desc with
+      | Stmt.Assign (Stmt.Lmem _, _) -> true
+      | _ -> false
+    in
+    let killed = Hashtbl.create 8 in
+    for p = 0 to n - 1 do
+      match top.(p).Stmt.desc with
+      | Stmt.Assign (Stmt.Lvar t, rhs) -> (
+          let tvar = Func.find_var func t in
+          let is_candidate =
+            match tvar with
+            | Some v ->
+                v.Var.is_temp && (not v.volatile)
+                && Hashtbl.find_opt defs t = Some [ p ]
+                && (not
+                      (Vpc_analysis.Liveness.live_out_of live
+                         ~stmt_id:loop_stmt.Stmt.id ~var:t))
+            | None -> false
+          in
+          let unique_use_positions =
+            match Hashtbl.find_opt uses t with
+            | Some l -> List.sort_uniq compare l
+            | None -> []
+          in
+          match unique_use_positions with
+          | [ q ] when is_candidate && q > p ->
+              let rhs_reads = Expr.read_vars rhs in
+              let reads_mem = Expr.contains_load rhs in
+              let safe = ref true in
+              for r = p + 1 to q - 1 do
+                (match top.(r).Stmt.desc with
+                | Stmt.Assign (Stmt.Lvar w, _) when List.mem w rhs_reads ->
+                    safe := false
+                | _ -> ());
+                if reads_mem && writes_mem r then safe := false
+              done;
+              (* the consumer must not redefine an rhs var before... the
+                 whole statement evaluates its RHS first, so same-stmt
+                 redefinition is fine *)
+              if !safe then begin
+                top.(q) <-
+                  Stmt.map_exprs_shallow
+                    (Expr.subst_var t rhs)
+                    top.(q);
+                Hashtbl.replace killed p ();
+                stats.substituted <- stats.substituted + 1;
+                (* t's rhs vars are now read at q: update use positions so
+                   later candidates see the move *)
+                List.iter (fun v -> addp uses v q) rhs_reads
+              end
+          | _ -> ())
+      | _ -> ()
+    done;
+    let body =
+      List.filteri (fun p _ -> not (Hashtbl.mem killed p)) (Array.to_list top)
+    in
+    { d with body }
+  end
+
+let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+  ignore prog;
+  let live = Vpc_analysis.Liveness.build func in
+  let before = stats.substituted in
+  let rec walk stmts = List.map walk_stmt stmts
+  and walk_stmt (s : Stmt.t) : Stmt.t =
+    match s.Stmt.desc with
+    | Stmt.Do_loop d when is_normalized d ->
+        let d = { d with body = walk d.body } in
+        let s = { s with Stmt.desc = Stmt.Do_loop d } in
+        let d' = process_loop func live stats s d in
+        { s with Stmt.desc = Stmt.Do_loop d' }
+    | Stmt.Do_loop d ->
+        { s with desc = Stmt.Do_loop { d with body = walk d.body } }
+    | Stmt.If (c, t, e) -> { s with desc = Stmt.If (c, walk t, walk e) }
+    | Stmt.While (li, c, b) -> { s with desc = Stmt.While (li, c, walk b) }
+    | _ -> s
+  in
+  func.Func.body <- walk func.Func.body;
+  stats.substituted > before

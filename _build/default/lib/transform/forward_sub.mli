@@ -1,0 +1,12 @@
+(** In-loop forward substitution: collapse the front end's single-consumer
+    temporaries inside DO-loop bodies so each store becomes one
+    self-contained assignment the vectorizer can handle.  A definition
+    substitutes into its consumer when nothing it reads is redefined in
+    between and, if it loads memory, nothing in between writes memory. *)
+
+open Vpc_il
+
+type stats = { mutable substituted : int }
+
+val new_stats : unit -> stats
+val run : ?stats:stats -> Prog.t -> Func.t -> bool

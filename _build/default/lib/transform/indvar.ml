@@ -1,0 +1,495 @@
+(* Induction-variable substitution (paper §5.3).
+
+   Operates on normalized DO loops (lo = 0, step = 1).  Variables updated
+   once or more per iteration by a loop-invariant amount — possibly
+   through the temp chains the front end generates for ++/-- — become
+   closed-form expressions in the loop index, making the variation of
+   memory references explicit for the vectorizer:
+
+       temp_1 = a;            →   temp_1 = a_init + 4*k
+       a = temp_1 + 4;            (update rewritten, then dead-coded)
+       *temp_1 = *temp_2;     →   *(a_init + 4*k) = *(b_init + 4*k)
+
+   The pass is organized exactly as the paper's heuristic: repeated passes
+   over the loop body; a statement that fails to linearize only because a
+   variable it reads is redefined later-recognized is "blocked", and is
+   re-examined on the next pass once the blocking statements have been
+   substituted.  Worst case n passes, one pass in practice (§5.3). *)
+
+open Vpc_il
+
+type stats = {
+  mutable loops_processed : int;
+  mutable ivs_found : int;
+  mutable substitutions : int;
+  mutable passes : int;          (* total linearization passes over bodies *)
+  mutable max_passes_one_loop : int;
+  mutable blocked_events : int;  (* statements deferred to a later pass *)
+}
+
+let new_stats () =
+  {
+    loops_processed = 0;
+    ivs_found = 0;
+    substitutions = 0;
+    passes = 0;
+    max_passes_one_loop = 0;
+    blocked_events = 0;
+  }
+
+(* Linear form  self_coef * SELF + base + kcoef * k  with [base] and
+   [kcoef] loop-invariant expressions. *)
+type lin = { self_coef : int; base : Expr.t; kcoef : Expr.t }
+
+type outcome =
+  | Lin of lin
+  | Blocked   (* may succeed on a later pass *)
+  | Fail      (* will never linearize *)
+
+type iv_info = {
+  iv_var : Var.t;
+  total_delta : Expr.t;                (* invariant per-iteration change *)
+  update_positions : (int * Expr.t) list;  (* top-level position, delta *)
+  mutable init_var : Var.t option;     (* preheader copy, made on demand *)
+}
+
+type loop_env = {
+  prog : Prog.t;
+  func : Func.t;
+  top : Stmt.t array;                  (* top-level statements, in order *)
+  pos_of_stmt : (int, int) Hashtbl.t;  (* stmt id -> top position *)
+  defs_of : (int, int list) Hashtbl.t; (* var -> top positions defining it *)
+  tainted : (int, unit) Hashtbl.t;     (* vars we must not touch *)
+  mem_written : bool;
+  index_var : int;
+  mutable ivs : (int * iv_info) list;
+  resolved : (int, lin) Hashtbl.t;     (* top position -> value of that temp *)
+}
+
+let zero = Expr.int_const 0
+
+let lin_const e = { self_coef = 0; base = e; kcoef = zero }
+
+(* Result type of mixed arithmetic: pointers and floats win over ints so
+   address expressions stay pointer-typed. *)
+let combine_ty (a : Expr.t) (b : Expr.t) =
+  if Ty.is_pointer a.Expr.ty then a.Expr.ty
+  else if Ty.is_pointer b.Expr.ty then b.Expr.ty
+  else if Ty.is_float a.Expr.ty then a.Expr.ty
+  else if Ty.is_float b.Expr.ty then b.Expr.ty
+  else a.Expr.ty
+
+let add_expr a b =
+  if Expr.is_zero a then b
+  else if Expr.is_zero b then a
+  else Vpc_analysis.Simplify.expr (Expr.binop Expr.Add a b (combine_ty a b))
+
+let sub_expr a b =
+  Vpc_analysis.Simplify.expr (Expr.binop Expr.Sub a b (combine_ty a b))
+
+let mul_expr a b =
+  Vpc_analysis.Simplify.expr (Expr.binop Expr.Mul a b (combine_ty a b))
+
+let lin_add x y =
+  { self_coef = x.self_coef + y.self_coef;
+    base = add_expr x.base y.base;
+    kcoef = add_expr x.kcoef y.kcoef }
+
+let lin_sub x y =
+  { self_coef = x.self_coef - y.self_coef;
+    base = sub_expr x.base y.base;
+    kcoef = sub_expr x.kcoef y.kcoef }
+
+let lin_scale c x =
+  {
+    self_coef = (match c.Expr.desc with Expr.Const_int n -> n * x.self_coef | _ -> 0);
+    base = mul_expr c x.base;
+    kcoef = mul_expr c x.kcoef;
+  }
+
+(* Is [e] invariant in this loop body?  Reads only vars with no defs in
+   the body that are not tainted-by-memory; loads only if the body writes
+   no memory. *)
+let invariant env (e : Expr.t) =
+  (not (Expr.contains_load e) || not env.mem_written)
+  && List.for_all
+       (fun v ->
+         (not (Hashtbl.mem env.defs_of v))
+         && (not (Hashtbl.mem env.tainted v))
+         && v <> env.index_var)
+       (Expr.read_vars e)
+
+(* Sum of deltas of IV [info] applied before top-level position [pos]. *)
+let partial_delta info pos =
+  List.fold_left
+    (fun acc (p, d) -> if p < pos then add_expr acc d else acc)
+    zero info.update_positions
+
+(* Value of IV [v] as a lin form at top-level position [pos]. *)
+let iv_value env info pos =
+  let init =
+    match info.init_var with
+    | Some v -> v
+    | None ->
+        let b = Builder.ctx env.prog env.func in
+        let v =
+          Builder.fresh_temp b
+            ~name:(Printf.sprintf "%s_init" info.iv_var.Var.name)
+            info.iv_var.Var.ty
+        in
+        info.init_var <- Some v;
+        v
+  in
+  {
+    self_coef = 0;
+    base = add_expr (Expr.var init) (partial_delta info pos);
+    kcoef = info.total_delta;
+  }
+
+(* Linearize expression [e] appearing at top-level position [pos], with
+   reads of [self] kept symbolic.  [depth] bounds chain recursion. *)
+let rec linearize env ~self ~pos ~depth (e : Expr.t) : outcome =
+  if invariant env e then Lin (lin_const e)
+  else
+    match e.Expr.desc with
+    | Expr.Const_int _ | Expr.Const_float _ | Expr.Addr_of _ ->
+        Lin (lin_const e)
+    | Expr.Var v when v = self -> Lin { self_coef = 1; base = zero; kcoef = zero }
+    | Expr.Var v when v = env.index_var ->
+        Lin { self_coef = 0; base = zero; kcoef = Expr.int_const 1 }
+    | Expr.Var v -> linearize_var env ~self ~pos ~depth v
+    | Expr.Binop (Expr.Add, a, b) -> (
+        match linearize env ~self ~pos ~depth a, linearize env ~self ~pos ~depth b with
+        | Lin x, Lin y -> Lin (lin_add x y)
+        | Blocked, _ | _, Blocked -> Blocked
+        | _ -> Fail)
+    | Expr.Binop (Expr.Sub, a, b) -> (
+        match linearize env ~self ~pos ~depth a, linearize env ~self ~pos ~depth b with
+        | Lin x, Lin y -> Lin (lin_sub x y)
+        | Blocked, _ | _, Blocked -> Blocked
+        | _ -> Fail)
+    | Expr.Binop (Expr.Mul, a, b) when invariant env a -> (
+        match linearize env ~self ~pos ~depth b with
+        | Lin y -> Lin (lin_scale a y)
+        | other -> other)
+    | Expr.Binop (Expr.Mul, a, b) when invariant env b -> (
+        match linearize env ~self ~pos ~depth a with
+        | Lin x -> Lin (lin_scale b x)
+        | other -> other)
+    | Expr.Cast (ty, a) when Ty.is_integer ty || Ty.is_pointer ty -> (
+        (* integer/pointer casts preserve linearity on our target *)
+        match linearize env ~self ~pos ~depth a with
+        | Lin x when x.self_coef = 0 ->
+            Lin { x with base = Expr.cast ty x.base }
+        | other -> other)
+    | _ -> Fail
+
+(* A read of in-body-defined variable [v] at position [pos]. *)
+and linearize_var env ~self ~pos ~depth v : outcome =
+  if depth > 64 then Fail
+  else if Hashtbl.mem env.tainted v then Fail
+  else
+    match List.assoc_opt v env.ivs with
+    | Some info -> Lin (iv_value env info pos)
+    | None -> (
+        match Hashtbl.find_opt env.defs_of v with
+        | None | Some [] -> Lin (lin_const (Expr.var_id v Ty.Int))
+        | Some [ def_pos ] when def_pos < pos -> (
+            (* single def before the use: substitute its RHS through,
+               provided the vars that RHS reads are not redefined between
+               def_pos and pos — when they are, the statement is blocked
+               until those redefinitions are themselves substituted (the
+               paper's blocking relation). *)
+            match Hashtbl.find_opt env.resolved def_pos with
+            | Some l when l.self_coef = 0 -> Lin l
+            | _ -> (
+                match env.top.(def_pos).Stmt.desc with
+                | Stmt.Assign (Stmt.Lvar _, rhs) -> (
+                    let redefined_between w =
+                      match Hashtbl.find_opt env.defs_of w with
+                      | None -> false
+                      | Some poss ->
+                          List.exists (fun p -> p > def_pos && p < pos) poss
+                    in
+                    let blocked_var =
+                      List.find_opt
+                        (fun w ->
+                          w <> self && redefined_between w
+                          && not (List.mem_assoc w env.ivs))
+                        (Expr.read_vars rhs)
+                    in
+                    match blocked_var with
+                    | Some _ -> Blocked
+                    | None ->
+                        (* the temp captured its RHS's value at def_pos, so
+                           linearize there; the result may be linear in
+                           [self] (that is what temp chains carry) *)
+                        linearize env ~self ~pos:def_pos ~depth:(depth + 1) rhs)
+                | _ -> Fail))
+        | Some _ -> Fail)
+
+(* ----------------------------------------------------------------- *)
+(* IV recognition                                                    *)
+(* ----------------------------------------------------------------- *)
+
+(* Try to classify variable [v]: every top-level def must linearize to
+   SELF + delta with delta invariant. *)
+let classify_iv env v positions : (iv_info, outcome) result =
+  let deltas =
+    List.map
+      (fun pos ->
+        match env.top.(pos).Stmt.desc with
+        | Stmt.Assign (Stmt.Lvar _, rhs) -> (
+            match linearize env ~self:v ~pos ~depth:0 rhs with
+            | Lin { self_coef = 1; base; kcoef } when Expr.is_zero kcoef ->
+                Ok (pos, base)
+            | Lin _ -> Error Fail
+            | other -> Error other)
+        | _ -> Error Fail)
+      positions
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok d :: rest -> collect (d :: acc) rest
+    | Error o :: _ -> Error o
+  in
+  match collect [] deltas with
+  | Error o -> Error o
+  | Ok update_positions ->
+      let total_delta =
+        List.fold_left (fun acc (_, d) -> add_expr acc d) zero update_positions
+      in
+      let iv_var =
+        match Func.find_var env.func v with
+        | Some var -> var
+        | None -> Var.make ~id:v ~name:(Printf.sprintf "v%d" v) ~ty:Ty.Int ()
+      in
+      Ok { iv_var; total_delta; update_positions; init_var = None }
+
+(* ----------------------------------------------------------------- *)
+(* Per-loop driver                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let build_env prog (func : Func.t) (d : Stmt.do_loop) : loop_env =
+  let top = Array.of_list d.body in
+  let pos_of_stmt = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.replace pos_of_stmt s.Stmt.id i) top;
+  let defs_of = Hashtbl.create 16 in
+  let tainted = Hashtbl.create 8 in
+  let mem_written = ref false in
+  let taint v = Hashtbl.replace tainted v () in
+  (* address-taken / global / volatile vars are unsafe *)
+  let unsafe = Func.addressed_vars func in
+  Array.iteri
+    (fun i s ->
+      (match s.Stmt.desc with
+      | Stmt.Assign (Stmt.Lvar v, _) ->
+          Hashtbl.replace defs_of v
+            (Option.value (Hashtbl.find_opt defs_of v) ~default:[] @ [ i ])
+      | Stmt.Call (Some (Stmt.Lvar v), _, _) -> taint v
+      | _ -> ());
+      Stmt.iter
+        (fun inner ->
+          (match inner.Stmt.desc with
+          | Stmt.Assign (Stmt.Lmem _, _) | Stmt.Vector _ -> mem_written := true
+          | Stmt.Call _ ->
+              mem_written := true;
+              (* calls can change any unsafe variable *)
+              Hashtbl.iter (fun v () -> taint v) unsafe
+          | _ -> ());
+          if inner.Stmt.id <> s.Stmt.id then
+            match Vpc_analysis.Reaching.strong_def_of inner with
+            | Some (v, _) -> taint v  (* defined in nested position *)
+            | None -> ())
+        s)
+    top;
+  (* unsafe vars are tainted when memory is written in the body *)
+  Hashtbl.iter (fun v () -> if !mem_written then taint v) unsafe;
+  Hashtbl.iter
+    (fun v _ ->
+      match Prog.find_var prog (Some func) v with
+      | Some var ->
+          if var.volatile then taint v;
+          if Var.is_global var && !mem_written then taint v
+      | None -> taint v)
+    defs_of;
+  (* volatile reads must be neither moved nor duplicated: taint every
+     volatile variable the body mentions, even read-only ones *)
+  Array.iter
+    (fun s ->
+      Stmt.iter
+        (fun s ->
+          List.iter
+            (fun e ->
+              List.iter
+                (fun v ->
+                  match Prog.find_var prog (Some func) v with
+                  | Some var -> if var.Var.volatile then taint v
+                  | None -> taint v)
+                (Expr.read_vars e))
+            (Stmt.shallow_exprs s))
+        s)
+    top;
+  {
+    prog;
+    func;
+    top;
+    pos_of_stmt;
+    defs_of;
+    tainted;
+    mem_written = !mem_written;
+    index_var = d.index;
+    ivs = [];
+    resolved = Hashtbl.create 8;
+  }
+
+let is_normalized (d : Stmt.do_loop) =
+  Expr.is_zero d.lo
+  && (match d.step.Expr.desc with Expr.Const_int 1 -> true | _ -> false)
+
+(* Run recognition passes until fixpoint, then rewrite. *)
+let process_loop stats prog func (loop_stmt : Stmt.t) (d : Stmt.do_loop) :
+    Stmt.t list option =
+  if not (is_normalized d) then None
+  else begin
+    stats.loops_processed <- stats.loops_processed + 1;
+    let env = build_env prog func d in
+    (* --- recognition passes (the §5.3 heuristic) --- *)
+    let local_passes = ref 0 in
+    let progress = ref true in
+    let blocked_last_pass = ref 0 in
+    while !progress && !local_passes < Array.length env.top + 2 do
+      incr local_passes;
+      stats.passes <- stats.passes + 1;
+      progress := false;
+      blocked_last_pass := 0;
+      (* 1. try to recognize new IVs *)
+      Hashtbl.iter
+        (fun v positions ->
+          if
+            (not (Hashtbl.mem env.tainted v))
+            && (not (List.mem_assoc v env.ivs))
+            && v <> env.index_var
+          then
+            match classify_iv env v positions with
+            | Ok info ->
+                env.ivs <- (v, info) :: env.ivs;
+                stats.ivs_found <- stats.ivs_found + 1;
+                progress := true
+            | Error Blocked ->
+                incr blocked_last_pass;
+                stats.blocked_events <- stats.blocked_events + 1
+            | Error _ -> ())
+        env.defs_of;
+      (* 2. try to resolve single-def temps to closed forms *)
+      Array.iteri
+        (fun pos s ->
+          if not (Hashtbl.mem env.resolved pos) then
+            match s.Stmt.desc with
+            | Stmt.Assign (Stmt.Lvar v, rhs)
+              when (not (Hashtbl.mem env.tainted v))
+                   && (match Hashtbl.find_opt env.defs_of v with
+                      | Some [ p ] -> p = pos
+                      | _ -> false) -> (
+                match linearize env ~self:v ~pos ~depth:0 rhs with
+                | Lin l when l.self_coef = 0 ->
+                    Hashtbl.replace env.resolved pos l;
+                    progress := true
+                | Lin _ -> ()
+                | Blocked ->
+                    incr blocked_last_pass;
+                    stats.blocked_events <- stats.blocked_events + 1
+                | Fail -> ())
+            | _ -> ())
+        env.top
+    done;
+    stats.max_passes_one_loop <- max stats.max_passes_one_loop !local_passes;
+    if env.ivs = [] then None
+    else begin
+      (* --- rewrite --- *)
+      let k_read = Expr.var_id d.index Ty.Int in
+      let lin_to_expr (l : lin) ty =
+        let k_term =
+          if Expr.is_zero l.kcoef then zero
+          else mul_expr l.kcoef k_read
+        in
+        let e = add_expr l.base k_term in
+        Expr.cast ty e
+      in
+      let rewrite_at pos (e : Expr.t) =
+        Expr.map
+          (fun e ->
+            match e.Expr.desc with
+            | Expr.Var v when v <> env.index_var -> (
+                match List.assoc_opt v env.ivs with
+                | Some info ->
+                    stats.substitutions <- stats.substitutions + 1;
+                    lin_to_expr (iv_value env info pos) e.Expr.ty
+                | None -> (
+                    (* resolved temp read after its def *)
+                    match Hashtbl.find_opt env.defs_of v with
+                    | Some [ def_pos ] when def_pos < pos -> (
+                        match Hashtbl.find_opt env.resolved def_pos with
+                        | Some l ->
+                            stats.substitutions <- stats.substitutions + 1;
+                            lin_to_expr l e.Expr.ty
+                        | None -> e)
+                    | _ -> e))
+            | _ -> e)
+          e
+      in
+      let new_body =
+        List.mapi
+          (fun pos s ->
+            let rewrite e = Vpc_analysis.Simplify.expr (rewrite_at pos e) in
+            let rec deep (s : Stmt.t) =
+              let s = Stmt.map_exprs_shallow rewrite s in
+              match s.Stmt.desc with
+              | Stmt.If (c, t, e) ->
+                  { s with desc = Stmt.If (c, List.map deep t, List.map deep e) }
+              | Stmt.While (li, c, b) ->
+                  { s with desc = Stmt.While (li, c, List.map deep b) }
+              | Stmt.Do_loop dd ->
+                  { s with desc = Stmt.Do_loop { dd with body = List.map deep dd.body } }
+              | _ -> s
+            in
+            deep s)
+          d.body
+      in
+      (* preheader init copies for the IVs whose init vars were needed *)
+      let b = Builder.ctx prog func in
+      let inits =
+        List.filter_map
+          (fun (_, info) ->
+            match info.init_var with
+            | Some init -> Some (Builder.assign b init (Expr.var info.iv_var))
+            | None -> None)
+          (List.rev env.ivs)
+      in
+      Some
+        (inits
+        @ [ { loop_stmt with Stmt.desc = Stmt.Do_loop { d with body = new_body } } ])
+    end
+  end
+
+(* Apply to every normalized DO loop in the function (outermost first; the
+   rewritten loop is not revisited). *)
+let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+  let changed = ref false in
+  let rec walk stmts = List.concat_map walk_stmt stmts
+  and walk_stmt (s : Stmt.t) : Stmt.t list =
+    match s.Stmt.desc with
+    | Stmt.Do_loop d -> (
+        let d = { d with body = walk d.body } in
+        let s = { s with Stmt.desc = Stmt.Do_loop d } in
+        match process_loop stats prog func s d with
+        | Some replacement ->
+            changed := true;
+            replacement
+        | None -> [ s ])
+    | Stmt.If (c, t, e) -> [ { s with desc = Stmt.If (c, walk t, walk e) } ]
+    | Stmt.While (li, c, b) -> [ { s with desc = Stmt.While (li, c, walk b) } ]
+    | _ -> [ s ]
+  in
+  func.Func.body <- walk func.Func.body;
+  !changed

@@ -1,0 +1,25 @@
+(** Induction-variable substitution (paper §5.3), on normalized DO loops.
+    Variables updated by loop-invariant amounts — possibly through the
+    front end's ++/-- temp chains — become closed forms in the loop
+    index, making the variation of memory references explicit for the
+    vectorizer:
+
+    {v temp_1 = a; a = temp_1 + 4; *temp_1 = *temp_2
+       ==>  *(a_init + 4*k) = *(b_init + 4*k) v}
+
+    Organized as the paper's heuristic: repeated passes with blocking
+    bookkeeping; worst case n passes, one working pass in practice. *)
+
+open Vpc_il
+
+type stats = {
+  mutable loops_processed : int;
+  mutable ivs_found : int;
+  mutable substitutions : int;
+  mutable passes : int;
+  mutable max_passes_one_loop : int;
+  mutable blocked_events : int;  (** statements deferred to a later pass *)
+}
+
+val new_stats : unit -> stats
+val run : ?stats:stats -> Prog.t -> Func.t -> bool

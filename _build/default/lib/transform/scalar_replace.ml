@@ -1,0 +1,148 @@
+(* Scalar replacement of regular cross-iteration memory references
+   (paper §6): in the backsolve loop
+
+       p[i] = z[i] * (y[i] - q[i])      with p = &x[1], q = &x[0]
+
+   the read q[i] at iteration i fetches the value p[i-1] stored one
+   iteration earlier.  "This use is quite regular; the Titan vectorizer is
+   able to recognize this regularity and pull the values up into
+   registers", removing one load per iteration and — critically —
+   removing the memory-access constraint that blocks instruction
+   scheduling overlap.
+
+   We handle the distance-1 flow dependence from a statement to itself:
+   the stored value is kept in a register temp that next iteration's read
+   uses directly. *)
+
+open Vpc_il
+open Vpc_dependence
+
+type stats = {
+  mutable loops_transformed : int;
+  mutable loads_removed : int;
+}
+
+let new_stats () = { loops_transformed = 0; loads_removed = 0 }
+
+let is_normalized (d : Stmt.do_loop) =
+  Expr.is_zero d.lo
+  && (match d.step.Expr.desc with Expr.Const_int 1 -> true | _ -> false)
+
+(* Try to transform one loop; the body must be a single Lmem assignment
+   whose only carried dependence is the distance-1 flow from its write to
+   one of its reads. *)
+let process_loop prog (func : Func.t) stats (loop_stmt : Stmt.t)
+    (d : Stmt.do_loop) : Stmt.t list option =
+  match d.body with
+  | [ ({ Stmt.desc = Stmt.Assign (Stmt.Lmem w_addr, rhs); _ } as body_stmt) ]
+    -> (
+      let defined_in_body, mem_written =
+        Vpc_analysis.Reaching.vars_defined_in d.body
+      in
+      let unsafe = Func.addressed_vars func in
+      let invariant (e : Expr.t) =
+        ((not (Expr.contains_load e)) || not mem_written)
+        && List.for_all
+             (fun v ->
+               v <> d.index
+               && (not (Hashtbl.mem defined_in_body v))
+               && ((not mem_written) || not (Hashtbl.mem unsafe v))
+               &&
+               match Func.find_var func v with
+               | Some vm -> not vm.Var.volatile
+               | None -> false)
+             (Expr.read_vars e)
+      in
+      let affine e = Subscript.affine_of ~index:d.index ~invariant e in
+      match affine w_addr with
+      | Some wa when wa.Subscript.coeff <> 0 && invariant wa.Subscript.base -> (
+          (* find the reads; exactly one may carry the distance-1 flow *)
+          let reads = Subscript.loads_of rhs [] in
+          let classify (raddr, _ty) =
+            match affine raddr with
+            | Some ra
+              when ra.Subscript.coeff = wa.Subscript.coeff
+                   && invariant ra.Subscript.base -> (
+                match Alias.bases ra.Subscript.base wa.Subscript.base with
+                | Alias.Must_alias delta when delta = wa.Subscript.coeff ->
+                    (* wait: delta = base_w - base_r computed as (b2 - b1)
+                       with b1 = ra.base, b2 = wa.base; the read at
+                       iteration k touches the address written at k-1 when
+                       base_r = base_w - coeff, i.e. delta = +coeff *)
+                    `Carried_flow_1
+                | Alias.Must_alias 0 -> `Same_location
+                | Alias.Must_alias _ -> `Other_distance
+                | Alias.No_alias -> `Independent
+                | Alias.May_alias -> `Unknown)
+            | _ -> `Unknown
+          in
+          let classified = List.map (fun r -> (r, classify r)) reads in
+          let carried =
+            List.filter (fun (_, c) -> c = `Carried_flow_1) classified
+          in
+          let bad =
+            List.exists
+              (fun (_, c) -> c = `Unknown || c = `Other_distance)
+              classified
+          in
+          match carried, bad with
+          | [ ((r_addr, r_ty), _) ], false ->
+              let b = Builder.ctx prog func in
+              let reg = Builder.fresh_temp b ~name:"f_reg" r_ty in
+              (* preheader: load the value the first iteration reads *)
+              let ra = Option.get (affine r_addr) in
+              let pre =
+                Builder.assign b reg
+                  (Expr.load
+                     (Expr.cast (Ty.Ptr r_ty) ra.Subscript.base))
+              in
+              (* replace the carried read with the register, bind the
+                 stored value, update the register after the store *)
+              let rhs' =
+                Expr.map
+                  (fun e ->
+                    match e.Expr.desc with
+                    | Expr.Load p when Expr.equal p r_addr -> Expr.var reg
+                    | _ -> e)
+                  rhs
+              in
+              let bind_stmt, tv = Builder.bind b ~name:"f_val" rhs' in
+              let new_body =
+                [
+                  bind_stmt;
+                  { body_stmt with Stmt.desc = Stmt.Assign (Stmt.Lmem w_addr, tv) };
+                  Builder.assign b reg tv;
+                ]
+              in
+              stats.loops_transformed <- stats.loops_transformed + 1;
+              stats.loads_removed <- stats.loads_removed + 1;
+              Some
+                [
+                  pre;
+                  { loop_stmt with Stmt.desc = Stmt.Do_loop { d with body = new_body } };
+                ]
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+  let changed = ref false in
+  let rec walk stmts = List.concat_map walk_stmt stmts
+  and walk_stmt (s : Stmt.t) : Stmt.t list =
+    match s.Stmt.desc with
+    | Stmt.Do_loop d when is_normalized d && not d.parallel -> (
+        let d = { d with body = walk d.body } in
+        let s = { s with Stmt.desc = Stmt.Do_loop d } in
+        match process_loop prog func stats s d with
+        | Some r ->
+            changed := true;
+            r
+        | None -> [ s ])
+    | Stmt.Do_loop d ->
+        [ { s with desc = Stmt.Do_loop { d with body = walk d.body } } ]
+    | Stmt.If (c, t, e) -> [ { s with desc = Stmt.If (c, walk t, walk e) } ]
+    | Stmt.While (li, c, bd) -> [ { s with desc = Stmt.While (li, c, walk bd) } ]
+    | _ -> [ s ]
+  in
+  func.Func.body <- walk func.Func.body;
+  !changed

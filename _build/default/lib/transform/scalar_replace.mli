@@ -1,0 +1,16 @@
+(** Scalar replacement of regular cross-iteration references (paper §6):
+    in the backsolve loop the read [q[i]] fetches the value stored as
+    [p[i-1]] one iteration earlier; the value is "pulled up into
+    registers", removing a load per iteration and the memory constraint
+    that blocks instruction overlap.  Handles the distance-1 flow
+    dependence of a statement onto itself. *)
+
+open Vpc_il
+
+type stats = {
+  mutable loops_transformed : int;
+  mutable loads_removed : int;
+}
+
+val new_stats : unit -> stats
+val run : ?stats:stats -> Prog.t -> Func.t -> bool

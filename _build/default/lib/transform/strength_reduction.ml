@@ -1,0 +1,231 @@
+(* Dependence-driven strength reduction (paper §6): for loops that do NOT
+   vectorize, the multiplications that induction-variable substitution
+   introduced into subscripts are reduced back to incremented pointers,
+   loop-invariant expressions are hoisted, and references with a common
+   base+stride share one pointer — "our algorithm is unique in that it
+   utilizes the array dependence graph to simultaneously reduce expensive
+   operations, remove loop invariant expressions, and eliminate common
+   subexpressions".  The reduced operations are sequential by nature, so
+   the pass runs only on loops the vectorizer left scalar. *)
+
+open Vpc_il
+open Vpc_dependence
+
+type stats = {
+  mutable loops_reduced : int;
+  mutable multiplies_removed : int;
+  mutable invariants_hoisted : int;
+  mutable pointers_shared : int;  (* CSE: refs sharing a pointer temp *)
+}
+
+let new_stats () =
+  {
+    loops_reduced = 0;
+    multiplies_removed = 0;
+    invariants_hoisted = 0;
+    pointers_shared = 0;
+  }
+
+let is_normalized (d : Stmt.do_loop) =
+  Expr.is_zero d.lo
+  && (match d.step.Expr.desc with Expr.Const_int 1 -> true | _ -> false)
+
+(* Only plain assignment bodies are handled (same shape the dependence
+   analyzer accepts). *)
+let plain_body (body : Stmt.t list) =
+  List.for_all
+    (fun (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Assign _ | Stmt.Nop -> true
+      | _ -> false)
+    body
+
+let process_loop prog (func : Func.t) stats (loop_stmt : Stmt.t)
+    (d : Stmt.do_loop) : Stmt.t list option =
+  if not (plain_body d.body) then None
+  else begin
+    let defined_in_body, mem_written =
+      Vpc_analysis.Reaching.vars_defined_in d.body
+    in
+    let unsafe = Func.addressed_vars func in
+    let invariant (e : Expr.t) =
+      ((not (Expr.contains_load e)) || not mem_written)
+      && List.for_all
+           (fun v ->
+             v <> d.index
+             && (not (Hashtbl.mem defined_in_body v))
+             && ((not mem_written) || not (Hashtbl.mem unsafe v))
+             &&
+             match Func.find_var func v with
+             | Some vm -> not vm.Var.volatile
+             | None -> false)
+           (Expr.read_vars e)
+    in
+    let affine e =
+      match Subscript.affine_of ~index:d.index ~invariant e with
+      | Some a when invariant a.Subscript.base -> Some a
+      | _ -> None
+    in
+    let b = Builder.ctx prog func in
+    (* --- group the affine addresses by (base, stride) --- *)
+    let groups : (Expr.t * int * Var.t) list ref = ref [] in
+    let preheader = ref [] in
+    let increments = ref [] in
+    let pointer_for (addr : Expr.t) (a : Subscript.affine) : Expr.t option =
+      if a.Subscript.coeff = 0 then None
+      else begin
+        let elt = match addr.Expr.ty with Ty.Ptr t -> Some t | _ -> None in
+        match elt with
+        | None -> None
+        | Some elt ->
+            let existing =
+              List.find_opt
+                (fun (base, coeff, _) ->
+                  coeff = a.Subscript.coeff && Expr.equal base a.Subscript.base)
+                !groups
+            in
+            let ptr =
+              match existing with
+              | Some (_, _, p) ->
+                  stats.pointers_shared <- stats.pointers_shared + 1;
+                  p
+              | None ->
+                  let p = Builder.fresh_temp b ~name:"sr_ptr" (Ty.Ptr elt) in
+                  groups := (a.Subscript.base, a.Subscript.coeff, p) :: !groups;
+                  preheader :=
+                    Builder.assign b p (Expr.cast (Ty.Ptr elt) a.Subscript.base)
+                    :: !preheader;
+                  increments :=
+                    Builder.assign b p
+                      (Expr.binop Expr.Add (Expr.var p)
+                         (Expr.int_const a.Subscript.coeff)
+                         (Ty.Ptr elt))
+                    :: !increments;
+                  p
+            in
+            stats.multiplies_removed <- stats.multiplies_removed + 1;
+            Some (Expr.cast addr.Expr.ty (Expr.var ptr))
+      end
+    in
+    (* rewrite the addresses *)
+    let rewrite_addr (e : Expr.t) =
+      match affine e with
+      | Some a -> (
+          match pointer_for e a with Some p -> p | None -> e)
+      | None -> e
+    in
+    let changed = ref false in
+    let rewrite_stmt (s : Stmt.t) =
+      match s.Stmt.desc with
+      | Stmt.Assign (lv, rhs) ->
+          let lv' =
+            match lv with
+            | Stmt.Lmem addr ->
+                let a' = rewrite_addr addr in
+                if a' != addr then changed := true;
+                Stmt.Lmem a'
+            | Stmt.Lvar _ -> lv
+          in
+          let rhs' =
+            Expr.map
+              (fun e ->
+                match e.Expr.desc with
+                | Expr.Load p ->
+                    let p' = rewrite_addr p in
+                    if p' != p then begin
+                      changed := true;
+                      Expr.load p'
+                    end
+                    else e
+                | _ -> e)
+              rhs
+          in
+          { s with Stmt.desc = Stmt.Assign (lv', rhs') }
+      | _ -> s
+    in
+    let body = List.map rewrite_stmt d.body in
+    (* --- hoist loop-invariant compound subexpressions --- *)
+    let hoisted : (Expr.t * Var.t) list ref = ref [] in
+    let is_compound (e : Expr.t) =
+      match e.Expr.desc with
+      | Expr.Binop _ | Expr.Unop _ -> true
+      | _ -> false
+    in
+    (* the new pointer temps vary per iteration: never invariant *)
+    let ptr_ids = List.map (fun (_, _, p) -> p.Var.id) !groups in
+    let invariant e =
+      invariant e
+      && not (List.exists (fun id -> List.mem id (Expr.read_vars e)) ptr_ids)
+    in
+    let rec hoist (e : Expr.t) : Expr.t =
+      if invariant e && is_compound e && not (Expr.is_const e) then begin
+        match List.find_opt (fun (h, _) -> Expr.equal h e) !hoisted with
+        | Some (_, v) -> Expr.var v
+        | None ->
+            let v = Builder.fresh_temp b ~name:"inv" e.Expr.ty in
+            hoisted := (e, v) :: !hoisted;
+            preheader := Builder.assign b v e :: !preheader;
+            stats.invariants_hoisted <- stats.invariants_hoisted + 1;
+            Expr.var v
+      end
+      else
+        match e.Expr.desc with
+        | Expr.Load p -> { e with desc = Expr.Load (hoist p) }
+        | Expr.Binop (op, a, b2) ->
+            { e with desc = Expr.Binop (op, hoist a, hoist b2) }
+        | Expr.Unop (op, a) -> { e with desc = Expr.Unop (op, hoist a) }
+        | Expr.Cast (ty, a) -> { e with desc = Expr.Cast (ty, hoist a) }
+        | _ -> e
+    in
+    let body =
+      List.map
+        (fun (s : Stmt.t) ->
+          match s.Stmt.desc with
+          | Stmt.Assign (lv, rhs) ->
+              let lv =
+                match lv with
+                | Stmt.Lmem a -> Stmt.Lmem (hoist a)
+                | Stmt.Lvar _ -> lv
+              in
+              let rhs = hoist rhs in
+              if !hoisted <> [] then changed := true;
+              { s with Stmt.desc = Stmt.Assign (lv, rhs) }
+          | _ -> s)
+        body
+    in
+    if not !changed then None
+    else begin
+      stats.loops_reduced <- stats.loops_reduced + 1;
+      Some
+        (List.rev !preheader
+        @ [
+            {
+              loop_stmt with
+              Stmt.desc =
+                Stmt.Do_loop { d with body = body @ List.rev !increments };
+            };
+          ])
+    end
+  end
+
+let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+  let changed = ref false in
+  let rec walk stmts = List.concat_map walk_stmt stmts
+  and walk_stmt (s : Stmt.t) : Stmt.t list =
+    match s.Stmt.desc with
+    | Stmt.Do_loop d when is_normalized d && not d.parallel -> (
+        let d = { d with body = walk d.body } in
+        let s = { s with Stmt.desc = Stmt.Do_loop d } in
+        match process_loop prog func stats s d with
+        | Some r ->
+            changed := true;
+            r
+        | None -> [ s ])
+    | Stmt.Do_loop d ->
+        [ { s with desc = Stmt.Do_loop { d with body = walk d.body } } ]
+    | Stmt.If (c, t, e) -> [ { s with desc = Stmt.If (c, walk t, walk e) } ]
+    | Stmt.While (li, c, bd) -> [ { s with desc = Stmt.While (li, c, walk bd) } ]
+    | _ -> [ s ]
+  in
+  func.Func.body <- walk func.Func.body;
+  !changed

@@ -1,0 +1,19 @@
+(** Dependence-driven strength reduction (paper §6), for loops the
+    vectorizer left scalar: subscript multiplies become incremented
+    pointers, references with a common base and stride share one pointer
+    (the CSE of §6), and invariant compound subexpressions are hoisted.
+    "Classic vectorizing transformations such as induction variable
+    substitution deoptimize programs that do not vectorize" — this is the
+    undo. *)
+
+open Vpc_il
+
+type stats = {
+  mutable loops_reduced : int;
+  mutable multiplies_removed : int;
+  mutable invariants_hoisted : int;
+  mutable pointers_shared : int;
+}
+
+val new_stats : unit -> stats
+val run : ?stats:stats -> Prog.t -> Func.t -> bool

@@ -1,0 +1,1 @@
+lib/vectorize/vectorize.ml: Array Builder Expr Func Graph Hashtbl List Option Prog Stmt Subscript Ty Var Vpc_analysis Vpc_dependence Vpc_il

@@ -1,0 +1,1 @@
+lib/vectorize/vectorize.mli: Func Prog Vpc_il

@@ -1,0 +1,441 @@
+(* The vectorizer and parallelizer.
+
+   Allen–Kennedy codegen over the statement dependence graph: Tarjan
+   SCCs of a DO-loop body, loop distribution in topological order, vector
+   statement generation for dependence-free assignments, strip mining to
+   the machine vector length, and "do parallel" spreading of independent
+   strips over processors — producing exactly the §9 shape:
+
+       do parallel vi = 0, 99, 32 {
+         vr = min(99, vi+31);
+         a[vi:vr:1] = b[vi:vr:1] + c[vi:vr:1];
+       }
+
+   Statement groups that carry a dependence cycle stay as sequential DO
+   loops; groups connected by scalar flow are kept together (no scalar
+   expansion). *)
+
+open Vpc_il
+open Vpc_dependence
+
+type options = {
+  vectorize : bool;
+  parallelize : bool;
+  vlen : int;                (* vector strip length; the paper uses 32 *)
+  assume_noalias : bool;     (* pointer params have Fortran semantics *)
+}
+
+let default_options =
+  { vectorize = true; parallelize = true; vlen = 32; assume_noalias = false }
+
+type stats = {
+  mutable loops_examined : int;
+  mutable loops_vectorized : int;     (* at least one vector stmt emitted *)
+  mutable loops_parallelized : int;   (* at least one do-parallel emitted *)
+  mutable stmts_vectorized : int;
+  mutable loops_rejected_shape : int;     (* calls/control flow in body *)
+  mutable loops_rejected_dependence : int;(* carried cycles everywhere *)
+  mutable short_vector_loops : int;       (* trip <= vlen: no strip loop *)
+}
+
+let new_stats () =
+  {
+    loops_examined = 0;
+    loops_vectorized = 0;
+    loops_parallelized = 0;
+    stmts_vectorized = 0;
+    loops_rejected_shape = 0;
+    loops_rejected_dependence = 0;
+    short_vector_loops = 0;
+  }
+
+(* ----------------------------------------------------------------- *)
+(* Union-find over statement groups                                  *)
+(* ----------------------------------------------------------------- *)
+
+let rec uf_find parent i =
+  if parent.(i) = i then i
+  else begin
+    parent.(i) <- uf_find parent parent.(i);
+    parent.(i)
+  end
+
+let uf_union parent a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+(* ----------------------------------------------------------------- *)
+(* Vector expression construction                                    *)
+(* ----------------------------------------------------------------- *)
+
+exception Not_vectorizable
+
+(* Convert the RHS of a vector candidate into a vexpr.  [affine_of]
+   decomposes addresses; [invariant] tests loop-invariance; [shift]
+   rebases a section's start to the strip loop variable. *)
+let rec to_vexpr ~invariant ~affine ~mk_section (e : Expr.t) : Stmt.vexpr =
+  if invariant e then Stmt.Vscalar e
+  else
+    match e.Expr.desc with
+    | Expr.Load p -> (
+        match affine p with
+        | Some (a : Subscript.affine) -> Stmt.Vsec (mk_section a)
+        | None -> raise Not_vectorizable)
+    | Expr.Var _ when Ty.is_integer e.Expr.ty -> iota ~affine ~mk_section e
+    | Expr.Binop (op, a, b) -> (
+        try
+          Stmt.Vbin
+            ( op,
+              to_vexpr ~invariant ~affine ~mk_section a,
+              to_vexpr ~invariant ~affine ~mk_section b )
+        with Not_vectorizable when Ty.is_integer e.Expr.ty ->
+          iota ~affine ~mk_section e)
+    | Expr.Unop (op, a) -> Stmt.Vun (op, to_vexpr ~invariant ~affine ~mk_section a)
+    | Expr.Cast (ty, a) ->
+        Stmt.Vcast (ty, to_vexpr ~invariant ~affine ~mk_section a)
+    | _ -> raise Not_vectorizable
+
+(* An affine integer expression of the loop index becomes an iota vector
+   shifted like a section. *)
+and iota ~affine ~mk_section (e : Expr.t) : Stmt.vexpr =
+  match affine e with
+  | Some (a : Subscript.affine) ->
+      (* reuse the section shifting: a strip starting at [start] sees
+         values base + coeff*start + coeff*i *)
+      let sec = mk_section a in
+      Stmt.Viota (sec.Stmt.base, Expr.int_const a.Subscript.coeff)
+  | None -> raise Not_vectorizable
+
+(* ----------------------------------------------------------------- *)
+(* Per-loop driver                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let simplify = Vpc_analysis.Simplify.expr
+
+let is_normalized (d : Stmt.do_loop) =
+  Expr.is_zero d.lo
+  && (match d.step.Expr.desc with Expr.Const_int 1 -> true | _ -> false)
+
+let contains_inner_loop (body : Stmt.t list) =
+  List.exists
+    (fun s ->
+      let found = ref false in
+      Stmt.iter
+        (fun inner ->
+          match inner.Stmt.desc with
+          | Stmt.While _ | Stmt.Do_loop _ -> found := true
+          | _ -> ())
+        s;
+      !found)
+    body
+
+(* Scalar variables assigned at top level of the body. *)
+let scalar_defs body =
+  List.filter_map
+    (fun (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Assign (Stmt.Lvar v, _) -> Some v
+      | _ -> None)
+    body
+
+let process_loop (opts : options) stats prog (func : Func.t)
+    (live : Vpc_analysis.Liveness.t) (loop_stmt : Stmt.t) (d : Stmt.do_loop) :
+    Stmt.t list option =
+  stats.loops_examined <- stats.loops_examined + 1;
+  let body = d.body in
+  let defined_in_body, mem_written = Vpc_analysis.Reaching.vars_defined_in body in
+  let unsafe_vars = Func.addressed_vars func in
+  let invariant (e : Expr.t) =
+    ((not (Expr.contains_load e)) || not mem_written)
+    && List.for_all
+         (fun v ->
+           v <> d.index
+           && (not (Hashtbl.mem defined_in_body v))
+           && ((not mem_written) || not (Hashtbl.mem unsafe_vars v))
+           &&
+           match Prog.find_var prog (Some func) v with
+           | Some vm -> not vm.Var.volatile
+           | None -> false)
+         (Expr.read_vars e)
+  in
+  let trip_expr = simplify (Expr.binop Expr.Add d.hi (Expr.int_const 1) Ty.Int) in
+  let trip_const = Expr.const_int_val trip_expr in
+  let assume_noalias = opts.assume_noalias || d.independent in
+  let graph =
+    Graph.build ~assume_noalias ~trip:trip_const body ~index:d.index ~invariant
+  in
+  if not graph.Graph.analyzable then begin
+    stats.loops_rejected_shape <- stats.loops_rejected_shape + 1;
+    None
+  end
+  else begin
+    let sccs = Graph.sccs graph in
+    (* merge SCCs connected by scalar (non-memory) dependences, then merge
+       any cycles the contraction created, to fixpoint *)
+    let n = graph.Graph.nstmts in
+    let parent = Array.init n (fun i -> i) in
+    List.iter
+      (fun comp ->
+        match comp with
+        | first :: rest -> List.iter (fun m -> uf_union parent first m) rest
+        | [] -> ())
+      sccs;
+    List.iter
+      (fun (e : Graph.edge) ->
+        if not e.through_memory then uf_union parent e.src e.dst)
+      graph.Graph.edges;
+    (* collapse cycles among groups until the group graph is a DAG *)
+    let rec collapse () =
+      let group_of i = uf_find parent i in
+      (* build group graph *)
+      let groups = Hashtbl.create 8 in
+      for i = 0 to n - 1 do
+        let g = group_of i in
+        Hashtbl.replace groups g
+          (i :: Option.value (Hashtbl.find_opt groups g) ~default:[])
+      done;
+      let gids = Hashtbl.fold (fun g _ acc -> g :: acc) groups [] in
+      let idx_of = Hashtbl.create 8 in
+      List.iteri (fun i g -> Hashtbl.replace idx_of g i) gids;
+      let gn = List.length gids in
+      let succs = Array.make gn [] in
+      List.iter
+        (fun (e : Graph.edge) ->
+          let a = Hashtbl.find idx_of (group_of e.src) in
+          let b = Hashtbl.find idx_of (group_of e.dst) in
+          if a <> b && not (List.mem b succs.(a)) then succs.(a) <- b :: succs.(a))
+        graph.Graph.edges;
+      (* find a cycle via DFS; if found, merge its members and retry *)
+      let color = Array.make gn 0 in
+      let cycle = ref None in
+      let stack = ref [] in
+      let rec dfs u =
+        if !cycle = None then begin
+          color.(u) <- 1;
+          stack := u :: !stack;
+          List.iter
+            (fun v ->
+              if !cycle = None then
+                if color.(v) = 1 then begin
+                  (* extract cycle u..v from stack *)
+                  let rec take acc = function
+                    | x :: rest ->
+                        if x = v then x :: acc else take (x :: acc) rest
+                    | [] -> acc
+                  in
+                  cycle := Some (take [] !stack)
+                end
+                else if color.(v) = 0 then dfs v)
+            succs.(u);
+          color.(u) <- 2;
+          stack := List.tl !stack
+        end
+      in
+      for u = 0 to gn - 1 do
+        if color.(u) = 0 then dfs u
+      done;
+      match !cycle with
+      | Some (first :: rest) when rest <> [] ->
+          let gids_arr = Array.of_list gids in
+          List.iter
+            (fun gi -> uf_union parent gids_arr.(first) gids_arr.(gi))
+            rest;
+          collapse ()
+      | _ -> ()
+    in
+    if n > 0 then collapse ();
+    (* final groups in topological order *)
+    let group_of i = uf_find parent i in
+    let groups = Hashtbl.create 8 in
+    for i = n - 1 downto 0 do
+      let g = group_of i in
+      Hashtbl.replace groups g
+        (i :: Option.value (Hashtbl.find_opt groups g) ~default:[])
+    done;
+    let group_list = Hashtbl.fold (fun _ members acc -> members :: acc) groups [] in
+    (* topological order via Kahn on group DAG, position-stable *)
+    let gmap = Hashtbl.create 8 in
+    List.iteri (fun i members -> List.iter (fun m -> Hashtbl.replace gmap m i) members)
+      group_list;
+    let gn = List.length group_list in
+    let garr = Array.of_list group_list in
+    let succs = Array.make gn [] and indeg = Array.make gn 0 in
+    List.iter
+      (fun (e : Graph.edge) ->
+        let a = Hashtbl.find gmap e.src and b = Hashtbl.find gmap e.dst in
+        if a <> b && not (List.mem b succs.(a)) then begin
+          succs.(a) <- b :: succs.(a);
+          indeg.(b) <- indeg.(b) + 1
+        end)
+      graph.Graph.edges;
+    let ready = ref [] in
+    for i = gn - 1 downto 0 do
+      if indeg.(i) = 0 then ready := i :: !ready
+    done;
+    let min_pos g = List.fold_left min max_int garr.(g) in
+    let sort_ready l = List.sort (fun a b -> compare (min_pos a) (min_pos b)) l in
+    ready := sort_ready !ready;
+    let ordered = ref [] in
+    let rec kahn () =
+      match !ready with
+      | [] -> ()
+      | g :: rest ->
+          ready := rest;
+          ordered := garr.(g) :: !ordered;
+          List.iter
+            (fun j ->
+              indeg.(j) <- indeg.(j) - 1;
+              if indeg.(j) = 0 then ready := sort_ready (j :: !ready))
+            succs.(g);
+          kahn ()
+    in
+    kahn ();
+    let ordered_groups = List.rev !ordered in
+    let body_arr = Array.of_list body in
+    (* --- emit each group --- *)
+    let b = Builder.ctx prog func in
+    let any_vector = ref false in
+    let any_parallel = ref false in
+    let affine_of e =
+      match Subscript.affine_of ~index:d.index ~invariant e with
+      | Some a when invariant a.Subscript.base -> Some a
+      | Some _ | None -> None
+    in
+    let rec emit_group members : Stmt.t list =
+      let members = List.sort compare members in
+      let group_stmts = List.map (fun i -> body_arr.(i)) members in
+      let carried_inside = Graph.has_carried_cycle graph members in
+      let vector_candidate =
+        opts.vectorize && (not carried_inside)
+        &&
+        match members, group_stmts with
+        | [ _pos ], [ { Stmt.desc = Stmt.Assign (Stmt.Lmem addr, rhs); _ } ] -> (
+            match affine_of addr with
+            | Some a when a.Subscript.coeff <> 0 -> Some (addr, a, rhs) |> Option.is_some
+            | _ -> false)
+        | _ -> false
+      in
+      if vector_candidate then begin
+        match members, group_stmts with
+        | [ _pos ], [ ({ Stmt.desc = Stmt.Assign (Stmt.Lmem addr, rhs); _ } as st) ] -> (
+            let a = Option.get (affine_of addr) in
+            let elt = match addr.Expr.ty with Ty.Ptr t -> t | t -> t in
+            try
+              (* Build the vector statement over a strip starting at
+                 [strip_var] (an expression) with [count] elements. *)
+              let build_vector ~start ~count =
+                let shift (base : Expr.t) (coeff : int) =
+                  if Expr.is_zero start then base
+                  else
+                    simplify
+                      (Expr.binop Expr.Add base
+                         (Expr.binop Expr.Mul (Expr.int_const coeff) start Ty.Int)
+                         base.Expr.ty)
+                in
+                let mk_section (af : Subscript.affine) =
+                  {
+                    Stmt.base = shift af.Subscript.base af.Subscript.coeff;
+                    count;
+                    stride = Expr.int_const af.Subscript.coeff;
+                  }
+                in
+                let invariant_v e = invariant e in
+                let affine_v e = affine_of e in
+                let vsrc = to_vexpr ~invariant:invariant_v ~affine:affine_v ~mk_section rhs in
+                let vdst = mk_section a in
+                Builder.stmt b ~loc:st.Stmt.loc
+                  (Stmt.Vector { vdst; vsrc; velt = elt })
+              in
+              let result =
+                match trip_const with
+                | Some t when t <= opts.vlen ->
+                    (* short vector: no strip loop needed (§5.2's graphics
+                       remark) *)
+                    stats.short_vector_loops <- stats.short_vector_loops + 1;
+                    [ build_vector ~start:(Expr.int_const 0) ~count:trip_expr ]
+                | _ ->
+                    (* strip-mined loop, parallel across processors *)
+                    let vi = Builder.fresh_temp b ~name:"vi" Ty.Int in
+                    let len = Builder.fresh_temp b ~name:"vlen" Ty.Int in
+                    let vi_e = Expr.var vi in
+                    let len_stmts =
+                      [
+                        Builder.assign b len
+                          (simplify (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
+                        Builder.if_ b
+                          (Expr.binop Expr.Gt (Expr.var len)
+                             (Expr.int_const opts.vlen) Ty.Int)
+                          [ Builder.assign b len (Expr.int_const opts.vlen) ]
+                          [];
+                      ]
+                    in
+                    let vstmt = build_vector ~start:vi_e ~count:(Expr.var len) in
+                    let parallel = opts.parallelize in
+                    if parallel then any_parallel := true;
+                    [
+                      Builder.do_loop b ~parallel ~index:vi.Var.id
+                        ~lo:(Expr.int_const 0) ~hi:d.hi
+                        ~step:(Expr.int_const opts.vlen)
+                        (len_stmts @ [ vstmt ]);
+                    ]
+              in
+              any_vector := true;
+              stats.stmts_vectorized <- stats.stmts_vectorized + 1;
+              result
+            with Not_vectorizable -> sequential_group members group_stmts carried_inside)
+        | _ -> sequential_group members group_stmts carried_inside
+      end
+      else sequential_group members group_stmts carried_inside
+    and sequential_group members group_stmts carried_inside : Stmt.t list =
+      ignore members;
+      (* A dependence-free scalar group can still be spread over
+         processors if its scalar definitions die with the loop. *)
+      let parallel_ok =
+        opts.parallelize && (not carried_inside)
+        && List.for_all
+             (fun v ->
+               not
+                 (Vpc_analysis.Liveness.live_out_of live
+                    ~stmt_id:loop_stmt.Stmt.id ~var:v))
+             (scalar_defs group_stmts)
+      in
+      if parallel_ok then any_parallel := true;
+      [
+        Builder.do_loop b ~parallel:parallel_ok ~independent:d.independent
+          ~index:d.index ~lo:d.lo ~hi:d.hi ~step:d.step group_stmts;
+      ]
+    in
+    if ordered_groups = [] then None
+    else begin
+      let pieces = List.concat_map emit_group ordered_groups in
+      if !any_vector then stats.loops_vectorized <- stats.loops_vectorized + 1;
+      if !any_parallel then stats.loops_parallelized <- stats.loops_parallelized + 1;
+      if (not !any_vector) && not !any_parallel then begin
+        stats.loops_rejected_dependence <- stats.loops_rejected_dependence + 1;
+        None  (* keep the original loop: nothing was gained *)
+      end
+      else Some pieces
+    end
+  end
+
+let run ?(options = default_options) ?(stats = new_stats ()) (prog : Prog.t)
+    (func : Func.t) =
+  let live = Vpc_analysis.Liveness.build func in
+  let changed = ref false in
+  let rec walk stmts = List.concat_map walk_stmt stmts
+  and walk_stmt (s : Stmt.t) : Stmt.t list =
+    match s.Stmt.desc with
+    | Stmt.Do_loop d when is_normalized d && not (contains_inner_loop d.body) -> (
+        match process_loop options stats prog func live s d with
+        | Some replacement ->
+            changed := true;
+            replacement
+        | None -> [ s ])
+    | Stmt.Do_loop d ->
+        [ { s with desc = Stmt.Do_loop { d with body = walk d.body } } ]
+    | Stmt.If (c, t, e) -> [ { s with desc = Stmt.If (c, walk t, walk e) } ]
+    | Stmt.While (li, c, bd) -> [ { s with desc = Stmt.While (li, c, walk bd) } ]
+    | _ -> [ s ]
+  in
+  func.Func.body <- walk func.Func.body;
+  !changed

@@ -1,0 +1,32 @@
+(** The vectorizer and parallelizer: Allen–Kennedy codegen over the
+    statement dependence graph.  SCCs of a DO-loop body are distributed
+    in topological order; dependence-free assignments become vector
+    statements, strip-mined to the machine vector length and spread over
+    processors as [do parallel] (the §9 form); statement groups carrying
+    a dependence cycle stay sequential; loops with a known tiny trip
+    count get bare short-vector code with no strip loop (§5.2's graphics
+    remark). *)
+
+open Vpc_il
+
+type options = {
+  vectorize : bool;
+  parallelize : bool;
+  vlen : int;             (** strip length; the paper uses 32 *)
+  assume_noalias : bool;  (** pointer params get Fortran semantics *)
+}
+
+val default_options : options
+
+type stats = {
+  mutable loops_examined : int;
+  mutable loops_vectorized : int;
+  mutable loops_parallelized : int;
+  mutable stmts_vectorized : int;
+  mutable loops_rejected_shape : int;       (** calls / control flow *)
+  mutable loops_rejected_dependence : int;  (** carried cycles everywhere *)
+  mutable short_vector_loops : int;         (** no strip loop needed *)
+}
+
+val new_stats : unit -> stats
+val run : ?options:options -> ?stats:stats -> Prog.t -> Func.t -> bool

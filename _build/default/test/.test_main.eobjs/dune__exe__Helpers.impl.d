@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Buffer List Printf String Vpc

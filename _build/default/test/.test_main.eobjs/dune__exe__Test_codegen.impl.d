@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Fmt Hashtbl Helpers Isa Machine Printf String Vpc

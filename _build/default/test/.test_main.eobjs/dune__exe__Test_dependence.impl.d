@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Alias Expr Graph Hashtbl Helpers List Printf QCheck QCheck_alcotest Subscript Test Ty Var Vpc

@@ -1,0 +1,1 @@
+test/test_doacross.ml: Alcotest Helpers Printf String Vpc

@@ -1,0 +1,1 @@
+test/test_indvar.ml: Alcotest Buffer Helpers List Printf Vpc

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Filename Helpers List Printf String Sys Vpc

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Helpers List Printf QCheck QCheck_alcotest Vpc

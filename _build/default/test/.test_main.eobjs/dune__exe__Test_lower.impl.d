@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Helpers List Vpc

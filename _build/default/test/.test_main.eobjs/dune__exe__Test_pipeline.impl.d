@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Gen_c Helpers List Printf Vpc

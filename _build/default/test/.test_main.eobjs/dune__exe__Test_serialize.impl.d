@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Expr Float Gen_c Helpers Int64 List Printf QCheck QCheck_alcotest Ty Vpc

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Expr QCheck QCheck_alcotest Ty Vpc

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Bitset Gensym List Loc QCheck QCheck_alcotest Sexp Vpc

@@ -1,0 +1,1 @@
+test/test_titan.ml: Alcotest Helpers List Machine Printf Vpc

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Helpers Vpc

@@ -1,0 +1,1 @@
+test/test_ty.ml: Alcotest Hashtbl List Ty Vpc

@@ -1,0 +1,1 @@
+test/test_vectorize.ml: Alcotest Helpers List String Vpc

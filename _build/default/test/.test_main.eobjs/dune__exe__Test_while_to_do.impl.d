@@ -1,0 +1,1 @@
+test/test_while_to_do.ml: Alcotest Helpers List Printf Vpc

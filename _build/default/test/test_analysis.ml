@@ -1,0 +1,316 @@
+(* Scalar analysis tests: CFG construction, reaching definitions,
+   liveness, constant propagation with unreachable-code elimination (§8),
+   dead-code elimination. *)
+
+open Helpers
+open Vpc
+
+let prog_func src name =
+  let prog = Helpers.compile src in
+  (prog, Il.Prog.func_exn prog name)
+
+let cfg_structure () =
+  let _, f =
+    prog_func
+      "int f(int n) { int s; s = 0; if (n > 0) s = 1; else s = 2; return s; }"
+      "f"
+  in
+  let cfg = Analysis.Cfg.build f in
+  (* entry has one successor; exit has at least one predecessor *)
+  Alcotest.(check int) "entry out-degree" 1
+    (List.length (Analysis.Cfg.succs cfg Analysis.Cfg.entry_id));
+  Alcotest.(check bool) "exit reachable" true
+    (Analysis.Cfg.preds cfg Analysis.Cfg.exit_id <> []);
+  (* the If node must have two successors *)
+  let if_node =
+    List.find_map
+      (fun (s : Il.Stmt.t) ->
+        match s.desc with Il.Stmt.If _ -> Some s.id | _ -> None)
+      (Il.Func.all_stmts f)
+  in
+  match if_node with
+  | Some id ->
+      Alcotest.(check int) "if out-degree" 2
+        (List.length (Analysis.Cfg.succs cfg id))
+  | None -> Alcotest.fail "no if statement found"
+
+let cfg_loop_back_edge () =
+  let _, f =
+    prog_func "int f(int n) { int s; s = 0; while (n > 0) { s++; n--; } return s; }" "f"
+  in
+  let cfg = Analysis.Cfg.build f in
+  let while_id =
+    List.find_map
+      (fun (s : Il.Stmt.t) ->
+        match s.desc with Il.Stmt.While _ -> Some s.id | _ -> None)
+      (Il.Func.all_stmts f)
+  in
+  match while_id with
+  | Some id ->
+      (* the loop header has (at least) two predecessors: entry path and
+         back edge *)
+      Alcotest.(check bool) "back edge" true
+        (List.length (Analysis.Cfg.preds cfg id) >= 2)
+  | None -> Alcotest.fail "no while loop"
+
+let branch_into_detection () =
+  let _, f =
+    prog_func
+      {|int f(int n) {
+          int s;
+          s = 0;
+          if (n > 10) goto inside;
+          while (n > 0) {
+          inside:
+            s++;
+            n--;
+          }
+          return s;
+        }|}
+      "f"
+  in
+  let body =
+    List.find_map
+      (fun (s : Il.Stmt.t) ->
+        match s.desc with Il.Stmt.While (_, _, b) -> Some b | _ -> None)
+      (Il.Func.all_stmts f)
+  in
+  match body with
+  | Some b ->
+      Alcotest.(check bool) "branch into loop detected" true
+        (Analysis.Cfg.has_branch_into f b)
+  | None -> Alcotest.fail "no while loop"
+
+let reaching_unique_def () =
+  let prog, f =
+    prog_func "int f(int a) { int x; x = a + 1; return x; }" "f"
+  in
+  let ud = Analysis.Reaching.build ~prog f in
+  let ret =
+    List.find
+      (fun (s : Il.Stmt.t) ->
+        match s.desc with Il.Stmt.Return _ -> true | _ -> false)
+      (Il.Func.all_stmts f)
+  in
+  let x_id =
+    List.find_map
+      (fun (v : Il.Var.t) -> if v.name = "x" then Some v.id else None)
+      (Il.Func.locals f)
+    |> Option.get
+  in
+  match Analysis.Reaching.unique_def ud ~stmt_id:ret.id ~var:x_id with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a unique reaching def for x"
+
+let reaching_merge () =
+  let prog, f =
+    prog_func
+      "int f(int a) { int x; if (a) x = 1; else x = 2; return x; }" "f"
+  in
+  let ud = Analysis.Reaching.build ~prog f in
+  let ret =
+    List.find
+      (fun (s : Il.Stmt.t) ->
+        match s.desc with Il.Stmt.Return _ -> true | _ -> false)
+      (Il.Func.all_stmts f)
+  in
+  let x_id =
+    List.find_map
+      (fun (v : Il.Var.t) -> if v.name = "x" then Some v.id else None)
+      (Il.Func.locals f)
+    |> Option.get
+  in
+  (match Analysis.Reaching.reaching ud ~stmt_id:ret.id ~var:x_id with
+  | Analysis.Reaching.Defs ds ->
+      Alcotest.(check int) "two defs reach the return" 2
+        (List.length
+           (List.filter
+              (fun d -> d.Analysis.Reaching.d_stmt <> Analysis.Reaching.entry_def_stmt)
+              ds))
+  | Analysis.Reaching.Unknown -> Alcotest.fail "unexpected Unknown");
+  Alcotest.(check bool) "not unique" true
+    (Analysis.Reaching.unique_def ud ~stmt_id:ret.id ~var:x_id = None)
+
+let reaching_memory_weak_def () =
+  (* a store through a pointer clobbers address-taken variables *)
+  let prog, f =
+    prog_func
+      "int f(int *p) { int x; x = 5; *p = 9; return x + (int)&x; }" "f"
+  in
+  let ud = Analysis.Reaching.build ~prog f in
+  let ret =
+    List.find
+      (fun (s : Il.Stmt.t) ->
+        match s.desc with Il.Stmt.Return _ -> true | _ -> false)
+      (Il.Func.all_stmts f)
+  in
+  let x_id =
+    List.find_map
+      (fun (v : Il.Var.t) -> if v.name = "x" then Some v.id else None)
+      (Il.Func.locals f)
+    |> Option.get
+  in
+  Alcotest.(check bool) "x is unknown after *p store" true
+    (Analysis.Reaching.reaching ud ~stmt_id:ret.id ~var:x_id
+     = Analysis.Reaching.Unknown)
+
+let const_prop_basic () =
+  let src = "int f() { int a, b; a = 5; b = a + 2; return b * a; }" in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_contains "fully folded" ~needle:"return 35;" il
+
+let const_prop_through_branches () =
+  let src =
+    {|int f() {
+        int a, b;
+        a = 1;
+        if (a) b = 10; else b = 20;
+        return b;
+      }|}
+  in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_contains "branch folded" ~needle:"return 10;" il;
+  check_not_contains "no if left" ~needle:"if" il
+
+let const_prop_address_constants () =
+  (* §9: "the vectorizer is safe in propagating address constants" *)
+  let src =
+    {|float arr[10];
+      float *f() { float *p; p = &arr[2]; return p; }|}
+  in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_contains "address constant propagated" ~needle:"return &arr + 8;" il
+
+let unreachable_after_constant_branch () =
+  (* §8's inlined daxpy(α=0) pattern *)
+  let src =
+    {|float x;
+      int f() {
+        float a;
+        a = 0.0;
+        if (a == 0.0) return 1;
+        x = x + 3.0;   /* unreachable */
+        return 2;
+      }|}
+  in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_contains "kept the taken arm" ~needle:"return 1;" il;
+  check_not_contains "dead float add removed" ~needle:"3.0" il
+
+let zero_trip_loop_removed () =
+  let src =
+    {|int f() {
+        int i, s;
+        s = 0;
+        for (i = 0; i < 0; i++) s += i;
+        return s;
+      }|}
+  in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_not_contains "loop deleted" ~needle:"while" il;
+  check_not_contains "no do loop" ~needle:"do fortran" il
+
+let dce_removes_dead_assign () =
+  let src = "int f(int a) { int dead; dead = a * 99; return a; }" in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_not_contains "dead assign removed" ~needle:"99" il
+
+let dce_keeps_volatile_and_memory () =
+  let src =
+    {|volatile int port;
+      int f(int *p) {
+        port = 1;     /* volatile store: must stay */
+        *p = 2;       /* memory store: must stay */
+        return 0;
+      }|}
+  in
+  let il = func_il ~options:Vpc.o1 src "f" in
+  check_contains "volatile store kept" ~needle:"port = 1;" il;
+  check_contains "memory store kept" ~needle:"*p = 2;" il
+
+let dce_semantics_preserved () =
+  Helpers.assert_all_configs_agree "dce program"
+    {|int g;
+      int f(int n) {
+        int unused, acc;
+        unused = n * n;
+        acc = 0;
+        while (n > 0) { acc += n; n--; unused = acc; }
+        g = acc;
+        return acc;
+      }
+      int main() { printf("%d %d\n", f(10), g); return 0; }|}
+
+let liveness_loop_carried () =
+  let _, f =
+    prog_func "int f(int n) { int s; s = 0; while (n) { s = s + n; n--; } return s; }"
+      "f"
+  in
+  let live = Analysis.Liveness.build f in
+  (* s is live out of its update inside the loop (read next iteration) *)
+  let s_update =
+    List.find_map
+      (fun (st : Il.Stmt.t) ->
+        match st.desc with
+        | Il.Stmt.Assign (Il.Stmt.Lvar _, rhs)
+          when List.length (Il.Expr.read_vars rhs) = 2 ->
+            Some st.id
+        | _ -> None)
+      (Il.Func.all_stmts f)
+  in
+  let s_id =
+    List.find_map
+      (fun (v : Il.Var.t) -> if v.name = "s" then Some v.id else None)
+      (Il.Func.locals f)
+    |> Option.get
+  in
+  match s_update with
+  | Some id ->
+      Alcotest.(check bool) "s live out of its loop update" true
+        (Analysis.Liveness.live_out_of live ~stmt_id:id ~var:s_id)
+  | None -> Alcotest.fail "did not find the s update"
+
+let unreachable_postpass () =
+  let src =
+    {|int f(int n) {
+        if (n) goto out;
+        return 1;
+      out:
+        return 2;
+      }|}
+  in
+  (* code after 'return 1' up to the label is live; code after a goto is
+     dead — construct one via goto chain *)
+  let src2 =
+    {|int g() {
+        goto skip;
+        return 111;
+      skip:
+        return 222;
+      }
+      int main() { printf("%d\n", g()); return 0; }|}
+  in
+  ignore src;
+  let il = func_il ~options:Vpc.o1 src2 "g" in
+  check_not_contains "dead return dropped" ~needle:"111" il;
+  Alcotest.(check string) "semantics" "222\n" (interp_output (Helpers.compile src2))
+
+let tests =
+  [
+    Alcotest.test_case "cfg if structure" `Quick cfg_structure;
+    Alcotest.test_case "cfg loop back edge" `Quick cfg_loop_back_edge;
+    Alcotest.test_case "branch-into detection" `Quick branch_into_detection;
+    Alcotest.test_case "reaching unique def" `Quick reaching_unique_def;
+    Alcotest.test_case "reaching merge" `Quick reaching_merge;
+    Alcotest.test_case "weak defs via memory" `Quick reaching_memory_weak_def;
+    Alcotest.test_case "const prop basic" `Quick const_prop_basic;
+    Alcotest.test_case "const prop branch folding" `Quick const_prop_through_branches;
+    Alcotest.test_case "address constants (§9)" `Quick const_prop_address_constants;
+    Alcotest.test_case "unreachable after fold (§8)" `Quick unreachable_after_constant_branch;
+    Alcotest.test_case "zero-trip loop removed" `Quick zero_trip_loop_removed;
+    Alcotest.test_case "dce dead assign" `Quick dce_removes_dead_assign;
+    Alcotest.test_case "dce volatile/memory" `Quick dce_keeps_volatile_and_memory;
+    Alcotest.test_case "dce semantics" `Quick dce_semantics_preserved;
+    Alcotest.test_case "liveness loop carried" `Quick liveness_loop_carried;
+    Alcotest.test_case "unreachable postpass (§8)" `Quick unreachable_postpass;
+  ]

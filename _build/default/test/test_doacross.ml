@@ -1,0 +1,135 @@
+(* Doacross (§10) tests: pointer-chasing loops split into a serialized
+   advance and a parallel body, gated on the independence pragma. *)
+
+open Helpers
+
+let list_walk_src =
+  {|struct node { float val; int next; };
+    struct node pool[128];
+    float out[128];
+    int main()
+    {
+      int p, k;
+      float s;
+      for (k = 0; k < 128; k++) {
+        pool[k].val = k * 0.5f;
+        pool[k].next = (k < 127) ? k + 1 : -1;
+      }
+      k = 0;
+      p = 0;
+      #pragma vpc independent
+      while (p != -1) {
+        out[k] = pool[p].val * 2.0f + 1.0f;
+        p = pool[p].next;
+        k++;
+      }
+      s = 0;
+      for (k = 0; k < 128; k++) s += out[k];
+      printf("%g %d\n", s, k);
+      return 0;
+    }|}
+
+let transforms_with_pragma () =
+  let prog, stats = compile_stats ~options:Vpc.o2 list_walk_src in
+  Alcotest.(check int) "one loop transformed" 1
+    stats.doacross.loops_transformed;
+  let il = Vpc.Il.Pp.func_to_string prog (Vpc.Il.Prog.func_exn prog "main") in
+  check_contains "marked doacross" ~needle:"doacross" il;
+  (* the copies capture the pre-advance values *)
+  check_contains "pointer copy" ~needle:"p_cur" il
+
+let not_without_pragma () =
+  (* the same program with the pragma line stripped *)
+  let src =
+    String.concat ""
+      (String.split_on_char '#' list_walk_src |> function
+       | before :: after :: rest ->
+           let after =
+             match String.index_opt after '\n' with
+             | Some i -> String.sub after i (String.length after - i)
+             | None -> after
+           in
+           before :: after :: rest
+       | l -> l)
+  in
+  let prog, stats = compile_stats ~options:Vpc.o2 src in
+  ignore prog;
+  Alcotest.(check int) "no pragma, no transform" 0
+    stats.doacross.loops_transformed
+
+let semantics_preserved () = assert_all_configs_agree "list walk" list_walk_src
+
+let semantics_with_branches () =
+  assert_all_configs_agree "list walk with conditional body"
+    {|struct node { float val; int next; };
+      struct node pool[64];
+      float pos[64], neg[64];
+      int main()
+      {
+        int p, k;
+        float sp, sn;
+        for (k = 0; k < 64; k++) {
+          pool[k].val = (k & 1) ? (0.0f - k) : (float)k;
+          pool[k].next = (k < 63) ? k + 1 : -1;
+        }
+        k = 0;
+        p = 0;
+        #pragma vpc independent
+        while (p != -1) {
+          if (pool[p].val < 0.0f) neg[k] = pool[p].val;
+          else pos[k] = pool[p].val;
+          p = pool[p].next;
+          k++;
+        }
+        sp = 0; sn = 0;
+        for (k = 0; k < 64; k++) { sp += pos[k]; sn += neg[k]; }
+        printf("%g %g\n", sp, sn);
+        return 0;
+      }|}
+
+let processors_reduce_cycles () =
+  let prog = compile ~options:Vpc.o2 list_walk_src in
+  let cyc procs =
+    (Vpc.run_titan
+       ~config:{ Vpc.Titan.Machine.default_config with procs }
+       prog)
+      .metrics
+      .cycles
+  in
+  let c1 = cyc 1 and c4 = cyc 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 procs reduce cycles (%d -> %d)" c1 c4)
+    true (c4 < c1)
+
+let rejects_body_feeding_advance () =
+  (* the advance reads a value the parallel body computes: must reject *)
+  let src =
+    {|int pool[64];
+      float out[64];
+      int main()
+      {
+        int p, k, t;
+        p = 0; k = 0;
+        #pragma vpc independent
+        while (p != -1 && k < 64) {
+          t = pool[p] & 63;
+          out[k] = (float)t;
+          p = (t > 32) ? -1 : k;   /* p depends on t from the body */
+          k++;
+        }
+        printf("%d\n", k);
+        return 0;
+      }|}
+  in
+  (* whether or not the shape is recognized, results must be preserved *)
+  assert_all_configs_agree "body feeds advance" src
+
+let tests =
+  [
+    Alcotest.test_case "transforms with pragma" `Quick transforms_with_pragma;
+    Alcotest.test_case "needs the pragma" `Quick not_without_pragma;
+    Alcotest.test_case "semantics" `Quick semantics_preserved;
+    Alcotest.test_case "conditional bodies" `Quick semantics_with_branches;
+    Alcotest.test_case "processors help" `Quick processors_reduce_cycles;
+    Alcotest.test_case "rejects dependent advance" `Quick rejects_body_feeding_advance;
+  ]

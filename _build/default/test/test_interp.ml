@@ -1,0 +1,232 @@
+(* IL interpreter tests: C semantics (arithmetic, conversions, recursion,
+   memory) plus a qcheck property comparing pure integer expression
+   evaluation against an OCaml reference. *)
+
+open Helpers
+
+let arithmetic () =
+  let src =
+    {|int main() {
+        printf("%d %d %d %d %d\n", 7 / 2, -7 / 2, 7 % 3, -7 % 3, 1 << 4);
+        printf("%d %d %d\n", 255 & 51, 0x0F | 0xF0, 5 ^ 3);
+        printf("%g %g\n", 1.0 / 4.0, 3.0 * 0.5);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "arithmetic" "3 -3 1 -1 16\n51 255 6\n0.25 1.5\n"
+    (interp_output (compile src))
+
+let int_wrap () =
+  let src =
+    {|int main() {
+        int x;
+        x = 2147483647;
+        x = x + 1;
+        printf("%d\n", x);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "32-bit wrap" "-2147483648\n" (interp_output (compile src))
+
+let float_truncation () =
+  let src =
+    {|int main() {
+        float f;
+        int i;
+        f = 0.1f;
+        i = 3.99;
+        /* float stores round to 32 bits */
+        printf("%d %d\n", i, f < 0.1000001 && f > 0.0999999);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "conversions" "3 1\n" (interp_output (compile src))
+
+let char_semantics () =
+  let src =
+    {|char buf[4];
+      int main() {
+        char c;
+        c = 200;          /* wraps to -56 as signed char */
+        buf[0] = 'A';
+        buf[1] = buf[0] + 1;
+        printf("%d %c%c\n", c, buf[0], buf[1]);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "char" "-56 AB\n" (interp_output (compile src))
+
+let recursion () =
+  let src =
+    {|int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+      }
+      int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+      int main() {
+        printf("%d %d\n", fib(15), fact(7));
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "recursion" "610 5040\n" (interp_output (compile src))
+
+let address_of_scalar () =
+  let src =
+    {|void bump(int *p) { *p += 5; }
+      int main() {
+        int x;
+        x = 10;
+        bump(&x);
+        bump(&x);
+        printf("%d\n", x);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "&scalar" "20\n" (interp_output (compile src))
+
+let global_state_across_calls () =
+  let src =
+    {|int counter;
+      void tick() { counter++; }
+      int main() {
+        int i;
+        for (i = 0; i < 7; i++) tick();
+        printf("%d\n", counter);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "globals" "7\n" (interp_output (compile src))
+
+let static_locals () =
+  let src =
+    {|int next() {
+        static int n = 100;
+        n++;
+        return n;
+      }
+      int main() {
+        next(); next();
+        printf("%d\n", next());
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "static local" "103\n" (interp_output (compile src))
+
+let math_builtins () =
+  let src =
+    {|int main() {
+        double x;
+        x = sqrt(16.0);
+        printf("%g %g %d\n", x, fabs(-2.5), abs(-7));
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "builtins" "4 2.5 7\n" (interp_output (compile src))
+
+let infinite_loop_times_out () =
+  let src = "int main() { for (;;); return 0; }" in
+  let prog = compile src in
+  match Vpc.Il.Interp.run ~max_steps:10_000 prog with
+  | exception Vpc.Il.Interp.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout"
+
+let runtime_errors () =
+  List.iter
+    (fun (name, src) ->
+      let prog = compile src in
+      match Vpc.Il.Interp.run prog with
+      | exception Vpc.Il.Interp.Runtime_error _ -> ()
+      | _ -> Alcotest.failf "%s: expected a runtime error" name)
+    [
+      ("div by zero", "int main() { int z; z = 0; return 1 / z; }");
+      ("oob", "int a[2]; int main() { return a[1 << 24]; }");
+      ("null deref", "int main() { int *p; p = 0; return *p; }");
+    ]
+
+(* Random pure integer expressions evaluated against an OCaml model. *)
+let expr_prop =
+  let module G = QCheck.Gen in
+  (* generate a tree as both C text and an OCaml closure over (a, b) *)
+  let rec gen depth st : string * (int -> int -> int) =
+    let wrap32 n =
+      (n land 0xFFFFFFFF) - (if n land 0x80000000 <> 0 then 1 lsl 32 else 0)
+    in
+    if depth = 0 || G.int_bound 2 st = 0 then
+      match G.int_bound 3 st with
+      | 0 ->
+          let n = G.int_bound 100 st in
+          (string_of_int n, fun _ _ -> n)
+      | 1 -> ("a", fun a _ -> a)
+      | 2 -> ("b", fun _ b -> b)
+      | _ ->
+          let n = G.int_bound 50 st - 25 in
+          (Printf.sprintf "(%d)" n, fun _ _ -> n)
+    else
+      let s1, f1 = gen (depth - 1) st in
+      let s2, f2 = gen (depth - 1) st in
+      match G.int_bound 7 st with
+      | 0 -> (Printf.sprintf "(%s + %s)" s1 s2, fun a b -> wrap32 (f1 a b + f2 a b))
+      | 1 -> (Printf.sprintf "(%s - %s)" s1 s2, fun a b -> wrap32 (f1 a b - f2 a b))
+      | 2 -> (Printf.sprintf "(%s * %s)" s1 s2, fun a b -> wrap32 (f1 a b * f2 a b))
+      | 3 -> (Printf.sprintf "(%s & %s)" s1 s2, fun a b -> f1 a b land f2 a b)
+      | 4 -> (Printf.sprintf "(%s | %s)" s1 s2, fun a b -> f1 a b lor f2 a b)
+      | 5 -> (Printf.sprintf "(%s ^ %s)" s1 s2, fun a b -> f1 a b lxor f2 a b)
+      | 6 ->
+          (Printf.sprintf "(%s < %s)" s1 s2,
+           fun a b -> if f1 a b < f2 a b then 1 else 0)
+      | _ ->
+          (Printf.sprintf "(%s == %s)" s1 s2,
+           fun a b -> if f1 a b = f2 a b then 1 else 0)
+  in
+  let arbitrary =
+    QCheck.make
+      (G.map2 (fun eg (a, b) -> (eg, a, b))
+         (fun st -> gen 4 st)
+         (G.pair (G.int_range (-1000) 1000) (G.int_range (-1000) 1000)))
+      ~print:(fun ((s, _), a, b) -> Printf.sprintf "%s with a=%d b=%d" s a b)
+  in
+  QCheck.Test.make ~count:150 ~name:"random int expressions match OCaml model"
+    arbitrary
+    (fun ((text, model), a, b) ->
+      let src =
+        Printf.sprintf
+          "int main() { int a, b; a = %d; b = %d; printf(\"%%d\", %s); return 0; }"
+          a b text
+      in
+      let out = interp_output (compile src) in
+      out = string_of_int (model a b))
+
+let printf_formats () =
+  let src =
+    {|int main() {
+        printf("[%5d|%-5d|%05d]\n", 42, 42, 42);
+        printf("[%8.3f|%.1f|%g|%e]\n", 3.14159, 2.5, 0.125, 1500.0);
+        printf("[%10s|%c%c]\n", "hi", 'o', 'k');
+        printf("100%%\n");
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "formats"
+    "[   42|42   |00042]\n[   3.142|2.5|0.125|1.500000e+03]\n[        hi|ok]\n100%\n"
+    (interp_output (compile src));
+  (* the simulator prints identically *)
+  Alcotest.(check string) "titan agrees"
+    (interp_output (compile src))
+    (titan_output (compile src))
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick arithmetic;
+    Alcotest.test_case "int wrap-around" `Quick int_wrap;
+    Alcotest.test_case "conversions" `Quick float_truncation;
+    Alcotest.test_case "char semantics" `Quick char_semantics;
+    Alcotest.test_case "recursion" `Quick recursion;
+    Alcotest.test_case "address of scalar" `Quick address_of_scalar;
+    Alcotest.test_case "globals across calls" `Quick global_state_across_calls;
+    Alcotest.test_case "static locals" `Quick static_locals;
+    Alcotest.test_case "math builtins" `Quick math_builtins;
+    Alcotest.test_case "printf formats" `Quick printf_formats;
+    Alcotest.test_case "timeout" `Quick infinite_loop_times_out;
+    Alcotest.test_case "runtime errors" `Quick runtime_errors;
+    QCheck_alcotest.to_alcotest expr_prop;
+  ]

@@ -1,0 +1,92 @@
+(* Lexer tests: token recognition, the miniature preprocessor (#define,
+   #pragma), comments, literals. *)
+
+open Vpc.Cfront
+
+let toks src = Lexer.tokenize src
+
+let check_tokens name src expected =
+  let got = toks src in
+  let strs = List.map Token.to_string got in
+  Alcotest.(check (list string)) name expected strs
+
+let punctuation () =
+  check_tokens "operators"
+    "a += b ->c ... x <<= y >>= z && || ++ -- == != <= >="
+    [ "a"; "+="; "b"; "->"; "c"; "..."; "x"; "<<="; "y"; ">>="; "z"; "&&";
+      "||"; "++"; "--"; "=="; "!="; "<="; ">="; "<eof>" ]
+
+let keywords_idents () =
+  check_tokens "keywords" "while whilex int interior volatile"
+    [ "while"; "whilex"; "int"; "interior"; "volatile"; "<eof>" ]
+
+let numbers () =
+  let got = toks "42 0x1F 3.5 1e3 2.5f 10L 7u .5" in
+  let expected =
+    [
+      Token.Int_lit 42; Token.Int_lit 31;
+      Token.Float_lit (3.5, true); Token.Float_lit (1000.0, true);
+      Token.Float_lit (2.5, false); Token.Int_lit 10; Token.Int_lit 7;
+      Token.Float_lit (0.5, true); Token.Eof;
+    ]
+  in
+  Alcotest.(check bool) "numbers" true (got = expected)
+
+let strings_chars () =
+  let got = toks {|"hello\nworld" 'a' '\n' '\\'|} in
+  let expected =
+    [
+      Token.String_lit "hello\nworld"; Token.Char_lit 'a'; Token.Char_lit '\n';
+      Token.Char_lit '\\'; Token.Eof;
+    ]
+  in
+  Alcotest.(check bool) "strings" true (got = expected)
+
+let comments () =
+  check_tokens "comments" "a /* multi\nline */ b // to eol\nc"
+    [ "a"; "b"; "c"; "<eof>" ]
+
+let define_expansion () =
+  check_tokens "define" "#define N 100\nint a[N];"
+    [ "int"; "a"; "["; "100"; "]"; ";"; "<eof>" ]
+
+let define_multi_token () =
+  check_tokens "define multi" "#define SZ (4 * 25)\nSZ"
+    [ "("; "4"; "*"; "25"; ")"; "<eof>" ]
+
+let pragma_token () =
+  let got = toks "#pragma vpc independent\nfor" in
+  match got with
+  | [ Token.Pragma [ "vpc"; "independent" ]; Token.Kw_for; Token.Eof ] -> ()
+  | _ -> Alcotest.fail "pragma not lexed as a token"
+
+let unknown_directive_skipped () =
+  Vpc.Support.Diag.reset_warnings ();
+  check_tokens "include skipped" "#include <stdio.h>\nint x;"
+    [ "int"; "x"; ";"; "<eof>" ];
+  Alcotest.(check bool) "warned" true (!Vpc.Support.Diag.warnings <> [])
+
+let hash_mid_line_is_error () =
+  match toks "a # b" with
+  | exception Vpc.Support.Diag.Error_exn _ -> ()
+  | _ -> Alcotest.fail "expected error for stray #"
+
+let function_like_macro_rejected () =
+  match toks "#define F(x) x\n" with
+  | exception Vpc.Support.Diag.Error_exn _ -> ()
+  | _ -> Alcotest.fail "expected error for function-like macro"
+
+let tests =
+  [
+    Alcotest.test_case "punctuation" `Quick punctuation;
+    Alcotest.test_case "keywords vs idents" `Quick keywords_idents;
+    Alcotest.test_case "numbers" `Quick numbers;
+    Alcotest.test_case "strings and chars" `Quick strings_chars;
+    Alcotest.test_case "comments" `Quick comments;
+    Alcotest.test_case "#define" `Quick define_expansion;
+    Alcotest.test_case "#define multi-token" `Quick define_multi_token;
+    Alcotest.test_case "#pragma" `Quick pragma_token;
+    Alcotest.test_case "unknown directive" `Quick unknown_directive_skipped;
+    Alcotest.test_case "stray #" `Quick hash_mid_line_is_error;
+    Alcotest.test_case "function-like macro" `Quick function_like_macro_rejected;
+  ]

@@ -1,0 +1,291 @@
+(* Lowering tests (paper §4): expressions become (statement-list, pure
+   expression) pairs; side effects are explicit statements; the IL shapes
+   must match the paper's listings. *)
+
+open Helpers
+
+let post_increment_shape () =
+  (* the §5.3 example: while(n) { *a++ = *b++; n--; } *)
+  let src =
+    {|void copy(float *a, float *b, int n) {
+        while (n) {
+          *a++ = *b++;
+          n--;
+        }
+      }|}
+  in
+  let il = func_il src "copy" in
+  (* temp = a; a = temp + 4 — pointer scaled to bytes *)
+  check_contains "temp chain for a" ~needle:"= a;" il;
+  check_contains "scaled increment" ~needle:"+ 4;" il;
+  check_contains "n decrement via temp" ~needle:"- 1;" il;
+  (* no ++ survives: all updates are assignments *)
+  check_not_contains "no ++" ~needle:"++" il
+
+let logical_ops_become_control_flow () =
+  let il = func_il "int f(int a, int b) { return a && b; }" "f" in
+  check_contains "if for &&" ~needle:"if (a)" il;
+  let il2 = func_il "int f(int a, int b) { return a || b; }" "f" in
+  check_contains "if for ||" ~needle:"if (a)" il2
+
+let logical_semantics () =
+  let src =
+    {|int count;
+      int bump() { count++; return 1; }
+      int main() {
+        int r;
+        count = 0;
+        r = 0 && bump();   /* bump must not run */
+        r = 1 || bump();   /* bump must not run */
+        r = 1 && bump();   /* bump runs */
+        printf("%d %d\n", count, r);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "short circuit" "1 1\n" (interp_output (compile src))
+
+let conditional_operator () =
+  let src =
+    {|int main() {
+        int x;
+        float f;
+        x = 1 ? 10 : 20;
+        f = x > 5 ? 0.5f : 1.5f;
+        printf("%d %g %d\n", x, f, 0 ? 1 : 2);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "?:" "10 0.5 2\n" (interp_output (compile src))
+
+let embedded_assignment () =
+  (* a = v = b through a temporary: v written once (§4's volatile story) *)
+  let src =
+    {|int main() {
+        int a, v, b;
+        b = 7;
+        a = v = b;
+        printf("%d %d\n", a, v);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "chained =" "7 7\n" (interp_output (compile src))
+
+let assignment_value_uses_temp () =
+  let il = func_il "int f(int b) { int a, v; a = v = b; return a; }" "f" in
+  (* v = temp; a = temp — not a = v (v is never read) *)
+  check_contains "temp binds rhs" ~needle:"temp_" il
+
+let for_becomes_while () =
+  let il =
+    func_il "int f(int n) { int i, s; s = 0; for (i = 0; i < n; i++) s += i; return s; }"
+      "f"
+  in
+  check_contains "for is a while loop" ~needle:"while (i < n)" il
+
+let condition_side_effects_duplicated () =
+  (* while ((SL, E)): SL appears before the loop and at the bottom of the
+     body *)
+  let src = "int f(int n) { int s; s = 0; while (n--) s++; return s; }" in
+  let il = func_il src "f" in
+  check_contains "while on temp" ~needle:"while" il;
+  (* semantics: n-- evaluated once per test *)
+  let out =
+    interp_output
+      (compile
+         "int f(int n) { int s; s = 0; while (n--) s++; return s; }\n\
+          int main() { printf(\"%d %d\\n\", f(5), f(0)); return 0; }")
+  in
+  Alcotest.(check string) "while(n--)" "5 0\n" out
+
+let do_while_lowering () =
+  let src =
+    {|int main() {
+        int i, s;
+        i = 0; s = 0;
+        do { s += i; i++; } while (i < 5);
+        /* body must run at least once even when the condition is false */
+        do { s += 100; } while (0);
+        printf("%d\n", s);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "do-while" "110\n" (interp_output (compile src))
+
+let break_continue () =
+  let src =
+    {|int main() {
+        int i, s;
+        s = 0;
+        for (i = 0; i < 10; i++) {
+          if (i == 3) continue;
+          if (i == 6) break;
+          s += i;
+        }
+        printf("%d %d\n", s, i);
+        return 0;
+      }|}
+  in
+  (* 0+1+2+4+5 = 12, i stops at 6 *)
+  Alcotest.(check string) "break/continue" "12 6\n" (interp_output (compile src))
+
+let compound_assignment_pointer () =
+  let src =
+    {|float a[10];
+      int main() {
+        float *p;
+        int i;
+        for (i = 0; i < 10; i++) a[i] = i;
+        p = a;
+        p += 3;
+        printf("%g\n", *p);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "p += 3 scales" "3\n" (interp_output (compile src))
+
+let pointer_arith_forms () =
+  let src =
+    {|float a[10];
+      int main() {
+        float *p, *q;
+        int i;
+        for (i = 0; i < 10; i++) a[i] = 2 * i;
+        p = &a[2];
+        q = p + 3;
+        printf("%g %g %d %g\n", *q, *(a + 7), q - p, p[-1]);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "pointer arithmetic" "10 14 3 2\n"
+    (interp_output (compile src))
+
+let preincrement_value () =
+  let src =
+    {|int main() {
+        int i, a, b;
+        i = 5;
+        a = ++i;
+        b = i++;
+        printf("%d %d %d\n", a, b, i);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "pre/post" "6 6 7\n" (interp_output (compile src))
+
+let incdec_on_memory () =
+  let src =
+    {|int arr[3];
+      int main() {
+        int *p;
+        arr[1] = 10;
+        p = &arr[1];
+        (*p)++;
+        ++*p;
+        printf("%d\n", arr[1]);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "memory ++" "12\n" (interp_output (compile src))
+
+let volatile_preserved () =
+  let src =
+    "volatile int status; int f() { return status; }"
+  in
+  let prog = compile src in
+  let g =
+    List.find
+      (fun (g : Vpc.Il.Prog.global) -> g.gvar.Vpc.Il.Var.name = "status")
+      (Vpc.Il.Prog.globals_list prog)
+  in
+  Alcotest.(check bool) "volatile flag" true g.gvar.volatile
+
+let volatile_loop_not_removed () =
+  (* the paper's keyboard_status example: the loop must keep re-reading *)
+  let src =
+    {|volatile int keyboard_status;
+      int main() {
+        keyboard_status = 0;
+        while (!keyboard_status);
+        return keyboard_status;
+      }|}
+  in
+  let prog = compile ~options:Vpc.o3 src in
+  (* with a volatile hook that flips after a few reads, the loop exits *)
+  let reads = ref 0 in
+  let hook (v : Vpc.Il.Var.t) =
+    if v.name = "keyboard_status" then begin
+      incr reads;
+      if !reads > 3 then Some (Vpc.Il.Interp.V_int 1) else Some (V_int 0)
+    end
+    else None
+  in
+  let r = Vpc.Il.Interp.run ~on_volatile_read:hook prog in
+  Alcotest.(check bool) "loop exited after flip" true
+    (r.return_value = Vpc.Il.Interp.V_int 1);
+  Alcotest.(check bool) "read multiple times" true (!reads > 3)
+
+let string_literals_pooled () =
+  let prog =
+    compile
+      {|int main() { printf("dup"); printf("dup"); printf("other"); return 0; }|}
+  in
+  let strs =
+    List.filter
+      (fun (g : Vpc.Il.Prog.global) ->
+        match g.ginit with Vpc.Il.Prog.Init_string _ -> true | _ -> false)
+      (Vpc.Il.Prog.globals_list prog)
+  in
+  Alcotest.(check int) "two pooled strings" 2 (List.length strs)
+
+let multidim_arrays () =
+  let src =
+    {|float m[3][4];
+      int main() {
+        int i, j;
+        for (i = 0; i < 3; i++)
+          for (j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+        printf("%g %g %g\n", m[0][0], m[2][3], m[1][2]);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "2d arrays" "0 23 12\n" (interp_output (compile src))
+
+let array_in_struct () =
+  (* §10: "arrays embedded within structures" *)
+  let src =
+    {|struct obj { int id; float pos[3]; };
+      struct obj o[2];
+      int main() {
+        o[1].id = 7;
+        o[1].pos[2] = 2.5;
+        o[0].pos[0] = 1.0;
+        printf("%d %g %g\n", o[1].id, o[1].pos[2], o[0].pos[0]);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "array in struct" "7 2.5 1\n"
+    (interp_output (compile src))
+
+let tests =
+  [
+    Alcotest.test_case "post-increment shape (§5.3)" `Quick post_increment_shape;
+    Alcotest.test_case "&&/|| become control flow" `Quick logical_ops_become_control_flow;
+    Alcotest.test_case "short-circuit semantics" `Quick logical_semantics;
+    Alcotest.test_case "?: lowering" `Quick conditional_operator;
+    Alcotest.test_case "embedded assignment" `Quick embedded_assignment;
+    Alcotest.test_case "assignment temp (§4)" `Quick assignment_value_uses_temp;
+    Alcotest.test_case "for becomes while" `Quick for_becomes_while;
+    Alcotest.test_case "condition side effects" `Quick condition_side_effects_duplicated;
+    Alcotest.test_case "do-while" `Quick do_while_lowering;
+    Alcotest.test_case "break/continue" `Quick break_continue;
+    Alcotest.test_case "pointer compound assignment" `Quick compound_assignment_pointer;
+    Alcotest.test_case "pointer arithmetic" `Quick pointer_arith_forms;
+    Alcotest.test_case "pre/post increment" `Quick preincrement_value;
+    Alcotest.test_case "++ on memory" `Quick incdec_on_memory;
+    Alcotest.test_case "volatile flag" `Quick volatile_preserved;
+    Alcotest.test_case "volatile loop" `Quick volatile_loop_not_removed;
+    Alcotest.test_case "string pooling" `Quick string_literals_pooled;
+    Alcotest.test_case "multidimensional arrays" `Quick multidim_arrays;
+    Alcotest.test_case "arrays in structs (§10)" `Quick array_in_struct;
+  ]

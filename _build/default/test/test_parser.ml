@@ -1,0 +1,243 @@
+(* Parser tests: declarators, precedence, statement forms, and error
+   reporting.  Shapes are checked through the lowered IL text (the parser
+   and lowering are exercised together; test_lower checks the lowering
+   rules themselves). *)
+
+open Helpers
+
+let simple_types () =
+  let il =
+    func_il
+      "int f(float x, double d, char c, int *p, float a[10]) { return 0; }" "f"
+  in
+  check_contains "param types" ~needle:"int f(float x, double d, char c, int* p, float* a)" il
+
+let declarator_arrays () =
+  let prog = compile "float m[4][4]; int v[3]; char s[10];" in
+  let g name =
+    List.find
+      (fun (g : Vpc.Il.Prog.global) -> g.gvar.Vpc.Il.Var.name = name)
+      (Vpc.Il.Prog.globals_list prog)
+  in
+  Alcotest.(check string) "2d array" "float[4][4]"
+    (Vpc.Il.Ty.to_string (g "m").gvar.ty);
+  Alcotest.(check string) "1d int" "int[3]" (Vpc.Il.Ty.to_string (g "v").gvar.ty);
+  Alcotest.(check string) "char buf" "char[10]"
+    (Vpc.Il.Ty.to_string (g "s").gvar.ty)
+
+let pointer_declarators () =
+  let prog = compile "int *p; int **pp; float *q;" in
+  let g name =
+    List.find
+      (fun (g : Vpc.Il.Prog.global) -> g.gvar.Vpc.Il.Var.name = name)
+      (Vpc.Il.Prog.globals_list prog)
+  in
+  Alcotest.(check string) "ptr" "int*" (Vpc.Il.Ty.to_string (g "p").gvar.ty);
+  Alcotest.(check string) "ptr ptr" "int**" (Vpc.Il.Ty.to_string (g "pp").gvar.ty)
+
+let precedence () =
+  (* 1 + 2 * 3 must evaluate to 7, not 9; && binds tighter than || *)
+  let src =
+    {|int main() {
+        printf("%d %d %d %d\n", 1 + 2 * 3, (1 + 2) * 3, 1 || 0 && 0, 10 - 4 - 3);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "precedence" "7 9 1 3\n" (interp_output (compile src))
+
+let sizeof_forms () =
+  let src =
+    {|struct pt { float x; float y; float z; };
+      double d[5];
+      int main() {
+        struct pt p;
+        printf("%d %d %d %d %d\n", sizeof(int), sizeof(struct pt), sizeof d,
+               sizeof(double), sizeof p);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "sizeof" "4 12 40 8 12\n" (interp_output (compile src))
+
+let typedefs () =
+  let src =
+    {|typedef float real;
+      typedef real vec4[4];
+      int main() {
+        vec4 v;
+        real s;
+        s = 2;
+        v[0] = s * 3;
+        printf("%g %d\n", v[0], sizeof(vec4));
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "typedef" "6 16\n" (interp_output (compile src))
+
+let implied_int_main () =
+  (* K&R style: main() with no return type *)
+  let src = "main() { printf(\"ok\\n\"); return 0; }" in
+  Alcotest.(check string) "K&R main" "ok\n" (interp_output (compile src))
+
+let struct_members () =
+  let src =
+    {|struct vec { float x; float y; };
+      struct vec g;
+      int main() {
+        struct vec v;
+        struct vec *p;
+        v.x = 1.5; v.y = 2.5;
+        p = &v;
+        g.x = p->x + v.y;
+        printf("%g %g %g\n", v.x, p->y, g.x);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "members" "1.5 2.5 4\n" (interp_output (compile src))
+
+let switch_stmt () =
+  let src =
+    {|int classify(int n) {
+        switch (n) {
+        case 0: return 100;
+        case 1:
+        case 2: return 200;
+        default: return 300;
+        }
+      }
+      int main() {
+        printf("%d %d %d %d\n", classify(0), classify(1), classify(2), classify(9));
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "switch" "100 200 200 300\n" (interp_output (compile src))
+
+let switch_fallthrough_break () =
+  let src =
+    {|int main() {
+        int n, acc;
+        acc = 0;
+        for (n = 0; n < 4; n++) {
+          switch (n) {
+          case 0: acc += 1;      /* falls through */
+          case 1: acc += 10; break;
+          case 2: acc += 100; break;
+          default: acc += 1000;
+          }
+        }
+        printf("%d\n", acc);
+        return 0;
+      }|}
+  in
+  (* n=0: 1+10; n=1: 10; n=2: 100; n=3: 1000 -> 1121 *)
+  Alcotest.(check string) "fallthrough" "1121\n" (interp_output (compile src))
+
+let goto_labels () =
+  let src =
+    {|int main() {
+        int i;
+        i = 0;
+      again:
+        i++;
+        if (i < 5) goto again;
+        printf("%d\n", i);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "goto" "5\n" (interp_output (compile src))
+
+let parse_errors () =
+  List.iter
+    (fun src ->
+      match compile src with
+      | exception Vpc.Support.Diag.Error_exn _ -> ()
+      | _ -> Alcotest.failf "expected a parse/sema error for %S" src)
+    [
+      "int main() { return 0 }";        (* missing ; *)
+      "int main() { x = 1; return 0; }";(* undeclared *)
+      "int f(int, int);; int main() { f(1); return f(1,2); }"; (* arity *)
+      "struct s { int x; }; int main() { struct s v; return v.y; }";
+      "int main() { int a[3]; a = 0; return 0; }"; (* array assignment *)
+      "int main() { return *3.0; }";    (* deref non-pointer *)
+      "float f() { goto nowhere; }";
+    ]
+
+let global_initializers () =
+  let src =
+    {|int scalars = 42;
+      float farr[4] = { 1.0, 2.0, 3.5 };
+      char msg[] = "hi";
+      int iarr[] = { 7, 8, 9 };
+      int main() {
+        printf("%d %g %g %s %d %d\n", scalars, farr[0], farr[3], msg,
+               iarr[2], sizeof(iarr));
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "global inits" "42 1 0 hi 9 12\n"
+    (interp_output (compile src))
+
+let local_initializers () =
+  let src =
+    {|int main() {
+        int a[4] = { 1, 2, 3, 4 };
+        float x = 2.5;
+        char s[6] = "hey";
+        printf("%d %g %s\n", a[0] + a[3], x, s);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "local inits" "5 2.5 hey\n" (interp_output (compile src))
+
+let comma_in_for () =
+  let src =
+    {|int main() {
+        int i, j, s;
+        s = 0;
+        for (i = 0, j = 10; i < j; i++, j--) s++;
+        printf("%d\n", s);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "comma" "5\n" (interp_output (compile src))
+
+let enums () =
+  let src =
+    {|enum color { RED, GREEN = 5, BLUE };
+      enum color fav = BLUE;
+      int main() {
+        enum color c;
+        c = GREEN;
+        printf("%d %d %d %d %d\n", RED, GREEN, BLUE, c, fav);
+        return 0;
+      }|}
+  in
+  Alcotest.(check string) "enum values" "0 5 6 5 6\n"
+    (interp_output (compile src));
+  (* enumerators are constants: they fold and can size arrays *)
+  let src2 =
+    {|enum { N = 8 };
+      float a[N];
+      int main() { printf("%d\n", sizeof(a) / sizeof(a[0])); return 0; }|}
+  in
+  Alcotest.(check string) "enum-sized array" "8\n" (interp_output (compile src2))
+
+
+let tests =
+  [
+    Alcotest.test_case "simple types" `Quick simple_types;
+    Alcotest.test_case "array declarators" `Quick declarator_arrays;
+    Alcotest.test_case "pointer declarators" `Quick pointer_declarators;
+    Alcotest.test_case "precedence" `Quick precedence;
+    Alcotest.test_case "sizeof" `Quick sizeof_forms;
+    Alcotest.test_case "typedef" `Quick typedefs;
+    Alcotest.test_case "K&R main" `Quick implied_int_main;
+    Alcotest.test_case "struct members" `Quick struct_members;
+    Alcotest.test_case "switch" `Quick switch_stmt;
+    Alcotest.test_case "switch fallthrough" `Quick switch_fallthrough_break;
+    Alcotest.test_case "goto" `Quick goto_labels;
+    Alcotest.test_case "parse errors" `Quick parse_errors;
+    Alcotest.test_case "global initializers" `Quick global_initializers;
+    Alcotest.test_case "local initializers" `Quick local_initializers;
+    Alcotest.test_case "comma in for" `Quick comma_in_for;
+    Alcotest.test_case "enums" `Quick enums;
+  ]

@@ -1,0 +1,120 @@
+(* Serialization tests: the pointer-free IL round-trips through its sexp
+   form at every optimization level — the §7 requirement that procedures
+   can be paged and cataloged.  Includes optimized programs (DO loops,
+   vector statements, doacross markers all survive). *)
+
+open Helpers
+
+let roundtrip_outputs name options src =
+  let prog = compile ~options src in
+  let reference = interp_output prog in
+  let text = Vpc.Inline.Catalog.to_string prog in
+  let back = Vpc.Inline.Catalog.of_string text in
+  Alcotest.(check string)
+    (name ^ ": reloaded program runs identically")
+    reference (interp_output back);
+  (* second serialization is identical: the form is canonical *)
+  Alcotest.(check string)
+    (name ^ ": stable serialization")
+    text
+    (Vpc.Inline.Catalog.to_string back);
+  (* the reloaded program also simulates identically *)
+  Alcotest.(check string)
+    (name ^ ": titan agrees after reload")
+    reference (titan_output back)
+
+let sample_program =
+  {|float a[64], b[64];
+    struct pair { int x; int y; };
+    struct pair ps[4];
+    int scale = 3;
+    float fscale = 1.5f;
+    char greeting[] = "hi";
+    int helper(int n) { return n * scale; }
+    int main() {
+      int i;
+      float s;
+      for (i = 0; i < 64; i++) b[i] = i * 0.5f;
+      for (i = 0; i < 64; i++) a[i] = b[i] * fscale + 1.0f;
+      ps[2].x = helper(5);
+      ps[2].y = ps[2].x - 1;
+      s = 0;
+      for (i = 0; i < 64; i++) s += a[i];
+      printf("%s %g %d %d\n", greeting, s, ps[2].x, ps[2].y);
+      return 0;
+    }|}
+
+let roundtrip_all_levels () =
+  List.iter
+    (fun (lname, options) -> roundtrip_outputs lname options sample_program)
+    all_levels
+
+let roundtrip_vector_statements () =
+  (* make sure Vector/Do_loop/parallel survive explicitly *)
+  let prog =
+    compile ~options:Vpc.o2
+      {|float x[100], y[100];
+        void f() { int i; for (i = 0; i < 100; i++) x[i] = y[i] + 1.0f; }
+        int main() { f(); printf("%g\n", x[50]); return 0; }|}
+  in
+  let il_before = Vpc.Il.Pp.prog_to_string prog in
+  check_contains "has vector stmt" ~needle:"[0 : " il_before;
+  let back = Vpc.Inline.Catalog.of_string (Vpc.Inline.Catalog.to_string prog) in
+  let il_after = Vpc.Il.Pp.prog_to_string back in
+  Alcotest.(check string) "pretty-print identical" il_before il_after
+
+let roundtrip_random_programs () =
+  for seed = 100 to 110 do
+    let src = Gen_c.program seed in
+    List.iter
+      (fun (lname, options) ->
+        roundtrip_outputs (Printf.sprintf "random %d %s" seed lname) options src)
+      [ ("O0", Vpc.o0); ("O3", Vpc.o3) ]
+  done
+
+let expr_sexp_prop =
+  (* random expressions round-trip exactly, including float bit patterns *)
+  let module G = QCheck.Gen in
+  let rec gen_expr depth st : Vpc.Il.Expr.t =
+    let open Vpc.Il in
+    if depth = 0 || G.int_bound 2 st = 0 then
+      match G.int_bound 3 st with
+      | 0 -> Expr.int_const (G.int_range (-1000) 1000 st)
+      | 1 -> Expr.float_const ~ty:Ty.Float (G.float_bound_inclusive 100.0 st)
+      | 2 -> Expr.var_id (G.int_bound 50 st) Ty.Int
+      | _ -> Expr.mk (Expr.Addr_of (G.int_bound 50 st)) (Ty.Ptr Ty.Float)
+    else
+      let a = gen_expr (depth - 1) st in
+      let b = gen_expr (depth - 1) st in
+      match G.int_bound 4 st with
+      | 0 -> Expr.binop Expr.Add a b Ty.Int
+      | 1 -> Expr.binop Expr.Mul a b Ty.Float
+      | 2 -> Expr.unop Expr.Neg a a.Expr.ty
+      | 3 -> Expr.mk (Expr.Load (Expr.cast (Ty.Ptr Ty.Float) a)) Ty.Float
+      | _ -> Expr.cast Ty.Double b
+  in
+  QCheck.Test.make ~count:300 ~name:"expr sexp roundtrip"
+    (QCheck.make (gen_expr 5))
+    (fun e ->
+      let open Vpc.Il in
+      Expr.equal e (Expr.of_sexp (Vpc.Support.Sexp.of_string
+                                    (Vpc.Support.Sexp.to_string (Expr.to_sexp e)))))
+
+let float_bit_exactness () =
+  (* %h-printed floats reload bit-exactly *)
+  List.iter
+    (fun f ->
+      let s = Vpc.Support.Sexp.float f in
+      let back = Vpc.Support.Sexp.as_float s in
+      if Int64.bits_of_float back <> Int64.bits_of_float f then
+        Alcotest.failf "float %h did not roundtrip (got %h)" f back)
+    [ 0.1; -0.0; 1e-40; 3.14159265358979; Float.max_float; 1.5e-300 ]
+
+let tests =
+  [
+    Alcotest.test_case "all levels roundtrip" `Quick roundtrip_all_levels;
+    Alcotest.test_case "vector statements survive" `Quick roundtrip_vector_statements;
+    Alcotest.test_case "random programs roundtrip" `Slow roundtrip_random_programs;
+    QCheck_alcotest.to_alcotest expr_sexp_prop;
+    Alcotest.test_case "float bit exactness" `Quick float_bit_exactness;
+  ]

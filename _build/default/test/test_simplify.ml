@@ -1,0 +1,119 @@
+(* Simplifier tests: folding, algebraic identities, type preservation,
+   and a property that simplification never changes the value of a
+   constant expression. *)
+
+open Vpc.Il
+module S = Vpc.Analysis.Simplify
+
+let i = Expr.int_const
+let f v = Expr.float_const ~ty:Ty.Float v
+let vx = Expr.var_id 1 Ty.Int
+let add a b = Expr.binop Expr.Add a b Ty.Int
+let sub a b = Expr.binop Expr.Sub a b Ty.Int
+let mul a b = Expr.binop Expr.Mul a b Ty.Int
+
+let folding () =
+  let check name e expected =
+    match (S.expr e).Expr.desc with
+    | Expr.Const_int n -> Alcotest.(check int) name expected n
+    | _ -> Alcotest.failf "%s: did not fold to a constant" name
+  in
+  check "2+3" (add (i 2) (i 3)) 5;
+  check "7*6" (mul (i 7) (i 6)) 42;
+  check "10-4-3 nested" (sub (sub (i 10) (i 4)) (i 3)) 3;
+  check "x-x" (sub vx vx) 0;
+  check "(x+8)-(x+4)" (sub (add vx (i 8)) (add vx (i 4))) 4;
+  check "(x+8)-x" (sub (add vx (i 8)) vx) 8;
+  check "x-(x+3)" (sub vx (add vx (i 3))) (-3);
+  (* (x+1)+2 reassociates to x+3 *)
+  match (S.expr (add (add vx (i 1)) (i 2))).Expr.desc with
+  | Expr.Binop (Expr.Add, x, { desc = Expr.Const_int 3; _ })
+    when Expr.equal x vx ->
+      ()
+  | _ -> Alcotest.fail "(x+1)+2 did not reassociate to x+3"
+
+let identities () =
+  let same name e expect_same =
+    Alcotest.(check bool) name true (Expr.equal (S.expr e) expect_same)
+  in
+  same "x+0" (add vx (i 0)) vx;
+  same "x*1" (mul vx (i 1)) vx;
+  same "0+x" (add (i 0) vx) vx;
+  let zero = S.expr (mul vx (i 0)) in
+  Alcotest.(check bool) "x*0 folds" true (Expr.is_zero zero)
+
+let float_safety () =
+  (* x * 0.0 must NOT fold for floats (NaN/inf) *)
+  let fx = Expr.var_id 2 Ty.Float in
+  let e = Expr.binop Expr.Mul fx (f 0.0) Ty.Float in
+  Alcotest.(check bool) "float x*0 not folded" false (Expr.is_zero (S.expr e));
+  (* but x * 1.0 is safe *)
+  let e1 = S.expr (Expr.binop Expr.Mul fx (f 1.0) Ty.Float) in
+  Alcotest.(check bool) "float x*1 folds to x" true (Expr.equal e1 fx);
+  (* x - x unsafe for floats *)
+  let e2 = S.expr (Expr.binop Expr.Sub fx fx Ty.Float) in
+  Alcotest.(check bool) "float x-x not folded" false (Expr.is_zero e2)
+
+let type_preserved () =
+  (* ptr + 0 keeps its pointer type (the regression behind multi-dim
+     array loads) *)
+  let p = Expr.var_id 3 (Ty.Ptr Ty.Float) in
+  let e = S.expr (Expr.binop Expr.Add p (i 0) (Ty.Ptr Ty.Float)) in
+  Alcotest.(check bool) "ptr type survives" true
+    (Ty.equal e.Expr.ty (Ty.Ptr Ty.Float))
+
+let division_by_zero_not_folded () =
+  let e = S.expr (Expr.binop Expr.Div (i 5) (i 0) Ty.Int) in
+  (match e.Expr.desc with
+  | Expr.Binop (Expr.Div, _, _) -> ()
+  | _ -> Alcotest.fail "5/0 must not fold");
+  let e2 = S.expr (Expr.binop Expr.Rem (i 5) (i 0) Ty.Int) in
+  match e2.Expr.desc with
+  | Expr.Binop (Expr.Rem, _, _) -> ()
+  | _ -> Alcotest.fail "5%0 must not fold"
+
+(* random constant int expressions: simplify = interpreter's folding *)
+let const_fold_prop =
+  let module G = QCheck.Gen in
+  let rec gen depth st : Expr.t =
+    if depth = 0 || G.int_bound 2 st = 0 then i (G.int_range (-50) 50 st)
+    else
+      let a = gen (depth - 1) st in
+      let b = gen (depth - 1) st in
+      match G.int_bound 5 st with
+      | 0 -> add a b
+      | 1 -> sub a b
+      | 2 -> mul a b
+      | 3 -> Expr.binop Expr.Band a b Ty.Int
+      | 4 -> Expr.binop Expr.Bxor a b Ty.Int
+      | _ -> Expr.unop Expr.Neg a Ty.Int
+  in
+  QCheck.Test.make ~count:300 ~name:"constant folding is complete and right"
+    (QCheck.make (gen 5))
+    (fun e ->
+      let folded = S.expr e in
+      (* fully constant input must fold fully, and to the value wrap32
+         arithmetic gives *)
+      let rec eval (e : Expr.t) =
+        match e.Expr.desc with
+        | Expr.Const_int n -> n
+        | Expr.Binop (op, a, b) -> (
+            match S.fold_int_binop op (eval a) (eval b) with
+            | Some v -> v
+            | None -> 0)
+        | Expr.Unop (Expr.Neg, a) -> S.wrap32 (-eval a)
+        | _ -> 0
+      in
+      match folded.Expr.desc with
+      | Expr.Const_int n -> n = eval e
+      | _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "folding" `Quick folding;
+    Alcotest.test_case "identities" `Quick identities;
+    Alcotest.test_case "float safety" `Quick float_safety;
+    Alcotest.test_case "type preservation" `Quick type_preserved;
+    Alcotest.test_case "div by zero kept" `Quick division_by_zero_not_folded;
+    QCheck_alcotest.to_alcotest const_fold_prop;
+  ]

@@ -1,0 +1,112 @@
+(* Unit and property tests for the support library: sexp printing and
+   parsing, bitsets, gensyms. *)
+
+open Vpc.Support
+
+let sexp_roundtrip () =
+  let cases =
+    [
+      Sexp.Atom "hello";
+      Sexp.List [];
+      Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b c"; Sexp.Atom "" ];
+      Sexp.List [ Sexp.List [ Sexp.Atom "nested" ]; Sexp.Atom "x\"y\\z" ];
+      Sexp.List [ Sexp.Atom "line\nbreak"; Sexp.Atom "tab\there" ];
+      Sexp.int 42;
+      Sexp.float 3.25;
+      Sexp.bool true;
+    ]
+  in
+  List.iter
+    (fun s ->
+      let text = Sexp.to_string s in
+      let back = Sexp.of_string text in
+      if back <> s then
+        Alcotest.failf "sexp roundtrip failed for %s" text)
+    cases
+
+let sexp_comments () =
+  let s = Sexp.of_string "(a ; comment here\n b)" in
+  Alcotest.(check bool) "comment skipped"
+    true
+    (s = Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ])
+
+let sexp_errors () =
+  List.iter
+    (fun text ->
+      match Sexp.of_string text with
+      | exception Sexp.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" text)
+    [ "("; ")"; "(a"; "\"unterminated"; "a b" (* trailing garbage *) ]
+
+let sexp_prop =
+  let rec gen_sexp depth st =
+    if depth = 0 || QCheck.Gen.int_bound 2 st = 0 then
+      Sexp.Atom (QCheck.Gen.string_size ~gen:QCheck.Gen.printable (QCheck.Gen.int_bound 8) st)
+    else
+      Sexp.List
+        (QCheck.Gen.list_size (QCheck.Gen.int_bound 4) (gen_sexp (depth - 1)) st)
+  in
+  QCheck.Test.make ~count:200 ~name:"sexp print/parse roundtrip"
+    (QCheck.make (gen_sexp 4))
+    (fun s -> Sexp.of_string (Sexp.to_string s) = s)
+
+let bitset_basics () =
+  let b = Bitset.create 70 in
+  Alcotest.(check bool) "initially empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 69;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem b 0);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 69" true (Bitset.mem b 69);
+  Alcotest.(check bool) "not mem 5" false (Bitset.mem b 5);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check (list int)) "elements" [ 0; 69 ] (Bitset.elements b)
+
+let bitset_union_transfer () =
+  let a = Bitset.create 16 and b = Bitset.create 16 in
+  Bitset.add a 1;
+  Bitset.add b 2;
+  Bitset.add b 1;
+  let changed = Bitset.union_into a b in
+  Alcotest.(check bool) "union changed" true changed;
+  Alcotest.(check (list int)) "union" [ 1; 2 ] (Bitset.elements a);
+  let changed2 = Bitset.union_into a b in
+  Alcotest.(check bool) "union idempotent" false changed2;
+  let gen = Bitset.create 16 and kill = Bitset.create 16 in
+  Bitset.add gen 5;
+  Bitset.add kill 1;
+  Bitset.transfer ~gen ~kill a;
+  Alcotest.(check (list int)) "transfer" [ 2; 5 ] (Bitset.elements a)
+
+let gensym_counters () =
+  let g = Gensym.create () in
+  Alcotest.(check int) "fresh 0" 0 (Gensym.fresh g);
+  Alcotest.(check int) "fresh 1" 1 (Gensym.fresh g);
+  Gensym.advance_past g 10;
+  Alcotest.(check int) "past 10" 11 (Gensym.fresh g);
+  let g2 = Gensym.create ~start:5 () in
+  Alcotest.(check string) "named" "t5" (Gensym.fresh_name g2 "t")
+
+let loc_merge () =
+  let mk l c = { Loc.line = l; col = c } in
+  let a = Loc.make ~file:"f.c" ~start_pos:(mk 1 1) ~end_pos:(mk 1 5) in
+  let b = Loc.make ~file:"f.c" ~start_pos:(mk 2 1) ~end_pos:(mk 2 9) in
+  let m = Loc.merge a b in
+  Alcotest.(check int) "merged end line" 2 m.Loc.end_pos.Loc.line;
+  Alcotest.(check bool) "dummy merge" true (Loc.merge Loc.dummy b == b);
+  Alcotest.(check string) "to_string" "f.c:1:1" (Loc.to_string a)
+
+let tests =
+  [
+    Alcotest.test_case "sexp roundtrip" `Quick sexp_roundtrip;
+    Alcotest.test_case "sexp comments" `Quick sexp_comments;
+    Alcotest.test_case "sexp errors" `Quick sexp_errors;
+    QCheck_alcotest.to_alcotest sexp_prop;
+    Alcotest.test_case "bitset basics" `Quick bitset_basics;
+    Alcotest.test_case "bitset union/transfer" `Quick bitset_union_transfer;
+    Alcotest.test_case "gensym" `Quick gensym_counters;
+    Alcotest.test_case "loc" `Quick loc_merge;
+  ]

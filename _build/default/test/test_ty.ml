@@ -1,0 +1,77 @@
+(* Type layout tests: sizes, alignment, struct field offsets, decay. *)
+
+open Vpc.Il
+
+let env () : Ty.struct_env = Hashtbl.create 4
+
+let scalar_sizes () =
+  let e = env () in
+  List.iter
+    (fun (ty, size, align) ->
+      Alcotest.(check int) (Ty.to_string ty ^ " size") size (Ty.sizeof e ty);
+      Alcotest.(check int) (Ty.to_string ty ^ " align") align (Ty.alignof e ty))
+    [
+      (Ty.Char, 1, 1);
+      (Ty.Int, 4, 4);
+      (Ty.Float, 4, 4);
+      (Ty.Double, 8, 8);
+      (Ty.Ptr Ty.Double, 4, 4);
+      (Ty.Array (Ty.Int, Some 10), 40, 4);
+      (Ty.Array (Ty.Array (Ty.Float, Some 4), Some 4), 64, 4);
+    ]
+
+let struct_layout_padding () =
+  let e = env () in
+  Hashtbl.replace e "s"
+    { Ty.tag = "s"; fields = [ ("c", Ty.Char); ("d", Ty.Double); ("i", Ty.Int) ] };
+  (* char at 0, double aligned to 8, int at 16, total padded to 24 *)
+  Alcotest.(check int) "c offset" 0 (fst (Ty.field_offset e "s" "c"));
+  Alcotest.(check int) "d offset" 8 (fst (Ty.field_offset e "s" "d"));
+  Alcotest.(check int) "i offset" 16 (fst (Ty.field_offset e "s" "i"));
+  Alcotest.(check int) "size with tail padding" 24 (Ty.sizeof e (Ty.Struct "s"));
+  Alcotest.(check int) "align" 8 (Ty.alignof e (Ty.Struct "s"))
+
+let struct_with_array_field () =
+  let e = env () in
+  Hashtbl.replace e "v"
+    { Ty.tag = "v"; fields = [ ("id", Ty.Int); ("pos", Ty.Array (Ty.Float, Some 3)) ] };
+  Alcotest.(check int) "pos offset" 4 (fst (Ty.field_offset e "v" "pos"));
+  Alcotest.(check int) "size" 16 (Ty.sizeof e (Ty.Struct "v"))
+
+let decay_rules () =
+  Alcotest.(check bool) "array decays" true
+    (Ty.equal (Ty.decay (Ty.Array (Ty.Float, Some 8))) (Ty.Ptr Ty.Float));
+  Alcotest.(check bool) "scalar unchanged" true
+    (Ty.equal (Ty.decay Ty.Int) Ty.Int);
+  Alcotest.(check bool) "ptr unchanged" true
+    (Ty.equal (Ty.decay (Ty.Ptr Ty.Int)) (Ty.Ptr Ty.Int))
+
+let common_arith_rules () =
+  Alcotest.(check bool) "int+int" true (Ty.common_arith Ty.Int Ty.Char = Ty.Int);
+  Alcotest.(check bool) "float wins" true
+    (Ty.common_arith Ty.Int Ty.Float = Ty.Float);
+  Alcotest.(check bool) "double wins" true
+    (Ty.common_arith Ty.Float Ty.Double = Ty.Double)
+
+let ty_sexp_roundtrip () =
+  List.iter
+    (fun ty ->
+      let back = Ty.of_sexp (Ty.to_sexp ty) in
+      if not (Ty.equal ty back) then
+        Alcotest.failf "type %s did not roundtrip" (Ty.to_string ty))
+    [
+      Ty.Void; Ty.Int; Ty.Ptr (Ty.Ptr Ty.Float);
+      Ty.Array (Ty.Struct "node", Some 16);
+      Ty.Array (Ty.Char, None);
+      Ty.Func (Ty.Float, [ Ty.Ptr Ty.Float; Ty.Int ]);
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "scalar sizes" `Quick scalar_sizes;
+    Alcotest.test_case "struct padding" `Quick struct_layout_padding;
+    Alcotest.test_case "array field" `Quick struct_with_array_field;
+    Alcotest.test_case "decay" `Quick decay_rules;
+    Alcotest.test_case "common arith" `Quick common_arith_rules;
+    Alcotest.test_case "type sexp roundtrip" `Quick ty_sexp_roundtrip;
+  ]
