@@ -18,7 +18,7 @@ let read_file path =
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
     assume_noalias vlen procs sched_name dump_stages dump_asm check catalogs
-    save_catalog quiet =
+    save_catalog quiet verify_il no_run inject_fault =
   try
     let src = read_file file in
     let base =
@@ -46,9 +46,28 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
                (fun stage text ->
                  Printf.printf "=== after %s ===\n%s\n" stage text)
            else None);
+        verify = (if verify_il then `Each_stage else `Off);
       }
     in
     let prog, stats = Vpc.compile ~options ~file src in
+    (match inject_fault with
+    | None -> ()
+    | Some kind_name -> (
+        match Vpc.Check.Fault.of_string kind_name with
+        | None ->
+            Printf.eprintf "unknown fault kind %s (one of: %s)\n" kind_name
+              (String.concat ", " (List.map fst Vpc.Check.Fault.kinds));
+            exit 1
+        | Some kind ->
+            if not (Vpc.Check.Fault.inject kind prog) then begin
+              Printf.eprintf "inject-fault: no %s site in this program\n"
+                kind_name;
+              exit 1
+            end;
+            (* the injected corruption plays the role of a buggy late
+               pass: re-verify so --verify-il can catch it *)
+            if verify_il then
+              Vpc.Check.Verify.run ~assume_noalias ~pass:"fault-injection" prog));
     (match save_catalog with
     | Some path ->
         Vpc.Inline.Catalog.save prog path;
@@ -64,6 +83,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         (fun _ f -> Format.printf "%a@." Vpc.Titan.Isa.pp_func f)
         tprog.Vpc.Titan.Isa.funcs
     end;
+    if no_run then exit 0;
     let sched =
       match sched_name with
       | "seq" -> Vpc.Titan.Machine.Sequential
@@ -74,15 +94,29 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
     let result = Vpc.run_titan ~config prog in
     print_string result.Vpc.Titan.Machine.stdout_text;
     if check then begin
-      let iresult = Vpc.run_interp prog in
-      if iresult.Vpc.Il.Interp.stdout_text <> result.stdout_text then begin
+      (* differential check against an independently compiled -O0
+         reference: catches miscompiles that hit the interpreter and the
+         simulator identically (both run the same optimized IL) *)
+      let ref_prog, _ = Vpc.compile ~options:Vpc.o0 ~file src in
+      let ref_out = (Vpc.run_interp ref_prog).Vpc.Il.Interp.stdout_text in
+      let opt_out = (Vpc.run_interp prog).Vpc.Il.Interp.stdout_text in
+      if opt_out <> ref_out then begin
         Printf.eprintf
-          "CHECK FAILED: interpreter and simulator outputs differ\n\
-           --- interpreter ---\n%s--- simulator ---\n%s"
-          iresult.stdout_text result.stdout_text;
+          "CHECK FAILED: optimized IL diverges from the -O0 reference\n\
+           --- reference (-O0 interp) ---\n%s--- optimized (interp) ---\n%s"
+          ref_out opt_out;
         exit 2
       end
-      else if not quiet then Printf.eprintf "check: outputs agree\n"
+      else if result.stdout_text <> ref_out then begin
+        Printf.eprintf
+          "CHECK FAILED: simulator output diverges from the -O0 reference\n\
+           --- reference (-O0 interp) ---\n%s--- simulator ---\n%s"
+          ref_out result.stdout_text;
+        exit 2
+      end
+      else if not quiet then
+        Printf.eprintf
+          "check: outputs agree (reference interp, optimized interp, simulator)\n"
     end;
     if not quiet then begin
       let m = result.metrics in
@@ -102,6 +136,11 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
     | Vpc.Titan.Machine.Vi n -> exit (n land 0xFF)
     | Vpc.Titan.Machine.Vf _ -> exit 0)
   with
+  | Vpc.Check.Verify.Failed diags ->
+      List.iter
+        (fun d -> Printf.eprintf "%s\n" (Vpc.Support.Diag.to_string d))
+        diags;
+      exit 3
   | Vpc.Support.Diag.Error_exn d ->
       Printf.eprintf "%s\n" (Vpc.Support.Diag.to_string d);
       exit 1
@@ -160,6 +199,22 @@ let save_catalog_arg =
 
 let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No statistics")
 
+let verify_il_arg =
+  Arg.(value & flag & info [ "verify-il" ]
+         ~doc:"Run the IL verifier and parallel/vector translation \
+               validator after every pipeline stage (exit 3 on violation)")
+
+let no_run_arg =
+  Arg.(value & flag & info [ "no-run" ]
+         ~doc:"Compile (and verify) only; do not execute the program")
+
+let inject_fault_arg =
+  Arg.(value & opt (some string) None & info [ "inject-fault" ] ~docv:"KIND"
+         ~doc:"Deterministically corrupt the compiled IL (testing aid); \
+               KIND is one of dup-stmt-id, unbound-var, impure-bound, \
+               dangling-goto, vector-type, vector-overlap, false-parallel, \
+               wrong-const")
+
 let cmd =
   let doc = "vectorizing, parallelizing, inlining C compiler for the Titan" in
   Cmd.v
@@ -168,6 +223,7 @@ let cmd =
       const run_compiler $ file_arg $ opt_arg $ inline_only_arg
       $ no_parallel_arg $ no_vectorize_arg $ noalias_arg $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
-      $ save_catalog_arg $ quiet_arg)
+      $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
+      $ inject_fault_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+lib/check/fault.ml: Expr Func List Prog Stmt Ty Vpc_il

@@ -1,0 +1,1 @@
+lib/check/fault.mli: Prog Vpc_il

@@ -1,0 +1,1 @@
+lib/check/races.ml: Alias Array Expr Format Func Graph Hashtbl List Option Printf Prog Report Stmt Subscript Test Var Vpc_analysis Vpc_dependence Vpc_il

@@ -1,0 +1,1 @@
+lib/check/races.mli: Func Prog Report Vpc_il

@@ -1,0 +1,1 @@
+lib/check/report.ml: Format Loc Vpc_support

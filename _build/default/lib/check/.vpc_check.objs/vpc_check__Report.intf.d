@@ -1,0 +1,1 @@
+lib/check/report.mli: Format Loc Vpc_support

@@ -1,0 +1,1 @@
+lib/check/verify.ml: Diag List Printf Prog Races Report Vpc_il Vpc_support Wf

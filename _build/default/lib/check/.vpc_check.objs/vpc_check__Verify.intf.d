@@ -1,0 +1,1 @@
+lib/check/verify.mli: Func Prog Report Vpc_il Vpc_support

@@ -1,0 +1,1 @@
+lib/check/wf.ml: Expr Format Func Hashtbl List Printf Prog Report Stmt Ty Var Vpc_analysis Vpc_il

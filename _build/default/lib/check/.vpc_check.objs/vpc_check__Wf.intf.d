@@ -1,0 +1,1 @@
+lib/check/wf.mli: Func Prog Report Vpc_il

@@ -1,0 +1,39 @@
+(** Parallelism validator: independently re-runs the {!Vpc_dependence}
+    machinery over the *output* IL and reports every loop-carried
+    dependence a transform claimed away — translation validation for the
+    vectorizer, parallelizer, and doacross phases rather than trust in
+    their internal reasoning.
+
+    Checked constructs:
+    - [Do_loop {parallel = true}]: the body is re-analyzed with
+      {!Vpc_dependence.Graph} when it is a flat assignment body, or with
+      a footprint analysis of its memory accesses (including [Vector]
+      sections, with the strip-mine [len] guard recognized as a count
+      bound) otherwise.  Any loop-carried dependence, may-alias access
+      pair, scalar defined in one iteration and read in another, or
+      scalar definition that is live after the loop is reported
+      ([parallel-carried-dep], [parallel-may-alias],
+      [parallel-carried-scalar], [parallel-liveout], [parallel-shape]).
+    - [While] loops marked [doacross] (§10): statements after the
+      serialized prefix must not define variables the condition, the
+      prefix, an earlier position, or code after the loop reads
+      ([doacross-cond], [doacross-carried], [doacross-shape]).
+    - Every [Vector] statement: both execution engines evaluate the whole
+      right-hand side before storing, so a source section that provably
+      overlaps destination elements *earlier* in element order (positive
+      dependence distance) diverges from the source loop's sequential
+      semantics and is reported ([vector-overlap]).  Anti-direction
+      overlap (distance <= 0) is the §6 backsolve pattern and is legal.
+      May-alias source sections are not reported here: a short vector
+      emitted under the independence pragma carries no provenance, so
+      only provable overlap is a violation.
+
+    [assume_noalias] mirrors the compiler option; loops carrying the
+    independence pragma get it per-loop, as the vectorizer did. *)
+
+open Vpc_il
+
+val check_func :
+  ?assume_noalias:bool -> Prog.t -> Func.t -> Report.violation list
+
+val check_prog : ?assume_noalias:bool -> Prog.t -> Report.violation list

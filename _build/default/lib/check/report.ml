@@ -1,0 +1,22 @@
+open Vpc_support
+
+type violation = {
+  rule : string;
+  func : string;
+  stmt : int option;
+  loc : Loc.t;
+  message : string;
+}
+
+let v ~rule ~func ?stmt ?(loc = Loc.dummy) message =
+  { rule; func; stmt; loc; message }
+
+let pp ppf t =
+  Format.fprintf ppf "[%s] %s (function %s%t)" t.rule t.message t.func
+    (fun ppf ->
+      match t.stmt with
+      | Some id -> Format.fprintf ppf ", stmt %d" id
+      | None -> ());
+  if not (Loc.is_dummy t.loc) then Format.fprintf ppf " at %a" Loc.pp t.loc
+
+let to_string t = Format.asprintf "%a" pp t

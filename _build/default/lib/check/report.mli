@@ -1,0 +1,20 @@
+(** Findings of the static checkers: one record per broken invariant,
+    carrying enough context (rule name, function, statement id, source
+    location) to turn into a {!Vpc_support.Diag.t} naming the offending
+    pass. *)
+
+open Vpc_support
+
+type violation = {
+  rule : string;     (** stable rule identifier, e.g. ["dup-stmt-id"] *)
+  func : string;     (** enclosing function name *)
+  stmt : int option; (** offending statement id, when one exists *)
+  loc : Loc.t;       (** source location (dummy for synthesized IL) *)
+  message : string;
+}
+
+val v :
+  rule:string -> func:string -> ?stmt:int -> ?loc:Loc.t -> string -> violation
+
+val pp : Format.formatter -> violation -> unit
+val to_string : violation -> string

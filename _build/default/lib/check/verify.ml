@@ -1,0 +1,35 @@
+open Vpc_support
+open Vpc_il
+
+exception Failed of Diag.t list
+
+type level = [ `Off | `Final | `Each_stage ]
+
+let check_func ?assume_noalias prog func =
+  (* stage the layers: the race validator assumes a well-formed function
+     (its liveness pass needs a buildable CFG), so report well-formedness
+     violations alone when there are any *)
+  match Wf.check_func prog func with
+  | [] -> Races.check_func ?assume_noalias prog func
+  | violations -> violations
+
+let check_prog ?assume_noalias prog =
+  List.concat_map (check_func ?assume_noalias prog) prog.Prog.funcs
+
+let diag_of ~pass (v : Report.violation) =
+  {
+    Diag.severity = Diag.Error;
+    loc = v.Report.loc;
+    message =
+      Printf.sprintf "IL verifier (after %s): %s" pass (Report.to_string v);
+  }
+
+let fail ~pass = function
+  | [] -> ()
+  | violations -> raise (Failed (List.map (diag_of ~pass) violations))
+
+let run_func ?assume_noalias ~pass prog func =
+  fail ~pass (check_func ?assume_noalias prog func)
+
+let run ?assume_noalias ~pass prog =
+  fail ~pass (check_prog ?assume_noalias prog)

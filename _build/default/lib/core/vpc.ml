@@ -25,6 +25,7 @@ module Transform = Vpc_transform
 module Vectorize = Vpc_vectorize
 module Inline = Vpc_inline
 module Titan = Vpc_titan
+module Check = Vpc_check
 
 type options = {
   inline : [ `None | `All | `Only of string list ];
@@ -40,6 +41,7 @@ type options = {
   strength_reduction : bool;   (* §6 *)
   catalogs : string list;      (* procedure databases to import (§7) *)
   dump : (string -> string -> unit) option;  (* stage name, IL text *)
+  verify : Check.Verify.level; (* IL verifier / translation validator *)
 }
 
 (* -O0: the naive translation. *)
@@ -58,6 +60,7 @@ let o0 =
     strength_reduction = false;
     catalogs = [];
     dump = None;
+    verify = `Off;
   }
 
 (* -O1: classical scalar optimization. *)
@@ -119,6 +122,26 @@ let dump_stage options prog stage =
   | Some f -> f stage (Il.Pp.prog_to_string prog)
   | None -> ()
 
+(* Checkpoint after a whole-program pass: dump the IL and, at
+   [`Each_stage], run the verifier over every function so the pass that
+   broke an invariant is named in the diagnostic. *)
+let after_prog_pass options prog pass =
+  dump_stage options prog pass;
+  match options.verify with
+  | `Each_stage ->
+      Check.Verify.run ~assume_noalias:options.assume_noalias ~pass prog
+  | `Off | `Final -> ()
+
+(* Checkpoint after a per-function pass. *)
+let after_pass options prog (f : Il.Func.t) pass =
+  let stage = Printf.sprintf "%s(%s)" pass f.Il.Func.name in
+  dump_stage options prog stage;
+  match options.verify with
+  | `Each_stage ->
+      Check.Verify.run_func ~assume_noalias:options.assume_noalias ~pass:stage
+        prog f
+  | `Off | `Final -> ()
+
 (* Run the optimization pipeline in place. *)
 let optimize ?(options = default_options) ?(stats = new_stats ())
     (prog : Il.Prog.t) =
@@ -129,30 +152,36 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   | `None -> ()
   | `All ->
       Inline.Inline.expand ~stats:stats.inline prog;
-      dump_stage options prog "inline"
+      after_prog_pass options prog "inline"
   | `Only names ->
       Inline.Inline.expand
         ~options:{ Inline.Inline.default_options with only = Some names }
         ~stats:stats.inline prog;
-      dump_stage options prog "inline");
+      after_prog_pass options prog "inline");
   let scalar_cleanup f =
     if options.scalar_opt then begin
       ignore (Analysis.Const_prop.run ~stats:stats.const_prop prog f);
       ignore (Analysis.Dce.run ~stats:stats.dce f);
       ignore (Analysis.Unreachable.run ~stats:stats.unreachable f);
-      ignore (Analysis.Dce.run ~stats:stats.dce f)
+      ignore (Analysis.Dce.run ~stats:stats.dce f);
+      after_pass options prog f "scalar-cleanup"
     end
   in
   List.iter
     (fun f ->
       scalar_cleanup f;
-      if options.while_conversion then
+      if options.while_conversion then begin
         ignore (Transform.While_to_do.run ~stats:stats.while_to_do prog f);
-      if options.indvar_substitution then
+        after_pass options prog f "while-to-do"
+      end;
+      if options.indvar_substitution then begin
         ignore (Transform.Indvar.run ~stats:stats.indvar prog f);
+        after_pass options prog f "indvar-substitution"
+      end;
       scalar_cleanup f;
       if options.indvar_substitution then begin
         ignore (Transform.Forward_sub.run ~stats:stats.forward_sub prog f);
+        after_pass options prog f "forward-substitution";
         scalar_cleanup f
       end;
       if options.vectorize || options.parallelize then begin
@@ -164,19 +193,35 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
             assume_noalias = options.assume_noalias;
           }
         in
-        ignore (Vectorize.Vectorize.run ~options:vopts ~stats:stats.vectorize prog f)
+        ignore
+          (Vectorize.Vectorize.run ~options:vopts ~stats:stats.vectorize prog f);
+        after_pass options prog f "vectorize"
       end;
-      if options.doacross then
+      if options.doacross then begin
         ignore (Transform.Doacross.run ~stats:stats.doacross prog f);
-      if options.scalar_replacement then
+        after_pass options prog f "doacross"
+      end;
+      if options.scalar_replacement then begin
         ignore (Transform.Scalar_replace.run ~stats:stats.scalar_replace prog f);
-      if options.strength_reduction then
+        after_pass options prog f "scalar-replacement"
+      end;
+      if options.strength_reduction then begin
         ignore
           (Transform.Strength_reduction.run ~stats:stats.strength_reduction prog
              f);
-      if options.scalar_opt then ignore (Analysis.Dce.run ~stats:stats.dce f))
+        after_pass options prog f "strength-reduction"
+      end;
+      if options.scalar_opt then begin
+        ignore (Analysis.Dce.run ~stats:stats.dce f);
+        after_pass options prog f "dce"
+      end)
     prog.Il.Prog.funcs;
   dump_stage options prog "final";
+  (match options.verify with
+  | `Final | `Each_stage ->
+      Check.Verify.run ~assume_noalias:options.assume_noalias ~pass:"final"
+        prog
+  | `Off -> ());
   stats
 
 (* Front end only. *)
@@ -185,7 +230,7 @@ let parse ?file src : Il.Prog.t = Cfront.Frontend.compile ?file src
 (* Parse and optimize. *)
 let compile ?(options = default_options) ?file src : Il.Prog.t * stats =
   let prog = parse ?file src in
-  dump_stage options prog "front-end";
+  after_prog_pass options prog "front-end";
   let stats = optimize ~options prog in
   (prog, stats)
 

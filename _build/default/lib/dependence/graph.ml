@@ -79,7 +79,40 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
               | Test.Dependent { distance } -> (
                   (* distance d: r2 touches the common location d
                      iterations after r1 (d < 0: before). *)
+                  let ziv =
+                    (* both addresses loop-invariant: the same location is
+                       touched on EVERY iteration, so the dependence is
+                       carried (every distance), not just same-iteration *)
+                    match r1.Subscript.affine, r2.Subscript.affine with
+                    | Some a1, Some a2 ->
+                        a1.Subscript.coeff = 0 && a2.Subscript.coeff = 0
+                    | _ -> false
+                  in
                   match distance with
+                  | Some 0 when ziv ->
+                      add_edge
+                        {
+                          src = r1.Subscript.ref_pos;
+                          dst = r2.Subscript.ref_pos;
+                          kind;
+                          carried = true;
+                          distance = None;
+                          through_memory = true;
+                        };
+                      if r1.Subscript.ref_pos <> r2.Subscript.ref_pos then
+                        add_edge
+                          {
+                            src = r2.Subscript.ref_pos;
+                            dst = r1.Subscript.ref_pos;
+                            kind =
+                              (match kind with
+                              | Flow -> Anti
+                              | Anti -> Flow
+                              | Output -> Output);
+                            carried = true;
+                            distance = None;
+                            through_memory = true;
+                          }
                   | Some 0 ->
                       add_edge
                         {
@@ -146,6 +179,29 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
       end
     done
   done;
+  (* A store whose address does not advance with the index (ZIV) — or is
+     not affine at all — hits the same (or an unknown) location on every
+     iteration: the write order matters, a carried self output
+     dependence.  The pair loop above only sees distinct references, so a
+     lone such store would otherwise look dependence-free. *)
+  Array.iter
+    (fun (r : Subscript.reference) ->
+      let invariant_or_opaque =
+        match r.Subscript.affine with
+        | Some a -> a.Subscript.coeff = 0
+        | None -> true
+      in
+      if r.Subscript.kind = Subscript.Write && invariant_or_opaque then
+        add_edge
+          {
+            src = r.Subscript.ref_pos;
+            dst = r.Subscript.ref_pos;
+            kind = Output;
+            carried = true;
+            distance = None;
+            through_memory = true;
+          })
+    arr;
   (* --- scalar dependences --- *)
   let du = scalar_defs_uses body in
   let defs_of_var = Hashtbl.create 8 in

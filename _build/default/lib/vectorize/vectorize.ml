@@ -373,8 +373,8 @@ let process_loop (opts : options) stats prog (func : Func.t)
                     let parallel = opts.parallelize in
                     if parallel then any_parallel := true;
                     [
-                      Builder.do_loop b ~parallel ~index:vi.Var.id
-                        ~lo:(Expr.int_const 0) ~hi:d.hi
+                      Builder.do_loop b ~parallel ~independent:d.independent
+                        ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi:d.hi
                         ~step:(Expr.int_const opts.vlen)
                         (len_stmts @ [ vstmt ]);
                     ]

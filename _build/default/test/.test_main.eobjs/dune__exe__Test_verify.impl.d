@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Filename Fun Gen_c Helpers List Printf String Sys Unix Vpc

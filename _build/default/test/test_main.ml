@@ -20,4 +20,5 @@ let () =
       ("titan", Test_titan.tests);
       ("codegen", Test_codegen.tests);
       ("pipeline", Test_pipeline.tests);
+      ("verify", Test_verify.tests);
     ]

@@ -1,0 +1,24 @@
+/* The paper's §9 walkthrough: daxpy's pointer parameters block
+   vectorization until it is inlined into main, where constant
+   propagation reveals the arguments and the loop vectorizes
+   (see daxpy_inline.ml). */
+void daxpy(float *x, float *y, float *z, float alpha, int n)
+{
+  if (n <= 0)
+    return;
+  if (alpha == 0)
+    return;
+  for (; n; n--)
+    *x++ = *y++ + alpha * *z++;
+}
+
+float a[100], b[100], c[100];
+
+int main()
+{
+  int i;
+  for (i = 0; i < 100; i++) { b[i] = 3 * i; c[i] = i + 1; }
+  daxpy(a, b, c, 1.0, 100);
+  printf("a[0]=%g a[1]=%g a[99]=%g\n", a[0], a[1], a[99]);
+  return 0;
+}

@@ -1,0 +1,22 @@
+/* The paper's volatile example (§1): a busy-wait on a device status
+   register that every optimization phase must leave alone.  Compile
+   with --verify-il --no-run; actually executing it spins until a device
+   model flips the register (see device_poll.ml for that harness). */
+volatile int keyboard_status;
+int spins;
+
+int wait_for_key()
+{
+  keyboard_status = 0;
+  while (!keyboard_status)
+    spins++;
+  return keyboard_status;
+}
+
+int main()
+{
+  int code;
+  code = wait_for_key();
+  printf("key=%d after %d spins\n", code, spins);
+  return 0;
+}

@@ -1,0 +1,24 @@
+/* §7's math-library scenario as a single translation unit: the library
+   routines and the client loop together, so the calls inline and the
+   loop vectorizes.  math_library.ml shows the real cross-file catalog
+   flow; this file exercises the same inlining and vectorization. */
+static float half = 0.5f;
+
+float lerp(float a, float b, float t) { return a + (b - a) * t; }
+float sq(float x) { return x * x; }
+float midpoint(float a, float b) { return lerp(a, b, half); }
+
+float xs[256], ys[256], zs[256];
+
+int main()
+{
+  int i;
+  float s;
+  for (i = 0; i < 256; i++) { xs[i] = i * 0.1f; ys[i] = 25.6f - i * 0.1f; }
+  for (i = 0; i < 256; i++)
+    zs[i] = sq(midpoint(xs[i], ys[i]));
+  s = 0;
+  for (i = 0; i < 256; i++) s += zs[i];
+  printf("sum=%g z0=%g\n", s, zs[0]);
+  return 0;
+}
