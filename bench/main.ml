@@ -23,6 +23,33 @@ let run ?procs ?sched ?entry ?args prog =
 
 let row fmt = Printf.printf fmt
 
+(* --json OUT support: every [record]ed run lands in a machine-readable
+   table keyed by experiment id. *)
+let json_results : (string * string) list ref = ref []
+
+let record id ?(procs = 1) ?(sched = Vpc.Titan.Machine.Overlap_full)
+    (r : Vpc.Titan.Machine.run_result) =
+  json_results :=
+    ( id,
+      Printf.sprintf
+        "{\"cycles\": %d, \"mflops\": %.3f, \"procs\": %d, \"sched\": \"%s\"}"
+        r.metrics.cycles r.mflops_rate procs
+        (Vpc.Titan.Machine.sched_name sched) )
+    :: !json_results
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n  \"pr\": 2,\n  \"results\": {\n";
+  let entries = List.rev !json_results in
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (id, item) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" id item (if i = last then "" else ","))
+    entries;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\njson results written to %s\n" path
+
 (* ----------------------------------------------------------------- *)
 (* E1: §6 backsolve — dependence-driven scalar optimization          *)
 (* ----------------------------------------------------------------- *)
@@ -37,6 +64,7 @@ let e1 () =
     let r =
       run ~sched ~entry:"backsolve" ~args:[ Vpc.Titan.Machine.Vi 2000 ] prog
     in
+    record ("E1/" ^ name) ~sched r;
     row "  %-34s %9d cycles  %5.2f MFLOPS\n" name r.metrics.cycles
       r.mflops_rate;
     r
@@ -68,11 +96,13 @@ let e2 () =
   let scalar = compile Vpc.o0 src in
   let opt = compile Vpc.o3 src in
   let r_scalar = run ~sched:Vpc.Titan.Machine.Sequential scalar in
+  record "E2/scalar O0 sequential" ~sched:Vpc.Titan.Machine.Sequential r_scalar;
   row "  %-34s %9d cycles  %5.2f MFLOPS\n" "scalar (O0, sequential)"
     r_scalar.metrics.cycles r_scalar.mflops_rate;
   List.iter
     (fun procs ->
       let r = run ~procs opt in
+      record (Printf.sprintf "E2/inlined+vector procs=%d" procs) ~procs r;
       row "  %-34s %9d cycles  %5.2f MFLOPS  speedup %5.1fx\n"
         (Printf.sprintf "inlined+vector, %d processor(s)" procs)
         r.metrics.cycles r.mflops_rate
@@ -388,6 +418,47 @@ let a4 () =
     [ 8; 32; 64; 128; 1024 ]
 
 (* ----------------------------------------------------------------- *)
+(* PGO: profile-guided optimization (lib/profile)                    *)
+(* ----------------------------------------------------------------- *)
+
+let pgo_exp () =
+  section "PGO" "profile-guided optimization (lib/profile)"
+    "a measured profile corrects the static cost guesses: loops the run \
+     proved short stay scalar, calls the run proved cold stay calls, and \
+     PGO never loses to the static compilation";
+  row "  %-22s %-30s %-40s\n" "" "static" "profile-guided";
+  let case name ~procs ~options src =
+    let cfg = machine ~procs () in
+    let sprog, ss = Vpc.compile ~options src in
+    let sr = Vpc.run_titan ~config:cfg sprog in
+    let data, _ = Vpc.profile_gen ~config:cfg src in
+    let pprog, ps =
+      Vpc.compile ~options:{ options with Vpc.profile = Some data } src
+    in
+    let pr = Vpc.run_titan ~config:cfg pprog in
+    record (Printf.sprintf "PGO/%s/static" name) ~procs sr;
+    record (Printf.sprintf "PGO/%s/pgo" name) ~procs pr;
+    row
+      "  %-22s vec=%d par=%d inl=%d %8d cyc | vec=%d par=%d inl=%d cold=%d \
+       %8d cyc  %s\n"
+      name ss.Vpc.vectorize.loops_vectorized ss.vectorize.loops_parallelized
+      ss.inline.calls_inlined sr.metrics.cycles
+      ps.Vpc.vectorize.loops_vectorized ps.vectorize.loops_parallelized
+      ps.inline.calls_inlined ps.inline.calls_skipped_cold pr.metrics.cycles
+      (if pr.metrics.cycles < sr.metrics.cycles then "(pgo wins)"
+       else if pr.metrics.cycles = sr.metrics.cycles then "(tie)"
+       else "(PGO LOSES)")
+  in
+  case "short-trip n=4" ~procs:2
+    ~options:{ Vpc.o2 with Vpc.assume_noalias = true }
+    (Workloads.param_trip_kernel ~trips:4 ~calls:50);
+  case "mid-trip n=128" ~procs:2
+    ~options:{ Vpc.o2 with Vpc.assume_noalias = true }
+    (Workloads.param_trip_kernel ~trips:128 ~calls:50);
+  case "backsolve+cold call" ~procs:1 ~options:Vpc.o3
+    (Workloads.backsolve_cold 2000)
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel: compile-time costs                                      *)
 (* ----------------------------------------------------------------- *)
 
@@ -446,10 +517,19 @@ let all =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
+    ("PGO", pgo_exp);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json_path, args =
+    let rec go acc = function
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
   let wanted = List.filter (fun a -> a <> "--") args in
   print_endline
     "Reproduction harness: Allen & Johnson, \"Compiling C for Vectorization,";
@@ -468,4 +548,5 @@ let () =
           match List.assoc_opt name all with
           | Some f -> f ()
           | None -> Printf.eprintf "unknown experiment %s\n" name)
-      wanted
+      wanted;
+  match json_path with Some path -> write_json path | None -> ()

@@ -234,5 +234,60 @@ let list_walk ~pragma =
       "}";
     ]
 
+(* PGO workloads: cases where the static cost guess is wrong and only a
+   measured profile can correct it. *)
+
+(* A kernel whose trip count is a run-time parameter: statically the
+   vectorizer strip-mines (and parallelizes) it; the profile reports the
+   measured trips per entry and the cost model picks whichever actually
+   wins on the Titan. *)
+let param_trip_kernel ~trips ~calls =
+  nl
+    [
+      "float a[256], b[256], c[256];";
+      "void step(float *x, float *y, float *z, int n)";
+      "{";
+      "  int i;";
+      "  for (i = 0; i < n; i++) x[i] = y[i] + 2.0f * z[i];";
+      "}";
+      "int main()";
+      "{";
+      "  int k;";
+      Printf.sprintf "  for (k = 0; k < %d; k++) step(a, b, c, %d);" calls
+        trips;
+      "  return 0;";
+      "}";
+    ]
+
+(* §6 backsolve plus an error path that never fires: static inlining
+   expands [panic] anyway; the profile proves the site cold and keeps the
+   call, at identical run time. *)
+let backsolve_cold n =
+  nl
+    [
+      Printf.sprintf "float x[%d];" (n + 1);
+      Printf.sprintf "float y[%d] = { %s };" n
+        (float_init (min n 64) (fun i -> float_of_int i *. 0.25));
+      Printf.sprintf "float z[%d] = { %s };" n
+        (float_init (min n 64) (fun _ -> 0.5));
+      "int errors;";
+      "void panic(int code)";
+      "{";
+      "  errors = errors + code;";
+      "  printf(\"panic %d\\n\", code);";
+      "}";
+      "void backsolve(int n)";
+      "{";
+      "  float *p, *q;";
+      "  int i;";
+      "  p = &x[1];";
+      "  q = &x[0];";
+      "  for (i = 0; i < n - 2; i++)";
+      "    p[i] = z[i] * (y[i] - q[i]);";
+      "  if (x[1] > 1000000000.0f) panic(1);";
+      "}";
+      Printf.sprintf "int main() { backsolve(%d); return 0; }" n;
+    ]
+
 (* a general compile-time workload for the bechamel timings *)
 let compile_time_workload = daxpy 100

@@ -18,9 +18,35 @@ let read_file path =
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
     assume_noalias vlen procs sched_name dump_stages dump_asm check catalogs
-    save_catalog quiet verify_il no_run inject_fault =
+    save_catalog quiet verify_il no_run inject_fault profile_gen profile_use
+    report =
   try
     let src = read_file file in
+    let sched =
+      match sched_name with
+      | "seq" -> Vpc.Titan.Machine.Sequential
+      | "conservative" -> Vpc.Titan.Machine.Overlap_conservative
+      | _ -> Vpc.Titan.Machine.Overlap_full
+    in
+    let config = { Vpc.Titan.Machine.default_config with procs; sched } in
+    (match profile_gen with
+    | Some prof_path ->
+        (* pass one of the two-pass PGO flow: -O0 + instrumentation,
+           run on the simulator, write the measured profile *)
+        let data, result = Vpc.profile_gen ~config ~file src in
+        Vpc.Profile.Data.save data prof_path;
+        print_string result.Vpc.Titan.Machine.stdout_text;
+        if not quiet then
+          Printf.eprintf
+            "[profile] %d loops, %d call sites measured -> %s (procs=%d \
+             sched=%s)\n"
+            (Vpc.Profile.Key.Map.cardinal data.Vpc.Profile.Data.loops)
+            (Vpc.Profile.Key.Map.cardinal data.Vpc.Profile.Data.calls)
+            prof_path procs sched_name;
+        (match result.return_value with
+        | Vpc.Titan.Machine.Vi n -> exit (n land 0xFF)
+        | Vpc.Titan.Machine.Vf _ -> exit 0)
+    | None -> ());
     let base =
       match opt_level with
       | 0 -> Vpc.o0
@@ -47,6 +73,10 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
                  Printf.printf "=== after %s ===\n%s\n" stage text)
            else None);
         verify = (if verify_il then `Each_stage else `Off);
+        profile = Option.map Vpc.Profile.Data.load profile_use;
+        report =
+          (if report then Some (fun line -> Printf.eprintf "[pgo] %s\n" line)
+           else None);
       }
     in
     let prog, stats = Vpc.compile ~options ~file src in
@@ -84,13 +114,6 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         tprog.Vpc.Titan.Isa.funcs
     end;
     if no_run then exit 0;
-    let sched =
-      match sched_name with
-      | "seq" -> Vpc.Titan.Machine.Sequential
-      | "conservative" -> Vpc.Titan.Machine.Overlap_conservative
-      | _ -> Vpc.Titan.Machine.Overlap_full
-    in
-    let config = { Vpc.Titan.Machine.default_config with procs; sched } in
     let result = Vpc.run_titan ~config prog in
     print_string result.Vpc.Titan.Machine.stdout_text;
     if check then begin
@@ -146,6 +169,12 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
       exit 1
   | Vpc.Titan.Machine.Runtime_error m | Vpc.Il.Interp.Runtime_error m ->
       Printf.eprintf "runtime error: %s\n" m;
+      exit 1
+  | Vpc.Support.Sexp.Parse_error m ->
+      Printf.eprintf "profile/catalog parse error: %s\n" m;
+      exit 1
+  | Sys_error m ->
+      Printf.eprintf "%s\n" m;
       exit 1
 
 let file_arg =
@@ -215,6 +244,23 @@ let inject_fault_arg =
                dangling-goto, vector-type, vector-overlap, false-parallel, \
                wrong-const")
 
+let profile_gen_arg =
+  Arg.(value & opt (some string) None & info [ "profile-gen" ] ~docv:"FILE"
+         ~doc:"Compile at -O0 with instrumentation, run on the simulator, \
+               and write the measured profile to FILE (loop trip counts, \
+               call counts, attributed cycles)")
+
+let profile_use_arg =
+  Arg.(value & opt (some string) None & info [ "profile-use" ] ~docv:"FILE"
+         ~doc:"Read a profile written by --profile-gen and let its measured \
+               trip/call counts guide inlining, vectorization, and \
+               parallelization")
+
+let report_arg =
+  Arg.(value & flag & info [ "report" ]
+         ~doc:"Explain each profile-guided decision on stderr (one [pgo] \
+               line per loop or call site, with the cost-model estimates)")
+
 let cmd =
   let doc = "vectorizing, parallelizing, inlining C compiler for the Titan" in
   Cmd.v
@@ -224,6 +270,6 @@ let cmd =
       $ no_parallel_arg $ no_vectorize_arg $ noalias_arg $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
-      $ inject_fault_arg)
+      $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,7 @@ module Transform = Vpc_transform
 module Vectorize = Vpc_vectorize
 module Inline = Vpc_inline
 module Titan = Vpc_titan
+module Profile = Vpc_profile
 module Check = Vpc_check
 
 type options = {
@@ -42,6 +43,10 @@ type options = {
   catalogs : string list;      (* procedure databases to import (§7) *)
   dump : (string -> string -> unit) option;  (* stage name, IL text *)
   verify : Check.Verify.level; (* IL verifier / translation validator *)
+  profile : Profile.Data.t option;
+      (* measured profile feeding the inliner and vectorizer (PGO) *)
+  report : (string -> unit) option;
+      (* one line per profile-guided decision, with the cost estimates *)
 }
 
 (* -O0: the naive translation. *)
@@ -61,6 +66,8 @@ let o0 =
     catalogs = [];
     dump = None;
     verify = `Off;
+    profile = None;
+    report = None;
   }
 
 (* -O1: classical scalar optimization. *)
@@ -148,14 +155,23 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   List.iter
     (fun file -> Inline.Catalog.import ~into:prog (Inline.Catalog.load file))
     options.catalogs;
+  let inline_options only =
+    {
+      Inline.Inline.default_options with
+      only;
+      profile = options.profile;
+      report = options.report;
+    }
+  in
   (match options.inline with
   | `None -> ()
   | `All ->
-      Inline.Inline.expand ~stats:stats.inline prog;
+      Inline.Inline.expand ~options:(inline_options None) ~stats:stats.inline
+        prog;
       after_prog_pass options prog "inline"
   | `Only names ->
       Inline.Inline.expand
-        ~options:{ Inline.Inline.default_options with only = Some names }
+        ~options:(inline_options (Some names))
         ~stats:stats.inline prog;
       after_prog_pass options prog "inline");
   let scalar_cleanup f =
@@ -191,6 +207,8 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
             parallelize = options.parallelize;
             vlen = options.vlen;
             assume_noalias = options.assume_noalias;
+            profile = options.profile;
+            report = options.report;
           }
         in
         ignore
@@ -248,3 +266,17 @@ let compile_and_simulate ?(options = default_options)
   let prog, stats = compile ~options src in
   let result = run_titan ~config prog in
   (prog, stats, result)
+
+(* PGO pass one: compile at -O0, run instrumented under [config], and
+   return the measured profile alongside the run result.  The profile
+   header records the processors and scheduling model it was measured
+   under, so pass two's cost comparisons use the same machine. *)
+let profile_gen ?(config = Titan.Machine.default_config) ?entry ?args ?file
+    src : Profile.Data.t * Titan.Machine.run_result =
+  let prog, _ = compile ~options:o0 ?file src in
+  let collect =
+    Profile.Collect.create ~procs:config.Titan.Machine.procs
+      ~sched:(Titan.Machine.sched_name config.Titan.Machine.sched)
+  in
+  let result = Titan.Machine.run ~config ?entry ?args ~collect prog in
+  (Profile.Collect.data collect, result)

@@ -14,20 +14,36 @@
    cycles and bounding depth. *)
 
 open Vpc_il
+module Profile = Vpc_profile
 
 type options = {
   max_callee_stmts : int;  (* size threshold for automatic inlining *)
   max_depth : int;
   only : string list option;  (* when set, inline only these callees *)
+  profile : Profile.Data.t option;
+      (* measured call counts/cycles: rank sites, skip cold ones *)
+  max_total_growth : int;
+      (* per-caller statement budget, enforced only with a profile *)
+  report : (string -> unit) option;
 }
 
-let default_options = { max_callee_stmts = 200; max_depth = 8; only = None }
+let default_options =
+  {
+    max_callee_stmts = 200;
+    max_depth = 8;
+    only = None;
+    profile = None;
+    max_total_growth = 4000;
+    report = None;
+  }
 
 type stats = {
   mutable calls_inlined : int;
   mutable calls_skipped_recursive : int;
   mutable calls_skipped_size : int;
   mutable calls_skipped_unknown : int;  (* no body available (library) *)
+  mutable calls_skipped_cold : int;     (* measured count = 0 *)
+  mutable calls_skipped_budget : int;   (* growth budget exhausted *)
 }
 
 let new_stats () =
@@ -36,6 +52,8 @@ let new_stats () =
     calls_skipped_recursive = 0;
     calls_skipped_size = 0;
     calls_skipped_unknown = 0;
+    calls_skipped_cold = 0;
+    calls_skipped_budget = 0;
   }
 
 let func_size (f : Func.t) = List.length (Func.all_stmts f)
@@ -111,6 +129,80 @@ let expand_call (prog : Prog.t) (caller : Func.t) (callee : Func.t)
   in
   bind_params @ body @ epilogue
 
+(* Profile-guided site selection for one caller.  The §7 policy inlines
+   every eligible site leaf-first; with measured data we instead rank
+   sites by attributed cycles (call count × mean callee time), skip
+   sites the run proved cold, and stop when the growth budget is spent.
+   Sites the profile has no data for keep the static policy (rank 0,
+   source order), so an empty profile selects exactly the static set. *)
+type site_verdict = Inline_site | Cold_site | Budget_site
+
+let plan_sites (opts : options) stats (prog : Prog.t) (caller : Func.t)
+    (profile : Profile.Data.t) ~eligible : (int, site_verdict) Hashtbl.t =
+  let sites = ref [] in
+  Stmt.iter_list
+    (fun (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Call (_, Stmt.Direct name, args) when eligible name -> (
+          match Prog.find_func prog name with
+          | Some callee
+            when func_size callee <= opts.max_callee_stmts
+                 && List.length args = List.length callee.Func.params ->
+              sites := (s, callee) :: !sites
+          | Some _ | None -> ())
+      | _ -> ())
+    caller.Func.body;
+  let sites = List.rev !sites in
+  let measure (s : Stmt.t) =
+    match Profile.Key.of_loc s.Stmt.loc with
+    | None -> None
+    | Some k -> Option.map (fun c -> (k, c)) (Profile.Data.find_call profile k)
+  in
+  (* hottest first; the sort is stable, so unmeasured sites keep their
+     source order at rank 0 *)
+  let ranked =
+    List.stable_sort
+      (fun (a, _) (b, _) ->
+        let rank s =
+          match measure s with Some (_, c) -> c.Profile.Data.cycles | None -> 0
+        in
+        Int.compare (rank b) (rank a))
+      sites
+  in
+  let verdicts = Hashtbl.create 16 in
+  let budget = ref opts.max_total_growth in
+  let say fmt = Printf.ksprintf (fun m ->
+      match opts.report with Some r -> r m | None -> ()) fmt
+  in
+  List.iter
+    (fun ((s : Stmt.t), callee) ->
+      match measure s with
+      | Some (k, c) when c.Profile.Data.count = 0 ->
+          stats.calls_skipped_cold <- stats.calls_skipped_cold + 1;
+          say "call %s -> %s: measured cold -> keep the call"
+            (Profile.Key.to_string k) callee.Func.name;
+          Hashtbl.replace verdicts s.Stmt.id Cold_site
+      | m ->
+          let size = func_size callee in
+          if size <= !budget then begin
+            budget := !budget - size;
+            Hashtbl.replace verdicts s.Stmt.id Inline_site;
+            match m with
+            | Some (k, c) ->
+                say "call %s -> %s: count=%d cycles=%d -> inline (budget left %d)"
+                  (Profile.Key.to_string k) callee.Func.name
+                  c.Profile.Data.count c.Profile.Data.cycles !budget
+            | None -> ()
+          end
+          else begin
+            stats.calls_skipped_budget <- stats.calls_skipped_budget + 1;
+            say "call %s -> %s: size %d over remaining budget %d -> keep the call"
+              (Vpc_support.Loc.to_string s.Stmt.loc) callee.Func.name size !budget;
+            Hashtbl.replace verdicts s.Stmt.id Budget_site
+          end)
+    ranked;
+  verdicts
+
 (* Inline eligible calls in [caller]'s body.  Each function is expanded
    exactly once ([done_set]), callees before callers; [stack] holds the
    expansion chain for the recursion cutoff.  A call that survives inside
@@ -124,9 +216,23 @@ let rec expand_in_function (opts : options) stats (prog : Prog.t)
     let eligible name =
       match opts.only with Some names -> List.mem name names | None -> true
     in
+    let plan =
+      match opts.profile with
+      | None -> None
+      | Some profile -> Some (plan_sites opts stats prog caller profile ~eligible)
+    in
+    let site_selected (s : Stmt.t) =
+      match plan with
+      | None -> true
+      | Some verdicts -> (
+          match Hashtbl.find_opt verdicts s.Stmt.id with
+          | Some (Cold_site | Budget_site) -> false
+          | Some Inline_site | None -> true)
+    in
     let replace (s : Stmt.t) : Stmt.t list =
       match s.Stmt.desc with
-      | Stmt.Call (dst, Stmt.Direct name, args) when eligible name -> (
+      | Stmt.Call (dst, Stmt.Direct name, args)
+        when eligible name && site_selected s -> (
           match Prog.find_func prog name with
           | None ->
               stats.calls_skipped_unknown <- stats.calls_skipped_unknown + 1;

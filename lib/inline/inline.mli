@@ -11,6 +11,14 @@ type options = {
   max_callee_stmts : int;      (** size threshold for automatic inlining *)
   max_depth : int;             (** expansion-chain bound *)
   only : string list option;   (** when set, inline only these callees *)
+  profile : Vpc_profile.Data.t option;
+      (** measured call counts and attributed cycles: sites are ranked
+          hottest-first, sites the run proved cold are kept as calls,
+          and growth stops at [max_total_growth].  Sites without data
+          follow the static policy, so an empty profile expands exactly
+          the static set. *)
+  max_total_growth : int;  (** per-caller budget, applies with a profile *)
+  report : (string -> unit) option;  (** decision explanations *)
 }
 
 val default_options : options
@@ -20,6 +28,8 @@ type stats = {
   mutable calls_skipped_recursive : int;
   mutable calls_skipped_size : int;
   mutable calls_skipped_unknown : int;  (** library / no body available *)
+  mutable calls_skipped_cold : int;     (** measured count = 0 *)
+  mutable calls_skipped_budget : int;   (** growth budget exhausted *)
 }
 
 val new_stats : unit -> stats

@@ -1,0 +1,151 @@
+(* The mutable run-time collector the simulator drives.
+
+   Every instrumented site is declared up front (before execution) so
+   that a site the run never reaches still appears in the data with zero
+   counts: "measured cold" is deliberately distinct from "no data", and
+   the feedback passes treat them differently (a cold call site is not
+   worth inlining; an unmeasured one falls back to the static policy).
+
+   Loop and call events nest, so attribution uses stacks.  The stacks
+   are tolerant of abnormal exits (a [return] out of a loop body): stale
+   entries are discarded when an enclosing site closes over them. *)
+
+type loop_rec = {
+  mutable l_entries : int;
+  mutable l_iters : int;
+  mutable l_cycles : int;
+  l_hist : (int, int) Hashtbl.t;  (* trip count -> completed entries *)
+}
+
+type call_rec = {
+  c_callee : string;
+  mutable c_count : int;
+  mutable c_cycles : int;
+}
+
+type loop_frame = {
+  lf_key : Key.t;
+  lf_enter_clock : int;
+  mutable lf_iters : int;
+}
+
+type call_frame = { cf_key : Key.t; cf_enter_clock : int }
+
+type t = {
+  procs : int;
+  sched : string;
+  loops : (Key.t, loop_rec) Hashtbl.t;
+  calls : (Key.t, call_rec) Hashtbl.t;
+  mutable loop_stack : loop_frame list;
+  mutable call_stack : call_frame list;
+}
+
+let create ~procs ~sched =
+  {
+    procs;
+    sched;
+    loops = Hashtbl.create 32;
+    calls = Hashtbl.create 32;
+    loop_stack = [];
+    call_stack = [];
+  }
+
+let loop_rec t k =
+  match Hashtbl.find_opt t.loops k with
+  | Some r -> r
+  | None ->
+      let r = { l_entries = 0; l_iters = 0; l_cycles = 0; l_hist = Hashtbl.create 8 } in
+      Hashtbl.replace t.loops k r;
+      r
+
+let call_rec t k ~callee =
+  match Hashtbl.find_opt t.calls k with
+  | Some r -> r
+  | None ->
+      let r = { c_callee = callee; c_count = 0; c_cycles = 0 } in
+      Hashtbl.replace t.calls k r;
+      r
+
+let declare_loop t k = ignore (loop_rec t k)
+let declare_call t k ~callee = ignore (call_rec t k ~callee)
+
+let loop_enter t k ~clock =
+  let r = loop_rec t k in
+  r.l_entries <- r.l_entries + 1;
+  t.loop_stack <- { lf_key = k; lf_enter_clock = clock; lf_iters = 0 } :: t.loop_stack
+
+let loop_iter t k =
+  match t.loop_stack with
+  | top :: _ when Key.equal top.lf_key k -> top.lf_iters <- top.lf_iters + 1
+  | _ -> (
+      (* abnormal control flow left inner frames behind: discard them *)
+      match List.find_opt (fun f -> Key.equal f.lf_key k) t.loop_stack with
+      | Some f ->
+          let rec drop = function
+            | top :: rest when not (Key.equal top.lf_key k) -> drop rest
+            | stack -> stack
+          in
+          t.loop_stack <- drop t.loop_stack;
+          f.lf_iters <- f.lf_iters + 1
+      | None -> ())
+
+let loop_exit t k ~clock =
+  if List.exists (fun f -> Key.equal f.lf_key k) t.loop_stack then begin
+    let rec drop = function
+      | top :: rest when not (Key.equal top.lf_key k) -> drop rest
+      | stack -> stack
+    in
+    match drop t.loop_stack with
+    | top :: rest ->
+        t.loop_stack <- rest;
+        let r = loop_rec t k in
+        r.l_iters <- r.l_iters + top.lf_iters;
+        r.l_cycles <- r.l_cycles + (clock - top.lf_enter_clock);
+        Hashtbl.replace r.l_hist top.lf_iters
+          (1 + Option.value (Hashtbl.find_opt r.l_hist top.lf_iters) ~default:0)
+    | [] -> ()
+  end
+
+let call_begin t k ~callee ~clock =
+  ignore (call_rec t k ~callee);
+  t.call_stack <- { cf_key = k; cf_enter_clock = clock } :: t.call_stack
+
+let call_end t k ~clock =
+  match t.call_stack with
+  | top :: rest when Key.equal top.cf_key k -> (
+      t.call_stack <- rest;
+      match Hashtbl.find_opt t.calls k with
+      | Some r ->
+          r.c_count <- r.c_count + 1;
+          r.c_cycles <- r.c_cycles + (clock - top.cf_enter_clock)
+      | None -> ())
+  | _ -> ()  (* mismatched end after abnormal flow: drop the event *)
+
+(* Freeze into immutable, canonically sorted data. *)
+let data t : Data.t =
+  let loops =
+    Hashtbl.fold
+      (fun k (r : loop_rec) acc ->
+        let hist =
+          Hashtbl.fold (fun trip n l -> (trip, n) :: l) r.l_hist []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        Key.Map.add k
+          {
+            Data.entries = r.l_entries;
+            iters = r.l_iters;
+            cycles = r.l_cycles;
+            hist;
+          }
+          acc)
+      t.loops Key.Map.empty
+  in
+  let calls =
+    Hashtbl.fold
+      (fun k (r : call_rec) acc ->
+        Key.Map.add k
+          { Data.callee = r.c_callee; count = r.c_count; cycles = r.c_cycles }
+          acc)
+      t.calls Key.Map.empty
+  in
+  { Data.procs = t.procs; sched = t.sched; loops; calls }

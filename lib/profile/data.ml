@@ -1,0 +1,203 @@
+(* Immutable profile data: what a run of the instrumented simulator
+   measured, keyed by source position (see [Key]).
+
+   The serialized form follows the §7 procedure catalogs: a pointer-free
+   s-expression with a versioned header, printed canonically (maps are
+   sorted by key) so that [of_string] ∘ [to_string] is the identity and
+   equal profiles print byte-identically.  Profiles from separate runs
+   combine with [merge], which is commutative and associative. *)
+
+open Vpc_support
+
+let version = 1
+
+type loop = {
+  entries : int;            (* times control reached the loop header *)
+  iters : int;              (* total iterations across all entries *)
+  cycles : int;             (* attributed cycles, inclusive of the body *)
+  hist : (int * int) list;  (* trip count -> completed entries, sorted *)
+}
+
+type call = {
+  callee : string;
+  count : int;    (* times the call executed *)
+  cycles : int;   (* attributed cycles, inclusive of the callee *)
+}
+
+type t = {
+  procs : int;     (* processors of the measuring run *)
+  sched : string;  (* scheduling model of the measuring run *)
+  loops : loop Key.Map.t;
+  calls : call Key.Map.t;
+}
+
+let empty =
+  { procs = 1; sched = "full"; loops = Key.Map.empty; calls = Key.Map.empty }
+
+let is_empty t = Key.Map.is_empty t.loops && Key.Map.is_empty t.calls
+
+let find_loop t k = Key.Map.find_opt k t.loops
+let find_call t k = Key.Map.find_opt k t.calls
+
+(* Mean trip count of a loop, rounded to nearest; [None] when the loop
+   was never entered (measured cold — distinct from absent data). *)
+let mean_trips (l : loop) : int option =
+  if l.entries <= 0 then None
+  else Some (((2 * l.iters) + l.entries) / (2 * l.entries))
+
+(* ----------------------------------------------------------------- *)
+(* Merge                                                             *)
+(* ----------------------------------------------------------------- *)
+
+let merge_hist a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (t, n) ->
+      Hashtbl.replace tbl t (n + Option.value (Hashtbl.find_opt tbl t) ~default:0))
+    (a @ b);
+  Hashtbl.fold (fun t n acc -> (t, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let merge_loop a b =
+  {
+    entries = a.entries + b.entries;
+    iters = a.iters + b.iters;
+    cycles = a.cycles + b.cycles;
+    hist = merge_hist a.hist b.hist;
+  }
+
+let merge_call a b =
+  {
+    (* same key, same source call — but be total for arbitrary inputs *)
+    callee = (if String.compare a.callee b.callee >= 0 then a.callee else b.callee);
+    count = a.count + b.count;
+    cycles = a.cycles + b.cycles;
+  }
+
+let merge a b =
+  {
+    procs = max a.procs b.procs;
+    sched = (if String.compare a.sched b.sched >= 0 then a.sched else b.sched);
+    loops = Key.Map.union (fun _ x y -> Some (merge_loop x y)) a.loops b.loops;
+    calls = Key.Map.union (fun _ x y -> Some (merge_call x y)) a.calls b.calls;
+  }
+
+let equal a b =
+  a.procs = b.procs && a.sched = b.sched
+  && Key.Map.equal
+       (fun (x : loop) (y : loop) ->
+         x.entries = y.entries && x.iters = y.iters && x.cycles = y.cycles
+         && x.hist = y.hist)
+       a.loops b.loops
+  && Key.Map.equal
+       (fun (x : call) (y : call) ->
+         x.callee = y.callee && x.count = y.count && x.cycles = y.cycles)
+       a.calls b.calls
+
+(* ----------------------------------------------------------------- *)
+(* Serialization                                                     *)
+(* ----------------------------------------------------------------- *)
+
+let to_sexp t =
+  let loop_sexp (k, (l : loop)) =
+    Sexp.list
+      [
+        Key.to_sexp k;
+        Sexp.int l.entries;
+        Sexp.int l.iters;
+        Sexp.int l.cycles;
+        Sexp.list
+          (List.map (fun (trip, n) -> Sexp.list [ Sexp.int trip; Sexp.int n ]) l.hist);
+      ]
+  in
+  let call_sexp (k, (c : call)) =
+    Sexp.list
+      [ Key.to_sexp k; Sexp.atom c.callee; Sexp.int c.count; Sexp.int c.cycles ]
+  in
+  Sexp.list
+    [
+      Sexp.atom "vpc-profile";
+      Sexp.list [ Sexp.atom "version"; Sexp.int version ];
+      Sexp.list [ Sexp.atom "procs"; Sexp.int t.procs ];
+      Sexp.list [ Sexp.atom "sched"; Sexp.atom t.sched ];
+      Sexp.list
+        (Sexp.atom "loops" :: List.map loop_sexp (Key.Map.bindings t.loops));
+      Sexp.list
+        (Sexp.atom "calls" :: List.map call_sexp (Key.Map.bindings t.calls));
+    ]
+
+let malformed what = raise (Sexp.Parse_error ("malformed profile: " ^ what))
+
+let of_sexp (s : Sexp.t) : t =
+  match s with
+  | Sexp.List
+      (Sexp.Atom "vpc-profile"
+      :: Sexp.List [ Sexp.Atom "version"; v ]
+      :: rest) ->
+      let v = Sexp.as_int v in
+      if v <> version then
+        malformed (Printf.sprintf "unsupported version %d (expected %d)" v version);
+      let procs = ref 1 and sched = ref "full" in
+      let loops = ref Key.Map.empty and calls = ref Key.Map.empty in
+      List.iter
+        (fun field ->
+          match field with
+          | Sexp.List [ Sexp.Atom "procs"; n ] -> procs := Sexp.as_int n
+          | Sexp.List [ Sexp.Atom "sched"; s ] -> sched := Sexp.as_atom s
+          | Sexp.List (Sexp.Atom "loops" :: entries) ->
+              List.iter
+                (fun e ->
+                  match e with
+                  | Sexp.List [ k; entries; iters; cycles; Sexp.List hist ] ->
+                      let hist =
+                        List.map
+                          (function
+                            | Sexp.List [ t; n ] -> (Sexp.as_int t, Sexp.as_int n)
+                            | _ -> malformed "histogram bin")
+                          hist
+                      in
+                      loops :=
+                        Key.Map.add (Key.of_sexp k)
+                          {
+                            entries = Sexp.as_int entries;
+                            iters = Sexp.as_int iters;
+                            cycles = Sexp.as_int cycles;
+                            hist;
+                          }
+                          !loops
+                  | _ -> malformed "loop record")
+                entries
+          | Sexp.List (Sexp.Atom "calls" :: entries) ->
+              List.iter
+                (fun e ->
+                  match e with
+                  | Sexp.List [ k; callee; count; cycles ] ->
+                      calls :=
+                        Key.Map.add (Key.of_sexp k)
+                          {
+                            callee = Sexp.as_atom callee;
+                            count = Sexp.as_int count;
+                            cycles = Sexp.as_int cycles;
+                          }
+                          !calls
+                  | _ -> malformed "call record")
+                entries
+          | _ -> malformed "unknown field")
+        rest;
+      { procs = !procs; sched = !sched; loops = !loops; calls = !calls }
+  | _ -> malformed "missing vpc-profile header"
+
+let to_string t = Sexp.to_string (to_sexp t) ^ "\n"
+let of_string s = of_sexp (Sexp.of_string s)
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

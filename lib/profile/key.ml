@@ -1,0 +1,51 @@
+(* A profile key names a source construct — a loop header or a call
+   site — by its source position.  Source positions are the one identity
+   that survives the whole pipeline: inlining clones statements with
+   fresh ids but keeps their locations, and while→DO conversion rewrites
+   a statement in place.  Compiler-generated statements (dummy location)
+   are never profiled. *)
+
+open Vpc_support
+
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;   (* 1-based *)
+}
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let equal a b = compare a b = 0
+
+let of_loc (loc : Loc.t) : t option =
+  if Loc.is_dummy loc then None
+  else
+    Some
+      {
+        file = loc.Loc.file;
+        line = loc.Loc.start_pos.Loc.line;
+        col = loc.Loc.start_pos.Loc.col;
+      }
+
+let to_string k = Printf.sprintf "%s:%d:%d" k.file k.line k.col
+let pp ppf k = Fmt.string ppf (to_string k)
+
+let to_sexp k =
+  Sexp.list [ Sexp.atom k.file; Sexp.int k.line; Sexp.int k.col ]
+
+let of_sexp (s : Sexp.t) : t =
+  match s with
+  | Sexp.List [ f; l; c ] ->
+      { file = Sexp.as_atom f; line = Sexp.as_int l; col = Sexp.as_int c }
+  | _ -> raise (Sexp.Parse_error "malformed profile key")
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -30,7 +30,19 @@ type env = {
   mutable code : inst list;  (* reversed *)
   label_counter : Gensym.t;
   global_addr : int -> int;  (* var id -> absolute address *)
+  instrument : bool;  (* emit Prof markers for the profile collector *)
 }
+
+(* Profile key of a statement: its source position, if it has one.
+   Compiler-generated statements are not profiled. *)
+let prof_key (s : Stmt.t) =
+  Vpc_profile.Key.of_loc s.Stmt.loc
+
+let emit_prof env (s : Stmt.t) (mk : Vpc_profile.Key.t -> prof_event) =
+  if env.instrument then
+    match prof_key s with
+    | Some k -> env.code <- Prof (mk k) :: env.code
+    | None -> ()
 
 let emit env i = env.code <- i :: env.code
 
@@ -346,7 +358,9 @@ let rec gen_stmt ce ~par_depth (s : Stmt.t) =
             else Some (reg_for ce.e v)
         | Some (Stmt.Lmem _) -> Some (fresh_reg ce.e)
       in
+      emit_prof ce.e s (fun k -> Pcall_begin (k, name));
       emit ce.e (Call { dst = dreg; name; args = oargs });
+      emit_prof ce.e s (fun k -> Pcall_end k);
       (match dst, dreg with
       | Some (Stmt.Lvar id), Some r ->
           let v = var_meta ce.e id in
@@ -381,11 +395,13 @@ let rec gen_stmt ce ~par_depth (s : Stmt.t) =
       let l_head = fresh_label ce.e "while" in
       let l_end = fresh_label ce.e "wend" in
       let doacross = li.Stmt.doacross && par_depth = 0 in
+      emit_prof ce.e s (fun k -> Ploop_enter k);
       if doacross then emit ce.e Par_enter;
       emit ce.e (Label_def l_head);
       if doacross then emit ce.e Par_iter;
       let oc = gen_expr ce c in
       emit ce.e (Branch_zero (oc, l_end));
+      emit_prof ce.e s (fun k -> Ploop_iter k);
       if doacross then begin
         (* serialized prefix (the pointer advance, §10), then the
            spreadable rest *)
@@ -404,11 +420,12 @@ let rec gen_stmt ce ~par_depth (s : Stmt.t) =
       else List.iter (gen_stmt ce ~par_depth) body;
       emit ce.e (Jump l_head);
       emit ce.e (Label_def l_end);
-      if doacross then emit ce.e Par_exit
-  | Stmt.Do_loop d -> gen_do_loop ce ~par_depth d
+      if doacross then emit ce.e Par_exit;
+      emit_prof ce.e s (fun k -> Ploop_exit k)
+  | Stmt.Do_loop d -> gen_do_loop ce ~par_depth ~stmt:s d
   | Stmt.Vector v -> gen_vector ce v
 
-and gen_do_loop ce ~par_depth (d : Stmt.do_loop) =
+and gen_do_loop ce ~par_depth ~stmt (d : Stmt.do_loop) =
   let v = var_meta ce.e d.index in
   let idx = reg_for ce.e v in
   let o_lo = gen_expr ce d.lo in
@@ -424,6 +441,7 @@ and gen_do_loop ce ~par_depth (d : Stmt.do_loop) =
   let l_head = fresh_label ce.e "do" in
   let l_end = fresh_label ce.e "done" in
   let parallel = d.parallel && par_depth = 0 in
+  emit_prof ce.e stmt (fun k -> Ploop_enter k);
   if parallel then emit ce.e Par_enter;
   emit ce.e (Label_def l_head);
   (* continue while (step >= 0 ? idx <= hi : idx >= hi) *)
@@ -446,11 +464,13 @@ and gen_do_loop ce ~par_depth (d : Stmt.do_loop) =
       emit ce.e (Ialu (Ior, cond, Reg t1, Reg t2)));
   emit ce.e (Branch_zero (Reg cond, l_end));
   if parallel then emit ce.e Par_iter;
+  emit_prof ce.e stmt (fun k -> Ploop_iter k);
   List.iter (gen_stmt ce ~par_depth:(par_depth + if parallel then 1 else 0)) d.body;
   emit ce.e (Ialu (Iadd, idx, Reg idx, Reg step));
   emit ce.e (Jump l_head);
   emit ce.e (Label_def l_end);
-  if parallel then emit ce.e Par_exit
+  if parallel then emit ce.e Par_exit;
+  emit_prof ce.e stmt (fun k -> Ploop_exit k)
 
 and gen_vector ce (v : Stmt.vstmt) =
   let len_o = gen_expr ce v.Stmt.vdst.Stmt.count in
@@ -488,7 +508,8 @@ and gen_vector ce (v : Stmt.vstmt) =
 (* Function and program                                              *)
 (* ----------------------------------------------------------------- *)
 
-let gen_func (prog : Prog.t) ~global_addr (f : Func.t) : Isa.func =
+let gen_func ?(instrument = false) (prog : Prog.t) ~global_addr (f : Func.t) :
+    Isa.func =
   let env =
     {
       prog;
@@ -501,6 +522,7 @@ let gen_func (prog : Prog.t) ~global_addr (f : Func.t) : Isa.func =
       code = [];
       label_counter = Gensym.create ();
       global_addr;
+      instrument;
     }
   in
   let addressed = Func.addressed_vars f in
@@ -548,9 +570,12 @@ let gen_func (prog : Prog.t) ~global_addr (f : Func.t) : Isa.func =
     nvregs = env.nvregs;
   }
 
-let gen_program (prog : Prog.t) ~global_addr : Isa.program =
+let gen_program ?(instrument = false) (prog : Prog.t) ~global_addr :
+    Isa.program =
   let funcs = Hashtbl.create 8 in
   List.iter
-    (fun f -> Hashtbl.replace funcs f.Func.name (gen_func prog ~global_addr f))
+    (fun f ->
+      Hashtbl.replace funcs f.Func.name
+        (gen_func ~instrument prog ~global_addr f))
     prog.Prog.funcs;
   { Isa.funcs; prog }

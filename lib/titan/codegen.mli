@@ -11,7 +11,11 @@ exception Codegen_error of string
 
 (** [gen_func prog ~global_addr f]: compile one function; [global_addr]
     resolves a global variable id to its absolute address (from
-    {!Machine.layout_globals}). *)
-val gen_func : Prog.t -> global_addr:(int -> int) -> Func.t -> Isa.func
+    {!Machine.layout_globals}).  With [instrument], loops and call sites
+    that carry a source position are bracketed with zero-cost profiling
+    markers ({!Isa.inst.Prof}) for the profile collector. *)
+val gen_func :
+  ?instrument:bool -> Prog.t -> global_addr:(int -> int) -> Func.t -> Isa.func
 
-val gen_program : Prog.t -> global_addr:(int -> int) -> Isa.program
+val gen_program :
+  ?instrument:bool -> Prog.t -> global_addr:(int -> int) -> Isa.program

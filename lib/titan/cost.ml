@@ -37,3 +37,97 @@ let ret_overhead = 4
 let barrier_cycles = 120
 
 let clock_mhz = 16.0
+
+(* ----------------------------------------------------------------- *)
+(* Loop-cost estimates for profile-guided decisions                   *)
+(* ----------------------------------------------------------------- *)
+
+(* The vectorizer's static heuristics cannot see trip counts; when a
+   profile supplies them, these estimates — calibrated against the
+   simulator's scheduling models above — let it choose serial vs vector
+   vs do-parallel and pick strip lengths.  A [shape] summarizes one loop
+   iteration by its operation mix. *)
+
+type sched = Seq | Conservative | Full
+
+let sched_of_name = function
+  | "seq" -> Seq
+  | "conservative" -> Conservative
+  | _ -> Full
+
+type shape = {
+  mem_refs : int;  (* loads + stores per iteration *)
+  flops : int;     (* floating-point ALU ops per iteration *)
+  iops : int;      (* integer ALU ops per iteration *)
+}
+
+(* Steady-state cycles of one serial scalar iteration, including the
+   index increment and loop-closing branch (+2 ops). *)
+let scalar_iter_cycles ~sched (s : shape) =
+  match sched with
+  | Full ->
+      (* dataflow-limited: bounded by the single memory port, the FPU,
+         and the machine's 4-wide issue floor *)
+      let total = s.mem_refs + s.flops + s.iops + 2 in
+      max 1 (max s.mem_refs (max s.flops ((total + 3) / 4)))
+  | Conservative ->
+      (* in-order issue; every load waits on earlier stores *)
+      (s.mem_refs * (load.issue + 2)) + s.flops + s.iops + branch.latency
+  | Seq ->
+      (s.mem_refs * load.latency) + (s.flops * falu.latency) + s.iops
+      + branch.latency
+
+let scalar_loop_cycles ~sched (s : shape) ~trips =
+  trips * scalar_iter_cycles ~sched s
+
+(* A do-parallel serial-bodied loop: round-robin buckets + barrier. *)
+let parallel_scalar_cycles ~sched (s : shape) ~trips ~procs =
+  if procs <= 1 then scalar_loop_cycles ~sched s ~trips
+  else
+    (((trips + procs - 1) / procs) * scalar_iter_cycles ~sched s)
+    + barrier_cycles
+
+(* One vector strip of [len] elements.  The vector instructions of a
+   strip form a dependence chain through the single memory port and the
+   FPU, so their busy times add. *)
+let vector_strip_cycles (s : shape) ~len =
+  (s.mem_refs * (vector_startup_mem + len))
+  + (s.flops * (vector_startup_fpu + len))
+
+(* A whole vectorized loop: short vector (no strip loop) when the trip
+   count fits in one strip, otherwise strip-mined, optionally spread
+   over processors with a closing barrier. *)
+let vector_loop_cycles (s : shape) ~trips ~vlen ~procs ~parallel =
+  if trips <= 0 then 0
+  else if trips <= vlen then vector_strip_cycles s ~len:trips
+  else begin
+    let full = trips / vlen and rem = trips mod vlen in
+    let strip = vector_strip_cycles s ~len:vlen in
+    if (not parallel) || procs <= 1 then
+      (full * strip)
+      + (if rem > 0 then vector_strip_cycles s ~len:rem else 0)
+    else
+      let strips = full + if rem > 0 then 1 else 0 in
+      (((strips + procs - 1) / procs) * strip) + barrier_cycles
+  end
+
+(* Best vector-side cost at a given trip count (serial strips vs spread
+   over processors), for the break-even search and reports. *)
+let best_vector_cycles (s : shape) ~trips ~vlen ~procs ~parallelize =
+  let serial = vector_loop_cycles s ~trips ~vlen ~procs:1 ~parallel:false in
+  if parallelize && procs > 1 then
+    min serial (vector_loop_cycles s ~trips ~vlen ~procs ~parallel:true)
+  else serial
+
+(* Smallest trip count at which the vector form beats scalar code, or
+   [None] if it never does (within a generous horizon).  Under the full
+   scheduling model a single processor's scalar loop is memory-port
+   bound just like the vector unit, so vectorization only pays once
+   barrier and startup costs amortize across processors. *)
+let vector_break_even ~sched (s : shape) ~vlen ~procs ~parallelize =
+  let beats t =
+    best_vector_cycles s ~trips:t ~vlen ~procs ~parallelize
+    < scalar_loop_cycles ~sched s ~trips:t
+  in
+  let rec scan t = if t > 65536 then None else if beats t then Some t else scan (t + 1) in
+  scan 1

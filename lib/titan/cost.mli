@@ -37,3 +37,45 @@ val barrier_cycles : int
 
 (** The Titan clock: 16 MHz. *)
 val clock_mhz : float
+
+(** {2 Loop-cost estimates for profile-guided decisions}
+
+    Calibrated against the simulator's scheduling models: the vectorizer
+    consults these with measured trip counts to choose serial vs vector
+    vs do-parallel code and to pick strip lengths. *)
+
+type sched = Seq | Conservative | Full
+
+(** Of a {!Machine.sched_name}-style name; unknown names mean [Full]. *)
+val sched_of_name : string -> sched
+
+(** One loop iteration summarized by its operation mix. *)
+type shape = { mem_refs : int; flops : int; iops : int }
+
+(** Steady-state cycles of one serial scalar iteration (index increment
+    and loop branch included). *)
+val scalar_iter_cycles : sched:sched -> shape -> int
+
+val scalar_loop_cycles : sched:sched -> shape -> trips:int -> int
+
+(** A do-parallel loop with a serial body: round-robin buckets plus the
+    closing barrier. *)
+val parallel_scalar_cycles :
+  sched:sched -> shape -> trips:int -> procs:int -> int
+
+(** One vector strip of [len] elements (startup + element chain). *)
+val vector_strip_cycles : shape -> len:int -> int
+
+(** A whole vectorized loop: short vector when [trips <= vlen],
+    otherwise strip-mined, optionally spread over processors. *)
+val vector_loop_cycles :
+  shape -> trips:int -> vlen:int -> procs:int -> parallel:bool -> int
+
+(** Cheaper of serial-strip and parallel-strip vector code. *)
+val best_vector_cycles :
+  shape -> trips:int -> vlen:int -> procs:int -> parallelize:bool -> int
+
+(** Smallest trip count at which vector code beats scalar code, [None]
+    if it never does within a generous horizon. *)
+val vector_break_even :
+  sched:sched -> shape -> vlen:int -> procs:int -> parallelize:bool -> int option

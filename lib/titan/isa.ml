@@ -64,8 +64,18 @@ type inst =
   | Par_serial_end
       (* end of a doacross iteration's serialized prefix (§10) *)
   | Par_exit
+  (* profiling markers (zero cost, zero semantics): emitted only by
+     instrumented codegen; the simulator feeds them to a collector *)
+  | Prof of prof_event
 
 and falu_op_or_int = Fop of falu_op | Iop of ialu_op
+
+and prof_event =
+  | Ploop_enter of Vpc_profile.Key.t
+  | Ploop_iter of Vpc_profile.Key.t
+  | Ploop_exit of Vpc_profile.Key.t
+  | Pcall_begin of Vpc_profile.Key.t * string  (* site, callee name *)
+  | Pcall_end of Vpc_profile.Key.t
 
 type func = {
   fn_name : string;
@@ -161,6 +171,13 @@ let pp_inst ppf = function
   | Par_iter -> Fmt.string ppf "par.iter"
   | Par_serial_end -> Fmt.string ppf "par.serial_end"
   | Par_exit -> Fmt.string ppf "par.exit"
+  | Prof (Ploop_enter k) ->
+      Fmt.pf ppf "prof.loop_enter %a" Vpc_profile.Key.pp k
+  | Prof (Ploop_iter k) -> Fmt.pf ppf "prof.loop_iter %a" Vpc_profile.Key.pp k
+  | Prof (Ploop_exit k) -> Fmt.pf ppf "prof.loop_exit %a" Vpc_profile.Key.pp k
+  | Prof (Pcall_begin (k, callee)) ->
+      Fmt.pf ppf "prof.call_begin %a %s" Vpc_profile.Key.pp k callee
+  | Prof (Pcall_end k) -> Fmt.pf ppf "prof.call_end %a" Vpc_profile.Key.pp k
 
 let pp_func ppf (f : func) =
   Fmt.pf ppf "%s:  ; %d regs, %d vregs, frame %d@." f.fn_name f.nregs f.nvregs

@@ -122,6 +122,7 @@ type state = {
   mutable par_serial_total : int;  (* doacross: serialized prefix time *)
   mutable insts_executed : int;
   mutable issued : int;  (* instructions issued, for the issue-width floor *)
+  collect : Vpc_profile.Collect.t option;  (* profile collector, if any *)
 }
 
 type frame = {
@@ -503,10 +504,28 @@ and exec st fr : value * int =
     st.insts_executed <- st.insts_executed + 1;
     if st.insts_executed > st.config.max_insts then
       error "instruction budget exceeded (infinite loop?)";
-    st.metrics.insts <- st.metrics.insts + 1;
+    (* profiling markers are free: they must not perturb the metrics the
+       profile is meant to describe *)
+    (match code.(!pc) with
+    | Prof _ -> ()
+    | _ -> st.metrics.insts <- st.metrics.insts + 1);
     let next = !pc + 1 in
     (match code.(!pc) with
     | Label_def _ -> pc := next
+    | Prof ev ->
+        (match st.collect with
+        | Some c -> (
+            match ev with
+            | Ploop_enter k ->
+                Vpc_profile.Collect.loop_enter c k ~clock:st.clock
+            | Ploop_iter k -> Vpc_profile.Collect.loop_iter c k
+            | Ploop_exit k ->
+                Vpc_profile.Collect.loop_exit c k ~clock:st.clock
+            | Pcall_begin (k, callee) ->
+                Vpc_profile.Collect.call_begin c k ~callee ~clock:st.clock
+            | Pcall_end k -> Vpc_profile.Collect.call_end c k ~clock:st.clock)
+        | None -> ());
+        pc := next
     | Imov (d, s) ->
         let v, r = operand st fr s in
         let done_ = issue st Cost.imov ~ops_ready:r in
@@ -857,10 +876,11 @@ let init_globals st =
           Bytes.set st.mem (addr + String.length s) '\000')
     (Prog.globals_list st.layout.lprog)
 
-let create_state ?(config = default_config) (program : Isa.program)
+let create_state ?(config = default_config) ?collect (program : Isa.program)
     (layout : layout) : state =
   let st =
     {
+      collect;
       program;
       config;
       mem = Bytes.make mem_size '\000';
@@ -886,15 +906,39 @@ let create_state ?(config = default_config) (program : Isa.program)
   init_globals st;
   st
 
-let run ?config ?(entry = "main") ?(args = []) (prog : Prog.t) : run_result =
+(* Declare every instrumented site to the collector before execution, so
+   a site the run never reaches is recorded as measured-cold (zero
+   counts) rather than absent. *)
+let declare_sites (c : Vpc_profile.Collect.t) (program : Isa.program) =
+  Hashtbl.iter
+    (fun _ (f : Isa.func) ->
+      Array.iter
+        (function
+          | Prof (Ploop_enter k) -> Vpc_profile.Collect.declare_loop c k
+          | Prof (Pcall_begin (k, callee)) ->
+              Vpc_profile.Collect.declare_call c k ~callee
+          | _ -> ())
+        f.code)
+    program.Isa.funcs
+
+let sched_name = function
+  | Sequential -> "seq"
+  | Overlap_conservative -> "conservative"
+  | Overlap_full -> "full"
+
+let run ?config ?(entry = "main") ?(args = []) ?collect (prog : Prog.t) :
+    run_result =
   let layout = layout_globals prog in
   let program =
-    Codegen.gen_program prog ~global_addr:(fun id ->
+    Codegen.gen_program prog
+      ~instrument:(Option.is_some collect)
+      ~global_addr:(fun id ->
         match Hashtbl.find_opt layout.addr_of id with
         | Some a -> a
         | None -> error "no address for global %d" id)
   in
-  let st = create_state ?config program layout in
+  (match collect with Some c -> declare_sites c program | None -> ());
+  let st = create_state ?config ?collect program layout in
   let return_value, _ = run_function st entry args in
   st.metrics.cycles <- st.clock - st.saved;
   {

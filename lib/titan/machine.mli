@@ -69,9 +69,21 @@ type run_result = {
   final_state : state;
 }
 
-(** Compile (to Titan code) and execute [entry] (default ["main"]). *)
+(** CLI-facing name of a scheduling model ("seq", "conservative",
+    "full"), also recorded in profile headers. *)
+val sched_name : sched_mode -> string
+
+(** Compile (to Titan code) and execute [entry] (default ["main"]).
+    With [collect], codegen is instrumented with profiling markers and
+    the run feeds the collector; markers cost zero cycles, so the
+    metrics are those of the uninstrumented program. *)
 val run :
-  ?config:config -> ?entry:string -> ?args:value list -> Prog.t -> run_result
+  ?config:config ->
+  ?entry:string ->
+  ?args:value list ->
+  ?collect:Vpc_profile.Collect.t ->
+  Prog.t ->
+  run_result
 
 (** Read back a named global array from a finished run, for differential
     tests against the interpreter. *)

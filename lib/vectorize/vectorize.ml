@@ -17,16 +17,28 @@
 
 open Vpc_il
 open Vpc_dependence
+module Profile = Vpc_profile
+module Cost = Vpc_titan.Cost
 
 type options = {
   vectorize : bool;
   parallelize : bool;
   vlen : int;                (* vector strip length; the paper uses 32 *)
   assume_noalias : bool;     (* pointer params have Fortran semantics *)
+  profile : Profile.Data.t option;
+      (* measured trip counts: consult the Titan cost model per loop *)
+  report : (string -> unit) option;  (* one line per profile-guided call *)
 }
 
 let default_options =
-  { vectorize = true; parallelize = true; vlen = 32; assume_noalias = false }
+  {
+    vectorize = true;
+    parallelize = true;
+    vlen = 32;
+    assume_noalias = false;
+    profile = None;
+    report = None;
+  }
 
 type stats = {
   mutable loops_examined : int;
@@ -36,6 +48,9 @@ type stats = {
   mutable loops_rejected_shape : int;     (* calls/control flow in body *)
   mutable loops_rejected_dependence : int;(* carried cycles everywhere *)
   mutable short_vector_loops : int;       (* trip <= vlen: no strip loop *)
+  mutable pgo_scalar_loops : int;   (* profile said: stay scalar *)
+  mutable pgo_serial_strips : int;  (* profile said: vector, drop parallel *)
+  mutable pgo_strip_adjusted : int; (* profile picked a shorter strip *)
 }
 
 let new_stats () =
@@ -47,6 +62,9 @@ let new_stats () =
     loops_rejected_shape = 0;
     loops_rejected_dependence = 0;
     short_vector_loops = 0;
+    pgo_scalar_loops = 0;
+    pgo_serial_strips = 0;
+    pgo_strip_adjusted = 0;
   }
 
 (* ----------------------------------------------------------------- *)
@@ -138,6 +156,127 @@ let scalar_defs body =
       | _ -> None)
     body
 
+(* ----------------------------------------------------------------- *)
+(* Profile-guided decisions                                          *)
+(* ----------------------------------------------------------------- *)
+
+(* Operation mix of one iteration, for the Titan cost model. *)
+let body_shape (body : Stmt.t list) : Cost.shape =
+  let mem = ref 0 and flops = ref 0 and iops = ref 0 in
+  let count_expr e =
+    Expr.iter
+      (fun (e : Expr.t) ->
+        match e.Expr.desc with
+        | Expr.Load _ -> incr mem
+        | Expr.Binop _ | Expr.Unop _ ->
+            if Ty.is_float e.Expr.ty then incr flops else incr iops
+        | _ -> ())
+      e
+  in
+  List.iter
+    (fun s ->
+      Stmt.iter
+        (fun (s : Stmt.t) ->
+          List.iter count_expr (Stmt.shallow_exprs s);
+          match s.Stmt.desc with
+          | Stmt.Assign (Stmt.Lmem _, _) -> incr mem  (* the store itself *)
+          | _ -> ())
+        s)
+    body;
+  { Cost.mem_refs = !mem; flops = !flops; iops = !iops }
+
+(* What the profile says to do with one loop. *)
+type pgo_choice = {
+  keep_scalar : bool;      (* below break-even: leave the DO loop alone *)
+  strip_parallel : bool;   (* spread vector strips over processors *)
+  scalar_parallel : bool;  (* spread sequential groups over processors *)
+  chosen_vlen : int;
+}
+
+(* Consult the measured mean trip count against the Titan cost model.
+   Absent data (no key, never measured) returns [None]: the static
+   policy applies unchanged, which keeps compilation with an empty
+   profile byte-identical to compilation without one.  A loop measured
+   cold (entered zero times) also returns [None] — there is nothing to
+   win there either way. *)
+let pgo_decide (opts : options) (data : Profile.Data.t) (loop_stmt : Stmt.t)
+    (body : Stmt.t list) : pgo_choice option =
+  match Profile.Key.of_loc loop_stmt.Stmt.loc with
+  | None -> None
+  | Some key -> (
+      match Profile.Data.find_loop data key with
+      | None -> None
+      | Some lp -> (
+          match Profile.Data.mean_trips lp with
+          | None | Some 0 -> None
+          | Some trips ->
+              let shape = body_shape body in
+              let sched = Cost.sched_of_name data.Profile.Data.sched in
+              let procs = data.Profile.Data.procs in
+              let scalar = Cost.scalar_loop_cycles ~sched shape ~trips in
+              (* candidate strip lengths: the machine length, plus a
+                 balanced length that spreads the measured trips evenly
+                 over the processors *)
+              let balanced = max 1 ((trips + procs - 1) / procs) in
+              let candidates =
+                if balanced < opts.vlen then [ opts.vlen; balanced ]
+                else [ opts.vlen ]
+              in
+              let consider (best_cost, best) vlen ~parallel =
+                if parallel && (procs <= 1 || not opts.parallelize) then
+                  (best_cost, best)
+                else
+                  let c =
+                    Cost.vector_loop_cycles shape ~trips ~vlen ~procs ~parallel
+                  in
+                  if c < best_cost then (c, Some (vlen, parallel))
+                  else (best_cost, best)
+              in
+              let vcost, vbest =
+                List.fold_left
+                  (fun acc vlen ->
+                    consider (consider acc vlen ~parallel:false) vlen
+                      ~parallel:true)
+                  (max_int, None) candidates
+              in
+              let keep_scalar = scalar <= vcost in
+              let scalar_parallel =
+                opts.parallelize
+                && Cost.parallel_scalar_cycles ~sched shape ~trips ~procs
+                   < scalar
+              in
+              let chosen_vlen, strip_parallel =
+                match vbest with
+                | Some (v, p) -> (v, p)
+                | None -> (opts.vlen, false)
+              in
+              (match opts.report with
+              | Some report ->
+                  let be =
+                    Cost.vector_break_even ~sched shape ~vlen:opts.vlen ~procs
+                      ~parallelize:opts.parallelize
+                  in
+                  report
+                    (Printf.sprintf
+                       "loop %s: measured trips≈%d (%d entries): est scalar=%d \
+                        vector=%d (strip %d%s) break-even=%s -> %s"
+                       (Profile.Key.to_string key)
+                       trips lp.Profile.Data.entries scalar
+                       (if vcost = max_int then -1 else vcost)
+                       chosen_vlen
+                       (if strip_parallel then
+                          Printf.sprintf " x%d procs" procs
+                        else " serial")
+                       (match be with
+                       | Some b -> string_of_int b
+                       | None -> "never")
+                       (if keep_scalar then "scalar"
+                        else if strip_parallel then "vector do-parallel"
+                        else "vector serial"))
+              | None -> ());
+              Some { keep_scalar; strip_parallel; scalar_parallel; chosen_vlen }
+          ))
+
 let process_loop (opts : options) stats prog (func : Func.t)
     (live : Vpc_analysis.Liveness.t) (loop_stmt : Stmt.t) (d : Stmt.do_loop) :
     Stmt.t list option =
@@ -160,6 +299,26 @@ let process_loop (opts : options) stats prog (func : Func.t)
   in
   let trip_expr = simplify (Expr.binop Expr.Add d.hi (Expr.int_const 1) Ty.Int) in
   let trip_const = Expr.const_int_val trip_expr in
+  (* measured trip counts, when a profile has them for this loop *)
+  let pgo =
+    match opts.profile with
+    | None -> None
+    | Some data -> pgo_decide opts data loop_stmt d.body
+  in
+  match pgo with
+  | Some { keep_scalar = true; _ } ->
+      stats.pgo_scalar_loops <- stats.pgo_scalar_loops + 1;
+      None  (* below break-even: the serial DO loop is the fast version *)
+  | _ ->
+  let strip_vlen =
+    match pgo with Some c -> c.chosen_vlen | None -> opts.vlen
+  in
+  let strip_par_ok =
+    match pgo with Some c -> c.strip_parallel | None -> true
+  in
+  let scalar_par_ok =
+    match pgo with Some c -> c.scalar_parallel | None -> true
+  in
   let assume_noalias = opts.assume_noalias || d.independent in
   let graph =
     Graph.build ~assume_noalias ~trip:trip_const body ~index:d.index ~invariant
@@ -348,7 +507,7 @@ let process_loop (opts : options) stats prog (func : Func.t)
               in
               let result =
                 match trip_const with
-                | Some t when t <= opts.vlen ->
+                | Some t when t <= strip_vlen ->
                     (* short vector: no strip loop needed (§5.2's graphics
                        remark) *)
                     stats.short_vector_loops <- stats.short_vector_loops + 1;
@@ -364,18 +523,22 @@ let process_loop (opts : options) stats prog (func : Func.t)
                           (simplify (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
                         Builder.if_ b
                           (Expr.binop Expr.Gt (Expr.var len)
-                             (Expr.int_const opts.vlen) Ty.Int)
-                          [ Builder.assign b len (Expr.int_const opts.vlen) ]
+                             (Expr.int_const strip_vlen) Ty.Int)
+                          [ Builder.assign b len (Expr.int_const strip_vlen) ]
                           [];
                       ]
                     in
                     let vstmt = build_vector ~start:vi_e ~count:(Expr.var len) in
-                    let parallel = opts.parallelize in
+                    let parallel = opts.parallelize && strip_par_ok in
+                    if opts.parallelize && not strip_par_ok then
+                      stats.pgo_serial_strips <- stats.pgo_serial_strips + 1;
+                    if strip_vlen <> opts.vlen then
+                      stats.pgo_strip_adjusted <- stats.pgo_strip_adjusted + 1;
                     if parallel then any_parallel := true;
                     [
                       Builder.do_loop b ~parallel ~independent:d.independent
                         ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi:d.hi
-                        ~step:(Expr.int_const opts.vlen)
+                        ~step:(Expr.int_const strip_vlen)
                         (len_stmts @ [ vstmt ]);
                     ]
               in
@@ -391,7 +554,7 @@ let process_loop (opts : options) stats prog (func : Func.t)
       (* A dependence-free scalar group can still be spread over
          processors if its scalar definitions die with the loop. *)
       let parallel_ok =
-        opts.parallelize && (not carried_inside)
+        opts.parallelize && scalar_par_ok && (not carried_inside)
         && List.for_all
              (fun v ->
                not

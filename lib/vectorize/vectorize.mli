@@ -5,7 +5,15 @@
     processors as [do parallel] (the §9 form); statement groups carrying
     a dependence cycle stay sequential; loops with a known tiny trip
     count get bare short-vector code with no strip loop (§5.2's graphics
-    remark). *)
+    remark).
+
+    With a [profile], each loop's measured mean trip count is checked
+    against the {!Vpc_titan.Cost} estimates: a loop below the vector
+    break-even stays a serial DO loop, a loop whose strips cannot
+    amortize the barrier is vectorized without [do parallel], and the
+    strip length shrinks to balance short loops across processors.
+    Loops absent from the profile follow the static policy unchanged, so
+    an empty profile compiles byte-identically to no profile. *)
 
 open Vpc_il
 
@@ -14,6 +22,8 @@ type options = {
   parallelize : bool;
   vlen : int;             (** strip length; the paper uses 32 *)
   assume_noalias : bool;  (** pointer params get Fortran semantics *)
+  profile : Vpc_profile.Data.t option;  (** measured trip counts *)
+  report : (string -> unit) option;     (** decision explanations *)
 }
 
 val default_options : options
@@ -26,6 +36,9 @@ type stats = {
   mutable loops_rejected_shape : int;       (** calls / control flow *)
   mutable loops_rejected_dependence : int;  (** carried cycles everywhere *)
   mutable short_vector_loops : int;         (** no strip loop needed *)
+  mutable pgo_scalar_loops : int;   (** profile said: stay scalar *)
+  mutable pgo_serial_strips : int;  (** profile said: drop do-parallel *)
+  mutable pgo_strip_adjusted : int; (** profile picked a shorter strip *)
 }
 
 val new_stats : unit -> stats

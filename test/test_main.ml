@@ -21,4 +21,5 @@ let () =
       ("codegen", Test_codegen.tests);
       ("pipeline", Test_pipeline.tests);
       ("verify", Test_verify.tests);
+      ("profile", Test_profile.tests);
     ]

@@ -1,0 +1,367 @@
+(* lib/profile tests: exact serialization round-trips, merge algebra
+   (QCheck), measured trip counts, the feedback into the vectorizer and
+   inliner, and the determinism guarantee that an *empty* profile
+   compiles byte-identically to no profile at all. *)
+
+open Helpers
+module Profile = Vpc.Profile
+
+(* ----------------------------------------------------------------- *)
+(* generators                                                         *)
+(* ----------------------------------------------------------------- *)
+
+let gen_key =
+  let module G = QCheck.Gen in
+  G.map3
+    (fun f l c -> { Profile.Key.file = Printf.sprintf "f%d.c" f; line = l; col = c })
+    (G.int_range 0 2) (G.int_range 1 20) (G.int_range 0 8)
+
+(* histograms are kept canonical (sorted, duplicate trips summed), the
+   same normal form [Data.merge] produces *)
+let gen_hist =
+  let module G = QCheck.Gen in
+  G.map
+    (fun pairs ->
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (t, n) ->
+          Hashtbl.replace tbl t
+            ((try Hashtbl.find tbl t with Not_found -> 0) + n))
+        pairs;
+      List.sort compare (Hashtbl.fold (fun t n acc -> (t, n) :: acc) tbl []))
+    (G.small_list (G.pair (G.int_range 0 100) (G.int_range 1 50)))
+
+let gen_loop =
+  let module G = QCheck.Gen in
+  G.map2
+    (fun (entries, iters) (cycles, hist) ->
+      { Profile.Data.entries; iters; cycles; hist })
+    (G.pair G.small_nat G.small_nat)
+    (G.pair G.small_nat gen_hist)
+
+let gen_call =
+  let module G = QCheck.Gen in
+  G.map3
+    (fun callee count cycles -> { Profile.Data.callee; count; cycles })
+    (G.oneofl [ "f"; "g"; "h" ])
+    G.small_nat G.small_nat
+
+let gen_data =
+  let module G = QCheck.Gen in
+  let map_of alist add empty =
+    List.fold_left (fun m (k, v) -> add k v m) empty alist
+  in
+  G.map3
+    (fun (procs, sched) loops calls ->
+      {
+        Profile.Data.procs;
+        sched;
+        loops = map_of loops Profile.Key.Map.add Profile.Key.Map.empty;
+        calls = map_of calls Profile.Key.Map.add Profile.Key.Map.empty;
+      })
+    (G.pair (G.int_range 1 4) (G.oneofl [ "seq"; "conservative"; "full" ]))
+    (G.small_list (G.pair gen_key gen_loop))
+    (G.small_list (G.pair gen_key gen_call))
+
+let arb_data = QCheck.make ~print:Profile.Data.to_string gen_data
+
+(* ----------------------------------------------------------------- *)
+(* serialization round-trips                                          *)
+(* ----------------------------------------------------------------- *)
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:300 ~name:"profile text roundtrip (parse . print = id)"
+    arb_data
+    (fun d ->
+      let text = Profile.Data.to_string d in
+      let back = Profile.Data.of_string text in
+      Profile.Data.equal d back
+      (* and the form is canonical: a second print is byte-identical *)
+      && String.equal text (Profile.Data.to_string back))
+
+let roundtrip_measured () =
+  (* a profile measured by an actual simulator run round-trips exactly *)
+  let src =
+    "float a[64], b[64];\n\
+     int main() {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 10; i++) a[i] = b[i] + 1.0f;\n\
+    \  return 0;\n\
+     }"
+  in
+  let data, _ = Vpc.profile_gen ~file:"t.c" src in
+  let text = Profile.Data.to_string data in
+  let back = Profile.Data.of_string text in
+  Alcotest.(check bool) "measured profile round-trips" true
+    (Profile.Data.equal data back);
+  Alcotest.(check string) "stable serialization" text
+    (Profile.Data.to_string back)
+
+let version_checked () =
+  let bad = "(vpc-profile (version 99) (procs 1) (sched full) (loops) (calls))" in
+  match Profile.Data.of_string bad with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "future version must be rejected"
+
+(* ----------------------------------------------------------------- *)
+(* merge algebra                                                      *)
+(* ----------------------------------------------------------------- *)
+
+let merge_commutative =
+  QCheck.Test.make ~count:300 ~name:"merge is commutative"
+    (QCheck.pair arb_data arb_data)
+    (fun (a, b) ->
+      Profile.Data.equal (Profile.Data.merge a b) (Profile.Data.merge b a))
+
+let merge_associative =
+  QCheck.Test.make ~count:300 ~name:"merge is associative"
+    (QCheck.triple arb_data arb_data arb_data)
+    (fun (a, b, c) ->
+      Profile.Data.equal
+        (Profile.Data.merge (Profile.Data.merge a b) c)
+        (Profile.Data.merge a (Profile.Data.merge b c)))
+
+let merge_sums () =
+  let src =
+    "float a[32];\n\
+     int main() { int i; for (i = 0; i < 7; i++) a[i] = 1.0f; return 0; }"
+  in
+  let data, _ = Vpc.profile_gen ~file:"m.c" src in
+  let doubled = Profile.Data.merge data data in
+  Profile.Key.Map.iter
+    (fun k (l : Profile.Data.loop) ->
+      let d = Profile.Key.Map.find k doubled.Profile.Data.loops in
+      Alcotest.(check int) "entries doubled" (2 * l.entries) d.entries;
+      Alcotest.(check int) "iters doubled" (2 * l.iters) d.iters)
+    data.Profile.Data.loops
+
+(* ----------------------------------------------------------------- *)
+(* measurement accuracy                                               *)
+(* ----------------------------------------------------------------- *)
+
+let measured_trips () =
+  let src =
+    "float a[64], b[64];\n\
+     void kernel(int n) { int i; for (i = 0; i < n; i++) a[i] = b[i]; }\n\
+     int main() { int k; for (k = 0; k < 5; k++) kernel(12); return 0; }"
+  in
+  let data, _ = Vpc.profile_gen ~file:"trips.c" src in
+  (* the kernel loop is on line 2: 5 entries, 12 iterations each *)
+  let kernel_loop =
+    Profile.Key.Map.fold
+      (fun k l acc -> if k.Profile.Key.line = 2 then Some l else acc)
+      data.Profile.Data.loops None
+  in
+  (match kernel_loop with
+  | None -> Alcotest.fail "kernel loop not measured"
+  | Some l ->
+      Alcotest.(check int) "entries" 5 l.Profile.Data.entries;
+      Alcotest.(check int) "iters" 60 l.Profile.Data.iters;
+      Alcotest.(check (list (pair int int))) "histogram" [ (12, 5) ]
+        l.Profile.Data.hist;
+      Alcotest.(check (option int)) "mean trips" (Some 12)
+        (Profile.Data.mean_trips l));
+  (* the call site on line 3 was entered 5 times *)
+  let kernel_call =
+    Profile.Key.Map.fold
+      (fun _ (c : Profile.Data.call) acc ->
+        if c.callee = "kernel" then Some c else acc)
+      data.Profile.Data.calls None
+  in
+  match kernel_call with
+  | None -> Alcotest.fail "kernel call site not measured"
+  | Some c -> Alcotest.(check int) "call count" 5 c.Profile.Data.count
+
+let cold_sites_declared () =
+  (* a call behind a never-taken branch must appear with count = 0:
+     measured-cold is distinct from never-measured *)
+  let src =
+    "int g;\n\
+     void rare(int x) { g = g + x; }\n\
+     int main() { if (g > 1000) rare(1); return 0; }"
+  in
+  let data, _ = Vpc.profile_gen ~file:"cold.c" src in
+  let rare_site =
+    Profile.Key.Map.fold
+      (fun _ (c : Profile.Data.call) acc ->
+        if c.callee = "rare" then Some c else acc)
+      data.Profile.Data.calls None
+  in
+  match rare_site with
+  | None -> Alcotest.fail "cold call site must still be declared"
+  | Some c -> Alcotest.(check int) "cold count" 0 c.Profile.Data.count
+
+(* ----------------------------------------------------------------- *)
+(* feedback: the decisions actually flip                              *)
+(* ----------------------------------------------------------------- *)
+
+let short_trip_src =
+  "float a[256], b[256], c[256];\n\
+   void step(float *x, float *y, float *z, int n)\n\
+   {\n\
+  \  int i;\n\
+  \  for (i = 0; i < n; i++) x[i] = y[i] + 2.0f * z[i];\n\
+   }\n\
+   int main()\n\
+   {\n\
+  \  int k;\n\
+  \  for (k = 0; k < 50; k++) step(a, b, c, 4);\n\
+  \  return 0;\n\
+   }"
+
+let pgo_keeps_short_loops_scalar () =
+  let options = { Vpc.o2 with Vpc.assume_noalias = true } in
+  let config = { Vpc.Titan.Machine.default_config with procs = 2 } in
+  let _, static_stats = Vpc.compile ~options ~file:"s.c" short_trip_src in
+  Alcotest.(check bool) "static vectorizes" true
+    (static_stats.Vpc.vectorize.loops_vectorized >= 1);
+  let data, _ = Vpc.profile_gen ~config ~file:"s.c" short_trip_src in
+  let pgo_prog, pgo_stats =
+    Vpc.compile
+      ~options:{ options with Vpc.profile = Some data }
+      ~file:"s.c" short_trip_src
+  in
+  Alcotest.(check int) "pgo keeps the short loop scalar" 0
+    pgo_stats.Vpc.vectorize.loops_vectorized;
+  Alcotest.(check bool) "pgo-scalar decision recorded" true
+    (pgo_stats.Vpc.vectorize.pgo_scalar_loops >= 1);
+  (* semantics are unchanged *)
+  let reference = interp_output (compile ~options:Vpc.o0 short_trip_src) in
+  Alcotest.(check string) "pgo output agrees" reference
+    (interp_output pgo_prog)
+
+let pgo_skips_cold_calls () =
+  let src =
+    "int g;\n\
+     float a[64], b[64];\n\
+     void rare(int x) { g = g + x; }\n\
+     int main() {\n\
+    \  int i;\n\
+    \  for (i = 0; i < 64; i++) a[i] = b[i] * 2.0f;\n\
+    \  if (g > 1000) rare(1);\n\
+    \  return 0;\n\
+     }"
+  in
+  let _, static_stats = Vpc.compile ~options:Vpc.o3 ~file:"c.c" src in
+  let data, _ = Vpc.profile_gen ~file:"c.c" src in
+  let pgo_prog, pgo_stats =
+    Vpc.compile ~options:{ Vpc.o3 with Vpc.profile = Some data } ~file:"c.c" src
+  in
+  Alcotest.(check int) "one cold call kept"
+    1 pgo_stats.Vpc.inline.calls_skipped_cold;
+  Alcotest.(check int) "one fewer site inlined"
+    (static_stats.Vpc.inline.calls_inlined - 1)
+    pgo_stats.Vpc.inline.calls_inlined;
+  let reference = interp_output (compile ~options:Vpc.o0 src) in
+  Alcotest.(check string) "pgo output agrees" reference
+    (interp_output pgo_prog)
+
+let pgo_never_slower () =
+  (* acceptance: on the short-trip workload the profile-guided program is
+     strictly faster than the static one on the measured machine *)
+  let options = { Vpc.o2 with Vpc.assume_noalias = true } in
+  let config = { Vpc.Titan.Machine.default_config with procs = 2 } in
+  let static_prog, _ = Vpc.compile ~options ~file:"s.c" short_trip_src in
+  let static_cycles =
+    (Vpc.run_titan ~config static_prog).Vpc.Titan.Machine.metrics.cycles
+  in
+  let data, _ = Vpc.profile_gen ~config ~file:"s.c" short_trip_src in
+  let pgo_prog, _ =
+    Vpc.compile
+      ~options:{ options with Vpc.profile = Some data }
+      ~file:"s.c" short_trip_src
+  in
+  let pgo_cycles =
+    (Vpc.run_titan ~config pgo_prog).Vpc.Titan.Machine.metrics.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pgo %d < static %d cycles" pgo_cycles static_cycles)
+    true (pgo_cycles < static_cycles)
+
+(* ----------------------------------------------------------------- *)
+(* determinism: empty profile = no profile, byte for byte             *)
+(* ----------------------------------------------------------------- *)
+
+let empty_profile_deterministic () =
+  List.iter
+    (fun (lname, options) ->
+      List.iter
+        (fun src ->
+          let plain = compile ~options src in
+          let with_empty =
+            compile
+              ~options:{ options with Vpc.profile = Some Profile.Data.empty }
+              src
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: empty profile is byte-identical" lname)
+            (Vpc.Il.Pp.prog_to_string plain)
+            (Vpc.Il.Pp.prog_to_string with_empty))
+        [
+          short_trip_src;
+          "float x[128], y[128];\n\
+           float twice(float v) { return v * 2.0f; }\n\
+           int main() {\n\
+          \  int i;\n\
+          \  for (i = 0; i < 128; i++) x[i] = twice(y[i]) + 1.0f;\n\
+          \  return 0;\n\
+           }";
+        ])
+    [ ("O2", Vpc.o2); ("O3", Vpc.o3) ]
+
+(* ----------------------------------------------------------------- *)
+(* the CLI two-pass flow                                              *)
+(* ----------------------------------------------------------------- *)
+
+let titancc = "../bin/titancc.exe"
+
+let run_cli args =
+  let null = if Sys.win32 then "NUL" else "/dev/null" in
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>%s" titancc (String.concat " " args) null null
+  in
+  match Unix.system cmd with
+  | Unix.WEXITED n -> n
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 255
+
+let cli_two_pass () =
+  if not (Sys.file_exists titancc) then
+    Alcotest.failf "titancc binary not found from %s" (Sys.getcwd ());
+  let c_path = Filename.temp_file "pgo_cli" ".c" in
+  let oc = open_out c_path in
+  output_string oc short_trip_src;
+  close_out oc;
+  let prof = Filename.temp_file "pgo_cli" ".vprof" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove c_path; Sys.remove prof)
+    (fun () ->
+      Alcotest.(check int) "--profile-gen exits 0" 0
+        (run_cli [ c_path; "--profile-gen"; prof; "-p"; "2"; "-q" ]);
+      Alcotest.(check bool) "profile written" true (Sys.file_exists prof);
+      let data = Profile.Data.load prof in
+      Alcotest.(check bool) "profile non-empty" false
+        (Profile.Data.is_empty data);
+      Alcotest.(check int) "--profile-use --verify-il exits 0" 0
+        (run_cli
+           [ c_path; "--profile-use"; prof; "--report"; "--verify-il";
+             "-p"; "2"; "-q" ]))
+
+let tests =
+  [
+    Alcotest.test_case "measured roundtrip" `Quick roundtrip_measured;
+    Alcotest.test_case "version check" `Quick version_checked;
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+    QCheck_alcotest.to_alcotest merge_commutative;
+    QCheck_alcotest.to_alcotest merge_associative;
+    Alcotest.test_case "merge sums" `Quick merge_sums;
+    Alcotest.test_case "measured trips" `Quick measured_trips;
+    Alcotest.test_case "cold sites declared" `Quick cold_sites_declared;
+    Alcotest.test_case "short loops stay scalar" `Quick
+      pgo_keeps_short_loops_scalar;
+    Alcotest.test_case "cold calls stay calls" `Quick pgo_skips_cold_calls;
+    Alcotest.test_case "pgo beats static on short trips" `Quick
+      pgo_never_slower;
+    Alcotest.test_case "empty profile is deterministic" `Quick
+      empty_profile_deterministic;
+    Alcotest.test_case "CLI two-pass flow" `Slow cli_two_pass;
+  ]
