@@ -39,7 +39,7 @@ let record id ?(procs = 1) ?(sched = Vpc.Titan.Machine.Overlap_full)
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"pr\": 2,\n  \"results\": {\n";
+  output_string oc "{\n  \"pr\": 3,\n  \"results\": {\n";
   let entries = List.rev !json_results in
   let last = List.length entries - 1 in
   List.iteri
@@ -459,6 +459,62 @@ let pgo_exp () =
     (Workloads.backsolve_cold 2000)
 
 (* ----------------------------------------------------------------- *)
+(* NEST: loop-nest restructuring (interchange + fusion, §7)          *)
+(* ----------------------------------------------------------------- *)
+
+let nest_exp () =
+  section "NEST" "loop-nest restructuring (§7)"
+    "direction-vector dependence licenses interchange and fusion; the \
+     cost model applies them only where the Titan wins (matmul reordered, \
+     stencil passes fused into one strip loop, transpose's nest order \
+     kept because either order has one long-stride reference)";
+  row "  %-14s %-6s %-28s %-28s\n" "kernel" "procs" "passes off" "passes on";
+  let case name src ~procs =
+    (* both sides get the same two-pass PGO treatment at this machine
+       configuration, and every stage is verified (--verify-il) *)
+    let cfg = machine ~procs () in
+    let data, _ = Vpc.profile_gen ~config:cfg src in
+    let opts on =
+      {
+        Vpc.o3 with
+        Vpc.interchange = on;
+        fuse = on;
+        profile = Some data;
+        verify = `Each_stage;
+      }
+    in
+    let build on =
+      let prog, stats = Vpc.compile ~options:(opts on) src in
+      (Vpc.run_titan ~config:cfg prog, stats)
+    in
+    let r_off, _ = build false in
+    let r_on, s_on = build true in
+    if r_on.stdout_text <> r_off.stdout_text then
+      failwith (Printf.sprintf "NEST/%s: output mismatch passes on vs off" name);
+    record (Printf.sprintf "NEST/%s/procs=%d/off" name procs) ~procs r_off;
+    record (Printf.sprintf "NEST/%s/procs=%d/on" name procs) ~procs r_on;
+    row "  %-14s %-6d %12d cycles %12d cycles  ic=%d fu=%d sh=%d  %s\n" name
+      procs r_off.metrics.cycles r_on.metrics.cycles
+      s_on.Vpc.interchange.nests_interchanged s_on.fuse.loops_fused
+      s_on.vectorize.strip_loops_shared
+      (if r_on.metrics.cycles < r_off.metrics.cycles then "(restructured wins)"
+       else if r_on.metrics.cycles = r_off.metrics.cycles then "(tie)"
+       else "(LOSES)")
+  in
+  let kernels =
+    [
+      ("matmul-ijk", Workloads.matmul ~order:`Ijk ~n:48 ~k:96 ~m:96);
+      ("matmul-ikj", Workloads.matmul ~order:`Ikj ~n:48 ~k:96 ~m:96);
+      ("stencil5", Workloads.stencil5 ~n:66 ~m:128);
+      ("transpose", Workloads.transpose ~n:64 ~m:128);
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      List.iter (fun procs -> case name src ~procs) [ 1; 2; 4 ])
+    kernels
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel: compile-time costs                                      *)
 (* ----------------------------------------------------------------- *)
 
@@ -512,12 +568,82 @@ let bechamel_bench () =
 (* Driver                                                            *)
 (* ----------------------------------------------------------------- *)
 
+(* --compare FILE: regression gate against a committed baseline (the
+   BENCH_pr*.json written by --json).  Reads the baseline with a minimal
+   line-based parse of our own fixed output format, then fails if any
+   experiment this run also measured got more than [tolerance] slower. *)
+let compare_baseline path =
+  let tolerance = 0.02 in
+  let baseline = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       (* lines look like:  "ID": {"cycles": N, ...},  *)
+       match String.index_opt line '"' with
+       | Some q1 -> (
+           match String.index_from_opt line (q1 + 1) '"' with
+           | Some q2 -> (
+               let id = String.sub line (q1 + 1) (q2 - q1 - 1) in
+               let tag = "\"cycles\": " in
+               let tl = String.length tag in
+               let rec find i =
+                 if i + tl > String.length line then None
+                 else if String.sub line i tl = tag then Some (i + tl)
+                 else find (i + 1)
+               in
+               match find q2 with
+               | Some start ->
+                   let stop = ref start in
+                   while
+                     !stop < String.length line
+                     && line.[!stop] >= '0'
+                     && line.[!stop] <= '9'
+                   do
+                     incr stop
+                   done;
+                   if !stop > start then
+                     baseline :=
+                       (id, int_of_string (String.sub line start (!stop - start)))
+                       :: !baseline
+               | None -> ())
+           | None -> ())
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  let failures = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (id, item) ->
+      match List.assoc_opt id !baseline with
+      | None -> ()
+      | Some old_cycles ->
+          incr checked;
+          let tag = "{\"cycles\": " in
+          let now =
+            int_of_string
+              (String.sub item (String.length tag)
+                 (String.index item ',' - String.length tag))
+          in
+          let limit =
+            int_of_float (float_of_int old_cycles *. (1.0 +. tolerance))
+          in
+          if now > limit then begin
+            incr failures;
+            Printf.printf "REGRESSION %-40s %d -> %d cycles (+%.1f%%)\n" id
+              old_cycles now
+              (100.0 *. (float_of_int now /. float_of_int old_cycles -. 1.0))
+          end)
+    (List.rev !json_results);
+  Printf.printf "\ncompare vs %s: %d measured, %d regressed beyond %.0f%%\n"
+    path !checked !failures (100.0 *. tolerance);
+  if !failures > 0 then exit 1
+
 let all =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
-    ("PGO", pgo_exp);
+    ("PGO", pgo_exp); ("NEST", nest_exp);
   ]
 
 let () =
@@ -525,6 +651,14 @@ let () =
   let json_path, args =
     let rec go acc = function
       | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  let compare_path, args =
+    let rec go acc = function
+      | "--compare" :: path :: rest -> (Some path, List.rev_append acc rest)
       | a :: rest -> go (a :: acc) rest
       | [] -> (None, List.rev acc)
     in
@@ -549,4 +683,5 @@ let () =
           | Some f -> f ()
           | None -> Printf.eprintf "unknown experiment %s\n" name)
       wanted;
+  (match compare_path with Some path -> compare_baseline path | None -> ());
   match json_path with Some path -> write_json path | None -> ()

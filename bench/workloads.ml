@@ -289,5 +289,98 @@ let backsolve_cold n =
       Printf.sprintf "int main() { backsolve(%d); return 0; }" n;
     ]
 
+(* ---- loop-nest workloads (interchange + fusion, §7) ----
+
+   Inner trips must exceed the strip length (32) or the short-vector path
+   wins and nothing parallelizes; sizes are chosen so the O0 profiling
+   pass still simulates in seconds. *)
+
+(* matrix multiply with a selectable loop order.  [`Ijk] leaves the
+   recurrence on c[i][j] innermost (scalar, stride-M accesses to b);
+   [`Ikj] makes the innermost loop vectorizable with unit stride.  The
+   interchange pass should rewrite whichever order the cost model
+   disfavors on the target machine. *)
+let matmul ~order ~n ~k ~m =
+  let loops =
+    match order with
+    | `Ijk -> [ ("i", n); ("j", m); ("k", k) ]
+    | `Ikj -> [ ("i", n); ("k", k); ("j", m) ]
+  in
+  nl
+    ([
+       Printf.sprintf "double a[%d][%d];" n k;
+       Printf.sprintf "double b[%d][%d];" k m;
+       Printf.sprintf "double c[%d][%d];" n m;
+       "int main()";
+       "{";
+       "  int i, j, k;";
+       Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+       Printf.sprintf "    for (k = 0; k < %d; k = k + 1)" k;
+       "      a[i][k] = (double)(i + 2 * k) * 0.5;";
+       Printf.sprintf "  for (k = 0; k < %d; k = k + 1)" k;
+       Printf.sprintf "    for (j = 0; j < %d; j = j + 1)" m;
+       "      b[k][j] = (double)(k + 3 * j) * 0.25;";
+     ]
+    @ List.map
+        (fun (v, hi) ->
+          Printf.sprintf "  for (%s = 0; %s < %d; %s = %s + 1)" v v hi v v)
+        loops
+    @ [
+        "        c[i][j] = c[i][j] + a[i][k] * b[k][j];";
+        Printf.sprintf "  printf(\"%%g\\n\", c[%d][%d]);" (n / 2) (m / 2);
+        "  return 0;";
+        "}";
+      ])
+
+(* five-point stencil followed by a residual pass over the same arrays:
+   the two conformable nests fuse, and the fused body vectorizes as one
+   shared strip loop (one length computation, one barrier). *)
+let stencil5 ~n ~m =
+  nl
+    [
+      Printf.sprintf "double in[%d][%d];" n m;
+      Printf.sprintf "double out[%d][%d];" n m;
+      Printf.sprintf "double diff[%d][%d];" n m;
+      "int main()";
+      "{";
+      "  int i, j;";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      Printf.sprintf "    for (j = 0; j < %d; j = j + 1)" m;
+      "      in[i][j] = (double)(i * i + 3 * j) * 0.5;";
+      Printf.sprintf "  for (i = 1; i < %d; i = i + 1)" (n - 1);
+      Printf.sprintf "    for (j = 1; j < %d; j = j + 1)" (m - 1);
+      "      out[i][j] = 0.2 * (in[i][j] + in[i-1][j] + in[i+1][j] + \
+       in[i][j-1] + in[i][j+1]);";
+      Printf.sprintf "  for (i = 1; i < %d; i = i + 1)" (n - 1);
+      Printf.sprintf "    for (j = 1; j < %d; j = j + 1)" (m - 1);
+      "      diff[i][j] = out[i][j] - in[i][j];";
+      Printf.sprintf "  printf(\"%%g\\n\", out[%d][%d]);" (n / 2) (m / 2);
+      Printf.sprintf "  printf(\"%%g\\n\", diff[%d][%d]);" (n / 3) (m / 3);
+      "  return 0;";
+      "}";
+    ]
+
+(* transpose: legal to interchange either way, but each order has one
+   unit-stride and one long-stride reference, so the cost model should
+   find no profitable reordering and leave the nest alone. *)
+let transpose ~n ~m =
+  nl
+    [
+      Printf.sprintf "double a[%d][%d];" n m;
+      Printf.sprintf "double b[%d][%d];" m n;
+      "int main()";
+      "{";
+      "  int i, j;";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      Printf.sprintf "    for (j = 0; j < %d; j = j + 1)" m;
+      "      a[i][j] = (double)(i + 2 * j) * 0.5;";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      Printf.sprintf "    for (j = 0; j < %d; j = j + 1)" m;
+      "      b[j][i] = a[i][j];";
+      Printf.sprintf "  printf(\"%%g\\n\", b[%d][%d]);" (m / 2) (n / 2);
+      "  return 0;";
+      "}";
+    ]
+
 (* a general compile-time workload for the bechamel timings *)
 let compile_time_workload = daxpy 100

@@ -17,7 +17,8 @@ let read_file path =
   s
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
-    assume_noalias vlen procs sched_name dump_stages dump_asm check catalogs
+    no_interchange no_fuse assume_noalias vlen procs sched_name dump_stages
+    dump_asm check catalogs
     save_catalog quiet verify_il no_run inject_fault profile_gen profile_use
     report =
   try
@@ -63,6 +64,8 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
           | names -> `Only names);
         parallelize = base.Vpc.parallelize && not no_parallel;
         vectorize = base.Vpc.vectorize && not no_vectorize;
+        interchange = base.Vpc.interchange && not no_interchange;
+        fuse = base.Vpc.fuse && not no_fuse;
         assume_noalias;
         vlen;
         catalogs;
@@ -150,10 +153,11 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         m.parallel_regions result.mflops_rate procs sched_name;
       Printf.eprintf
         "[opt] loops converted=%d ivs=%d vectorized=%d parallelized=%d \
-         inlined=%d\n"
+         inlined=%d interchanged=%d fused=%d strips_shared=%d\n"
         stats.Vpc.while_to_do.converted stats.indvar.ivs_found
         stats.vectorize.loops_vectorized stats.vectorize.loops_parallelized
-        stats.inline.calls_inlined
+        stats.inline.calls_inlined stats.interchange.nests_interchanged
+        stats.fuse.loops_fused stats.vectorize.strip_loops_shared
     end;
     (match result.return_value with
     | Vpc.Titan.Machine.Vi n -> exit (n land 0xFF)
@@ -192,6 +196,14 @@ let no_parallel_arg =
 
 let no_vectorize_arg =
   Arg.(value & flag & info [ "no-vectorize" ] ~doc:"Disable vectorization")
+
+let no_interchange_arg =
+  Arg.(value & flag & info [ "no-interchange" ]
+         ~doc:"Disable loop interchange (nest reordering)")
+
+let no_fuse_arg =
+  Arg.(value & flag & info [ "no-fuse" ]
+         ~doc:"Disable loop fusion and strip sharing")
 
 let noalias_arg =
   Arg.(value & flag & info [ "noalias" ]
@@ -267,7 +279,8 @@ let cmd =
     (Cmd.info "titancc" ~doc)
     Term.(
       const run_compiler $ file_arg $ opt_arg $ inline_only_arg
-      $ no_parallel_arg $ no_vectorize_arg $ noalias_arg $ vlen_arg $ procs_arg
+      $ no_parallel_arg $ no_vectorize_arg $ no_interchange_arg $ no_fuse_arg
+      $ noalias_arg $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
       $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg)

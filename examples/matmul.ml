@@ -1,0 +1,61 @@
+(* Loop interchange on matrix multiply: compile with --report wired up to
+   see the §7 nest-restructuring decision, then measure both orders.
+
+     dune exec examples/matmul.exe *)
+
+let source =
+  {|
+double a[48][96];
+double b[96][96];
+double c[48][96];
+
+int main()
+{
+  int i, j, k;
+  for (i = 0; i < 48; i = i + 1)
+    for (k = 0; k < 96; k = k + 1)
+      a[i][k] = (double)(i + 2 * k) * 0.5;
+  for (k = 0; k < 96; k = k + 1)
+    for (j = 0; j < 96; j = j + 1)
+      b[k][j] = (double)(k + 3 * j) * 0.25;
+  for (i = 0; i < 48; i = i + 1)
+    for (j = 0; j < 96; j = j + 1)
+      for (k = 0; k < 96; k = k + 1)
+        c[i][j] = c[i][j] + a[i][k] * b[k][j];
+  printf("c[24][48]=%g\n", c[24][48]);
+  return 0;
+}
+|}
+
+let () =
+  (* a profile measured on the 4-processor machine tells the cost model
+     that parallel vector strips are available, which is what makes the
+     reordered nest win; the static model on one processor keeps the
+     scalar order *)
+  let config = { Vpc.Titan.Machine.default_config with procs = 4 } in
+  let profile, _ = Vpc.profile_gen ~config source in
+  let compile interchange =
+    let options =
+      {
+        Vpc.o3 with
+        Vpc.interchange;
+        profile = Some profile;
+        report =
+          (if interchange then
+             Some (fun line -> Printf.printf "  [report] %s\n" line)
+           else None);
+      }
+    in
+    Vpc.compile ~options source
+  in
+  print_endline "=== interchange decision (profile measured at procs=4) ===";
+  let prog_on, stats = compile true in
+  Printf.printf "  nests interchanged: %d\n\n"
+    stats.Vpc.interchange.nests_interchanged;
+  let prog_off, _ = compile false in
+  let cycles p = (Vpc.run_titan ~config p).Vpc.Titan.Machine.metrics.cycles in
+  let off = cycles prog_off and on = cycles prog_on in
+  Printf.printf "=== 4-processor run ===\n";
+  Printf.printf "  source order:      %d cycles\n" off;
+  Printf.printf "  interchanged:      %d cycles (%.2fx)\n" on
+    (float_of_int off /. float_of_int on)

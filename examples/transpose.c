@@ -1,0 +1,19 @@
+/* Transpose: interchanging i and j is legal (no dependence at all), but
+   either order leaves one unit-stride and one long-stride reference, so
+   the cost model finds no win and keeps the source order — the
+   neutrality case for the interchange pass (§7). */
+double a[32][64];
+double b[64][32];
+
+int main()
+{
+  int i, j;
+  for (i = 0; i < 32; i = i + 1)
+    for (j = 0; j < 64; j = j + 1)
+      a[i][j] = (double)(i + 2 * j) * 0.5;
+  for (i = 0; i < 32; i = i + 1)
+    for (j = 0; j < 64; j = j + 1)
+      b[j][i] = a[i][j];
+  printf("b[32][16]=%g\n", b[32][16]);
+  return 0;
+}

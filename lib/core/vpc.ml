@@ -36,6 +36,8 @@ type options = {
   indvar_substitution : bool;  (* §5.3 *)
   vectorize : bool;
   parallelize : bool;
+  interchange : bool;          (* §7: reorder nest levels by cost model *)
+  fuse : bool;                 (* §7: merge adjacent conformable loops *)
   vlen : int;
   assume_noalias : bool;       (* pointer params get Fortran semantics *)
   scalar_replacement : bool;   (* §6 *)
@@ -59,6 +61,8 @@ let o0 =
     indvar_substitution = false;
     vectorize = false;
     parallelize = false;
+    interchange = false;
+    fuse = false;
     vlen = 32;
     assume_noalias = false;
     scalar_replacement = false;
@@ -90,8 +94,9 @@ let o2 =
     doacross = true;
   }
 
-(* -O3: everything, including automatic inlining. *)
-let o3 = { o2 with inline = `All }
+(* -O3: everything, including automatic inlining and nest
+   restructuring (interchange + fusion). *)
+let o3 = { o2 with inline = `All; interchange = true; fuse = true }
 
 let default_options = o3
 
@@ -100,6 +105,8 @@ type stats = {
   indvar : Transform.Indvar.stats;
   forward_sub : Transform.Forward_sub.stats;
   doacross : Transform.Doacross.stats;
+  interchange : Transform.Interchange.stats;
+  fuse : Transform.Fuse.stats;
   const_prop : Analysis.Const_prop.stats;
   dce : Analysis.Dce.stats;
   unreachable : Analysis.Unreachable.stats;
@@ -115,6 +122,8 @@ let new_stats () =
     indvar = Transform.Indvar.new_stats ();
     forward_sub = Transform.Forward_sub.new_stats ();
     doacross = Transform.Doacross.new_stats ();
+    interchange = Transform.Interchange.new_stats ();
+    fuse = Transform.Fuse.new_stats ();
     const_prop = Analysis.Const_prop.new_stats ();
     dce = Analysis.Dce.new_stats ();
     unreachable = Analysis.Unreachable.new_stats ();
@@ -200,6 +209,38 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
         after_pass options prog f "forward-substitution";
         scalar_cleanup f
       end;
+      (* Nest restructuring (§7) runs on the cleaned-up DO-loop form,
+         before codegen: fusion first (merging nests exposes more
+         statements to one strip loop), then interchange (the merged
+         nest is reordered as a whole). *)
+      if options.fuse then begin
+        let fopts =
+          {
+            Transform.Fuse.assume_noalias = options.assume_noalias;
+            parallelize = options.parallelize;
+            vlen = options.vlen;
+            profile = options.profile;
+            report = options.report;
+          }
+        in
+        ignore (Transform.Fuse.run ~options:fopts ~stats:stats.fuse prog f);
+        after_pass options prog f "fuse"
+      end;
+      if options.interchange then begin
+        let iopts =
+          {
+            Transform.Interchange.assume_noalias = options.assume_noalias;
+            parallelize = options.parallelize;
+            vlen = options.vlen;
+            profile = options.profile;
+            report = options.report;
+          }
+        in
+        ignore
+          (Transform.Interchange.run ~options:iopts ~stats:stats.interchange
+             prog f);
+        after_pass options prog f "interchange"
+      end;
       if options.vectorize || options.parallelize then begin
         let vopts =
           {
@@ -207,6 +248,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
             parallelize = options.parallelize;
             vlen = options.vlen;
             assume_noalias = options.assume_noalias;
+            fuse_strips = options.fuse;
             profile = options.profile;
             report = options.report;
           }

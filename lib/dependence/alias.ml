@@ -54,6 +54,11 @@ let rec decompose (e : Expr.t) : canon =
   | _ -> { root = None; offset = 0; syms = [ e ] }
 
 let canonicalize (e : Expr.t) : canon option =
+  (* fold constants first so structurally different spellings of the same
+     address (&a + 8 + 8*i vs &a + 8*(1+i)) decompose identically; the
+     spellings diverge when subscripts reach here through different chains
+     of forward substitution (fused loop bodies especially) *)
+  let e = Vpc_analysis.Simplify.expr e in
   match decompose e with
   | c ->
       let key x = Sexp.to_string (Expr.to_sexp x) in

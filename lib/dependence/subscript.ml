@@ -67,6 +67,67 @@ let affine_of ~index ~invariant (e : Expr.t) : affine option =
       Some { base; coeff }
   | exception Not_affine -> None
 
+(* ---- multi-index decomposition, for loop nests ---- *)
+
+type multi_affine = {
+  mbase : Expr.t;      (* nest-invariant byte address of the origin element *)
+  mcoeffs : int array; (* byte stride per nest level, outermost first *)
+}
+
+(* Decompose [e] as affine in all of [indices] (outermost first):
+   e = mbase + Σ mcoeffs.(k) * indices.(k), with [mbase] invariant over
+   the whole nest.  [invariant] must treat every nest index as variant. *)
+let affine_multi ~(indices : int list) ~invariant (e : Expr.t) :
+    multi_affine option =
+  let n = List.length indices in
+  let pos_of v =
+    let rec go i = function
+      | [] -> None
+      | x :: _ when x = v -> Some i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 indices
+  in
+  let exception Not_affine in
+  let rec go (e : Expr.t) : int array * Expr.t option =
+    if invariant e then (Array.make n 0, Some e)
+    else
+      match e.Expr.desc with
+      | Expr.Var v when pos_of v <> None ->
+          let c = Array.make n 0 in
+          c.(Option.get (pos_of v)) <- 1;
+          (c, None)
+      | Expr.Binop (Expr.Add, a, b) ->
+          let ca, ba = go a and cb, bb = go b in
+          (Array.init n (fun k -> ca.(k) + cb.(k)), combine Expr.Add ba bb)
+      | Expr.Binop (Expr.Sub, a, b) ->
+          let ca, ba = go a and cb, bb = go b in
+          let bb = Option.map (fun e -> Expr.unop Expr.Neg e e.Expr.ty) bb in
+          (Array.init n (fun k -> ca.(k) - cb.(k)), combine Expr.Add ba bb)
+      | Expr.Binop (Expr.Mul, { desc = Expr.Const_int c; _ }, b) ->
+          let cb, bb = go b in
+          (Array.map (fun x -> c * x) cb, Option.map (scale c) bb)
+      | Expr.Binop (Expr.Mul, a, { desc = Expr.Const_int c; _ }) ->
+          let ca, ba = go a in
+          (Array.map (fun x -> c * x) ca, Option.map (scale c) ba)
+      | Expr.Cast (ty, a) when Ty.is_integer ty || Ty.is_pointer ty -> go a
+      | _ -> raise Not_affine
+  and combine op a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Expr.binop op a b a.Expr.ty)
+  and scale c e = Expr.binop Expr.Mul (Expr.int_const c) e e.Expr.ty
+  in
+  match go e with
+  | mcoeffs, base ->
+      let mbase =
+        match base with
+        | Some b -> b
+        | None -> Expr.int_const 0
+      in
+      Some { mbase; mcoeffs }
+  | exception Not_affine -> None
+
 (* All memory references in an expression (loads), with their element
    types. *)
 let rec loads_of (e : Expr.t) acc =

@@ -28,6 +28,20 @@ type reference = {
 val affine_of :
   index:int -> invariant:(Expr.t -> bool) -> Expr.t -> affine option
 
+type multi_affine = {
+  mbase : Expr.t;       (** nest-invariant byte address of the origin *)
+  mcoeffs : int array;  (** byte stride per nest level, outermost first *)
+}
+
+(** Decompose [e] as affine in all of [indices] (outermost first):
+    [e = mbase + Σ mcoeffs.(k) * indices.(k)].  [invariant] must treat
+    every nest index as variant. *)
+val affine_multi :
+  indices:int list ->
+  invariant:(Expr.t -> bool) ->
+  Expr.t ->
+  multi_affine option
+
 (** All loads within an expression, with their element types. *)
 val loads_of : Expr.t -> (Expr.t * Ty.t) list -> (Expr.t * Ty.t) list
 

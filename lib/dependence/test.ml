@@ -82,6 +82,93 @@ let affine ~c1 ~c2 ~delta ~trip =
   else if not (banerjee ~c1 ~c2 ~delta ~trip) then Independent
   else Dependent { distance = None }
 
+(* ---- direction vectors over loop nests [Wolf 78, Alle 83] ---- *)
+
+type direction = Lt | Eq | Gt
+
+(* Feasible direction vectors for a dependence between two references in
+   a nest of depth d: reference 1 touches  D1 + Σ c1.(k)*i_k,  reference
+   2 touches  D2 + Σ c2.(k)*j_k,  each index over 0..trips.(k)-1,
+   delta = D2 - D1.  A vector (d_0,...,d_{depth-1}) with d_k ∈ {<,=,>}
+   is feasible when  Σ_k (c1.(k)*i_k - c2.(k)*j_k) = delta  has a
+   solution with each (i_k, j_k) satisfying i_k d_k j_k.
+
+   Per-level the term  f_k = c1.(k)*i - c2.(k)*j  ranges over an interval
+   whose endpoints are attained at the corner points of the
+   direction-constrained triangle (f_k is linear, so extrema sit on hull
+   vertices); the whole-vector test sums the intervals and applies the
+   GCD test across all levels.  Sound: intervals only over-approximate. *)
+let direction_vectors ~(c1 : int array) ~(c2 : int array) ~delta
+    ~(trips : bound array) : direction list list =
+  let depth = Array.length c1 in
+  let g = ref 0 in
+  Array.iter (fun c -> g := gcd !g c) c1;
+  Array.iter (fun c -> g := gcd !g c) c2;
+  let gcd_ok = if !g = 0 then delta = 0 else delta mod !g = 0 in
+  if not gcd_ok then []
+  else begin
+    (* extended interval: None = unbounded on that side *)
+    let minl = List.fold_left min max_int and maxl = List.fold_left max min_int in
+    let level_range k (dir : direction) : (int option * int option) option =
+      let a = c1.(k) and b = c2.(k) in
+      match trips.(k), dir with
+      | Some t, _ when t <= 0 -> None (* the level never iterates *)
+      | Some t, Eq ->
+          let v = (a - b) * (t - 1) in
+          Some (Some (min 0 v), Some (max 0 v))
+      | Some t, Lt ->
+          if t < 2 then None
+          else
+            let u = t - 1 in
+            (* region 0 <= i < j <= u; hull corners (0,1),(0,u),(u-1,u) *)
+            let vs = [ -b; -b * u; (a * (u - 1)) - (b * u) ] in
+            Some (Some (minl vs), Some (maxl vs))
+      | Some t, Gt ->
+          if t < 2 then None
+          else
+            let u = t - 1 in
+            (* region 0 <= j < i <= u; hull corners (1,0),(u,0),(u,u-1) *)
+            let vs = [ a; a * u; (a * u) - (b * (u - 1)) ] in
+            Some (Some (minl vs), Some (maxl vs))
+      | None, Eq ->
+          let d = a - b in
+          if d = 0 then Some (Some 0, Some 0)
+          else if d > 0 then Some (Some 0, None)
+          else Some (None, Some 0)
+      | None, Lt ->
+          (* cone from vertex (0,1) along generators (0,1) and (1,1) *)
+          let lo = if a - b < 0 || b > 0 then None else Some (-b) in
+          let hi = if a - b > 0 || b < 0 then None else Some (-b) in
+          Some (lo, hi)
+      | None, Gt ->
+          (* cone from vertex (1,0) along generators (1,0) and (1,1) *)
+          let lo = if a - b < 0 || a < 0 then None else Some a in
+          let hi = if a - b > 0 || a > 0 then None else Some a in
+          Some (lo, hi)
+    in
+    let add_ext a b =
+      match a, b with None, _ | _, None -> None | Some x, Some y -> Some (x + y)
+    in
+    let results = ref [] in
+    let rec enum k dirs (lo, hi) =
+      if k = depth then begin
+        let ok_lo = match lo with None -> true | Some l -> delta >= l in
+        let ok_hi = match hi with None -> true | Some h -> delta <= h in
+        if ok_lo && ok_hi then results := List.rev dirs :: !results
+      end
+      else
+        List.iter
+          (fun dir ->
+            match level_range k dir with
+            | None -> ()
+            | Some (l, h) ->
+                enum (k + 1) (dir :: dirs) (add_ext lo l, add_ext hi h))
+          [ Lt; Eq; Gt ]
+    in
+    enum 0 [] (Some 0, Some 0);
+    List.rev !results
+  end
+
 (* Test two references given their subscript decompositions and an alias
    verdict on their bases. *)
 let references ?(assume_noalias = false) ~trip (r1 : Subscript.reference)

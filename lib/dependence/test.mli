@@ -31,6 +31,22 @@ val banerjee : c1:int -> c2:int -> delta:int -> trip:bound -> bool
     brute force). *)
 val affine : c1:int -> c2:int -> delta:int -> trip:bound -> verdict
 
+type direction = Lt | Eq | Gt
+(** Per-level iteration-order relation of a nest dependence: the source
+    iteration is before ([Lt]), equal to ([Eq]), or after ([Gt]) the sink
+    iteration at that level. *)
+
+(** Feasible direction vectors for the dependence equation
+    [Σ c1.(k)*i_k - Σ c2.(k)*j_k = delta] over [0 <= i_k, j_k <
+    trips.(k)], one entry per nest level, outermost first.  Sound
+    (GCD + per-level interval bounds): never omits a feasible vector. *)
+val direction_vectors :
+  c1:int array ->
+  c2:int array ->
+  delta:int ->
+  trips:bound array ->
+  direction list list
+
 (** Test two extracted references (affine decomposition + alias
     analysis); conservative when either is non-affine. *)
 val references :

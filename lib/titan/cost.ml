@@ -61,6 +61,39 @@ type shape = {
   iops : int;      (* integer ALU ops per iteration *)
 }
 
+(* Operation mix of a statement list treated as one loop iteration. *)
+let shape_of_stmts (stmts : Vpc_il.Stmt.t list) : shape =
+  let open Vpc_il in
+  let mem = ref 0 and flops = ref 0 and iops = ref 0 in
+  let count_expr e =
+    Expr.iter
+      (fun (e : Expr.t) ->
+        match e.Expr.desc with
+        | Expr.Load _ -> incr mem
+        | Expr.Binop _ | Expr.Unop _ ->
+            if Ty.is_float e.Expr.ty then incr flops else incr iops
+        | _ -> ())
+      e
+  in
+  List.iter
+    (fun s ->
+      Stmt.iter
+        (fun (s : Stmt.t) ->
+          List.iter count_expr (Stmt.shallow_exprs s);
+          match s.Stmt.desc with
+          | Stmt.Assign (Stmt.Lmem _, _) -> incr mem (* the store itself *)
+          | _ -> ())
+        s)
+    stmts;
+  { mem_refs = !mem; flops = !flops; iops = !iops }
+
+let add_shape a b =
+  {
+    mem_refs = a.mem_refs + b.mem_refs;
+    flops = a.flops + b.flops;
+    iops = a.iops + b.iops;
+  }
+
 (* Steady-state cycles of one serial scalar iteration, including the
    index increment and loop-closing branch (+2 ops). *)
 let scalar_iter_cycles ~sched (s : shape) =
@@ -118,6 +151,58 @@ let best_vector_cycles (s : shape) ~trips ~vlen ~procs ~parallelize =
   if parallelize && procs > 1 then
     min serial (vector_loop_cycles s ~trips ~vlen ~procs ~parallel:true)
   else serial
+
+(* ----------------------------------------------------------------- *)
+(* Nest-traversal estimates for loop restructuring                    *)
+(* ----------------------------------------------------------------- *)
+
+(* Trip count assumed when neither the bounds nor a profile reveal one:
+   restructuring decisions then favor the moderately-long loops the
+   Titan was built for. *)
+let default_trip = 64
+
+(* Control overhead of entering a counted loop once: index and limit
+   setup plus the initial test — paid again on every iteration of the
+   enclosing loop, which is what makes deep nests with tiny inner trips
+   expensive and fusion profitable. *)
+let loop_overhead_cycles = 4
+
+(* The Titan's interleaved memory banks reward small strides; the
+   simulator's port model does not time this, so the penalty is kept at
+   one cycle per wide-strided reference — enough to break ties between
+   otherwise equal loop orders toward stride-1 innermost access, never
+   enough to override a vectorizability difference. *)
+let strided_mem_penalty ~bytes = if bytes >= -8 && bytes <= 8 then 0 else 1
+
+(* Whole-nest cycles under one loop order: the innermost loop (vector or
+   scalar, [vectorizable] says which) runs once per combination of outer
+   iterations, each level's entry overhead is paid per enclosing
+   iteration, and each inner iteration pays the stride penalty of its
+   memory references ([inner_strides], bytes per innermost iteration). *)
+let nest_order_cycles ~sched (s : shape) ~(trips : int array) ~vlen ~procs
+    ~parallelize ~vectorizable ~(inner_strides : int list) =
+  let depth = Array.length trips in
+  let outer = ref 1 in
+  for k = 0 to depth - 2 do
+    outer := !outer * max 0 trips.(k)
+  done;
+  let outer = !outer in
+  let inner = max 0 trips.(depth - 1) in
+  let inner_cost =
+    if vectorizable then best_vector_cycles s ~trips:inner ~vlen ~procs ~parallelize
+    else scalar_loop_cycles ~sched s ~trips:inner
+  in
+  let rec overhead k enclosing =
+    if k >= depth then 0
+    else
+      (enclosing * loop_overhead_cycles)
+      + overhead (k + 1) (enclosing * max 0 trips.(k))
+  in
+  let stride_pen =
+    List.fold_left (fun acc st -> acc + strided_mem_penalty ~bytes:st) 0
+      inner_strides
+  in
+  (outer * inner_cost) + overhead 0 1 + (outer * inner * stride_pen)
 
 (* Smallest trip count at which the vector form beats scalar code, or
    [None] if it never does (within a generous horizon).  Under the full

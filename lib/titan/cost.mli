@@ -52,6 +52,11 @@ val sched_of_name : string -> sched
 (** One loop iteration summarized by its operation mix. *)
 type shape = { mem_refs : int; flops : int; iops : int }
 
+(** Operation mix of a statement list treated as one loop iteration. *)
+val shape_of_stmts : Vpc_il.Stmt.t list -> shape
+
+val add_shape : shape -> shape -> shape
+
 (** Steady-state cycles of one serial scalar iteration (index increment
     and loop branch included). *)
 val scalar_iter_cycles : sched:sched -> shape -> int
@@ -79,3 +84,32 @@ val best_vector_cycles :
     if it never does within a generous horizon. *)
 val vector_break_even :
   sched:sched -> shape -> vlen:int -> procs:int -> parallelize:bool -> int option
+
+(** {2 Nest-traversal estimates for loop restructuring} *)
+
+(** Trip count assumed when neither bounds nor a profile reveal one. *)
+val default_trip : int
+
+(** Control overhead of entering a counted loop once — paid per
+    enclosing iteration inside a nest. *)
+val loop_overhead_cycles : int
+
+(** Tie-break penalty per memory reference with a byte stride wider
+    than one element: favors stride-1 innermost access between
+    otherwise equal loop orders. *)
+val strided_mem_penalty : bytes:int -> int
+
+(** Whole-nest cycles under one loop order: the innermost loop (vector
+    when [vectorizable], else scalar) runs once per combination of
+    outer iterations ([trips], outermost first), plus per-level entry
+    overhead and the stride penalties of [inner_strides]. *)
+val nest_order_cycles :
+  sched:sched ->
+  shape ->
+  trips:int array ->
+  vlen:int ->
+  procs:int ->
+  parallelize:bool ->
+  vectorizable:bool ->
+  inner_strides:int list ->
+  int

@@ -1,0 +1,28 @@
+(** Loop fusion (paper §7): merge adjacent conformable DO loops (flat
+    loops or whole nests) into one loop when no fusion-preventing
+    dependence exists — no conflict between the two bodies with a
+    lexicographically negative direction vector — and the Titan cost
+    model finds the fused nest cheaper than the pair. *)
+
+open Vpc_il
+
+type options = {
+  assume_noalias : bool;
+  parallelize : bool;
+  vlen : int;
+  profile : Vpc_profile.Data.t option;
+  report : (string -> unit) option;
+}
+
+val default_options : options
+
+type stats = {
+  mutable pairs_examined : int;
+  mutable loops_fused : int;
+  mutable rejected_conformability : int;
+  mutable rejected_dependence : int;
+  mutable rejected_cost : int;
+}
+
+val new_stats : unit -> stats
+val run : ?options:options -> ?stats:stats -> Prog.t -> Func.t -> bool

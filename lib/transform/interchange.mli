@@ -1,0 +1,28 @@
+(** Loop interchange (paper §7): reorder the levels of an analyzable
+    nest into the cheapest legal order.  Legality: every direction
+    vector stays lexicographically non-negative under the permutation.
+    Profitability: {!Vpc_titan.Cost.nest_order_cycles} — a vectorizable
+    innermost level dominates, stride-1 innermost access breaks ties,
+    and measured trip counts fill in unknown bounds. *)
+
+open Vpc_il
+
+type options = {
+  assume_noalias : bool;
+  parallelize : bool;  (** cost model may assume parallel strips *)
+  vlen : int;
+  profile : Vpc_profile.Data.t option;
+  report : (string -> unit) option;
+}
+
+val default_options : options
+
+type stats = {
+  mutable nests_examined : int;
+  mutable nests_interchanged : int;
+  mutable orders_rejected_legality : int;
+  mutable pgo_trip_nests : int;
+}
+
+val new_stats : unit -> stats
+val run : ?options:options -> ?stats:stats -> Prog.t -> Func.t -> bool

@@ -25,6 +25,9 @@ type options = {
   parallelize : bool;
   vlen : int;                (* vector strip length; the paper uses 32 *)
   assume_noalias : bool;     (* pointer params have Fortran semantics *)
+  fuse_strips : bool;
+      (* let singleton vector groups connected only by loop-independent
+         dependences share one strip loop (one vi/len, one barrier) *)
   profile : Profile.Data.t option;
       (* measured trip counts: consult the Titan cost model per loop *)
   report : (string -> unit) option;  (* one line per profile-guided call *)
@@ -36,6 +39,7 @@ let default_options =
     parallelize = true;
     vlen = 32;
     assume_noalias = false;
+    fuse_strips = false;
     profile = None;
     report = None;
   }
@@ -48,6 +52,7 @@ type stats = {
   mutable loops_rejected_shape : int;     (* calls/control flow in body *)
   mutable loops_rejected_dependence : int;(* carried cycles everywhere *)
   mutable short_vector_loops : int;       (* trip <= vlen: no strip loop *)
+  mutable strip_loops_shared : int;       (* strip loops holding >1 vector stmt *)
   mutable pgo_scalar_loops : int;   (* profile said: stay scalar *)
   mutable pgo_serial_strips : int;  (* profile said: vector, drop parallel *)
   mutable pgo_strip_adjusted : int; (* profile picked a shorter strip *)
@@ -62,6 +67,7 @@ let new_stats () =
     loops_rejected_shape = 0;
     loops_rejected_dependence = 0;
     short_vector_loops = 0;
+    strip_loops_shared = 0;
     pgo_scalar_loops = 0;
     pgo_serial_strips = 0;
     pgo_strip_adjusted = 0;
@@ -88,6 +94,17 @@ let uf_union parent a b =
 
 exception Not_vectorizable
 
+(* A section's element type is read off its base's pointee type (by the
+   verifier, the interpreter, and codegen), but the affine decomposition
+   can leave the invariant base typed as the enclosing aggregate — e.g.
+   vs[i].pos[j] vectorized along i keeps a struct-typed base.  Retype the
+   base to point at the accessed element; a no-op whenever the types
+   already agree. *)
+let retype_section elt (sec : Stmt.section) : Stmt.section =
+  match sec.Stmt.base.Expr.ty with
+  | Ty.Ptr t when Ty.equal t elt -> sec
+  | _ -> { sec with Stmt.base = Expr.cast (Ty.Ptr elt) sec.Stmt.base }
+
 (* Convert the RHS of a vector candidate into a vexpr.  [affine_of]
    decomposes addresses; [invariant] tests loop-invariance; [shift]
    rebases a section's start to the strip loop variable. *)
@@ -97,7 +114,8 @@ let rec to_vexpr ~invariant ~affine ~mk_section (e : Expr.t) : Stmt.vexpr =
     match e.Expr.desc with
     | Expr.Load p -> (
         match affine p with
-        | Some (a : Subscript.affine) -> Stmt.Vsec (mk_section a)
+        | Some (a : Subscript.affine) ->
+            Stmt.Vsec (retype_section e.Expr.ty (mk_section a))
         | None -> raise Not_vectorizable)
     | Expr.Var _ when Ty.is_integer e.Expr.ty -> iota ~affine ~mk_section e
     | Expr.Binop (op, a, b) -> (
@@ -161,29 +179,7 @@ let scalar_defs body =
 (* ----------------------------------------------------------------- *)
 
 (* Operation mix of one iteration, for the Titan cost model. *)
-let body_shape (body : Stmt.t list) : Cost.shape =
-  let mem = ref 0 and flops = ref 0 and iops = ref 0 in
-  let count_expr e =
-    Expr.iter
-      (fun (e : Expr.t) ->
-        match e.Expr.desc with
-        | Expr.Load _ -> incr mem
-        | Expr.Binop _ | Expr.Unop _ ->
-            if Ty.is_float e.Expr.ty then incr flops else incr iops
-        | _ -> ())
-      e
-  in
-  List.iter
-    (fun s ->
-      Stmt.iter
-        (fun (s : Stmt.t) ->
-          List.iter count_expr (Stmt.shallow_exprs s);
-          match s.Stmt.desc with
-          | Stmt.Assign (Stmt.Lmem _, _) -> incr mem  (* the store itself *)
-          | _ -> ())
-        s)
-    body;
-  { Cost.mem_refs = !mem; flops = !flops; iops = !iops }
+let body_shape (body : Stmt.t list) : Cost.shape = Cost.shape_of_stmts body
 
 (* What the profile says to do with one loop. *)
 type pgo_choice = {
@@ -501,7 +497,7 @@ let process_loop (opts : options) stats prog (func : Func.t)
                 let invariant_v e = invariant e in
                 let affine_v e = affine_of e in
                 let vsrc = to_vexpr ~invariant:invariant_v ~affine:affine_v ~mk_section rhs in
-                let vdst = mk_section a in
+                let vdst = retype_section elt (mk_section a) in
                 Builder.stmt b ~loc:st.Stmt.loc
                   (Stmt.Vector { vdst; vsrc; velt = elt })
               in
@@ -568,9 +564,148 @@ let process_loop (opts : options) stats prog (func : Func.t)
           ~index:d.index ~lo:d.lo ~hi:d.hi ~step:d.step group_stmts;
       ]
     in
+    (* --- strip sharing (fusion option) ---
+       Consecutive singleton vector groups linked by nothing stronger
+       than loop-independent (distance-0) dependences can live in ONE
+       strip loop: one vi/len pair, one do-parallel, one barrier.  A
+       carried dependence between two groups would cross processor
+       boundaries inside a shared parallel strip, so such groups keep
+       separate loops. *)
+    let vec_info members =
+      match members with
+      | [ pos ] -> (
+          match body_arr.(pos) with
+          | { Stmt.desc = Stmt.Assign (Stmt.Lmem addr, rhs); _ } as st
+            when opts.vectorize
+                 && not (Graph.has_carried_cycle graph members) -> (
+              match affine_of addr with
+              | Some a when a.Subscript.coeff <> 0 -> Some (pos, st, addr, a, rhs)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None
+    in
+    let carried_between p1 p2 =
+      List.exists
+        (fun (e : Graph.edge) ->
+          e.carried
+          && ((e.src = p1 && e.dst = p2) || (e.src = p2 && e.dst = p1)))
+        graph.Graph.edges
+    in
+    let emit_run run : Stmt.t list =
+      match run with
+      | [] -> []
+      | [ (_, members) ] -> emit_group members
+      | _ -> (
+          let infos = List.map fst run in
+          let mk ~start ~count (st, addr, a, rhs) =
+            let shift (base : Expr.t) (coeff : int) =
+              if Expr.is_zero start then base
+              else
+                simplify
+                  (Expr.binop Expr.Add base
+                     (Expr.binop Expr.Mul (Expr.int_const coeff) start Ty.Int)
+                     base.Expr.ty)
+            in
+            let mk_section (af : Subscript.affine) =
+              {
+                Stmt.base = shift af.Subscript.base af.Subscript.coeff;
+                count;
+                stride = Expr.int_const af.Subscript.coeff;
+              }
+            in
+            let vsrc = to_vexpr ~invariant ~affine:affine_of ~mk_section rhs in
+            let elt = match addr.Expr.ty with Ty.Ptr t -> t | t -> t in
+            ( st.Stmt.loc,
+              { Stmt.vdst = retype_section elt (mk_section a); vsrc; velt = elt }
+            )
+          in
+          try
+            (* validate every group before allocating temps or stmts, so
+               a Not_vectorizable body falls the whole run back to the
+               one-loop-per-group path with no side effects *)
+            List.iter
+              (fun (_pos, st, addr, a, rhs) ->
+                ignore
+                  (mk ~start:(Expr.int_const 0) ~count:trip_expr
+                     (st, addr, a, rhs)))
+              infos;
+            match trip_const with
+            | Some t when t <= strip_vlen ->
+                (* short vectors need no strip loop; nothing to share *)
+                List.concat_map (fun (_, members) -> emit_group members) run
+            | _ ->
+                let vi = Builder.fresh_temp b ~name:"vi" Ty.Int in
+                let len = Builder.fresh_temp b ~name:"vlen" Ty.Int in
+                let vi_e = Expr.var vi in
+                let len_stmts =
+                  [
+                    Builder.assign b len
+                      (simplify (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
+                    Builder.if_ b
+                      (Expr.binop Expr.Gt (Expr.var len)
+                         (Expr.int_const strip_vlen) Ty.Int)
+                      [ Builder.assign b len (Expr.int_const strip_vlen) ]
+                      [];
+                  ]
+                in
+                let vstmts =
+                  List.map
+                    (fun (_pos, st, addr, a, rhs) ->
+                      let loc, v =
+                        mk ~start:vi_e ~count:(Expr.var len) (st, addr, a, rhs)
+                      in
+                      stats.stmts_vectorized <- stats.stmts_vectorized + 1;
+                      Builder.stmt b ~loc (Stmt.Vector v))
+                    infos
+                in
+                let parallel = opts.parallelize && strip_par_ok in
+                if opts.parallelize && not strip_par_ok then
+                  stats.pgo_serial_strips <- stats.pgo_serial_strips + 1;
+                if strip_vlen <> opts.vlen then
+                  stats.pgo_strip_adjusted <- stats.pgo_strip_adjusted + 1;
+                if parallel then any_parallel := true;
+                any_vector := true;
+                stats.strip_loops_shared <- stats.strip_loops_shared + 1;
+                [
+                  Builder.do_loop b ~parallel ~independent:d.independent
+                    ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi:d.hi
+                    ~step:(Expr.int_const strip_vlen)
+                    (len_stmts @ vstmts);
+                ]
+          with Not_vectorizable ->
+            List.concat_map (fun (_, members) -> emit_group members) run)
+    in
     if ordered_groups = [] then None
     else begin
-      let pieces = List.concat_map emit_group ordered_groups in
+      let pieces =
+        if not opts.fuse_strips then List.concat_map emit_group ordered_groups
+        else begin
+          let rec gather pieces run = function
+            | [] -> pieces @ emit_run (List.rev run)
+            | members :: rest -> (
+                match vec_info members with
+                | Some ((pos, _, _, _, _) as info) ->
+                    let compatible =
+                      List.for_all
+                        (fun ((p2, _, _, _, _), _) ->
+                          not (carried_between pos p2))
+                        run
+                    in
+                    if compatible then
+                      gather pieces ((info, members) :: run) rest
+                    else
+                      gather
+                        (pieces @ emit_run (List.rev run))
+                        [ (info, members) ]
+                        rest
+                | None ->
+                    gather
+                      (pieces @ emit_run (List.rev run) @ emit_group members)
+                      [] rest)
+          in
+          gather [] [] ordered_groups
+        end
+      in
       if !any_vector then stats.loops_vectorized <- stats.loops_vectorized + 1;
       if !any_parallel then stats.loops_parallelized <- stats.loops_parallelized + 1;
       if (not !any_vector) && not !any_parallel then begin

@@ -22,6 +22,9 @@ type options = {
   parallelize : bool;
   vlen : int;             (** strip length; the paper uses 32 *)
   assume_noalias : bool;  (** pointer params get Fortran semantics *)
+  fuse_strips : bool;
+      (** singleton vector groups linked only by loop-independent
+          dependences share one strip loop (one barrier) *)
   profile : Vpc_profile.Data.t option;  (** measured trip counts *)
   report : (string -> unit) option;     (** decision explanations *)
 }
@@ -36,6 +39,7 @@ type stats = {
   mutable loops_rejected_shape : int;       (** calls / control flow *)
   mutable loops_rejected_dependence : int;  (** carried cycles everywhere *)
   mutable short_vector_loops : int;         (** no strip loop needed *)
+  mutable strip_loops_shared : int; (** strip loops holding >1 vector stmt *)
   mutable pgo_scalar_loops : int;   (** profile said: stay scalar *)
   mutable pgo_serial_strips : int;  (** profile said: drop do-parallel *)
   mutable pgo_strip_adjusted : int; (** profile picked a shorter strip *)

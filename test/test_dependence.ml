@@ -205,6 +205,117 @@ let graph_backsolve_carried () =
          e.kind = Graph.Flow && e.distance = Some 1)
        !carried)
 
+(* ---- direction vectors (nest-level dependence, §7) ---- *)
+
+let show_dirs vectors =
+  String.concat ","
+    (List.map
+       (fun v ->
+         "("
+         ^ String.concat ""
+             (List.map
+                (function Test.Lt -> "<" | Test.Eq -> "=" | Test.Gt -> ">")
+                v)
+         ^ ")")
+       vectors)
+
+let check_dirs name expected vectors =
+  Alcotest.(check string) name expected (show_dirs vectors)
+
+(* A 16x16 nest over an array with 1024-byte rows and 8-byte elements:
+   the row stride dwarfs any in-row distance (8 * 15 = 120 bytes), so
+   each case below has exactly the vectors listed. *)
+let direction_vector_cases () =
+  let dv = Test.direction_vectors ~c1:[| 1024; 8 |] ~c2:[| 1024; 8 |] in
+  let t16 = [| Some 16; Some 16 |] in
+  (* a[i][j] = a[i-1][j]: flow carried by the outer level.  The
+     per-level interval sum cannot see that the outer contribution must
+     be a whole row, so the sound over-approximation also keeps (<,>) —
+     what matters for legality is that no spurious leading-> appears and
+     the true (<,=) is never dropped *)
+  check_dirs "outer-carried flow" "(<=),(<>)" (dv ~delta:(-1024) ~trips:t16);
+  (* a[i][j] = a[i+1][j]: the same pair read top-down; the raw > leader
+     means the edge runs the other way *)
+  check_dirs "reversed edge" "(><),(>=)" (dv ~delta:1024 ~trips:t16);
+  (* a[i][j] = a[i][j]: loop-independent *)
+  check_dirs "loop-independent" "(==)" (dv ~delta:0 ~trips:t16);
+  (* a[i][j] = a[i][j-1]: inner-carried only *)
+  check_dirs "inner-carried" "(=<)" (dv ~delta:(-8) ~trips:t16);
+  (* a[i][j] = a[i-1][j+1]: exactly the (<,>) vector that forbids
+     interchange, and nothing else *)
+  check_dirs "interchange blocker" "(<>)" (dv ~delta:(-1016) ~trips:t16);
+  (* even coefficients cannot bridge an odd distance (GCD) *)
+  check_dirs "gcd filters all" "" (dv ~delta:3 ~trips:t16);
+  (* single level: a distance of 32 elements needs 32 iterations; with
+     16 the trip bound leaves nothing *)
+  check_dirs "trip bound kills"
+    ""
+    (Test.direction_vectors ~c1:[| 8 |] ~c2:[| 8 |] ~delta:(-256)
+       ~trips:[| Some 16 |]);
+  (* unknown outer trip: the outer-carried solution survives *)
+  check_dirs "unknown outer trip" "(<=),(<>)"
+    (dv ~delta:(-1024) ~trips:[| None; Some 16 |])
+
+let direction_vector_depth3 () =
+  (* a[i][j][k] = a[i][j-1][k+1] in an 8x8x8 nest: carried at the middle
+     level with an opposing inner direction *)
+  check_dirs "3-level (=,<,>)" "(=<>)"
+    (Test.direction_vectors
+       ~c1:[| 65536; 1024; 8 |]
+       ~c2:[| 65536; 1024; 8 |]
+       ~delta:(-1016)
+       ~trips:[| Some 8; Some 8; Some 8 |]);
+  (* all-= at depth 3 *)
+  check_dirs "3-level independent" "(===)"
+    (Test.direction_vectors
+       ~c1:[| 65536; 1024; 8 |]
+       ~c2:[| 65536; 1024; 8 |]
+       ~delta:0
+       ~trips:[| Some 8; Some 8; Some 8 |])
+
+(* Nest.analyze on real IL: the interchange blocker's edge carries the
+   normalized (<,>) vector. *)
+let nest_edge_extraction () =
+  let src =
+    {|double s[129][6];
+      int main() {
+        int i, j;
+        for (i = 1; i < 128; i = i + 1)
+          for (j = 0; j < 5; j = j + 1)
+            s[i][j] = s[i-1][j+1] + 1.0;
+        return 0;
+      }|}
+  in
+  let prog =
+    Helpers.compile
+      ~options:{ Vpc.o1 with Vpc.strength_reduction = false }
+      src
+  in
+  let f = Vpc.Il.Prog.func_exn prog "main" in
+  let nests = ref [] in
+  Vpc.Il.Stmt.iter_list
+    (fun s ->
+      match s.Vpc.Il.Stmt.desc with
+      | Vpc.Il.Stmt.Do_loop _ -> (
+          match Nest.analyze ~prog ~func:f s with
+          | Some n -> nests := n :: !nests
+          | None -> ())
+      | _ -> ())
+    f.Vpc.Il.Func.body;
+  match !nests with
+  | [ n ] ->
+      Alcotest.(check int) "depth" 2 (Nest.depth n);
+      Alcotest.(check bool) "has (<,>) edge" true
+        (List.exists
+           (fun (e : Nest.edge) -> e.dirs = [ Test.Lt; Test.Gt ])
+           n.Nest.edges);
+      Alcotest.(check bool) "identity legal" true
+        (Nest.legal_permutation [| 0; 1 |] n);
+      Alcotest.(check bool) "swap illegal" false
+        (Nest.legal_permutation [| 1; 0 |] n)
+  | l -> Alcotest.failf "expected exactly one analyzable nest, got %d"
+           (List.length l)
+
 let tests =
   [
     Alcotest.test_case "ZIV" `Quick ziv_tests;
@@ -217,4 +328,7 @@ let tests =
     Alcotest.test_case "alias rules" `Quick alias_rules;
     Alcotest.test_case "subscript extraction" `Quick subscript_extraction;
     Alcotest.test_case "backsolve carried dep (§6)" `Quick graph_backsolve_carried;
+    Alcotest.test_case "direction vectors" `Quick direction_vector_cases;
+    Alcotest.test_case "direction vectors depth 3" `Quick direction_vector_depth3;
+    Alcotest.test_case "nest edge extraction" `Quick nest_edge_extraction;
   ]

@@ -155,6 +155,131 @@ let reduction_loop_strength_reduced () =
         return 0;
       }|}
 
+(* ---- loop-nest restructuring: interchange and fusion (§7) ---- *)
+
+(* A 128x4 nest: the inner trip (4) is far below the strip length, so
+   vectorizing along the 128-trip outer level is worth the stride-32
+   access and the cost model interchanges.  Legal: the only dependence
+   is loop-independent (=,=). *)
+let interchange_src =
+  {|double m[128][4];
+    int main() {
+      int i, j;
+      for (i = 0; i < 128; i = i + 1)
+        for (j = 0; j < 4; j = j + 1)
+          m[i][j] = m[i][j] * 2.0 + 1.0;
+      printf("%g\n", m[100][2]);
+      return 0;
+    }|}
+
+let interchange_fires () =
+  let _, stats =
+    compile_stats ~options:{ Vpc.o3 with Vpc.verify = `Each_stage }
+      interchange_src
+  in
+  Alcotest.(check int) "nest interchanged" 1
+    stats.Vpc.interchange.nests_interchanged;
+  Alcotest.(check bool) "inner level vectorized" true
+    (stats.Vpc.vectorize.loops_vectorized >= 1)
+
+let interchange_semantics () =
+  assert_all_configs_agree "interchange 128x4" interchange_src
+
+(* Same profitable shape, but the body reads a[i-1][j+1]: the (<,>)
+   direction vector makes the swap lexicographically negative, so the
+   pass must refuse it. *)
+let interchange_blocked_src =
+  {|double s[129][6];
+    int main() {
+      int i, j;
+      for (i = 1; i < 128; i = i + 1)
+        for (j = 0; j < 5; j = j + 1)
+          s[i][j] = s[i-1][j+1] + 1.0;
+      printf("%g\n", s[100][2]);
+      return 0;
+    }|}
+
+let interchange_refused_on_blocker () =
+  let _, stats =
+    compile_stats ~options:{ Vpc.o3 with Vpc.verify = `Each_stage }
+      interchange_blocked_src
+  in
+  Alcotest.(check int) "kept original order" 0
+    stats.Vpc.interchange.nests_interchanged;
+  Alcotest.(check bool) "swap rejected as illegal" true
+    (stats.Vpc.interchange.orders_rejected_legality >= 1)
+
+let interchange_blocked_semantics () =
+  assert_all_configs_agree "interchange blocker" interchange_blocked_src
+
+(* Two conformable loops over the same range with only an (=) dependence
+   between them: fusable, and the fused statements share one strip loop. *)
+let fuse_src =
+  {|double x[256], y[256], z[256];
+    int main() {
+      int i;
+      for (i = 0; i < 256; i = i + 1)
+        y[i] = x[i] * 2.0 + 1.0;
+      for (i = 0; i < 256; i = i + 1)
+        z[i] = y[i] + x[i];
+      printf("%g\n", z[100]);
+      return 0;
+    }|}
+
+let fuse_fires () =
+  let _, stats =
+    compile_stats ~options:{ Vpc.o3 with Vpc.verify = `Each_stage } fuse_src
+  in
+  Alcotest.(check bool) "loops fused" true (stats.Vpc.fuse.loops_fused >= 1)
+
+let fuse_semantics () = assert_all_configs_agree "fusion pair" fuse_src
+
+(* The second loop reads x[i+1], written by the first loop one iteration
+   later: fused, iteration i of the second body would run before the
+   write it depends on (a lexicographically negative cross-nest
+   dependence), so fusion must refuse. *)
+let fuse_blocked_src =
+  {|double x[64], z[64];
+    int main() {
+      int i;
+      for (i = 0; i < 63; i = i + 1)
+        x[i] = (double)i * 0.5;
+      for (i = 0; i < 63; i = i + 1)
+        z[i] = x[i+1] + 1.0;
+      printf("%g\n", z[40]);
+      return 0;
+    }|}
+
+let fuse_refused_on_blocker () =
+  let _, stats =
+    compile_stats ~options:{ Vpc.o3 with Vpc.verify = `Each_stage }
+      fuse_blocked_src
+  in
+  Alcotest.(check int) "fusion refused" 0 stats.Vpc.fuse.loops_fused;
+  Alcotest.(check bool) "refusal was the dependence" true
+    (stats.Vpc.fuse.rejected_dependence >= 1)
+
+let fuse_blocked_semantics () =
+  assert_all_configs_agree "fusion blocker" fuse_blocked_src
+
+(* Off-switches: with both passes disabled the stats stay zero. *)
+let nest_passes_off () =
+  let _, stats =
+    compile_stats
+      ~options:{ Vpc.o3 with Vpc.interchange = false; Vpc.fuse = false }
+      interchange_src
+  in
+  Alcotest.(check int) "no interchange" 0
+    stats.Vpc.interchange.nests_interchanged;
+  let _, fstats =
+    compile_stats
+      ~options:{ Vpc.o3 with Vpc.interchange = false; Vpc.fuse = false }
+      fuse_src
+  in
+  Alcotest.(check int) "no fusion" 0 fstats.Vpc.fuse.loops_fused;
+  Alcotest.(check int) "no strip sharing" 0
+    fstats.Vpc.vectorize.strip_loops_shared
+
 let tests =
   [
     Alcotest.test_case "backsolve scalar replaced (§6)" `Quick backsolve_scalar_replaced;
@@ -166,4 +291,17 @@ let tests =
     Alcotest.test_case "invariant hoisting" `Quick invariant_hoisting;
     Alcotest.test_case "vector loops untouched" `Quick strength_reduction_not_on_vector_loops;
     Alcotest.test_case "reduction loop" `Quick reduction_loop_strength_reduced;
+    Alcotest.test_case "interchange fires (§7)" `Quick interchange_fires;
+    Alcotest.test_case "interchange semantics" `Quick interchange_semantics;
+    Alcotest.test_case "interchange refused on (<,>)" `Quick
+      interchange_refused_on_blocker;
+    Alcotest.test_case "interchange blocker semantics" `Quick
+      interchange_blocked_semantics;
+    Alcotest.test_case "fusion fires (§7)" `Quick fuse_fires;
+    Alcotest.test_case "fusion semantics" `Quick fuse_semantics;
+    Alcotest.test_case "fusion refused on x[i+1]" `Quick
+      fuse_refused_on_blocker;
+    Alcotest.test_case "fusion blocker semantics" `Quick
+      fuse_blocked_semantics;
+    Alcotest.test_case "nest passes off" `Quick nest_passes_off;
   ]
