@@ -32,14 +32,18 @@ let record id ?(procs = 1) ?(sched = Vpc.Titan.Machine.Overlap_full)
   json_results :=
     ( id,
       Printf.sprintf
-        "{\"cycles\": %d, \"mflops\": %.3f, \"procs\": %d, \"sched\": \"%s\"}"
+        "{\"cycles\": %d, \"mflops\": %.3f, \"procs\": %d, \"sched\": \"%s\", \
+         \"mem_ops\": %d, \"vector_mem_elems_avoided\": %d, \"busy_iu\": %d, \
+         \"busy_fpu\": %d, \"busy_mem\": %d}"
         r.metrics.cycles r.mflops_rate procs
-        (Vpc.Titan.Machine.sched_name sched) )
+        (Vpc.Titan.Machine.sched_name sched)
+        r.metrics.mem_ops r.metrics.vector_mem_elems_avoided r.metrics.busy_iu
+        r.metrics.busy_fpu r.metrics.busy_mem )
     :: !json_results
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"pr\": 3,\n  \"results\": {\n";
+  output_string oc "{\n  \"pr\": 4,\n  \"results\": {\n";
   let entries = List.rev !json_results in
   let last = List.length entries - 1 in
   List.iteri
@@ -485,7 +489,7 @@ let nest_exp () =
     in
     let build on =
       let prog, stats = Vpc.compile ~options:(opts on) src in
-      (Vpc.run_titan ~config:cfg prog, stats)
+      (Vpc.run_titan ~config:cfg ~vreuse:(opts on).Vpc.vreuse prog, stats)
     in
     let r_off, _ = build false in
     let r_on, s_on = build true in
@@ -507,6 +511,60 @@ let nest_exp () =
       ("matmul-ikj", Workloads.matmul ~order:`Ikj ~n:48 ~k:96 ~m:96);
       ("stencil5", Workloads.stencil5 ~n:66 ~m:128);
       ("transpose", Workloads.transpose ~n:64 ~m:128);
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      List.iter (fun procs -> case name src ~procs) [ 1; 2; 4 ])
+    kernels
+
+(* ----------------------------------------------------------------- *)
+(* REUSE: vector-register reuse across strips                        *)
+(* ----------------------------------------------------------------- *)
+
+let reuse_exp () =
+  section "REUSE" "vector-register reuse"
+    "with the memory port the bottleneck, keeping sections resident in \
+     vector registers (accumulators across strips, store->load \
+     forwarding within fused strip bodies) removes the redundant Vload \
+     and Vstore traffic; both sides get the same two-pass PGO treatment \
+     and the outputs are cross-checked";
+  row "  %-14s %-6s %-14s %-14s %-12s\n" "kernel" "procs" "reuse off"
+    "reuse on" "elems avoided";
+  let case name src ~procs =
+    let cfg = machine ~procs () in
+    let data, _ = Vpc.profile_gen ~config:cfg src in
+    let build vreuse =
+      let opts =
+        {
+          Vpc.o3 with
+          Vpc.vreuse;
+          profile = Some data;
+          verify = `Each_stage;
+        }
+      in
+      let prog, stats = Vpc.compile ~options:opts src in
+      (Vpc.run_titan ~config:cfg ~vreuse prog, stats)
+    in
+    let r_off, _ = build false in
+    let r_on, s_on = build true in
+    if r_on.stdout_text <> r_off.stdout_text then
+      failwith (Printf.sprintf "REUSE/%s: output mismatch reuse on vs off" name);
+    record (Printf.sprintf "REUSE/%s/procs=%d/off" name procs) ~procs r_off;
+    record (Printf.sprintf "REUSE/%s/procs=%d/on" name procs) ~procs r_on;
+    row "  %-14s %-6d %8d cyc   %8d cyc   %10d  acc=%d fwd=%d  %s\n" name procs
+      r_off.metrics.cycles r_on.metrics.cycles
+      r_on.metrics.vector_mem_elems_avoided
+      s_on.Vpc.vreuse.accumulators_localized s_on.vreuse.stores_forwarded
+      (if r_on.metrics.cycles < r_off.metrics.cycles then "(reuse wins)"
+       else if r_on.metrics.cycles = r_off.metrics.cycles then "(tie)"
+       else "(LOSES)")
+  in
+  let kernels =
+    [
+      ("matmul-ijk", Workloads.matmul ~order:`Ijk ~n:48 ~k:96 ~m:96);
+      ("matmul-ikj", Workloads.matmul ~order:`Ikj ~n:48 ~k:96 ~m:96);
+      ("saxpy-chain", Workloads.saxpy_chain ~n:2048);
     ]
   in
   List.iter
@@ -643,7 +701,7 @@ let all =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
-    ("PGO", pgo_exp); ("NEST", nest_exp);
+    ("PGO", pgo_exp); ("NEST", nest_exp); ("REUSE", reuse_exp);
   ]
 
 let () =

@@ -360,6 +360,34 @@ let stencil5 ~n ~m =
       "}";
     ]
 
+(* a chain of saxpy-like passes over conformable vectors: the four loops
+   fuse into one nest sharing a single strip loop, and the reuse pass
+   forwards each pass's Vstore to the Vloads of the passes downstream,
+   so the intermediates stay in vector registers within a strip. *)
+let saxpy_chain ~n =
+  nl
+    [
+      Printf.sprintf "double x[%d];" n;
+      Printf.sprintf "double y[%d];" n;
+      Printf.sprintf "double z[%d];" n;
+      Printf.sprintf "double w[%d];" n;
+      "int main()";
+      "{";
+      "  int i;";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      "    x[i] = (double)(3 * i) * 0.125;";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      "    y[i] = 2.0 * x[i] + 1.0;";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      "    z[i] = 3.0 * x[i] + y[i];";
+      Printf.sprintf "  for (i = 0; i < %d; i = i + 1)" n;
+      "    w[i] = z[i] - x[i];";
+      Printf.sprintf "  printf(\"%%g\\n\", y[%d]);" (n / 3);
+      Printf.sprintf "  printf(\"%%g\\n\", w[%d]);" (n - 1);
+      "  return 0;";
+      "}";
+    ]
+
 (* transpose: legal to interchange either way, but each order has one
    unit-stride and one long-stride reference, so the cost model should
    find no profitable reordering and leave the nest alone. *)

@@ -17,7 +17,8 @@ let read_file path =
   s
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
-    no_interchange no_fuse assume_noalias vlen procs sched_name dump_stages
+    no_interchange no_fuse no_vreuse assume_noalias vlen procs sched_name
+    dump_stages
     dump_asm check catalogs
     save_catalog quiet verify_il no_run inject_fault profile_gen profile_use
     report =
@@ -66,6 +67,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         vectorize = base.Vpc.vectorize && not no_vectorize;
         interchange = base.Vpc.interchange && not no_interchange;
         fuse = base.Vpc.fuse && not no_fuse;
+        vreuse = base.Vpc.vreuse && not no_vreuse;
         assume_noalias;
         vlen;
         catalogs;
@@ -117,7 +119,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         tprog.Vpc.Titan.Isa.funcs
     end;
     if no_run then exit 0;
-    let result = Vpc.run_titan ~config prog in
+    let result = Vpc.run_titan ~config ~vreuse:options.Vpc.vreuse prog in
     print_string result.Vpc.Titan.Machine.stdout_text;
     if check then begin
       (* differential check against an independently compiled -O0
@@ -152,12 +154,22 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         m.Vpc.Titan.Machine.cycles m.insts m.fp_ops m.vector_insts
         m.parallel_regions result.mflops_rate procs sched_name;
       Printf.eprintf
+        "[titan] mem_ops=%d vector_mem_elems_avoided=%d busy iu=%d fpu=%d \
+         mem=%d\n"
+        m.mem_ops m.vector_mem_elems_avoided m.busy_iu m.busy_fpu m.busy_mem;
+      Printf.eprintf
         "[opt] loops converted=%d ivs=%d vectorized=%d parallelized=%d \
          inlined=%d interchanged=%d fused=%d strips_shared=%d\n"
         stats.Vpc.while_to_do.converted stats.indvar.ivs_found
         stats.vectorize.loops_vectorized stats.vectorize.loops_parallelized
         stats.inline.calls_inlined stats.interchange.nests_interchanged
-        stats.fuse.loops_fused stats.vectorize.strip_loops_shared
+        stats.fuse.loops_fused stats.vectorize.strip_loops_shared;
+      let v = stats.Vpc.vreuse in
+      Printf.eprintf
+        "[vreuse] strips_interchanged=%d accumulators=%d loads_hoisted=%d \
+         stores_forwarded=%d loads_shared=%d\n"
+        v.Vpc.Transform.Vreuse.strips_interchanged v.accumulators_localized
+        v.invariant_loads_hoisted v.stores_forwarded v.loads_shared
     end;
     (match result.return_value with
     | Vpc.Titan.Machine.Vi n -> exit (n land 0xFF)
@@ -204,6 +216,11 @@ let no_interchange_arg =
 let no_fuse_arg =
   Arg.(value & flag & info [ "no-fuse" ]
          ~doc:"Disable loop fusion and strip sharing")
+
+let no_vreuse_arg =
+  Arg.(value & flag & info [ "no-vreuse" ]
+         ~doc:"Disable vector-register reuse (invariant Vload hoisting, \
+               Vstore-to-Vload forwarding, strip-resident accumulators)")
 
 let noalias_arg =
   Arg.(value & flag & info [ "noalias" ]
@@ -280,7 +297,7 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ opt_arg $ inline_only_arg
       $ no_parallel_arg $ no_vectorize_arg $ no_interchange_arg $ no_fuse_arg
-      $ noalias_arg $ vlen_arg $ procs_arg
+      $ no_vreuse_arg $ noalias_arg $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
       $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg)

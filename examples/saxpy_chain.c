@@ -1,0 +1,28 @@
+/* A chain of saxpy-like passes over the same vectors.  The four
+   conformable loops fuse into one nest, the fused body vectorizes as a
+   single shared strip loop, and the vector-register reuse pass then
+   keeps the chain in registers: the store of x forwards straight to the
+   three later statements that read x[i] (one Vload shared instead of
+   three), and the stores of y and z forward to the statements consuming
+   them — per strip, the memory port sees one load of the coefficient
+   pattern and the final stores instead of ten references (see
+   saxpy_chain.ml for the measured cycles with reuse on and off). */
+double x[2048];
+double y[2048];
+double z[2048];
+double w[2048];
+
+int main()
+{
+  int i;
+  for (i = 0; i < 2048; i = i + 1)
+    x[i] = (double)(3 * i) * 0.125;
+  for (i = 0; i < 2048; i = i + 1)
+    y[i] = 2.0 * x[i] + 1.0;
+  for (i = 0; i < 2048; i = i + 1)
+    z[i] = 3.0 * x[i] + y[i];
+  for (i = 0; i < 2048; i = i + 1)
+    w[i] = z[i] - x[i];
+  printf("y[777]=%g z[1024]=%g w[2047]=%g\n", y[777], z[1024], w[2047]);
+  return 0;
+}

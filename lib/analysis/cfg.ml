@@ -82,7 +82,8 @@ let build (func : Func.t) : t =
   and wire_stmt (s : Stmt.t) next =
     match s.Stmt.desc with
     | Stmt.Nop -> ()
-    | Stmt.Assign _ | Stmt.Call _ | Stmt.Label _ | Stmt.Vector _ ->
+    | Stmt.Assign _ | Stmt.Call _ | Stmt.Label _ | Stmt.Vector _ | Stmt.Vdef _
+      ->
         add_edge t s.id next
     | Stmt.Goto l -> add_edge t s.id (label_target l)
     | Stmt.Return _ -> add_edge t s.id exit_id

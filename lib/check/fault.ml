@@ -108,7 +108,7 @@ let inject kind (prog : Prog.t) : bool =
          written (distance +1 flow) *)
       let rec first_vsec = function
         | Stmt.Vsec sec -> Some sec
-        | Stmt.Vscalar _ | Stmt.Viota _ -> None
+        | Stmt.Vscalar _ | Stmt.Viota _ | Stmt.Vtmp _ -> None
         | Stmt.Vcast (_, v) | Stmt.Vun (_, v) -> first_vsec v
         | Stmt.Vbin (_, v1, v2) -> (
             match first_vsec v1 with Some s -> Some s | None -> first_vsec v2)

@@ -168,6 +168,7 @@ let collect_refs ~affine ~bound (body : Stmt.t list) : mref list =
     | Stmt.Vbin (_, a, b) ->
         vexpr st a;
         vexpr st b
+    | Stmt.Vtmp _ -> ()  (* register value: no memory footprint *)
   in
   let rec walk (st : Stmt.t) =
     match st.Stmt.desc with
@@ -183,6 +184,9 @@ let collect_refs ~affine ~bound (body : Stmt.t list) : mref list =
     | Stmt.Vector v ->
         section st Subscript.Write v.Stmt.vdst;
         vexpr st v.Stmt.vsrc
+    | Stmt.Vdef vd ->
+        loads_in st vd.Stmt.vcount;
+        vexpr st vd.Stmt.vval
     | _ -> ()  (* other shapes were reported before we got here *)
   in
   List.iter walk body;
@@ -302,6 +306,44 @@ let check_scalar_discipline ctx (loop : Stmt.t) ~index body =
   in
   List.iter walk body
 
+(* Vector temporaries in a parallel body: every [Vtmp] read must follow a
+   [Vdef] of the same id earlier in the same iteration — otherwise a
+   register value would flow in from another iteration, i.e. another
+   processor's register file.  Definitions under an If are not trusted to
+   reach the join. *)
+let check_vtmp_discipline ctx (loop : Stmt.t) body =
+  let defined = Hashtbl.create 4 in
+  let rec vexpr (s : Stmt.t) = function
+    | Stmt.Vsec _ | Stmt.Vscalar _ | Stmt.Viota _ -> ()
+    | Stmt.Vcast (_, a) | Stmt.Vun (_, a) -> vexpr s a
+    | Stmt.Vbin (_, a, b) ->
+        vexpr s a;
+        vexpr s b
+    | Stmt.Vtmp (t, _) ->
+        if not (Hashtbl.mem defined t) then
+          report ctx ~rule:"parallel-carried-vtmp" ~stmt:s
+            "parallel loop (stmt %d) reads vt%d before the iteration \
+             defines it"
+            loop.Stmt.id t
+  in
+  let rec walk (s : Stmt.t) =
+    match s.Stmt.desc with
+    | Stmt.Vector v -> vexpr s v.Stmt.vsrc
+    | Stmt.Vdef vd ->
+        vexpr s vd.Stmt.vval;
+        Hashtbl.replace defined vd.Stmt.vt ()
+    | Stmt.If (_, t, e) ->
+        let saved = Hashtbl.copy defined in
+        List.iter walk t;
+        Hashtbl.reset defined;
+        Hashtbl.iter (Hashtbl.replace defined) saved;
+        List.iter walk e;
+        Hashtbl.reset defined;
+        Hashtbl.iter (Hashtbl.replace defined) saved
+    | _ -> ()
+  in
+  List.iter walk body
+
 let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
   let noalias = ctx.noalias || d.Stmt.independent in
   let body = d.Stmt.body in
@@ -364,6 +406,7 @@ let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
         body;
       if !shape_ok then begin
         check_scalar_discipline ctx s ~index:d.Stmt.index body;
+        check_vtmp_discipline ctx s body;
         let affine e =
           match Subscript.affine_of ~index:d.Stmt.index ~invariant e with
           | Some a when invariant a.Subscript.base -> Some a
@@ -498,6 +541,7 @@ let check_vector_stmt ctx (s : Stmt.t) (v : Stmt.vstmt) =
         | Stmt.Vbin (_, a, b) ->
             walk a;
             walk b
+        | Stmt.Vtmp _ -> ()  (* register value: reads no memory *)
       in
       walk v.Stmt.vsrc
 

@@ -242,42 +242,51 @@ let rec vexpr_ty (v : Stmt.vexpr) : Ty.t option =
   | Stmt.Vbin (_, a, b) -> (
       match vexpr_ty a with Some _ as t -> t | None -> vexpr_ty b)
   | Stmt.Vun (_, a) -> vexpr_ty a
+  | Stmt.Vtmp (_, ty) -> Some ty
+
+let check_section ctx stmt which (sec : Stmt.section) expect_elt =
+  (match sec.Stmt.base.Expr.ty with
+  | Ty.Ptr elt -> (
+      match expect_elt with
+      | Some want when not (Ty.equal elt want) ->
+          report ctx ~rule:"vector-type" ~stmt
+            "%s section base points to %s, element type is %s" which
+            (Ty.to_string elt) (Ty.to_string want)
+      | _ -> ())
+  | t ->
+      report ctx ~rule:"vector-type" ~stmt
+        "%s section base has non-pointer type %s" which (Ty.to_string t));
+  if not (Ty.is_integer sec.Stmt.count.Expr.ty) then
+    report ctx ~rule:"vector-type" ~stmt "%s section count has type %s" which
+      (Ty.to_string sec.Stmt.count.Expr.ty);
+  if not (Ty.is_integer sec.Stmt.stride.Expr.ty) then
+    report ctx ~rule:"vector-type" ~stmt "%s section stride has type %s" which
+      (Ty.to_string sec.Stmt.stride.Expr.ty)
+
+let rec check_src_sections ctx stmt = function
+  | Stmt.Vsec sec -> check_section ctx stmt "source" sec None
+  | Stmt.Vscalar _ | Stmt.Viota _ | Stmt.Vtmp _ -> ()
+  | Stmt.Vcast (_, a) | Stmt.Vun (_, a) -> check_src_sections ctx stmt a
+  | Stmt.Vbin (_, a, b) ->
+      check_src_sections ctx stmt a;
+      check_src_sections ctx stmt b
+
+(* vector statements hoist and batch their operand reads: volatile
+   accesses must never end up inside one *)
+let check_no_volatile_vector ctx stmt =
+  List.iter
+    (fun e ->
+      if reads_volatile ctx e then
+        report ctx ~rule:"volatile-vector" ~stmt
+          "vector statement reads volatile storage")
+    (Stmt.shallow_exprs stmt)
 
 let check_vector ctx stmt (v : Stmt.vstmt) =
   if not (Ty.is_scalar v.Stmt.velt) then
     report ctx ~rule:"vector-type" ~stmt "vector element type is %s"
       (Ty.to_string v.Stmt.velt);
-  let check_section which (sec : Stmt.section) expect_elt =
-    (match sec.Stmt.base.Expr.ty with
-    | Ty.Ptr elt -> (
-        match expect_elt with
-        | Some want when not (Ty.equal elt want) ->
-            report ctx ~rule:"vector-type" ~stmt
-              "%s section base points to %s, element type is %s" which
-              (Ty.to_string elt) (Ty.to_string want)
-        | _ -> ())
-    | t ->
-        report ctx ~rule:"vector-type" ~stmt
-          "%s section base has non-pointer type %s" which (Ty.to_string t));
-    if not (Ty.is_integer sec.Stmt.count.Expr.ty) then
-      report ctx ~rule:"vector-type" ~stmt "%s section count has type %s"
-        which
-        (Ty.to_string sec.Stmt.count.Expr.ty);
-    if not (Ty.is_integer sec.Stmt.stride.Expr.ty) then
-      report ctx ~rule:"vector-type" ~stmt "%s section stride has type %s"
-        which
-        (Ty.to_string sec.Stmt.stride.Expr.ty)
-  in
-  check_section "destination" v.Stmt.vdst (Some v.Stmt.velt);
-  let rec walk = function
-    | Stmt.Vsec sec -> check_section "source" sec None
-    | Stmt.Vscalar _ | Stmt.Viota _ -> ()
-    | Stmt.Vcast (_, a) | Stmt.Vun (_, a) -> walk a
-    | Stmt.Vbin (_, a, b) ->
-        walk a;
-        walk b
-  in
-  walk v.Stmt.vsrc;
+  check_section ctx stmt "destination" v.Stmt.vdst (Some v.Stmt.velt);
+  check_src_sections ctx stmt v.Stmt.vsrc;
   (match vexpr_ty v.Stmt.vsrc with
   | Some src_ty when not (value_compatible v.Stmt.velt src_ty) ->
       report ctx ~rule:"vector-type" ~stmt
@@ -285,14 +294,25 @@ let check_vector ctx stmt (v : Stmt.vstmt) =
         (Ty.to_string src_ty)
         (Ty.to_string v.Stmt.velt)
   | _ -> ());
-  (* vector statements hoist and batch their operand reads: volatile
-     accesses must never end up inside one *)
-  List.iter
-    (fun e ->
-      if reads_volatile ctx e then
-        report ctx ~rule:"volatile-vector" ~stmt
-          "vector statement reads volatile storage")
-    (Stmt.shallow_exprs stmt)
+  check_no_volatile_vector ctx stmt
+
+let check_vdef ctx stmt (vd : Stmt.vdef) =
+  if not (Ty.is_scalar vd.Stmt.vty) then
+    report ctx ~rule:"vector-type" ~stmt "vector temporary element type is %s"
+      (Ty.to_string vd.Stmt.vty);
+  if not (Ty.is_integer vd.Stmt.vcount.Expr.ty) then
+    report ctx ~rule:"vector-type" ~stmt
+      "vector temporary count has type %s"
+      (Ty.to_string vd.Stmt.vcount.Expr.ty);
+  check_src_sections ctx stmt vd.Stmt.vval;
+  (match vexpr_ty vd.Stmt.vval with
+  | Some src_ty when not (value_compatible vd.Stmt.vty src_ty) ->
+      report ctx ~rule:"vector-type" ~stmt
+        "vector temporary source produces %s, elements are %s"
+        (Ty.to_string src_ty)
+        (Ty.to_string vd.Stmt.vty)
+  | _ -> ());
+  check_no_volatile_vector ctx stmt
 
 (* No volatile access may be hoisted into a parallel loop body: spreading
    iterations over processors reorders the accesses. *)
@@ -345,6 +365,7 @@ let check_stmt ctx (s : Stmt.t) =
         check_no_volatile_parallel ctx s
           (List.filteri (fun i _ -> i >= li.Stmt.serial_prefix) body)
   | Stmt.Vector v -> check_vector ctx s v
+  | Stmt.Vdef vd -> check_vdef ctx s vd
   | Stmt.If _ | Stmt.Goto _ | Stmt.Label _ | Stmt.Nop -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -383,10 +404,65 @@ let check_labels ctx =
       | _ -> ())
     ctx.func.Func.body
 
+(* Every [Vtmp] read must follow a [Vdef] of the same id and element type.
+   Structural approximation of dominance: walk in textual order; both arms
+   of an If start from the entry set and the join keeps the intersection;
+   a loop body starts from the loop-entry set (in-body definitions are
+   visible later in the body but not assumed after the loop, which may run
+   zero times). *)
+let check_vtmps ctx =
+  let module IS = Set.Make (Int) in
+  let tys : (int, Ty.t) Hashtbl.t = Hashtbl.create 4 in
+  let rec vexpr defined stmt = function
+    | Stmt.Vsec _ | Stmt.Vscalar _ | Stmt.Viota _ -> ()
+    | Stmt.Vcast (_, a) | Stmt.Vun (_, a) -> vexpr defined stmt a
+    | Stmt.Vbin (_, a, b) ->
+        vexpr defined stmt a;
+        vexpr defined stmt b
+    | Stmt.Vtmp (t, ty) -> (
+        if not (IS.mem t defined) then
+          report ctx ~rule:"vtmp-def" ~stmt
+            "vector temporary vt%d read before any definition" t;
+        match Hashtbl.find_opt tys t with
+        | Some want when not (Ty.equal want ty) ->
+            report ctx ~rule:"vtmp-type" ~stmt
+              "vector temporary vt%d read as %s, defined as %s" t
+              (Ty.to_string ty) (Ty.to_string want)
+        | _ -> ())
+  in
+  let rec stmts defined ss = List.fold_left stmt defined ss
+  and stmt defined (s : Stmt.t) =
+    match s.Stmt.desc with
+    | Stmt.Vector v ->
+        vexpr defined s v.Stmt.vsrc;
+        defined
+    | Stmt.Vdef vd ->
+        vexpr defined s vd.Stmt.vval;
+        (match Hashtbl.find_opt tys vd.Stmt.vt with
+        | Some want when not (Ty.equal want vd.Stmt.vty) ->
+            report ctx ~rule:"vtmp-type" ~stmt:s
+              "vector temporary vt%d redefined as %s, was %s" vd.Stmt.vt
+              (Ty.to_string vd.Stmt.vty) (Ty.to_string want)
+        | _ -> Hashtbl.replace tys vd.Stmt.vt vd.Stmt.vty);
+        IS.add vd.Stmt.vt defined
+    | Stmt.If (_, t, e) -> IS.inter (stmts defined t) (stmts defined e)
+    | Stmt.While (_, _, body) ->
+        ignore (stmts defined body);
+        defined
+    | Stmt.Do_loop d ->
+        ignore (stmts defined d.Stmt.body);
+        defined
+    | Stmt.Assign _ | Stmt.Call _ | Stmt.Goto _ | Stmt.Label _
+    | Stmt.Return _ | Stmt.Nop ->
+        defined
+  in
+  ignore (stmts IS.empty ctx.func.Func.body)
+
 let check_func prog func =
   let ctx = { prog; func; acc = [] } in
   check_ids ctx;
   check_labels ctx;
+  check_vtmps ctx;
   Stmt.iter_list (check_stmt ctx) func.Func.body;
   List.rev ctx.acc
 

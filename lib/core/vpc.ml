@@ -38,6 +38,7 @@ type options = {
   parallelize : bool;
   interchange : bool;          (* §7: reorder nest levels by cost model *)
   fuse : bool;                 (* §7: merge adjacent conformable loops *)
+  vreuse : bool;               (* vector-register reuse across strips *)
   vlen : int;
   assume_noalias : bool;       (* pointer params get Fortran semantics *)
   scalar_replacement : bool;   (* §6 *)
@@ -63,6 +64,7 @@ let o0 =
     parallelize = false;
     interchange = false;
     fuse = false;
+    vreuse = false;
     vlen = 32;
     assume_noalias = false;
     scalar_replacement = false;
@@ -96,7 +98,7 @@ let o2 =
 
 (* -O3: everything, including automatic inlining and nest
    restructuring (interchange + fusion). *)
-let o3 = { o2 with inline = `All; interchange = true; fuse = true }
+let o3 = { o2 with inline = `All; interchange = true; fuse = true; vreuse = true }
 
 let default_options = o3
 
@@ -111,6 +113,7 @@ type stats = {
   dce : Analysis.Dce.stats;
   unreachable : Analysis.Unreachable.stats;
   vectorize : Vectorize.Vectorize.stats;
+  vreuse : Transform.Vreuse.stats;
   inline : Inline.Inline.stats;
   scalar_replace : Transform.Scalar_replace.stats;
   strength_reduction : Transform.Strength_reduction.stats;
@@ -128,6 +131,7 @@ let new_stats () =
     dce = Analysis.Dce.new_stats ();
     unreachable = Analysis.Unreachable.new_stats ();
     vectorize = Vectorize.Vectorize.new_stats ();
+    vreuse = Transform.Vreuse.new_stats ();
     inline = Inline.Inline.new_stats ();
     scalar_replace = Transform.Scalar_replace.new_stats ();
     strength_reduction = Transform.Strength_reduction.new_stats ();
@@ -251,11 +255,23 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
             fuse_strips = options.fuse;
             profile = options.profile;
             report = options.report;
+            vreuse = options.vreuse;
           }
         in
         ignore
           (Vectorize.Vectorize.run ~options:vopts ~stats:stats.vectorize prog f);
         after_pass options prog f "vectorize"
+      end;
+      if options.vreuse then begin
+        let ropts =
+          {
+            Transform.Vreuse.assume_noalias = options.assume_noalias;
+            profile = options.profile;
+            report = options.report;
+          }
+        in
+        ignore (Transform.Vreuse.run ~options:ropts ~stats:stats.vreuse prog f);
+        after_pass options prog f "vreuse"
       end;
       if options.doacross then begin
         ignore (Transform.Doacross.run ~stats:stats.doacross prog f);
@@ -298,15 +314,16 @@ let compile ?(options = default_options) ?file src : Il.Prog.t * stats =
 let run_interp ?max_steps ?entry ?args prog =
   Il.Interp.run ?max_steps ?entry ?args prog
 
-(* Timed execution on the Titan simulator. *)
-let run_titan ?config ?entry ?args prog =
-  Titan.Machine.run ?config ?entry ?args prog
+(* Timed execution on the Titan simulator.  [vreuse] additionally runs
+   codegen's redundant-Vload cleanup over the emitted Titan code. *)
+let run_titan ?config ?entry ?args ?vreuse prog =
+  Titan.Machine.run ?config ?entry ?args ?vreuse prog
 
 (* Convenience: compile under [options], simulate under [config]. *)
 let compile_and_simulate ?(options = default_options)
     ?(config = Titan.Machine.default_config) src =
   let prog, stats = compile ~options src in
-  let result = run_titan ~config prog in
+  let result = run_titan ~config ~vreuse:options.vreuse prog in
   (prog, stats, result)
 
 (* PGO pass one: compile at -O0, run instrumented under [config], and

@@ -173,7 +173,7 @@ let references ~index ~invariant (body : Stmt.t list) : reference list option
           List.iter (fun (p, ty) -> add pos s.Stmt.id Read p ty) (loads_of rhs [])
       | Stmt.Nop | Stmt.Label _ -> ()
       | Stmt.Call _ | Stmt.If _ | Stmt.While _ | Stmt.Do_loop _ | Stmt.Goto _
-      | Stmt.Return _ | Stmt.Vector _ ->
+      | Stmt.Return _ | Stmt.Vector _ | Stmt.Vdef _ ->
           ok := false)
     body;
   if !ok then Some (List.rev !refs) else None

@@ -154,6 +154,7 @@ type op =
   | Odo_test of { index : int; hi : Expr.t; step : Expr.t; exit_pc : int ref }
   | Oreturn of Expr.t option
   | Ovector of Stmt.vstmt
+  | Ovdef of Stmt.vdef
   | Onop
 
 let flatten (f : Func.t) =
@@ -177,6 +178,7 @@ let flatten (f : Func.t) =
     | Label l -> Hashtbl.replace labels l (emit Onop)
     | Return e -> ignore (emit (Oreturn e))
     | Vector v -> ignore (emit (Ovector v))
+    | Vdef vd -> ignore (emit (Ovdef vd))
     | Nop -> ignore (emit Onop)
     | If (c, then_, else_) ->
         let else_ref = ref (-1) in
@@ -236,6 +238,7 @@ type frame = {
   func : Func.t;
   regs : (int, value ref) Hashtbl.t;       (* register-allocated scalars *)
   local_addrs : (int, int) Hashtbl.t;      (* stack-allocated vars *)
+  vtmps : (int, value array) Hashtbl.t;    (* vector temporaries ([Vdef]) *)
 }
 
 let var_of st (fr : frame) id =
@@ -468,7 +471,12 @@ let builtin st name args : value option =
 
 let rec run_function st (f : Func.t) (args : value list) : value =
   let fr =
-    { func = f; regs = Hashtbl.create 16; local_addrs = Hashtbl.create 8 }
+    {
+      func = f;
+      regs = Hashtbl.create 16;
+      local_addrs = Hashtbl.create 8;
+      vtmps = Hashtbl.create 4;
+    }
   in
   let saved_sp = st.stack_ptr in
   let addressed = Func.addressed_vars f in
@@ -539,6 +547,9 @@ and exec_code st fr code : value =
           running := false
       | Ovector v ->
           exec_vector st fr v;
+          pc := next
+      | Ovdef vd ->
+          exec_vdef st fr vd;
           pc := next)
     end
   done;
@@ -572,13 +583,11 @@ and do_call st tgt argv =
           | None -> error "call to undefined function %s" name))
   | Stmt.Indirect _ -> error "indirect calls are not supported"
 
-and exec_vector st fr (v : Stmt.vstmt) =
-  let dst_base = as_int (eval st fr v.vdst.base) in
-  let count = as_int (eval st fr v.vdst.count) in
-  let dst_stride = as_int (eval st fr v.vdst.stride) in
-  if count < 0 then error "negative vector count";
-  (* Evaluate the whole RHS first: true vector-register semantics. *)
-  let rec eval_vexpr = function
+(* Evaluate a whole vector expression over [count] elements first: true
+   vector-register semantics.  [elt] is the element type driving float
+   rounding of vector arithmetic (the enclosing statement's velt/vty). *)
+and eval_vexpr st fr ~count ~elt =
+  let rec go = function
     | Stmt.Vscalar e ->
         let value = eval st fr e in
         Array.make count value
@@ -586,21 +595,21 @@ and exec_vector st fr (v : Stmt.vstmt) =
         let off = as_int (eval st fr off) in
         let scale = as_int (eval st fr scale) in
         Array.init count (fun i -> V_int (wrap32 (off + (scale * i))))
-    | Stmt.Vcast (ty, a) -> Array.map (convert ty) (eval_vexpr a)
+    | Stmt.Vcast (ty, a) -> Array.map (convert ty) (go a)
     | Stmt.Vsec sec ->
         let base = as_int (eval st fr sec.base) in
         let stride = as_int (eval st fr sec.stride) in
-        let elt =
+        let selt =
           match sec.base.ty with Ty.Ptr t -> t | _ -> error "bad section base"
         in
-        Array.init count (fun i -> load_scalar st elt (base + (i * stride)))
+        Array.init count (fun i -> load_scalar st selt (base + (i * stride)))
     | Stmt.Vbin (op, a, b) ->
-        let va = eval_vexpr a and vb = eval_vexpr b in
-        if Ty.is_float v.velt then st.float_ops <- st.float_ops + count;
+        let va = go a and vb = go b in
+        if Ty.is_float elt then st.float_ops <- st.float_ops + count;
         if is_comparison op then Array.map2 (eval_compare op) va vb
-        else Array.map2 (eval_binop op v.velt) va vb
+        else Array.map2 (eval_binop op elt) va vb
     | Stmt.Vun (op, a) ->
-        let va = eval_vexpr a in
+        let va = go a in
         Array.map
           (fun x ->
             match op, x with
@@ -609,12 +618,34 @@ and exec_vector st fr (v : Stmt.vstmt) =
             | Expr.Lognot, x -> V_int (if truthy x then 0 else 1)
             | Expr.Bitnot, x -> V_int (wrap32 (lnot (as_int x))))
           va
-    in
-  let rhs = eval_vexpr v.vsrc in
+    | Stmt.Vtmp (t, _) -> (
+        match Hashtbl.find_opt fr.vtmps t with
+        | Some a when Array.length a >= count -> Array.sub a 0 count
+        | Some _ -> error "vector temporary vt%d shorter than use" t
+        | None -> error "vector temporary vt%d read before definition" t)
+  in
+  go
+
+and exec_vector st fr (v : Stmt.vstmt) =
+  let dst_base = as_int (eval st fr v.vdst.base) in
+  let count = as_int (eval st fr v.vdst.count) in
+  let dst_stride = as_int (eval st fr v.vdst.stride) in
+  if count < 0 then error "negative vector count";
+  let rhs = eval_vexpr st fr ~count ~elt:v.velt v.vsrc in
   Array.iteri
     (fun i value ->
       store_scalar st v.velt (dst_base + (i * dst_stride)) (convert v.velt value))
     rhs
+
+(* Bind a vector temporary: evaluate the full right-hand side, convert to
+   the declared element type (matching what a [Vector] store would have
+   kept), and rebind — self-referencing accumulators therefore read the
+   previous binding. *)
+and exec_vdef st fr (vd : Stmt.vdef) =
+  let count = as_int (eval st fr vd.vcount) in
+  if count < 0 then error "negative vector count";
+  let rhs = eval_vexpr st fr ~count ~elt:vd.vty vd.vval in
+  Hashtbl.replace fr.vtmps vd.vt (Array.map (convert vd.vty) rhs)
 
 (* ----------------------------------------------------------------- *)
 (* Entry points                                                      *)

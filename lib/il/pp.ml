@@ -72,6 +72,7 @@ let rec pp_vexpr env ?(prec = 0) ppf = function
       if p < prec then Fmt.pf ppf "(%a)" body () else body ppf ()
   | Stmt.Vun (op, a) ->
       Fmt.pf ppf "%s%a" (Expr.unop_to_string op) (pp_vexpr env ~prec:11) a
+  | Stmt.Vtmp (t, _) -> Fmt.pf ppf "vt%d" t
 
 let pp_vexpr0 env ppf v = pp_vexpr env ppf v
 
@@ -125,6 +126,9 @@ let rec pp_stmt env ~indent ppf (s : Stmt.t) =
   | Vector v ->
       Fmt.pf ppf "%s%a = %a;@." ind (pp_section env) v.vdst (pp_vexpr0 env)
         v.vsrc
+  | Vdef vd ->
+      Fmt.pf ppf "%svt%d[0 : %a] = %a;@." ind vd.vt (pp_expr0 env) vd.vcount
+        (pp_vexpr0 env) vd.vval
   | Nop -> Fmt.pf ppf "%s/* nop */@." ind
 
 and pp_stmts env ~indent ppf stmts =

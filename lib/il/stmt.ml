@@ -27,6 +27,7 @@ and desc =
   | Label of string
   | Return of Expr.t option
   | Vector of vstmt
+  | Vdef of vdef
   | Nop
 
 (* Counted loop: index runs lo, lo+step, ... while (step>0 ? index<=hi :
@@ -67,6 +68,14 @@ and vexpr =
   | Vcast of Ty.t * vexpr     (* elementwise conversion *)
   | Vbin of Expr.binop * vexpr * vexpr
   | Vun of Expr.unop * vexpr
+  | Vtmp of int * Ty.t  (* vector temporary: most recent [Vdef] of this id *)
+
+(* Vector temporary definition vt<n> = src over [vcount] elements of type
+   [vty].  The value lives in a vector register, never in memory — produced
+   only by the vector-register reuse pass ([Transform.Vreuse]).  A [Vdef]
+   whose [vval] reads its own [Vtmp] is the accumulator idiom: the whole
+   right-hand side is evaluated before the temporary is rebound. *)
+and vdef = { vt : int; vval : vexpr; vcount : Expr.t; vty : Ty.t }
 
 let no_info = { pragma_independent = false; doacross = false; serial_prefix = 0 }
 
@@ -78,7 +87,8 @@ let mk ~id ?(loc = Loc.dummy) desc = { id; desc; loc }
 let rec iter f s =
   f s;
   match s.desc with
-  | Assign _ | Call _ | Goto _ | Label _ | Return _ | Vector _ | Nop -> ()
+  | Assign _ | Call _ | Goto _ | Label _ | Return _ | Vector _ | Vdef _ | Nop ->
+      ()
   | If (_, then_, else_) ->
       List.iter (iter f) then_;
       List.iter (iter f) else_
@@ -94,7 +104,9 @@ let rec map_list (f : t -> t list) stmts =
     (fun s ->
       let s =
         match s.desc with
-        | Assign _ | Call _ | Goto _ | Label _ | Return _ | Vector _ | Nop -> s
+        | Assign _ | Call _ | Goto _ | Label _ | Return _ | Vector _ | Vdef _
+        | Nop ->
+            s
         | If (c, t_, e_) -> { s with desc = If (c, map_list f t_, map_list f e_) }
         | While (li, c, body) -> { s with desc = While (li, c, map_list f body) }
         | Do_loop d -> { s with desc = Do_loop { d with body = map_list f d.body } }
@@ -113,6 +125,7 @@ let map_exprs_shallow (f : Expr.t -> Expr.t) s =
     | Vcast (ty, a) -> Vcast (ty, vexpr a)
     | Vbin (op, a, b) -> Vbin (op, vexpr a, vexpr b)
     | Vun (op, a) -> Vun (op, vexpr a)
+    | Vtmp (t, ty) -> Vtmp (t, ty)
   and section sec =
     { base = f sec.base; count = f sec.count; stride = f sec.stride }
   in
@@ -128,6 +141,7 @@ let map_exprs_shallow (f : Expr.t -> Expr.t) s =
     | Goto _ | Label _ | Nop -> s.desc
     | Return e -> Return (Option.map f e)
     | Vector v -> Vector { v with vdst = section v.vdst; vsrc = vexpr v.vsrc }
+    | Vdef vd -> Vdef { vd with vval = vexpr vd.vval; vcount = f vd.vcount }
   in
   { s with desc }
 
@@ -140,6 +154,7 @@ let shallow_exprs s =
     | Vcast (_, a) -> vexpr acc a
     | Vbin (_, a, b) -> vexpr (vexpr acc a) b
     | Vun (_, a) -> vexpr acc a
+    | Vtmp _ -> acc
   in
   match s.desc with
   | Assign (Lvar _, e) -> [ e ]
@@ -154,6 +169,7 @@ let shallow_exprs s =
   | Return (Some e) -> [ e ]
   | Return None -> []
   | Vector v -> vexpr (v.vdst.base :: v.vdst.count :: v.vdst.stride :: []) v.vsrc
+  | Vdef vd -> vexpr [ vd.vcount ] vd.vval
 
 (* The variable defined by this statement, if it defines a scalar var. *)
 let defined_var s =
@@ -162,7 +178,7 @@ let defined_var s =
   | Call (Some (Lvar id), _, _) -> Some id
   | Do_loop d -> Some d.index
   | Assign (Lmem _, _) | Call _ | If _ | While _ | Goto _ | Label _ | Return _
-  | Vector _ | Nop ->
+  | Vector _ | Vdef _ | Nop ->
       None
 
 (* Variables read by the statement itself (shallow: loop/if bodies are not
@@ -175,7 +191,7 @@ let writes_memory s =
   | Assign (Lmem _, _) | Vector _ -> true
   | Call _ -> true  (* conservative: callee may write anything reachable *)
   | Assign (Lvar _, _) | If _ | While _ | Do_loop _ | Goto _ | Label _
-  | Return _ | Nop ->
+  | Return _ | Vdef _ | Nop ->
       false
 
 (* Serialization --------------------------------------------------------- *)
@@ -213,6 +229,7 @@ let rec vexpr_to_sexp = function
   | Vun (op, a) ->
       Sexp.list
         [ Sexp.atom "vun"; Sexp.atom (Expr.unop_to_string op); vexpr_to_sexp a ]
+  | Vtmp (t, ty) -> Sexp.list [ Sexp.atom "vtmp"; Sexp.int t; Ty.to_sexp ty ]
 
 let rec vexpr_of_sexp s =
   match Sexp.as_list s with
@@ -225,6 +242,7 @@ let rec vexpr_of_sexp s =
       Vbin (Expr.binop_of_string op, vexpr_of_sexp a, vexpr_of_sexp b)
   | [ Sexp.Atom "vun"; Sexp.Atom op; a ] ->
       Vun (Expr.unop_of_string op, vexpr_of_sexp a)
+  | [ Sexp.Atom "vtmp"; t; ty ] -> Vtmp (Sexp.as_int t, Ty.of_sexp ty)
   | _ -> raise (Sexp.Parse_error "bad vexpr sexp")
 
 let rec to_sexp s =
@@ -257,6 +275,9 @@ let rec to_sexp s =
     | Vector v ->
         [ atom "vector"; section_to_sexp v.vdst; vexpr_to_sexp v.vsrc;
           Ty.to_sexp v.velt ]
+    | Vdef vd ->
+        [ atom "vdef"; int vd.vt; vexpr_to_sexp vd.vval;
+          Expr.to_sexp vd.vcount; Ty.to_sexp vd.vty ]
     | Nop -> [ atom "nop" ]
   in
   list (int s.id :: tail)
@@ -310,6 +331,14 @@ let rec of_sexp s =
                 vdst = section_of_sexp dst;
                 vsrc = vexpr_of_sexp src;
                 velt = Ty.of_sexp elt;
+              }
+        | [ Atom "vdef"; t; v; c; ty ] ->
+            Vdef
+              {
+                vt = as_int t;
+                vval = vexpr_of_sexp v;
+                vcount = Expr.of_sexp c;
+                vty = Ty.of_sexp ty;
               }
         | [ Atom "nop" ] -> Nop
         | _ -> raise (Parse_error "bad stmt sexp")

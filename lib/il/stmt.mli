@@ -23,6 +23,7 @@ and desc =
   | Label of string
   | Return of Expr.t option
   | Vector of vstmt
+  | Vdef of vdef
   | Nop
 
 (** Counted loop: index runs [lo, lo+step, ...] while
@@ -65,6 +66,16 @@ and vexpr =
   | Vcast of Ty.t * vexpr      (** elementwise conversion *)
   | Vbin of Expr.binop * vexpr * vexpr
   | Vun of Expr.unop * vexpr
+  | Vtmp of int * Ty.t
+      (** vector temporary: value of the most recent [Vdef] of this id
+          (element type recorded alongside) *)
+
+(** Vector temporary definition [vt<n> = vval] over [vcount] elements of
+    type [vty].  The value lives in a vector register and never touches
+    memory; produced only by the vector-register reuse pass.  A [Vdef]
+    reading its own [Vtmp] is the accumulator idiom — the right-hand side
+    is evaluated in full before the temporary is rebound. *)
+and vdef = { vt : int; vval : vexpr; vcount : Expr.t; vty : Ty.t }
 
 val no_info : loop_info
 val mk : id:int -> ?loc:Vpc_support.Loc.t -> desc -> t

@@ -37,6 +37,7 @@ let rec clone_vexpr r = function
   | Stmt.Vcast (ty, a) -> Stmt.Vcast (ty, clone_vexpr r a)
   | Stmt.Vbin (op, a, b) -> Stmt.Vbin (op, clone_vexpr r a, clone_vexpr r b)
   | Stmt.Vun (op, a) -> Stmt.Vun (op, clone_vexpr r a)
+  | Stmt.Vtmp (t, ty) -> Stmt.Vtmp (t, ty)
 
 and clone_section r (sec : Stmt.section) =
   {
@@ -80,6 +81,15 @@ let rec clone_stmt r (s : Stmt.t) : Stmt.t =
             v with
             vdst = clone_section r v.Stmt.vdst;
             vsrc = clone_vexpr r v.Stmt.vsrc;
+          }
+    | Stmt.Vdef vd ->
+        (* vector-temp ids are function-unique already; inlining runs before
+           the reuse pass ever creates one, so keeping the id is safe *)
+        Stmt.Vdef
+          {
+            vd with
+            vval = clone_vexpr r vd.Stmt.vval;
+            vcount = clone_expr r vd.Stmt.vcount;
           }
     | Stmt.Nop -> Stmt.Nop
   in

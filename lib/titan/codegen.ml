@@ -31,6 +31,11 @@ type env = {
   label_counter : Gensym.t;
   global_addr : int -> int;  (* var id -> absolute address *)
   instrument : bool;  (* emit Prof markers for the profile collector *)
+  (* IL vector temporary id -> its fixed vector register.  Fixed, not
+     fresh per definition: an accumulator redefined inside a loop must
+     land in the same register on every iteration so the value stays
+     resident across the back edge. *)
+  vtmp_reg : (int, vreg) Hashtbl.t;
 }
 
 (* Profile key of a statement: its source position, if it has one.
@@ -241,27 +246,42 @@ let rec vexpr_ty (ve : Stmt.vexpr) : Ty.t =
         let ta = vexpr_ty a and tb = vexpr_ty b in
         if Ty.is_float ta then ta else if Ty.is_float tb then tb else ta
   | Stmt.Vun (_, a) -> vexpr_ty a
+  | Stmt.Vtmp (_, ty) -> ty
 
-let rec gen_vexpr ce ~len (ve : Stmt.vexpr) : vsrc =
+(* [into]: the vector register the top-level result must land in (used by
+   [gen_vdef] to target a temporary's fixed register); sub-expressions
+   always get fresh registers.  Cases that produce no new vector value
+   ([Vscalar], [Vtmp]) ignore it — the caller copes. *)
+let rec gen_vexpr ce ~len ?into (ve : Stmt.vexpr) : vsrc =
+  let result_vreg () =
+    match into with Some r -> r | None -> fresh_vreg ce.e
+  in
   match ve with
   | Stmt.Vscalar e -> Vscal (gen_expr ce e)
+  | Stmt.Vtmp (t, _) -> (
+      match Hashtbl.find_opt ce.e.vtmp_reg t with
+      | Some r ->
+          (* a register read replacing what used to be a vector load *)
+          emit ce.e (Vsaved { len });
+          Vr r
+      | None -> err "vector temporary vt%d read before definition" t)
   | Stmt.Vsec sec ->
       let base = gen_expr ce sec.Stmt.base in
       let stride = gen_expr ce sec.Stmt.stride in
       let elt = match sec.Stmt.base.Expr.ty with Ty.Ptr t -> t | t -> t in
-      let dst = fresh_vreg ce.e in
+      let dst = result_vreg () in
       emit ce.e (Vload { dst; base; stride; len; ty = elt });
       Vr dst
   | Stmt.Viota (off, scale) ->
       let offset = gen_expr ce off in
       let scale = gen_expr ce scale in
-      let dst = fresh_vreg ce.e in
+      let dst = result_vreg () in
       emit ce.e (Viota { dst; offset; scale; len });
       Vr dst
   | Stmt.Vcast (ty, a) -> (
       match gen_vexpr ce ~len a with
       | Vr v ->
-          let dst = fresh_vreg ce.e in
+          let dst = result_vreg () in
           emit ce.e (Vcvt { dst; a = v; len; to_ = ty });
           Vr dst
       | Vscal o ->
@@ -285,7 +305,7 @@ let rec gen_vexpr ce ~len (ve : Stmt.vexpr) : vsrc =
   | Stmt.Vbin (op, a, b) ->
       let ta = vexpr_ty ve in
       let sa = gen_vexpr ce ~len a and sb = gen_vexpr ce ~len b in
-      let dst = fresh_vreg ce.e in
+      let dst = result_vreg () in
       let op' =
         if Ty.is_float ta || Ty.is_float (vexpr_ty a) then Fop (binop_float_op op)
         else Iop (binop_int_op op)
@@ -295,13 +315,13 @@ let rec gen_vexpr ce ~len (ve : Stmt.vexpr) : vsrc =
   | Stmt.Vun (Expr.Neg, a) ->
       let ta = vexpr_ty ve in
       let sa = gen_vexpr ce ~len a in
-      let dst = fresh_vreg ce.e in
+      let dst = result_vreg () in
       emit ce.e (Vneg { dst; a = sa; len; ty = ta });
       Vr dst
   | Stmt.Vun (Expr.Lognot, a) ->
       (* !x is x == 0 elementwise *)
       let sa = gen_vexpr ce ~len a in
-      let dst = fresh_vreg ce.e in
+      let dst = result_vreg () in
       let op =
         if Ty.is_float (vexpr_ty a) then Fop Fcmp_eq else Iop Icmp_eq
       in
@@ -314,7 +334,7 @@ let rec gen_vexpr ce ~len (ve : Stmt.vexpr) : vsrc =
   | Stmt.Vun (Expr.Bitnot, a) ->
       (* ~x is x xor -1 elementwise *)
       let sa = gen_vexpr ce ~len a in
-      let dst = fresh_vreg ce.e in
+      let dst = result_vreg () in
       emit ce.e
         (Vop { op = Iop Ixor; dst; a = sa; b = Vscal (Imm_int (-1)); len; ty = Ty.Int });
       Vr dst
@@ -424,6 +444,7 @@ let rec gen_stmt ce ~par_depth (s : Stmt.t) =
       emit_prof ce.e s (fun k -> Ploop_exit k)
   | Stmt.Do_loop d -> gen_do_loop ce ~par_depth ~stmt:s d
   | Stmt.Vector v -> gen_vector ce v
+  | Stmt.Vdef vd -> gen_vdef ce vd
 
 and gen_do_loop ce ~par_depth ~stmt (d : Stmt.do_loop) =
   let v = var_meta ce.e d.index in
@@ -477,7 +498,16 @@ and gen_vector ce (v : Stmt.vstmt) =
   let len = fresh_reg ce.e in
   emit ce.e (Imov (len, len_o));
   let len = Reg len in
-  let src = gen_vexpr ce ~len v.Stmt.vsrc in
+  let src =
+    match v.Stmt.vsrc with
+    | Stmt.Vtmp (t, _) -> (
+        (* storing a temporary back to memory is reuse plumbing, not an
+           avoided memory operation: don't emit a [Vsaved] marker *)
+        match Hashtbl.find_opt ce.e.vtmp_reg t with
+        | Some r -> Vr r
+        | None -> err "vector temporary vt%d read before definition" t)
+    | ve -> gen_vexpr ce ~len ve
+  in
   let base = gen_expr ce v.Stmt.vdst.Stmt.base in
   let stride = gen_expr ce v.Stmt.vdst.Stmt.stride in
   let src_vr =
@@ -504,12 +534,221 @@ and gen_vector ce (v : Stmt.vstmt) =
   emit ce.e
     (Vstore { src = src_vr; base; stride; len; ty = v.Stmt.velt })
 
+and gen_vdef ce (vd : Stmt.vdef) =
+  let len_o = gen_expr ce vd.Stmt.vcount in
+  let len = fresh_reg ce.e in
+  emit ce.e (Imov (len, len_o));
+  let len = Reg len in
+  let target =
+    match Hashtbl.find_opt ce.e.vtmp_reg vd.Stmt.vt with
+    | Some r -> r
+    | None ->
+        let r = fresh_vreg ce.e in
+        Hashtbl.replace ce.e.vtmp_reg vd.Stmt.vt r;
+        r
+  in
+  let self_ref = ref false in
+  let rec scan = function
+    | Stmt.Vtmp (t, _) when t = vd.Stmt.vt -> self_ref := true
+    | Stmt.Vtmp _ | Stmt.Vscalar _ | Stmt.Vsec _ | Stmt.Viota _ -> ()
+    | Stmt.Vcast (_, a) | Stmt.Vun (_, a) -> scan a
+    | Stmt.Vbin (_, a, b) ->
+        scan a;
+        scan b
+  in
+  scan vd.Stmt.vval;
+  let src_ty = vexpr_ty vd.Stmt.vval in
+  let need_cvt = Ty.is_float vd.Stmt.vty <> Ty.is_float src_ty in
+  let src =
+    if need_cvt then gen_vexpr ce ~len vd.Stmt.vval
+    else gen_vexpr ce ~len ~into:target vd.Stmt.vval
+  in
+  (match src with
+  | Vr r when r = target && not need_cvt -> ()
+  | Vr r ->
+      (* materialize in the fixed register, converting to the bound type
+         (a [Vdef] converts its value to [vty] on bind) *)
+      emit ce.e (Vcvt { dst = target; a = r; len; to_ = vd.Stmt.vty })
+  | Vscal o ->
+      (* broadcast a scalar into the register *)
+      let o =
+        if need_cvt then begin
+          let dst = fresh_reg ce.e in
+          (if Ty.is_float src_ty then emit ce.e (Cvt_fi (dst, o))
+           else emit ce.e (Cvt_if (dst, o)));
+          Reg dst
+        end
+        else o
+      in
+      emit ce.e (Viota { dst = target; offset = o; scale = Imm_int 0; len }));
+  (* a self-referencing definition is the accumulator idiom: the value
+     stays resident instead of being stored back every iteration *)
+  if !self_ref then emit ce.e (Vsaved { len })
+
+(* ----------------------------------------------------------------- *)
+(* Redundant-Vload cleanup                                           *)
+(* ----------------------------------------------------------------- *)
+
+(* Local value numbering over straight-line segments of the final
+   instruction stream: a [Vload] computing the same (base, stride, len,
+   type) value as an earlier one in the segment — by scalar value, not by
+   register name — is deleted, a [Vsaved] marker takes its slot (so label
+   pcs are undisturbed), and later reads of its register are redirected
+   to the earlier load's register.
+
+   Conservative by construction: segments end at labels, branches, calls
+   and parallel markers; any store (scalar or vector) kills all available
+   loads; a register substitution is only installed when both the
+   original and the duplicate destination are defined exactly once in
+   the segment, so the redirect is valid for the segment's remainder. *)
+module Vload_cleanup = struct
+  type term =
+    | Opaque of int  (* unknown input: initial register value, load, call *)
+    | Cint of int
+    | Cfloat of float
+    | Alu of ialu_op * int * int
+    | Fop2 of falu_op * int * int * Ty.t
+    | Neg of int * Ty.t
+    | Conv of string * int * Ty.t
+
+  let segment_end = function
+    | Label_def _ | Jump _ | Branch_zero _ | Branch_nonzero _ | Call _
+    | Ret _ | Par_enter | Par_iter | Par_serial_end | Par_exit ->
+        true
+    | _ -> false
+
+  (* scalar destination of an instruction, if any *)
+  let scalar_def = function
+    | Imov (d, _) | Ialu (_, d, _, _) | Falu (_, d, _, _, _) | Fneg (d, _, _)
+    | Cvt_if (d, _) | Cvt_fi (d, _) | Cvt_ff (d, _, _) ->
+        Some d
+    | Load { dst; _ } -> Some dst
+    | Call { dst; _ } -> dst
+    | _ -> None
+
+  let vector_def = function
+    | Vload { dst; _ } | Vop { dst; _ } | Vneg { dst; _ } | Viota { dst; _ }
+    | Vcvt { dst; _ } ->
+        Some dst
+    | _ -> None
+
+  let run (code : inst array) : inst array =
+    let code = Array.copy code in
+    let n = Array.length code in
+    let saved = ref 0 in
+    let seg_start = ref 0 in
+    while !seg_start < n do
+      (* find segment [lo, hi) *)
+      let lo = !seg_start in
+      let hi = ref lo in
+      while !hi < n && not (segment_end code.(!hi)) do incr hi done;
+      let hi = if !hi < n then !hi + 1 else !hi in
+      seg_start := hi;
+      (* vector registers defined exactly once in the segment are safe to
+         redirect to / from *)
+      let vdefs = Hashtbl.create 16 in
+      for i = lo to hi - 1 do
+        match vector_def code.(i) with
+        | Some v ->
+            Hashtbl.replace vdefs v (1 + Option.value ~default:0 (Hashtbl.find_opt vdefs v))
+        | None -> ()
+      done;
+      let once v = Hashtbl.find_opt vdefs v = Some 1 in
+      (* value numbering state *)
+      let terms : (term, int) Hashtbl.t = Hashtbl.create 64 in
+      let next_vn = ref 0 in
+      let vn_of_term t =
+        match Hashtbl.find_opt terms t with
+        | Some v -> v
+        | None ->
+            let v = !next_vn in
+            incr next_vn;
+            Hashtbl.replace terms t v;
+            v
+      in
+      let opaque () =
+        let v = !next_vn in
+        incr next_vn;
+        Hashtbl.replace terms (Opaque v) v;
+        v
+      in
+      let reg_vn : (reg, int) Hashtbl.t = Hashtbl.create 32 in
+      let vn_of_reg r =
+        match Hashtbl.find_opt reg_vn r with
+        | Some v -> v
+        | None ->
+            let v = opaque () in
+            Hashtbl.replace reg_vn r v;
+            v
+      in
+      let vn_of_operand = function
+        | Reg r -> vn_of_reg r
+        | Imm_int k -> vn_of_term (Cint k)
+        | Imm_float f -> vn_of_term (Cfloat f)
+      in
+      (* (base vn, stride vn, len vn, ty) -> earlier Vload's register *)
+      let avail : (int * int * int * Ty.t, vreg) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      (* duplicate register -> earlier register *)
+      let subst : (vreg, vreg) Hashtbl.t = Hashtbl.create 8 in
+      let sub v = Option.value ~default:v (Hashtbl.find_opt subst v) in
+      let sub_vsrc = function Vr v -> Vr (sub v) | Vscal o -> Vscal o in
+      for i = lo to hi - 1 do
+        (* rewrite vector-register uses through the substitution *)
+        (match code.(i) with
+        | Vstore s -> code.(i) <- Vstore { s with src = sub s.src }
+        | Vop o -> code.(i) <- Vop { o with a = sub_vsrc o.a; b = sub_vsrc o.b }
+        | Vneg o -> code.(i) <- Vneg { o with a = sub_vsrc o.a }
+        | Vcvt o -> code.(i) <- Vcvt { o with a = sub o.a }
+        | _ -> ());
+        (match code.(i) with
+        | Vload { dst; base; stride; len; ty } -> (
+            let key = (vn_of_operand base, vn_of_operand stride, vn_of_operand len, ty) in
+            match Hashtbl.find_opt avail key with
+            | Some prev when once dst && prev <> dst ->
+                code.(i) <- Vsaved { len };
+                Hashtbl.replace subst dst prev;
+                incr saved
+            | _ -> if once dst then Hashtbl.replace avail key dst)
+        | Store _ | Vstore _ ->
+            (* memory may have changed under an available load *)
+            Hashtbl.reset avail
+        | _ -> ());
+        (* update scalar value numbers *)
+        (match code.(i) with
+        | Imov (d, o) -> Hashtbl.replace reg_vn d (vn_of_operand o)
+        | Ialu (op, d, a, b) ->
+            Hashtbl.replace reg_vn d
+              (vn_of_term (Alu (op, vn_of_operand a, vn_of_operand b)))
+        | Falu (op, d, a, b, ty) ->
+            Hashtbl.replace reg_vn d
+              (vn_of_term (Fop2 (op, vn_of_operand a, vn_of_operand b, ty)))
+        | Fneg (d, a, ty) ->
+            Hashtbl.replace reg_vn d (vn_of_term (Neg (vn_of_operand a, ty)))
+        | Cvt_if (d, a) ->
+            Hashtbl.replace reg_vn d (vn_of_term (Conv ("if", vn_of_operand a, Ty.Int)))
+        | Cvt_fi (d, a) ->
+            Hashtbl.replace reg_vn d (vn_of_term (Conv ("fi", vn_of_operand a, Ty.Int)))
+        | Cvt_ff (d, a, ty) ->
+            Hashtbl.replace reg_vn d (vn_of_term (Conv ("ff", vn_of_operand a, ty)))
+        | Load { dst; _ } -> Hashtbl.replace reg_vn dst (opaque ())
+        | _ -> (
+            match scalar_def code.(i) with
+            | Some d -> Hashtbl.replace reg_vn d (opaque ())
+            | None -> ()))
+      done
+    done;
+    ignore !saved;
+    code
+end
+
 (* ----------------------------------------------------------------- *)
 (* Function and program                                              *)
 (* ----------------------------------------------------------------- *)
 
-let gen_func ?(instrument = false) (prog : Prog.t) ~global_addr (f : Func.t) :
-    Isa.func =
+let gen_func ?(instrument = false) ?(vreuse = false) (prog : Prog.t)
+    ~global_addr (f : Func.t) : Isa.func =
   let env =
     {
       prog;
@@ -523,6 +762,7 @@ let gen_func ?(instrument = false) (prog : Prog.t) ~global_addr (f : Func.t) :
       label_counter = Gensym.create ();
       global_addr;
       instrument;
+      vtmp_reg = Hashtbl.create 8;
     }
   in
   let addressed = Func.addressed_vars f in
@@ -551,6 +791,7 @@ let gen_func ?(instrument = false) (prog : Prog.t) ~global_addr (f : Func.t) :
   List.iter (gen_stmt ce ~par_depth:0) f.Func.body;
   emit env (Ret None);
   let code = Array.of_list (List.rev env.code) in
+  let code = if vreuse then Vload_cleanup.run code else code in
   let labels = Hashtbl.create 16 in
   Array.iteri
     (fun pc inst ->
@@ -570,12 +811,12 @@ let gen_func ?(instrument = false) (prog : Prog.t) ~global_addr (f : Func.t) :
     nvregs = env.nvregs;
   }
 
-let gen_program ?(instrument = false) (prog : Prog.t) ~global_addr :
-    Isa.program =
+let gen_program ?(instrument = false) ?(vreuse = false) (prog : Prog.t)
+    ~global_addr : Isa.program =
   let funcs = Hashtbl.create 8 in
   List.iter
     (fun f ->
       Hashtbl.replace funcs f.Func.name
-        (gen_func ~instrument prog ~global_addr f))
+        (gen_func ~instrument ~vreuse prog ~global_addr f))
     prog.Prog.funcs;
   { Isa.funcs; prog }

@@ -13,9 +13,23 @@ exception Codegen_error of string
     resolves a global variable id to its absolute address (from
     {!Machine.layout_globals}).  With [instrument], loops and call sites
     that carry a source position are bracketed with zero-cost profiling
-    markers ({!Isa.inst.Prof}) for the profile collector. *)
+    markers ({!Isa.inst.Prof}) for the profile collector.  With [vreuse],
+    a redundant-Vload cleanup pass runs over the generated code: a vector
+    load recomputing a value already live in a register (same base,
+    stride, length and type within a straight-line segment, no
+    intervening store) is replaced by a {!Isa.inst.Vsaved} marker and its
+    uses are redirected to the earlier register. *)
 val gen_func :
-  ?instrument:bool -> Prog.t -> global_addr:(int -> int) -> Func.t -> Isa.func
+  ?instrument:bool ->
+  ?vreuse:bool ->
+  Prog.t ->
+  global_addr:(int -> int) ->
+  Func.t ->
+  Isa.func
 
 val gen_program :
-  ?instrument:bool -> Prog.t -> global_addr:(int -> int) -> Isa.program
+  ?instrument:bool ->
+  ?vreuse:bool ->
+  Prog.t ->
+  global_addr:(int -> int) ->
+  Isa.program

@@ -153,6 +153,41 @@ let best_vector_cycles (s : shape) ~trips ~vlen ~procs ~parallelize =
   else serial
 
 (* ----------------------------------------------------------------- *)
+(* Memory-port traffic under vector-register reuse                    *)
+(* ----------------------------------------------------------------- *)
+
+(* One vector strip of [len] elements when [resident] of the strip's
+   [mem_refs] references stay in vector registers (an accumulator held
+   across the enclosing loop counts its load AND its store).  With the
+   memory traffic thinned out, the port and the FPU genuinely overlap —
+   the strip costs whichever unit is busier, not the sum of both. *)
+let strip_port_cycles (s : shape) ~len ~resident =
+  let mem = max 0 (s.mem_refs - resident) in
+  let mem_busy = mem * (vector_startup_mem + len) in
+  let fpu_busy = s.flops * (vector_startup_fpu + len) in
+  max 1 (max mem_busy fpu_busy)
+
+(* A vectorized loop of [trips] elements repeated [reps] times (once per
+   iteration of an enclosing serial loop) with [resident] references kept
+   in registers across all repetitions: each repetition pays only the
+   thinned-out port traffic, and the one-time load-before/store-after of
+   the resident values is amortized over the repetitions. *)
+let reuse_vector_loop_cycles (s : shape) ~trips ~vlen ~resident ~reps =
+  if trips <= 0 then 0
+  else begin
+    let strip len = strip_port_cycles s ~len ~resident in
+    let body =
+      if trips <= vlen then strip trips
+      else
+        let full = trips / vlen and rem = trips mod vlen in
+        (full * strip vlen) + if rem > 0 then strip rem else 0
+    in
+    let reps = max 1 reps in
+    let edge = resident * 2 * (vector_startup_mem + min trips vlen) in
+    body + ((edge + reps - 1) / reps)
+  end
+
+(* ----------------------------------------------------------------- *)
 (* Nest-traversal estimates for loop restructuring                    *)
 (* ----------------------------------------------------------------- *)
 
@@ -179,8 +214,9 @@ let strided_mem_penalty ~bytes = if bytes >= -8 && bytes <= 8 then 0 else 1
    iterations, each level's entry overhead is paid per enclosing
    iteration, and each inner iteration pays the stride penalty of its
    memory references ([inner_strides], bytes per innermost iteration). *)
-let nest_order_cycles ~sched (s : shape) ~(trips : int array) ~vlen ~procs
-    ~parallelize ~vectorizable ~(inner_strides : int list) =
+let nest_order_cycles ~sched ?(pgo_gates = false) (s : shape)
+    ~(trips : int array) ~vlen ~procs ~parallelize ~vectorizable
+    ~(inner_strides : int list) =
   let depth = Array.length trips in
   let outer = ref 1 in
   for k = 0 to depth - 2 do
@@ -189,7 +225,20 @@ let nest_order_cycles ~sched (s : shape) ~(trips : int array) ~vlen ~procs
   let outer = !outer in
   let inner = max 0 trips.(depth - 1) in
   let inner_cost =
-    if vectorizable then best_vector_cycles s ~trips:inner ~vlen ~procs ~parallelize
+    if vectorizable then begin
+      let vc = best_vector_cycles s ~trips:inner ~vlen ~procs ~parallelize in
+      (* Under profile-guided compilation a vectorizable innermost loop
+         is an option, not an obligation: the vectorizer's PGO gate keeps
+         it scalar when that is cheaper, so price the order at the better
+         of the two.  Without the [min], an order whose vector form loses
+         to scalar code is charged the vector cost and a better-strided
+         order can lose the comparison outright — the matmul ijk/ikj tie
+         then never reaches the stride tie-break at low processor
+         counts.  Without a profile the static vectorizer vectorizes
+         unconditionally, so the vector price stands. *)
+      if pgo_gates then min vc (scalar_loop_cycles ~sched s ~trips:inner)
+      else vc
+    end
     else scalar_loop_cycles ~sched s ~trips:inner
   in
   let rec overhead k enclosing =

@@ -85,6 +85,21 @@ val best_vector_cycles :
 val vector_break_even :
   sched:sched -> shape -> vlen:int -> procs:int -> parallelize:bool -> int option
 
+(** {2 Memory-port traffic under vector-register reuse} *)
+
+(** One vector strip of [len] elements when [resident] of its [mem_refs]
+    references stay in vector registers: the remaining port traffic
+    overlaps with FPU work, so the strip costs the busier unit, not the
+    sum. *)
+val strip_port_cycles : shape -> len:int -> resident:int -> int
+
+(** A vectorized loop of [trips] elements repeated [reps] times with
+    [resident] references held in registers across all repetitions; the
+    one-time load/store of the resident values is amortized over
+    [reps]. *)
+val reuse_vector_loop_cycles :
+  shape -> trips:int -> vlen:int -> resident:int -> reps:int -> int
+
 (** {2 Nest-traversal estimates for loop restructuring} *)
 
 (** Trip count assumed when neither bounds nor a profile reveal one. *)
@@ -102,9 +117,14 @@ val strided_mem_penalty : bytes:int -> int
 (** Whole-nest cycles under one loop order: the innermost loop (vector
     when [vectorizable], else scalar) runs once per combination of
     outer iterations ([trips], outermost first), plus per-level entry
-    overhead and the stride penalties of [inner_strides]. *)
+    overhead and the stride penalties of [inner_strides].  With
+    [pgo_gates] (a measured profile gates vectorization), a
+    vectorizable inner level is priced at the cheaper of its vector and
+    scalar forms, letting stride penalties break otherwise-equal
+    orders. *)
 val nest_order_cycles :
   sched:sched ->
+  ?pgo_gates:bool ->
   shape ->
   trips:int array ->
   vlen:int ->

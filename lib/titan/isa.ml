@@ -67,6 +67,10 @@ type inst =
   (* profiling markers (zero cost, zero semantics): emitted only by
      instrumented codegen; the simulator feeds them to a collector *)
   | Prof of prof_event
+  (* accounting marker (zero cost, zero semantics): one vector memory
+     operation of [len] elements avoided by register reuse; the simulator
+     adds len to [Machine.metrics.vector_mem_elems_avoided] *)
+  | Vsaved of { len : operand }
 
 and falu_op_or_int = Fop of falu_op | Iop of ialu_op
 
@@ -178,6 +182,7 @@ let pp_inst ppf = function
   | Prof (Pcall_begin (k, callee)) ->
       Fmt.pf ppf "prof.call_begin %a %s" Vpc_profile.Key.pp k callee
   | Prof (Pcall_end k) -> Fmt.pf ppf "prof.call_end %a" Vpc_profile.Key.pp k
+  | Vsaved { len } -> Fmt.pf ppf "vsaved len=%a" pp_operand len
 
 let pp_func ppf (f : func) =
   Fmt.pf ppf "%s:  ; %d regs, %d vregs, frame %d@." f.fn_name f.nregs f.nvregs

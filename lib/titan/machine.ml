@@ -81,6 +81,14 @@ type metrics = {
   mutable vector_elems : int;
   mutable parallel_regions : int;
   mutable calls : int;
+  (* vector memory traffic (in elements) avoided by register reuse:
+     accumulated from Vsaved markers *)
+  mutable vector_mem_elems_avoided : int;
+  (* per-unit occupancy in cycles, summed over all issued operations
+     (not parallel-adjusted): how long each port was busy *)
+  mutable busy_iu : int;
+  mutable busy_fpu : int;
+  mutable busy_mem : int;
 }
 
 let new_metrics () =
@@ -93,6 +101,10 @@ let new_metrics () =
     vector_elems = 0;
     parallel_regions = 0;
     calls = 0;
+    vector_mem_elems_avoided = 0;
+    busy_iu = 0;
+    busy_fpu = 0;
+    busy_mem = 0;
   }
 
 let mflops m ~clock_mhz =
@@ -192,6 +204,13 @@ let convert ty (v : value) : value =
 let unit_free st u =
   Option.value (Hashtbl.find_opt st.unit_free u) ~default:0
 
+let add_busy st (u : Cost.unit_) n =
+  match u with
+  | Cost.IU -> st.metrics.busy_iu <- st.metrics.busy_iu + n
+  | Cost.FPU -> st.metrics.busy_fpu <- st.metrics.busy_fpu + n
+  | Cost.MEM -> st.metrics.busy_mem <- st.metrics.busy_mem + n
+  | Cost.CTRL -> ()
+
 (* Issue an operation: [ops_ready] is when its inputs are available.
    Returns the completion time (when its result is ready).
 
@@ -202,6 +221,7 @@ let unit_free st u =
    scheduler to reorder freely, so an operation waits only for its inputs
    and its unit — the model of a perfectly list-scheduled loop (§6). *)
 let issue st (cost : Cost.op_cost) ~ops_ready : int =
+  add_busy st cost.Cost.unit_ cost.Cost.issue;
   match st.config.sched with
   | Sequential ->
       let start = max st.clock ops_ready in
@@ -232,6 +252,7 @@ let issue st (cost : Cost.op_cost) ~ops_ready : int =
 (* A vector operation occupies its unit for startup + len cycles. *)
 let issue_vector st ~unit_ ~startup ~len ~ops_ready : int =
   let busy = startup + len in
+  add_busy st unit_ busy;
   match st.config.sched with
   | Sequential ->
       let start = max st.clock ops_ready in
@@ -504,14 +525,21 @@ and exec st fr : value * int =
     st.insts_executed <- st.insts_executed + 1;
     if st.insts_executed > st.config.max_insts then
       error "instruction budget exceeded (infinite loop?)";
-    (* profiling markers are free: they must not perturb the metrics the
-       profile is meant to describe *)
+    (* profiling and accounting markers are free: they must not perturb
+       the metrics they are meant to describe *)
     (match code.(!pc) with
-    | Prof _ -> ()
+    | Prof _ | Vsaved _ -> ()
     | _ -> st.metrics.insts <- st.metrics.insts + 1);
     let next = !pc + 1 in
     (match code.(!pc) with
     | Label_def _ -> pc := next
+    | Vsaved { len } ->
+        (* zero-cost accounting marker: one vector memory operation of
+           [len] elements avoided by register reuse *)
+        let vl, _ = operand st fr len in
+        st.metrics.vector_mem_elems_avoided <-
+          st.metrics.vector_mem_elems_avoided + as_int vl;
+        pc := next
     | Prof ev ->
         (match st.collect with
         | Some c -> (
@@ -926,11 +954,11 @@ let sched_name = function
   | Overlap_conservative -> "conservative"
   | Overlap_full -> "full"
 
-let run ?config ?(entry = "main") ?(args = []) ?collect (prog : Prog.t) :
-    run_result =
+let run ?config ?(entry = "main") ?(args = []) ?collect ?(vreuse = false)
+    (prog : Prog.t) : run_result =
   let layout = layout_globals prog in
   let program =
-    Codegen.gen_program prog
+    Codegen.gen_program prog ~vreuse
       ~instrument:(Option.is_some collect)
       ~global_addr:(fun id ->
         match Hashtbl.find_opt layout.addr_of id with

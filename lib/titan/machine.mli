@@ -55,6 +55,11 @@ type metrics = {
   mutable vector_elems : int;
   mutable parallel_regions : int;
   mutable calls : int;
+  mutable vector_mem_elems_avoided : int;
+      (** vector memory traffic (elements) avoided by register reuse *)
+  mutable busy_iu : int;  (** integer-unit occupancy, cycles *)
+  mutable busy_fpu : int;  (** FPU/vector-unit occupancy, cycles *)
+  mutable busy_mem : int;  (** memory-port occupancy, cycles *)
 }
 
 val mflops : metrics -> clock_mhz:float -> float
@@ -76,12 +81,14 @@ val sched_name : sched_mode -> string
 (** Compile (to Titan code) and execute [entry] (default ["main"]).
     With [collect], codegen is instrumented with profiling markers and
     the run feeds the collector; markers cost zero cycles, so the
-    metrics are those of the uninstrumented program. *)
+    metrics are those of the uninstrumented program.  With [vreuse],
+    codegen runs its redundant-Vload cleanup (see {!Codegen.gen_func}). *)
 val run :
   ?config:config ->
   ?entry:string ->
   ?args:value list ->
   ?collect:Vpc_profile.Collect.t ->
+  ?vreuse:bool ->
   Prog.t ->
   run_result
 

@@ -112,8 +112,10 @@ let order_cost (opts : options) (nest : Nest.t) ~shape ~(trips : int array)
         (Cost.sched_of_name data.Profile.Data.sched, data.Profile.Data.procs)
     | None -> (Cost.Full, 1)
   in
-  Cost.nest_order_cycles ~sched shape ~trips:ptrips ~vlen:opts.vlen ~procs
-    ~parallelize:opts.parallelize ~vectorizable ~inner_strides
+  Cost.nest_order_cycles ~sched
+    ~pgo_gates:(Option.is_some opts.profile)
+    shape ~trips:ptrips ~vlen:opts.vlen ~procs ~parallelize:opts.parallelize
+    ~vectorizable ~inner_strides
 
 (* Rebuild the nest in the chosen order: hoistable prefixes (the limit
    temps of inner levels) move ahead of the whole nest, then each level

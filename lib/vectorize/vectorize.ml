@@ -31,6 +31,9 @@ type options = {
   profile : Profile.Data.t option;
       (* measured trip counts: consult the Titan cost model per loop *)
   report : (string -> unit) option;  (* one line per profile-guided call *)
+  vreuse : bool;
+      (* vector-register reuse runs downstream: price accumulator loops
+         with the port-traffic model's residency estimate *)
 }
 
 let default_options =
@@ -42,6 +45,7 @@ let default_options =
     fuse_strips = false;
     profile = None;
     report = None;
+    vreuse = false;
   }
 
 type stats = {
@@ -181,6 +185,33 @@ let scalar_defs body =
 (* Operation mix of one iteration, for the Titan cost model. *)
 let body_shape (body : Stmt.t list) : Cost.shape = Cost.shape_of_stmts body
 
+(* Register-residency candidates of a scalar loop body: stores whose own
+   right-hand side reads back the identical address — the accumulator
+   idiom [a[i] = a[i] + ...].  Once the downstream reuse pass localizes
+   such a section, its load AND its store stay in a vector register
+   across the enclosing serial loop, thinning every strip's memory
+   traffic by two references. *)
+let residency_candidates ~noalias (body : Stmt.t list) : int =
+  List.fold_left
+    (fun acc (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Assign (Stmt.Lmem addr, rhs) ->
+          let self = ref false in
+          Expr.iter
+            (fun (e : Expr.t) ->
+              match e.Expr.desc with
+              | Expr.Load p
+                when (match Alias.bases ~assume_noalias:noalias p addr with
+                     | Alias.Must_alias 0 -> true
+                     | Alias.No_alias | Alias.Must_alias _ | Alias.May_alias ->
+                         false) ->
+                  self := true
+              | _ -> ())
+            rhs;
+          if !self then acc + 2 else acc
+      | _ -> acc)
+    0 body
+
 (* What the profile says to do with one loop. *)
 type pgo_choice = {
   keep_scalar : bool;      (* below break-even: leave the DO loop alone *)
@@ -235,16 +266,34 @@ let pgo_decide (opts : options) (data : Profile.Data.t) (loop_stmt : Stmt.t)
                       ~parallel:true)
                   (max_int, None) candidates
               in
-              let keep_scalar = scalar <= vcost in
+              (* with the reuse pass downstream, an accumulator loop's
+                 vector form is priced with its resident sections out of
+                 the memory traffic; residency needs serial strips *)
+              let resident =
+                if opts.vreuse then
+                  min
+                    (residency_candidates ~noalias:opts.assume_noalias body)
+                    shape.Cost.mem_refs
+                else 0
+              in
+              let rcost =
+                if resident = 0 then max_int
+                else
+                  Cost.reuse_vector_loop_cycles shape ~trips ~vlen:opts.vlen
+                    ~resident ~reps:Cost.default_trip
+              in
+              let keep_scalar = scalar <= min vcost rcost in
               let scalar_parallel =
                 opts.parallelize
                 && Cost.parallel_scalar_cycles ~sched shape ~trips ~procs
                    < scalar
               in
               let chosen_vlen, strip_parallel =
-                match vbest with
-                | Some (v, p) -> (v, p)
-                | None -> (opts.vlen, false)
+                if rcost < vcost then (opts.vlen, false)
+                else
+                  match vbest with
+                  | Some (v, p) -> (v, p)
+                  | None -> (opts.vlen, false)
               in
               (match opts.report with
               | Some report ->
@@ -255,10 +304,12 @@ let pgo_decide (opts : options) (data : Profile.Data.t) (loop_stmt : Stmt.t)
                   report
                     (Printf.sprintf
                        "loop %s: measured trips≈%d (%d entries): est scalar=%d \
-                        vector=%d (strip %d%s) break-even=%s -> %s"
+                        vector=%d%s (strip %d%s) break-even=%s -> %s"
                        (Profile.Key.to_string key)
                        trips lp.Profile.Data.entries scalar
                        (if vcost = max_int then -1 else vcost)
+                       (if rcost = max_int then ""
+                        else Printf.sprintf " reuse=%d" rcost)
                        chosen_vlen
                        (if strip_parallel then
                           Printf.sprintf " x%d procs" procs

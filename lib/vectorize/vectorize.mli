@@ -27,6 +27,9 @@ type options = {
           dependences share one strip loop (one barrier) *)
   profile : Vpc_profile.Data.t option;  (** measured trip counts *)
   report : (string -> unit) option;     (** decision explanations *)
+  vreuse : bool;
+      (** the vector-register reuse pass runs downstream: price
+          accumulator loops with the residency-aware traffic model *)
 }
 
 val default_options : options

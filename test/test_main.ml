@@ -20,6 +20,7 @@ let () =
       ("titan", Test_titan.tests);
       ("codegen", Test_codegen.tests);
       ("pipeline", Test_pipeline.tests);
+      ("vreuse", Test_vreuse.tests);
       ("verify", Test_verify.tests);
       ("profile", Test_profile.tests);
     ]
