@@ -43,7 +43,7 @@ let record id ?(procs = 1) ?(sched = Vpc.Titan.Machine.Overlap_full)
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"pr\": 4,\n  \"results\": {\n";
+  output_string oc "{\n  \"pr\": 5,\n  \"results\": {\n";
   let entries = List.rev !json_results in
   let last = List.length entries - 1 in
   List.iteri
@@ -379,9 +379,12 @@ let a2 () =
         stats.vectorize.loops_vectorized r.metrics.cycles)
     [
       ("conservative (may-alias)",
-       { Vpc.o2 with Vpc.inline = `None });
+       { Vpc.o2 with Vpc.inline = `None; pointsto = false });
       ("--noalias option",
-       { Vpc.o2 with Vpc.inline = `None; assume_noalias = true });
+       { Vpc.o2 with Vpc.inline = `None; pointsto = false;
+         assume_noalias = true });
+      ("points-to proves disjointness",
+       { Vpc.o2 with Vpc.inline = `None });
       ("inlining exposes the arrays", Vpc.o3);
     ]
 
@@ -573,6 +576,47 @@ let reuse_exp () =
     kernels
 
 (* ----------------------------------------------------------------- *)
+(* PTR: interprocedural points-to and mod/ref (lib/pointsto)         *)
+(* ----------------------------------------------------------------- *)
+
+let ptr_exp () =
+  section "PTR" "interprocedural points-to (lib/pointsto)"
+    "pointer-parameter kernels vectorize with no pragma, no --noalias, \
+     and no inlining once the whole-program analysis proves every call \
+     site's arguments disjoint; both sides verify the IL between every \
+     stage and the outputs are cross-checked";
+  row "  %-14s %-6s %-16s %-16s %-10s\n" "kernel" "procs" "pointsto off"
+    "pointsto on" "vec off/on";
+  let case name src ~procs =
+    let cfg = machine ~procs () in
+    let build pointsto =
+      let opts = { Vpc.o2 with Vpc.pointsto; verify = `Each_stage } in
+      let prog, stats = Vpc.compile ~options:opts src in
+      (Vpc.run_titan ~config:cfg prog, stats)
+    in
+    let r_off, s_off = build false in
+    let r_on, s_on = build true in
+    if r_on.stdout_text <> r_off.stdout_text then
+      failwith
+        (Printf.sprintf "PTR/%s: output mismatch pointsto on vs off" name);
+    record (Printf.sprintf "PTR/%s/procs=%d/off" name procs) ~procs r_off;
+    record (Printf.sprintf "PTR/%s/procs=%d/on" name procs) ~procs r_on;
+    row "  %-14s %-6d %10d cyc   %10d cyc   %d/%d  %s\n" name procs
+      r_off.metrics.cycles r_on.metrics.cycles
+      s_off.Vpc.vectorize.loops_vectorized s_on.Vpc.vectorize.loops_vectorized
+      (if r_on.metrics.cycles < r_off.metrics.cycles then "(pointsto wins)"
+       else if r_on.metrics.cycles = r_off.metrics.cycles then "(tie)"
+       else "(LOSES)")
+  in
+  List.iter
+    (fun (name, src) ->
+      List.iter (fun procs -> case name src ~procs) [ 1; 2; 4 ])
+    [
+      ("ptrkernels", Workloads.ptrkernels ~n:1024);
+      ("ptrkernels-4k", Workloads.ptrkernels ~n:4096);
+    ]
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel: compile-time costs                                      *)
 (* ----------------------------------------------------------------- *)
 
@@ -702,6 +746,7 @@ let all =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
     ("PGO", pgo_exp); ("NEST", nest_exp); ("REUSE", reuse_exp);
+    ("PTR", ptr_exp);
   ]
 
 let () =

@@ -410,5 +410,45 @@ let transpose ~n ~m =
       "}";
     ]
 
+(* pointer-parameter kernels with no pragmas: every call site binds d to
+   a different array than s, so only the whole-program points-to
+   analysis can license vectorizing the saxpy loop (examples/ptrkernels.c
+   is the standalone copy) *)
+let ptrkernels ~n =
+  nl
+    [
+      "void saxpy(float *d, float *s, float alpha, int m)";
+      "{";
+      "  int i;";
+      "  for (i = 0; i < m; i++)";
+      "    d[i] = d[i] + alpha * s[i];";
+      "}";
+      "float dot(float *x, float *y, int m)";
+      "{";
+      "  int i;";
+      "  float acc;";
+      "  acc = 0.0f;";
+      "  for (i = 0; i < m; i++)";
+      "    acc = acc + x[i] * y[i];";
+      "  return acc;";
+      "}";
+      Printf.sprintf "float a[%d], b[%d], c[%d];" n n n;
+      "int main()";
+      "{";
+      "  int i;";
+      "  float s;";
+      Printf.sprintf "  for (i = 0; i < %d; i++) {" n;
+      "    a[i] = i * 0.5f;";
+      Printf.sprintf "    b[i] = (%d - i) * 0.25f;" n;
+      "    c[i] = 1.0f;";
+      "  }";
+      Printf.sprintf "  saxpy(a, b, 0.125f, %d);" n;
+      Printf.sprintf "  saxpy(c, b, 2.0f, %d);" n;
+      Printf.sprintf "  s = dot(a, c, %d);" n;
+      "  printf(\"%g %g %g\\n\", a[0], c[1], s);";
+      "  return 0;";
+      "}";
+    ]
+
 (* a general compile-time workload for the bechamel timings *)
 let compile_time_workload = daxpy 100

@@ -17,7 +17,8 @@ let read_file path =
   s
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
-    no_interchange no_fuse no_vreuse assume_noalias vlen procs sched_name
+    no_interchange no_fuse no_vreuse no_pointsto why_scalar assume_noalias vlen
+    procs sched_name
     dump_stages
     dump_asm check catalogs
     save_catalog quiet verify_il no_run inject_fault profile_gen profile_use
@@ -68,6 +69,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         interchange = base.Vpc.interchange && not no_interchange;
         fuse = base.Vpc.fuse && not no_fuse;
         vreuse = base.Vpc.vreuse && not no_vreuse;
+        pointsto = base.Vpc.pointsto && not no_pointsto;
         assume_noalias;
         vlen;
         catalogs;
@@ -81,6 +83,10 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         profile = Option.map Vpc.Profile.Data.load profile_use;
         report =
           (if report then Some (fun line -> Printf.eprintf "[pgo] %s\n" line)
+           else None);
+        why_scalar =
+          (if why_scalar then
+             Some (fun line -> Printf.eprintf "[why-scalar] %s\n" line)
            else None);
       }
     in
@@ -222,6 +228,19 @@ let no_vreuse_arg =
          ~doc:"Disable vector-register reuse (invariant Vload hoisting, \
                Vstore-to-Vload forwarding, strip-resident accumulators)")
 
+let no_pointsto_arg =
+  Arg.(value & flag & info [ "no-pointsto" ]
+         ~doc:"Disable the interprocedural points-to and mod/ref analysis \
+               (on by default at -O2 and above); dependence testing, the \
+               race checker, and inline ranking fall back to worst-case \
+               aliasing")
+
+let why_scalar_arg =
+  Arg.(value & flag & info [ "why-scalar" ]
+         ~doc:"Explain each loop left scalar on stderr (one [why-scalar] \
+               line naming the unresolved alias pair with source locations, \
+               the rejecting statement, or the carried dependence cycle)")
+
 let noalias_arg =
   Arg.(value & flag & info [ "noalias" ]
          ~doc:"Assume pointer parameters have Fortran (no-alias) semantics")
@@ -297,7 +316,8 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ opt_arg $ inline_only_arg
       $ no_parallel_arg $ no_vectorize_arg $ no_interchange_arg $ no_fuse_arg
-      $ no_vreuse_arg $ noalias_arg $ vlen_arg $ procs_arg
+      $ no_vreuse_arg $ no_pointsto_arg $ why_scalar_arg $ noalias_arg
+      $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
       $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg)

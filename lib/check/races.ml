@@ -17,6 +17,9 @@ type ctx = {
   live : Vpc_analysis.Liveness.t;
   unsafe : (int, unit) Hashtbl.t;  (* address-taken variables *)
   noalias : bool;                  (* compiler-wide option *)
+  pointsto : Vpc_pointsto.Pointsto.t option;
+      (* whole-program mod/ref summaries: calls in parallel bodies stop
+         being worst-case when the summary bounds their footprint *)
   mutable acc : Report.violation list;
 }
 
@@ -194,8 +197,11 @@ let collect_refs ~affine ~bound (body : Stmt.t list) : mref list =
 
 (* Cross-iteration conflict test for one footprint pair.  [step_c] and
    [lo_c] translate index-unit coefficients into per-iteration strides
-   and rebase both references to iteration 0. *)
-let check_pair ctx loop ~noalias ~trip ~step_c ~lo_c (r1 : mref) (r2 : mref) =
+   and rebase both references to iteration 0.  [variant] marks variables
+   the body redefines: a pointer bumped inside the loop has no single
+   value, so its raw address must not decompose to a Pointer root. *)
+let check_pair ctx loop ~noalias ~variant ~trip ~step_c ~lo_c (r1 : mref)
+    (r2 : mref) =
   let describe (r : mref) =
     Printf.sprintf "%s in stmt %d"
       (match r.m_kind with
@@ -262,7 +268,9 @@ let check_pair ctx loop ~noalias ~trip ~step_c ~lo_c (r1 : mref) (r2 : mref) =
                     done)))
   | _ ->
       (* a non-affine address: only disjoint roots can exclude it *)
-      if Alias.bases ~assume_noalias:noalias r1.m_addr r2.m_addr <> Alias.No_alias
+      if
+        Alias.bases ~assume_noalias:noalias ~variant r1.m_addr r2.m_addr
+        <> Alias.No_alias
       then
         flag "parallel-may-alias"
           "non-affine address cannot be proved independent"
@@ -344,6 +352,105 @@ let check_vtmp_discipline ctx (loop : Stmt.t) body =
   in
   List.iter walk body
 
+(* ------------------------------------------------------------------ *)
+(* calls in parallel bodies, bounded by mod/ref summaries             *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the body's own statements may write, as abstract objects:
+   memory stores plus directly assigned global scalars. *)
+let body_written_objs ctx pt (body : Stmt.t list) =
+  let module P = Vpc_pointsto.Pointsto in
+  let objs = ref P.Objset.empty in
+  let add_addr a =
+    List.iter (fun (o, _) -> objs := P.Objset.add o !objs) (P.objects_of pt a)
+  in
+  Stmt.iter_list
+    (fun st ->
+      match st.Stmt.desc with
+      | Stmt.Assign (Stmt.Lmem a, _) -> add_addr a
+      | Stmt.Vector v -> add_addr v.Stmt.vdst.Stmt.base
+      | Stmt.Call (Some (Stmt.Lmem a), _, _) -> add_addr a
+      | Stmt.Assign (Stmt.Lvar v, _) | Stmt.Call (Some (Stmt.Lvar v), _, _)
+        -> (
+          match find_var ctx v with
+          | Some var when Var.is_global var ->
+              objs := P.Objset.add (P.Obj v) !objs
+          | _ -> ())
+      | _ -> ())
+    body;
+  !objs
+
+(* A call statement inside a parallel DO body.  Without points-to facts
+   every call is worst-case; with them, a callee whose summary writes
+   nothing, performs no io, and reads only storage the loop never writes
+   is as harmless as a scalar assignment. *)
+let call_bounded ctx ~(written : Vpc_pointsto.Pointsto.Objset.t option) dst
+    target args : (unit, string) result =
+  let module P = Vpc_pointsto.Pointsto in
+  let generic =
+    "body contains a statement the validator cannot prove independent"
+  in
+  match ctx.pointsto, written with
+  | None, _ | _, None -> Error generic
+  | Some pt, Some written -> (
+      match target with
+      | Stmt.Indirect _ -> Error generic
+      | Stmt.Direct name -> (
+          match P.summary pt name with
+          | None ->
+              Error
+                (Printf.sprintf "body calls %s, whose effects are unknown" name)
+          | Some sum ->
+              if sum.P.io then
+                Error
+                  (Printf.sprintf
+                     "body calls %s, which performs io (iteration order would \
+                      be observable)"
+                     name)
+              else if not (P.Objset.is_empty sum.P.mods) then
+                Error
+                  (Printf.sprintf
+                     "body calls %s, whose mod/ref summary writes memory" name)
+              else if
+                match dst with Some (Stmt.Lmem _) -> true | _ -> false
+              then Error generic
+              else if List.exists Expr.contains_load args then Error generic
+              else
+                (* read-only callee; fold in the global scalars the
+                   argument expressions themselves read *)
+                let reads =
+                  List.fold_left
+                    (fun acc arg ->
+                      List.fold_left
+                        (fun acc v ->
+                          match Prog.find_var ctx.prog (Some ctx.func) v with
+                          | Some var when Var.is_global var ->
+                              P.Objset.add (P.Obj v) acc
+                          | _ -> acc)
+                        acc (Expr.read_vars arg))
+                    sum.P.refs args
+                in
+                if P.Objset.is_empty reads then Ok ()
+                else if P.Objset.mem P.Unknown written then
+                  Error
+                    (Printf.sprintf
+                       "body calls %s but writes storage the validator cannot \
+                        bound"
+                       name)
+                else if P.Objset.mem P.Unknown reads then
+                  if P.Objset.is_empty written then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf
+                         "body calls %s, whose read set is unbounded" name)
+                else if P.Objset.is_empty (P.Objset.inter reads written) then
+                  Ok ()
+                else
+                  Error
+                    (Printf.sprintf
+                       "body calls %s, which reads storage the loop writes"
+                       name)))
+
 let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
   let noalias = ctx.noalias || d.Stmt.independent in
   let body = d.Stmt.body in
@@ -391,12 +498,22 @@ let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
     end
     else begin
       (* composite body (strip loops): shape, scalars, and footprints *)
+      let written =
+        Option.map (fun pt -> body_written_objs ctx pt body) ctx.pointsto
+      in
       let shape_ok = ref true in
       Stmt.iter_list
         (fun inner ->
           match inner.Stmt.desc with
-          | Stmt.Call _ | Stmt.Goto _ | Stmt.Label _ | Stmt.Return _
-          | Stmt.While _ | Stmt.Do_loop _ ->
+          | Stmt.Call (dst, target, args) -> (
+              match call_bounded ctx ~written dst target args with
+              | Ok () -> ()
+              | Error reason ->
+                  shape_ok := false;
+                  report ctx ~rule:"parallel-shape" ~stmt:inner
+                    "parallel loop (stmt %d) %s" s.Stmt.id reason)
+          | Stmt.Goto _ | Stmt.Label _ | Stmt.Return _ | Stmt.While _
+          | Stmt.Do_loop _ ->
               shape_ok := false;
               report ctx ~rule:"parallel-shape" ~stmt:inner
                 "parallel loop (stmt %d) body contains a statement the \
@@ -413,13 +530,14 @@ let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
           | Some _ | None -> None
         in
         let refs = collect_refs ~affine ~bound:(count_bound body) body in
+        let variant v = Hashtbl.mem defined_in_body v in
         let arr = Array.of_list refs in
         let n = Array.length arr in
         for i = 0 to n - 1 do
           for j = i to n - 1 do
             let r1 = arr.(i) and r2 = arr.(j) in
             if r1.m_kind = Subscript.Write || r2.m_kind = Subscript.Write then
-              check_pair ctx s ~noalias ~trip ~step_c ~lo_c r1 r2
+              check_pair ctx s ~noalias ~variant ~trip ~step_c ~lo_c r1 r2
           done
         done
       end
@@ -430,6 +548,24 @@ let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
 (* doacross while loops (§10)                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* A call acceptable inside a doacross body: pure scalar computation
+   only.  Doacross runs iterations concurrently with only the serial
+   prefix ordered, so even a read of shared memory is unprovable here —
+   the summary must show no memory effects at all. *)
+let pure_scalar_call ctx dst target args =
+  match ctx.pointsto, target with
+  | Some pt, Stmt.Direct name -> (
+      match Vpc_pointsto.Pointsto.summary pt name with
+      | Some sum ->
+          let module P = Vpc_pointsto.Pointsto in
+          (not sum.P.io)
+          && P.Objset.is_empty sum.P.mods
+          && P.Objset.is_empty sum.P.refs
+          && (match dst with Some (Stmt.Lmem _) -> false | _ -> true)
+          && not (List.exists Expr.contains_load args)
+      | None -> false)
+  | _ -> false
+
 let check_doacross ctx (s : Stmt.t) (li : Stmt.loop_info) cond body =
   let arr = Array.of_list body in
   let n = Array.length arr in
@@ -437,8 +573,13 @@ let check_doacross ctx (s : Stmt.t) (li : Stmt.loop_info) cond body =
   Stmt.iter_list
     (fun inner ->
       match inner.Stmt.desc with
-      | Stmt.Call _ | Stmt.Goto _ | Stmt.Label _ | Stmt.Return _
-      | Stmt.While _ | Stmt.Do_loop _ ->
+      | Stmt.Call (dst, target, args) ->
+          if not (pure_scalar_call ctx dst target args) then
+            report ctx ~rule:"doacross-shape" ~stmt:inner
+              "doacross loop (stmt %d) body contains control flow or calls"
+              s.Stmt.id
+      | Stmt.Goto _ | Stmt.Label _ | Stmt.Return _ | Stmt.While _
+      | Stmt.Do_loop _ ->
           report ctx ~rule:"doacross-shape" ~stmt:inner
             "doacross loop (stmt %d) body contains control flow or calls"
             s.Stmt.id
@@ -549,7 +690,7 @@ let check_vector_stmt ctx (s : Stmt.t) (v : Stmt.vstmt) =
 (* driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let check_func ?(assume_noalias = false) prog func =
+let check_func ?(assume_noalias = false) ?pointsto prog func =
   let ctx =
     {
       prog;
@@ -557,6 +698,7 @@ let check_func ?(assume_noalias = false) prog func =
       live = Vpc_analysis.Liveness.build func;
       unsafe = Func.addressed_vars func;
       noalias = assume_noalias;
+      pointsto;
       acc = [];
     }
   in
@@ -571,5 +713,5 @@ let check_func ?(assume_noalias = false) prog func =
     func.Func.body;
   List.rev ctx.acc
 
-let check_prog ?assume_noalias prog =
-  List.concat_map (check_func ?assume_noalias prog) prog.Prog.funcs
+let check_prog ?assume_noalias ?pointsto prog =
+  List.concat_map (check_func ?assume_noalias ?pointsto prog) prog.Prog.funcs

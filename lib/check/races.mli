@@ -29,11 +29,25 @@
       only provable overlap is a violation.
 
     [assume_noalias] mirrors the compiler option; loops carrying the
-    independence pragma get it per-loop, as the vectorizer did. *)
+    independence pragma get it per-loop, as the vectorizer did.
+
+    [pointsto] supplies whole-program mod/ref summaries.  With them, a
+    call in a parallel DO body is no longer worst-case: a callee that
+    writes nothing, performs no io, and reads only storage the loop
+    never writes is accepted like a scalar assignment; doacross bodies
+    accept only pure scalar callees (no memory effects at all). *)
 
 open Vpc_il
 
 val check_func :
-  ?assume_noalias:bool -> Prog.t -> Func.t -> Report.violation list
+  ?assume_noalias:bool ->
+  ?pointsto:Vpc_pointsto.Pointsto.t ->
+  Prog.t ->
+  Func.t ->
+  Report.violation list
 
-val check_prog : ?assume_noalias:bool -> Prog.t -> Report.violation list
+val check_prog :
+  ?assume_noalias:bool ->
+  ?pointsto:Vpc_pointsto.Pointsto.t ->
+  Prog.t ->
+  Report.violation list

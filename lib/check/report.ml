@@ -11,6 +11,22 @@ type violation = {
 let v ~rule ~func ?stmt ?(loc = Loc.dummy) message =
   { rule; func; stmt; loc; message }
 
+(* Source-location order (file, then span, then the remaining fields as
+   tie-breakers) so emitted findings are deterministic and diffable
+   whatever order the checkers discovered them in.  Dummy locations sort
+   last: real source positions lead the report. *)
+let compare_by_loc a b =
+  let pos_key (p : Loc.pos) = (p.Loc.line, p.Loc.col) in
+  let loc_key (l : Loc.t) =
+    if Loc.is_dummy l then (1, "", (0, 0), (0, 0))
+    else (0, l.Loc.file, pos_key l.Loc.start_pos, pos_key l.Loc.end_pos)
+  in
+  let c = compare (loc_key a.loc) (loc_key b.loc) in
+  if c <> 0 then c
+  else compare (a.func, a.rule, a.stmt, a.message) (b.func, b.rule, b.stmt, b.message)
+
+let sort = List.sort compare_by_loc
+
 let pp ppf t =
   Format.fprintf ppf "[%s] %s (function %s%t)" t.rule t.message t.func
     (fun ppf ->

@@ -15,11 +15,31 @@ exception Failed of Vpc_support.Diag.t list
 type level = [ `Off | `Final | `Each_stage ]
 
 val check_func :
-  ?assume_noalias:bool -> Prog.t -> Func.t -> Report.violation list
+  ?assume_noalias:bool ->
+  ?pointsto:Vpc_pointsto.Pointsto.t ->
+  Prog.t ->
+  Func.t ->
+  Report.violation list
 
-val check_prog : ?assume_noalias:bool -> Prog.t -> Report.violation list
+val check_prog :
+  ?assume_noalias:bool ->
+  ?pointsto:Vpc_pointsto.Pointsto.t ->
+  Prog.t ->
+  Report.violation list
 
 val diag_of : pass:string -> Report.violation -> Vpc_support.Diag.t
 
-val run_func : ?assume_noalias:bool -> pass:string -> Prog.t -> Func.t -> unit
-val run : ?assume_noalias:bool -> pass:string -> Prog.t -> unit
+val run_func :
+  ?assume_noalias:bool ->
+  ?pointsto:Vpc_pointsto.Pointsto.t ->
+  pass:string ->
+  Prog.t ->
+  Func.t ->
+  unit
+
+val run :
+  ?assume_noalias:bool ->
+  ?pointsto:Vpc_pointsto.Pointsto.t ->
+  pass:string ->
+  Prog.t ->
+  unit

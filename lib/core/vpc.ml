@@ -27,6 +27,7 @@ module Inline = Vpc_inline
 module Titan = Vpc_titan
 module Profile = Vpc_profile
 module Check = Vpc_check
+module Pointsto = Vpc_pointsto
 
 type options = {
   inline : [ `None | `All | `Only of string list ];
@@ -43,6 +44,10 @@ type options = {
   assume_noalias : bool;       (* pointer params get Fortran semantics *)
   scalar_replacement : bool;   (* §6 *)
   strength_reduction : bool;   (* §6 *)
+  pointsto : bool;
+      (* interprocedural points-to + mod/ref analysis: resolves pointer
+         aliases the canonical decomposition cannot, bounds call effects
+         in the race checker, and ranks inline sites *)
   catalogs : string list;      (* procedure databases to import (§7) *)
   dump : (string -> string -> unit) option;  (* stage name, IL text *)
   verify : Check.Verify.level; (* IL verifier / translation validator *)
@@ -50,6 +55,9 @@ type options = {
       (* measured profile feeding the inliner and vectorizer (PGO) *)
   report : (string -> unit) option;
       (* one line per profile-guided decision, with the cost estimates *)
+  why_scalar : (string -> unit) option;
+      (* one line per loop left scalar: the unresolved alias pair with
+         source locations, the rejecting statement, or the cycle *)
 }
 
 (* -O0: the naive translation. *)
@@ -69,11 +77,13 @@ let o0 =
     assume_noalias = false;
     scalar_replacement = false;
     strength_reduction = false;
+    pointsto = false;
     catalogs = [];
     dump = None;
     verify = `Off;
     profile = None;
     report = None;
+    why_scalar = None;
   }
 
 (* -O1: classical scalar optimization. *)
@@ -94,6 +104,7 @@ let o2 =
     parallelize = true;
     scalar_replacement = true;
     doacross = true;
+    pointsto = true;
   }
 
 (* -O3: everything, including automatic inlining and nest
@@ -145,21 +156,22 @@ let dump_stage options prog stage =
 (* Checkpoint after a whole-program pass: dump the IL and, at
    [`Each_stage], run the verifier over every function so the pass that
    broke an invariant is named in the diagnostic. *)
-let after_prog_pass options prog pass =
+let after_prog_pass ?pointsto options prog pass =
   dump_stage options prog pass;
   match options.verify with
   | `Each_stage ->
-      Check.Verify.run ~assume_noalias:options.assume_noalias ~pass prog
+      Check.Verify.run ~assume_noalias:options.assume_noalias ?pointsto ~pass
+        prog
   | `Off | `Final -> ()
 
 (* Checkpoint after a per-function pass. *)
-let after_pass options prog (f : Il.Func.t) pass =
+let after_pass ?pointsto options prog (f : Il.Func.t) pass =
   let stage = Printf.sprintf "%s(%s)" pass f.Il.Func.name in
   dump_stage options prog stage;
   match options.verify with
   | `Each_stage ->
-      Check.Verify.run_func ~assume_noalias:options.assume_noalias ~pass:stage
-        prog f
+      Check.Verify.run_func ~assume_noalias:options.assume_noalias ?pointsto
+        ~pass:stage prog f
   | `Off | `Final -> ()
 
 (* Run the optimization pipeline in place. *)
@@ -168,11 +180,37 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   List.iter
     (fun file -> Inline.Catalog.import ~into:prog (Inline.Catalog.load file))
     options.catalogs;
+  (* Whole-program points-to runs after catalog import so argument-to-
+     parameter bindings at known call sites are visible.  The verdicts
+     back the {!Dependence.Alias} oracle consulted wherever canonical
+     decomposition gives up; the oracle is process-global state, so it is
+     cleared on every exit path — a later compilation of a different
+     program must not see this one's graph.  Inlining rewrites bodies
+     wholesale, so the analysis is recomputed after it. *)
+  let analyze_pointsto () =
+    if options.pointsto then Some (Pointsto.Pointsto.analyze prog) else None
+  in
+  let pt = ref (analyze_pointsto ()) in
+  let install_oracle () =
+    match !pt with
+    | None -> ()
+    | Some t ->
+        Dependence.Alias.set_oracle (fun e1 e2 ->
+            match Pointsto.Pointsto.verdict t e1 e2 with
+            | Some `No_alias -> Some Dependence.Alias.No_alias
+            | Some (`Must_alias d) -> Some (Dependence.Alias.Must_alias d)
+            | None -> None)
+  in
+  install_oracle ();
+  Fun.protect ~finally:Dependence.Alias.clear_oracle @@ fun () ->
+  let after_prog_pass pass = after_prog_pass ?pointsto:!pt options prog pass in
+  let after_pass f pass = after_pass ?pointsto:!pt options prog f pass in
   let inline_options only =
     {
       Inline.Inline.default_options with
       only;
       profile = options.profile;
+      pointsto = !pt;
       report = options.report;
     }
   in
@@ -181,19 +219,23 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   | `All ->
       Inline.Inline.expand ~options:(inline_options None) ~stats:stats.inline
         prog;
-      after_prog_pass options prog "inline"
+      pt := analyze_pointsto ();
+      install_oracle ();
+      after_prog_pass "inline"
   | `Only names ->
       Inline.Inline.expand
         ~options:(inline_options (Some names))
         ~stats:stats.inline prog;
-      after_prog_pass options prog "inline");
+      pt := analyze_pointsto ();
+      install_oracle ();
+      after_prog_pass "inline");
   let scalar_cleanup f =
     if options.scalar_opt then begin
       ignore (Analysis.Const_prop.run ~stats:stats.const_prop prog f);
       ignore (Analysis.Dce.run ~stats:stats.dce f);
       ignore (Analysis.Unreachable.run ~stats:stats.unreachable f);
       ignore (Analysis.Dce.run ~stats:stats.dce f);
-      after_pass options prog f "scalar-cleanup"
+      after_pass f "scalar-cleanup"
     end
   in
   List.iter
@@ -201,16 +243,16 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
       scalar_cleanup f;
       if options.while_conversion then begin
         ignore (Transform.While_to_do.run ~stats:stats.while_to_do prog f);
-        after_pass options prog f "while-to-do"
+        after_pass f "while-to-do"
       end;
       if options.indvar_substitution then begin
         ignore (Transform.Indvar.run ~stats:stats.indvar prog f);
-        after_pass options prog f "indvar-substitution"
+        after_pass f "indvar-substitution"
       end;
       scalar_cleanup f;
       if options.indvar_substitution then begin
         ignore (Transform.Forward_sub.run ~stats:stats.forward_sub prog f);
-        after_pass options prog f "forward-substitution";
+        after_pass f "forward-substitution";
         scalar_cleanup f
       end;
       (* Nest restructuring (§7) runs on the cleaned-up DO-loop form,
@@ -228,7 +270,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
           }
         in
         ignore (Transform.Fuse.run ~options:fopts ~stats:stats.fuse prog f);
-        after_pass options prog f "fuse"
+        after_pass f "fuse"
       end;
       if options.interchange then begin
         let iopts =
@@ -243,7 +285,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
         ignore
           (Transform.Interchange.run ~options:iopts ~stats:stats.interchange
              prog f);
-        after_pass options prog f "interchange"
+        after_pass f "interchange"
       end;
       if options.vectorize || options.parallelize then begin
         let vopts =
@@ -256,11 +298,12 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
             profile = options.profile;
             report = options.report;
             vreuse = options.vreuse;
+            why_scalar = options.why_scalar;
           }
         in
         ignore
           (Vectorize.Vectorize.run ~options:vopts ~stats:stats.vectorize prog f);
-        after_pass options prog f "vectorize"
+        after_pass f "vectorize"
       end;
       if options.vreuse then begin
         let ropts =
@@ -271,32 +314,32 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
           }
         in
         ignore (Transform.Vreuse.run ~options:ropts ~stats:stats.vreuse prog f);
-        after_pass options prog f "vreuse"
+        after_pass f "vreuse"
       end;
       if options.doacross then begin
         ignore (Transform.Doacross.run ~stats:stats.doacross prog f);
-        after_pass options prog f "doacross"
+        after_pass f "doacross"
       end;
       if options.scalar_replacement then begin
         ignore (Transform.Scalar_replace.run ~stats:stats.scalar_replace prog f);
-        after_pass options prog f "scalar-replacement"
+        after_pass f "scalar-replacement"
       end;
       if options.strength_reduction then begin
         ignore
           (Transform.Strength_reduction.run ~stats:stats.strength_reduction prog
              f);
-        after_pass options prog f "strength-reduction"
+        after_pass f "strength-reduction"
       end;
       if options.scalar_opt then begin
         ignore (Analysis.Dce.run ~stats:stats.dce f);
-        after_pass options prog f "dce"
+        after_pass f "dce"
       end)
     prog.Il.Prog.funcs;
   dump_stage options prog "final";
   (match options.verify with
   | `Final | `Each_stage ->
-      Check.Verify.run ~assume_noalias:options.assume_noalias ~pass:"final"
-        prog
+      Check.Verify.run ~assume_noalias:options.assume_noalias ?pointsto:!pt
+        ~pass:"final" prog
   | `Off -> ());
   stats
 

@@ -10,7 +10,13 @@
    symbolic terms are loop-invariant expressions (typically outer-loop
    subscript parts like 32*i).  Two bases with the same root and equal
    symbolic parts differ by a known byte distance; distinct named objects
-   never alias whatever their offsets. *)
+   never alias whatever their offsets.
+
+   Beyond the syntactic decomposition, an oracle installed by the driver
+   (whole-program points-to analysis, lib/pointsto) may refine the
+   May_alias fallbacks: when the oracle proves two addresses always land
+   in disjoint objects the verdict becomes No_alias without any user
+   assertion. *)
 
 open Vpc_support
 open Vpc_il
@@ -30,16 +36,32 @@ type result =
   | Must_alias of int  (* byte distance: base2 - base1 *)
   | May_alias
 
+(* Interprocedural refinement: consulted wherever the syntactic analysis
+   would answer May_alias.  Installed by the pipeline driver for the
+   duration of one optimization run (Vpc.optimize), cleared afterwards so
+   stale program facts never leak into a later compilation. *)
+let oracle : (Expr.t -> Expr.t -> result option) ref = ref (fun _ _ -> None)
+let set_oracle f = oracle := f
+let clear_oracle () = oracle := fun _ _ -> None
+
+let refine b1 b2 =
+  match !oracle b1 b2 with Some r -> r | None -> May_alias
+
 exception Not_canonical
 
-let rec decompose (e : Expr.t) : canon =
+(* [variant v] says variable [v] is redefined inside the region being
+   analyzed.  A [Pointer p] root stands for "the value of p", which is
+   only a usable base when that value is a single one — a pointer bumped
+   in the loop body has no canonical form. *)
+let rec decompose ~variant (e : Expr.t) : canon =
   match e.Expr.desc with
   | Expr.Addr_of v -> { root = Some (Object v); offset = 0; syms = [] }
   | Expr.Var p when Ty.is_pointer e.Expr.ty ->
-      { root = Some (Pointer p); offset = 0; syms = [] }
+      if variant p then raise Not_canonical
+      else { root = Some (Pointer p); offset = 0; syms = [] }
   | Expr.Const_int c -> { root = None; offset = c; syms = [] }
   | Expr.Binop (Expr.Add, a, b) ->
-      let ca = decompose a and cb = decompose b in
+      let ca = decompose ~variant a and cb = decompose ~variant b in
       let root =
         match ca.root, cb.root with
         | Some r, None | None, Some r -> Some r
@@ -48,18 +70,19 @@ let rec decompose (e : Expr.t) : canon =
       in
       { root; offset = ca.offset + cb.offset; syms = ca.syms @ cb.syms }
   | Expr.Binop (Expr.Sub, a, { desc = Expr.Const_int c; _ }) ->
-      let ca = decompose a in
+      let ca = decompose ~variant a in
       { ca with offset = ca.offset - c }
-  | Expr.Cast (ty, a) when Ty.is_pointer ty || Ty.is_integer ty -> decompose a
+  | Expr.Cast (ty, a) when Ty.is_pointer ty || Ty.is_integer ty ->
+      decompose ~variant a
   | _ -> { root = None; offset = 0; syms = [ e ] }
 
-let canonicalize (e : Expr.t) : canon option =
+let canonicalize ?(variant = fun _ -> false) (e : Expr.t) : canon option =
   (* fold constants first so structurally different spellings of the same
      address (&a + 8 + 8*i vs &a + 8*(1+i)) decompose identically; the
      spellings diverge when subscripts reach here through different chains
      of forward substitution (fused loop bodies especially) *)
   let e = Vpc_analysis.Simplify.expr e in
-  match decompose e with
+  match decompose ~variant e with
   | c ->
       let key x = Sexp.to_string (Expr.to_sexp x) in
       Some { c with syms = List.sort (fun a b -> compare (key a) (key b)) c.syms }
@@ -69,8 +92,9 @@ let syms_equal a b =
   List.length a = List.length b && List.for_all2 Expr.equal a b
 
 (* [assume_noalias] is the Fortran-parameter-semantics option. *)
-let bases ?(assume_noalias = false) (b1 : Expr.t) (b2 : Expr.t) : result =
-  match canonicalize b1, canonicalize b2 with
+let bases ?(assume_noalias = false) ?variant (b1 : Expr.t) (b2 : Expr.t) :
+    result =
+  match canonicalize ?variant b1, canonicalize ?variant b2 with
   | Some c1, Some c2 -> (
       match c1.root, c2.root with
       | Some (Object v1), Some (Object v2) when v1 <> v2 ->
@@ -85,14 +109,14 @@ let bases ?(assume_noalias = false) (b1 : Expr.t) (b2 : Expr.t) : result =
             Must_alias (c2.offset - c1.offset)
           else if p1 = p2 then May_alias
           else if assume_noalias then No_alias
-          else May_alias
+          else refine b1 b2
       | Some (Object _), Some (Pointer _) | Some (Pointer _), Some (Object _)
         ->
           (* a pointer parameter may point into any named object unless
-             the option says otherwise *)
-          if assume_noalias then No_alias else May_alias
+             the option — or the points-to oracle — says otherwise *)
+          if assume_noalias then No_alias else refine b1 b2
       | None, _ | _, None ->
           if c1.root = c2.root && syms_equal c1.syms c2.syms then
             Must_alias (c2.offset - c1.offset)
-          else May_alias)
-  | _ -> May_alias
+          else refine b1 b2)
+  | _ -> refine b1 b2

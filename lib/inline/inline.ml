@@ -15,6 +15,7 @@
 
 open Vpc_il
 module Profile = Vpc_profile
+module Pointsto = Vpc_pointsto.Pointsto
 
 type options = {
   max_callee_stmts : int;  (* size threshold for automatic inlining *)
@@ -22,6 +23,10 @@ type options = {
   only : string list option;  (* when set, inline only these callees *)
   profile : Profile.Data.t option;
       (* measured call counts/cycles: rank sites, skip cold ones *)
+  pointsto : Pointsto.t option;
+      (* mod/ref summaries: a call inside a loop whose summary starves
+         the dependence test is the §7 motivation for inlining — rank
+         such sites first *)
   max_total_growth : int;
       (* per-caller statement budget, enforced only with a profile *)
   report : (string -> unit) option;
@@ -33,6 +38,7 @@ let default_options =
     max_depth = 8;
     only = None;
     profile = None;
+    pointsto = None;
     max_total_growth = 4000;
     report = None;
   }
@@ -44,6 +50,8 @@ type stats = {
   mutable calls_skipped_unknown : int;  (* no body available (library) *)
   mutable calls_skipped_cold : int;     (* measured count = 0 *)
   mutable calls_skipped_budget : int;   (* growth budget exhausted *)
+  mutable calls_ranked_blocking : int;
+      (* in-loop sites whose mod/ref summary blocks vectorization *)
 }
 
 let new_stats () =
@@ -54,6 +62,7 @@ let new_stats () =
     calls_skipped_unknown = 0;
     calls_skipped_cold = 0;
     calls_skipped_budget = 0;
+    calls_ranked_blocking = 0;
   }
 
 let func_size (f : Func.t) = List.length (Func.all_stmts f)
@@ -129,53 +138,104 @@ let expand_call (prog : Prog.t) (caller : Func.t) (callee : Func.t)
   in
   bind_params @ body @ epilogue
 
-(* Profile-guided site selection for one caller.  The §7 policy inlines
-   every eligible site leaf-first; with measured data we instead rank
-   sites by attributed cycles (call count × mean callee time), skip
-   sites the run proved cold, and stop when the growth budget is spent.
-   Sites the profile has no data for keep the static policy (rank 0,
-   source order), so an empty profile selects exactly the static set. *)
+(* Site selection for one caller.  The §7 policy inlines every eligible
+   site leaf-first; with measured data we instead rank sites by
+   attributed cycles (call count × mean callee time), skip sites the run
+   proved cold, and stop when the growth budget is spent.  Sites the
+   profile has no data for keep the static policy (rank 0, source
+   order), so an empty profile selects exactly the static set.
+
+   Mod/ref summaries add a second signal: a call inside a loop whose
+   callee writes memory (or does io, or has no summary) starves the
+   dependence test of facts, so vectorizing the enclosing loop needs the
+   body spelled out — those sites are ranked ahead of everything else.
+   Without a profile the ranking changes only reporting order (the
+   budget is not enforced and expansion replaces calls in body order),
+   keeping points-to-only compilation byte-identical to the §7 policy. *)
 type site_verdict = Inline_site | Cold_site | Budget_site
 
 let plan_sites (opts : options) stats (prog : Prog.t) (caller : Func.t)
-    (profile : Profile.Data.t) ~eligible : (int, site_verdict) Hashtbl.t =
+    ~eligible : (int, site_verdict) Hashtbl.t =
   let sites = ref [] in
-  Stmt.iter_list
-    (fun (s : Stmt.t) ->
-      match s.Stmt.desc with
-      | Stmt.Call (_, Stmt.Direct name, args) when eligible name -> (
-          match Prog.find_func prog name with
-          | Some callee
-            when func_size callee <= opts.max_callee_stmts
-                 && List.length args = List.length callee.Func.params ->
-              sites := (s, callee) :: !sites
-          | Some _ | None -> ())
-      | _ -> ())
-    caller.Func.body;
+  let record ~in_loop (s : Stmt.t) name args =
+    if eligible name then
+      match Prog.find_func prog name with
+      | Some callee
+        when func_size callee <= opts.max_callee_stmts
+             && List.length args = List.length callee.Func.params ->
+          sites := (s, callee, in_loop) :: !sites
+      | Some _ | None -> ()
+  in
+  let rec walk ~in_loop stmts =
+    List.iter
+      (fun (s : Stmt.t) ->
+        match s.Stmt.desc with
+        | Stmt.Call (_, Stmt.Direct name, args) -> record ~in_loop s name args
+        | Stmt.If (_, t, e) ->
+            walk ~in_loop t;
+            walk ~in_loop e
+        | Stmt.While (_, _, b) -> walk ~in_loop:true b
+        | Stmt.Do_loop d -> walk ~in_loop:true d.Stmt.body
+        | _ -> ())
+      stmts
+  in
+  walk ~in_loop:false caller.Func.body;
   let sites = List.rev !sites in
   let measure (s : Stmt.t) =
-    match Profile.Key.of_loc s.Stmt.loc with
+    match opts.profile with
     | None -> None
-    | Some k -> Option.map (fun c -> (k, c)) (Profile.Data.find_call profile k)
+    | Some profile -> (
+        match Profile.Key.of_loc s.Stmt.loc with
+        | None -> None
+        | Some k ->
+            Option.map (fun c -> (k, c)) (Profile.Data.find_call profile k))
   in
-  (* hottest first; the sort is stable, so unmeasured sites keep their
-     source order at rank 0 *)
+  let blocking (callee : Func.t) ~in_loop =
+    in_loop
+    &&
+    match opts.pointsto with
+    | Some pt -> Pointsto.blocks_vectorization pt callee.Func.name
+    | None -> false
+  in
+  (* vectorization-blocking in-loop sites first, then hottest first; the
+     sort is stable, so unranked sites keep their source order *)
   let ranked =
     List.stable_sort
-      (fun (a, _) (b, _) ->
-        let rank s =
-          match measure s with Some (_, c) -> c.Profile.Data.cycles | None -> 0
+      (fun (a, ca, la) (b, cb, lb) ->
+        let block s = if s then 1 else 0 in
+        let c =
+          Int.compare (block (blocking cb ~in_loop:lb))
+            (block (blocking ca ~in_loop:la))
         in
-        Int.compare (rank b) (rank a))
+        if c <> 0 then c
+        else
+          let rank s =
+            match measure s with
+            | Some (_, c) -> c.Profile.Data.cycles
+            | None -> 0
+          in
+          Int.compare (rank b) (rank a))
       sites
   in
   let verdicts = Hashtbl.create 16 in
-  let budget = ref opts.max_total_growth in
+  (* the growth budget is a profile-guided policy; without measurements
+     the §7 policy has no budget and selects every site *)
+  let budget =
+    ref (if opts.profile = None then max_int else opts.max_total_growth)
+  in
   let say fmt = Printf.ksprintf (fun m ->
       match opts.report with Some r -> r m | None -> ()) fmt
   in
   List.iter
-    (fun ((s : Stmt.t), callee) ->
+    (fun ((s : Stmt.t), callee, in_loop) ->
+      if blocking callee ~in_loop then begin
+        stats.calls_ranked_blocking <- stats.calls_ranked_blocking + 1;
+        say
+          "call %s -> %s: mod/ref summary blocks vectorization of the \
+           enclosing loop -> inline first"
+          (Vpc_support.Loc.to_string s.Stmt.loc)
+          callee.Func.name
+      end;
       match measure s with
       | Some (k, c) when c.Profile.Data.count = 0 ->
           stats.calls_skipped_cold <- stats.calls_skipped_cold + 1;
@@ -185,7 +245,7 @@ let plan_sites (opts : options) stats (prog : Prog.t) (caller : Func.t)
       | m ->
           let size = func_size callee in
           if size <= !budget then begin
-            budget := !budget - size;
+            (if !budget <> max_int then budget := !budget - size);
             Hashtbl.replace verdicts s.Stmt.id Inline_site;
             match m with
             | Some (k, c) ->
@@ -217,9 +277,9 @@ let rec expand_in_function (opts : options) stats (prog : Prog.t)
       match opts.only with Some names -> List.mem name names | None -> true
     in
     let plan =
-      match opts.profile with
-      | None -> None
-      | Some profile -> Some (plan_sites opts stats prog caller profile ~eligible)
+      match opts.profile, opts.pointsto with
+      | None, None -> None
+      | _ -> Some (plan_sites opts stats prog caller ~eligible)
     in
     let site_selected (s : Stmt.t) =
       match plan with

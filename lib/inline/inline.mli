@@ -17,6 +17,11 @@ type options = {
           and growth stops at [max_total_growth].  Sites without data
           follow the static policy, so an empty profile expands exactly
           the static set. *)
+  pointsto : Vpc_pointsto.Pointsto.t option;
+      (** mod/ref summaries: an in-loop site whose callee summary blocks
+          vectorization of the enclosing loop (unknown effects, writes
+          through pointers, I/O) is the §7 motivation for inlining and is
+          ranked ahead of every other site. *)
   max_total_growth : int;  (** per-caller budget, applies with a profile *)
   report : (string -> unit) option;  (** decision explanations *)
 }
@@ -30,6 +35,8 @@ type stats = {
   mutable calls_skipped_unknown : int;  (** library / no body available *)
   mutable calls_skipped_cold : int;     (** measured count = 0 *)
   mutable calls_skipped_budget : int;   (** growth budget exhausted *)
+  mutable calls_ranked_blocking : int;
+      (** in-loop sites whose mod/ref summary blocks vectorization *)
 }
 
 val new_stats : unit -> stats

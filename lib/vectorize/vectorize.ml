@@ -34,6 +34,9 @@ type options = {
   vreuse : bool;
       (* vector-register reuse runs downstream: price accumulator loops
          with the port-traffic model's residency estimate *)
+  why_scalar : (string -> unit) option;
+      (* one line per loop left scalar, naming the unresolved alias pair
+         (with source locations) or the rejecting shape/dependence *)
 }
 
 let default_options =
@@ -46,6 +49,7 @@ let default_options =
     profile = None;
     report = None;
     vreuse = false;
+    why_scalar = None;
   }
 
 type stats = {
@@ -192,6 +196,11 @@ let body_shape (body : Stmt.t list) : Cost.shape = Cost.shape_of_stmts body
    across the enclosing serial loop, thinning every strip's memory
    traffic by two references. *)
 let residency_candidates ~noalias (body : Stmt.t list) : int =
+  (* a pointer the body itself bumps has no single value, so a same-base
+     load/store pair through it walks memory rather than revisiting one
+     section: Must_alias through such a root would misprice the loop *)
+  let defined_in_body, _ = Vpc_analysis.Reaching.vars_defined_in body in
+  let variant v = Hashtbl.mem defined_in_body v in
   List.fold_left
     (fun acc (s : Stmt.t) ->
       match s.Stmt.desc with
@@ -201,7 +210,9 @@ let residency_candidates ~noalias (body : Stmt.t list) : int =
             (fun (e : Expr.t) ->
               match e.Expr.desc with
               | Expr.Load p
-                when (match Alias.bases ~assume_noalias:noalias p addr with
+                when (match
+                        Alias.bases ~assume_noalias:noalias ~variant p addr
+                      with
                      | Alias.Must_alias 0 -> true
                      | Alias.No_alias | Alias.Must_alias _ | Alias.May_alias ->
                          false) ->
@@ -355,6 +366,15 @@ let process_loop (opts : options) stats prog (func : Func.t)
   match pgo with
   | Some { keep_scalar = true; _ } ->
       stats.pgo_scalar_loops <- stats.pgo_scalar_loops + 1;
+      (match opts.why_scalar with
+      | Some say ->
+          say
+            (Printf.sprintf
+               "%s: loop at %s stays scalar: profile puts it below the \
+                vector break-even"
+               func.Func.name
+               (Vpc_support.Loc.to_string loop_stmt.Stmt.loc))
+      | None -> ());
       None  (* below break-even: the serial DO loop is the fast version *)
   | _ ->
   let strip_vlen =
@@ -370,8 +390,87 @@ let process_loop (opts : options) stats prog (func : Func.t)
   let graph =
     Graph.build ~assume_noalias ~trip:trip_const body ~index:d.index ~invariant
   in
+  (* --why-scalar: name what kept this loop out of vector form *)
+  let why fmt =
+    Format.kasprintf
+      (fun msg ->
+        match opts.why_scalar with
+        | Some say ->
+            say
+              (Printf.sprintf "%s: loop at %s stays scalar: %s"
+                 func.Func.name
+                 (Vpc_support.Loc.to_string loop_stmt.Stmt.loc)
+                 msg)
+        | None -> ())
+      fmt
+  in
+  let pp_e ppf e = Pp.pp_expr { Pp.prog; Pp.func = Some func } ppf e in
+  let stmt_loc (s : Stmt.t) = Vpc_support.Loc.to_string s.Stmt.loc in
+  (* the first write-involving reference pair the alias analysis could
+     not separate, re-deriving each verdict the dependence graph used *)
+  let unresolved_alias_pair () =
+    let arr = Array.of_list body in
+    let refs = Array.of_list graph.Graph.refs in
+    let variant v = Hashtbl.mem defined_in_body v in
+    let verdict (r1 : Subscript.reference) (r2 : Subscript.reference) =
+      match r1.Subscript.affine, r2.Subscript.affine with
+      | Some a1, Some a2 ->
+          Alias.bases ~assume_noalias a1.Subscript.base a2.Subscript.base
+      | _ ->
+          Alias.bases ~assume_noalias ~variant r1.Subscript.addr
+            r2.Subscript.addr
+    in
+    let found = ref None in
+    (try
+       for i = 0 to Array.length refs - 1 do
+         for j = i to Array.length refs - 1 do
+           let r1 = refs.(i) and r2 = refs.(j) in
+           if
+             (r1.Subscript.kind = Subscript.Write
+             || r2.Subscript.kind = Subscript.Write)
+             && verdict r1 r2 = Alias.May_alias
+           then begin
+             found := Some (r1, r2);
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    Option.map
+      (fun ((r1 : Subscript.reference), (r2 : Subscript.reference)) ->
+        let describe (r : Subscript.reference) =
+          let loc =
+            if r.Subscript.ref_pos >= 0 && r.Subscript.ref_pos < Array.length arr
+            then stmt_loc arr.(r.Subscript.ref_pos)
+            else "?"
+          in
+          Format.asprintf "%s of %a (at %s)"
+            (match r.Subscript.kind with
+            | Subscript.Write -> "store"
+            | Subscript.Read -> "load")
+            pp_e r.Subscript.addr loc
+        in
+        (describe r1, describe r2))
+      !found
+  in
   if not graph.Graph.analyzable then begin
     stats.loops_rejected_shape <- stats.loops_rejected_shape + 1;
+    (if opts.why_scalar <> None then
+       let offender =
+         List.find_opt
+           (fun (s : Stmt.t) ->
+             match s.Stmt.desc with Stmt.Assign _ -> false | _ -> true)
+           body
+       in
+       match offender with
+       | Some ({ Stmt.desc = Stmt.Call (_, Stmt.Direct name, _); _ } as s) ->
+           why
+             "body calls %s (at %s); dependence analysis needs the call \
+              inlined or its effects bounded"
+             name (stmt_loc s)
+       | Some s ->
+           why "body statement at %s is not an assignment" (stmt_loc s)
+       | None -> why "body is not analyzable");
     None
   end
   else begin
@@ -761,6 +860,13 @@ let process_loop (opts : options) stats prog (func : Func.t)
       if !any_parallel then stats.loops_parallelized <- stats.loops_parallelized + 1;
       if (not !any_vector) && not !any_parallel then begin
         stats.loops_rejected_dependence <- stats.loops_rejected_dependence + 1;
+        (if opts.why_scalar <> None then
+           match unresolved_alias_pair () with
+           | Some (d1, d2) -> why "cannot prove %s independent of %s" d1 d2
+           | None ->
+               why
+                 "a loop-carried dependence cycle keeps every statement \
+                  sequential");
         None  (* keep the original loop: nothing was gained *)
       end
       else Some pieces

@@ -30,6 +30,10 @@ type options = {
   vreuse : bool;
       (** the vector-register reuse pass runs downstream: price
           accumulator loops with the residency-aware traffic model *)
+  why_scalar : (string -> unit) option;
+      (** one line per loop left scalar, naming the unresolved alias
+          pair with source locations, the rejecting statement, or the
+          carried dependence cycle *)
 }
 
 val default_options : options

@@ -129,6 +129,68 @@ let alias_rules () =
   Alcotest.(check bool) "pointer vs array may alias" true
     (Alias.bases (Expr.var p) (addr a) = Alias.May_alias)
 
+let alias_variant_pointer () =
+  (* a pointer redefined inside the analyzed loop has no single value:
+     [p] vs [p + 8] must-alias at distance 8 only while p is invariant;
+     with p marked variant the canonical root is gone and the verdict
+     must fall back to may-alias (a bumped pointer's two occurrences can
+     be any distance apart across iterations) *)
+  let open Vpc.Il in
+  let p = Var.make ~id:3 ~name:"p" ~ty:(Ty.Ptr Ty.Float) () in
+  let plus e n = Expr.binop Expr.Add e (Expr.int_const n) e.Expr.ty in
+  let variant v = v = 3 in
+  Alcotest.(check bool) "invariant pointer must-aliases" true
+    (Alias.bases (Expr.var p) (plus (Expr.var p) 8) = Alias.Must_alias 8);
+  Alcotest.(check bool) "bumped pointer falls to may-alias" true
+    (Alias.bases ~variant (Expr.var p) (plus (Expr.var p) 8)
+     = Alias.May_alias);
+  Alcotest.(check bool) "variant root does not canonicalize" true
+    (Alias.canonicalize ~variant (Expr.var p) = None);
+  (* even the assume_noalias escape hatch must not claim a distance *)
+  Alcotest.(check bool) "noalias does not resurrect the distance" true
+    (Alias.bases ~assume_noalias:true ~variant (Expr.var p)
+       (plus (Expr.var p) 8)
+    <> Alias.Must_alias 8)
+
+let alias_canonical_edges () =
+  let open Vpc.Il in
+  let a = Var.make ~id:1 ~name:"a" ~ty:(Ty.Array (Ty.Float, Some 10)) () in
+  let k = Var.make ~id:5 ~name:"k" ~ty:Ty.Int () in
+  let j = Var.make ~id:6 ~name:"j" ~ty:Ty.Int () in
+  let addr v = Expr.addr_of v in
+  let plus e n = Expr.binop Expr.Add e (Expr.int_const n) e.Expr.ty in
+  let add e1 e2 = Expr.binop Expr.Add e1 e2 e1.Expr.ty in
+  let scaled v n =
+    Expr.binop Expr.Mul (Expr.int_const n) (Expr.var v) Ty.Int
+  in
+  (* negative constant offsets: &a - 8 sits 8 bytes before &a *)
+  Alcotest.(check bool) "negative offset distance" true
+    (Alias.bases (plus (addr a) (-8)) (addr a) = Alias.Must_alias 8);
+  Alcotest.(check bool) "negative vs positive offset" true
+    (Alias.bases (plus (addr a) (-4)) (plus (addr a) 4) = Alias.Must_alias 8);
+  (* nested field chains fold: (&a + 8) + 4 is &a + 12 *)
+  Alcotest.(check bool) "nested constant chain folds" true
+    (Alias.bases (plus (plus (addr a) 8) 4) (plus (addr a) 12)
+     = Alias.Must_alias 0);
+  Alcotest.(check bool) "nested chain distance" true
+    (Alias.bases (plus (plus (addr a) 8) 4) (plus (addr a) 20)
+     = Alias.Must_alias 8);
+  (* symbolic addends differing only by commutativity canonicalize
+     equal: &a + 4k + 8j vs &a + 8j + 4k *)
+  let e1 = add (add (addr a) (scaled k 4)) (scaled j 8) in
+  let e2 = add (add (addr a) (scaled j 8)) (scaled k 4) in
+  Alcotest.(check bool) "commuted symbolic addends" true
+    (Alias.bases e1 e2 = Alias.Must_alias 0);
+  let e3 = add (add (plus (addr a) 16) (scaled k 4)) (scaled j 8) in
+  let e4 = add (add (addr a) (scaled j 8)) (scaled k 4) in
+  Alcotest.(check bool) "commuted symbolic addends with offset" true
+    (Alias.bases e3 e4 = Alias.Must_alias (-16));
+  (* different symbolic addends stay may-alias *)
+  let e5 = add (addr a) (scaled k 4) in
+  let e6 = add (addr a) (scaled j 4) in
+  Alcotest.(check bool) "different symbols undecided" true
+    (Alias.bases e5 e6 = Alias.May_alias)
+
 let subscript_extraction () =
   (* *(base + 4*i) and explicit a[i] decompose identically *)
   let src =
@@ -326,6 +388,10 @@ let tests =
     QCheck_alcotest.to_alcotest soundness_prop;
     QCheck_alcotest.to_alcotest strong_siv_exact_prop;
     Alcotest.test_case "alias rules" `Quick alias_rules;
+    Alcotest.test_case "alias: pointer bumped in loop" `Quick
+      alias_variant_pointer;
+    Alcotest.test_case "alias: canonicalize edge cases" `Quick
+      alias_canonical_edges;
     Alcotest.test_case "subscript extraction" `Quick subscript_extraction;
     Alcotest.test_case "backsolve carried dep (§6)" `Quick graph_backsolve_carried;
     Alcotest.test_case "direction vectors" `Quick direction_vector_cases;

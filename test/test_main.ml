@@ -22,5 +22,6 @@ let () =
       ("pipeline", Test_pipeline.tests);
       ("vreuse", Test_vreuse.tests);
       ("verify", Test_verify.tests);
+      ("pointsto", Test_pointsto.tests);
       ("profile", Test_profile.tests);
     ]

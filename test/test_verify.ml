@@ -53,6 +53,7 @@ let example_files =
     "graphics.c";
     "device_poll.c";
     "math_library.c";
+    "ptrkernels.c";
   ]
 
 let read_file path =
