@@ -450,5 +450,57 @@ let ptrkernels ~n =
       "}";
     ]
 
+(* kernels whose bounds and offsets are parameters: only the symbolic
+   range analysis (joining the visible call sites) can prove the shifted
+   reads disjoint from the writes, or the 32*m trip counts full-strip
+   (examples/symbolic.c is the standalone copy).  [n] is the length of
+   the smaller array; every call-site constant scales with it. *)
+let symbolic ~n =
+  nl
+    [
+      "void shift(float *a, int n, int k)";
+      "{";
+      "  int i;";
+      "  for (i = 0; i < n; i++)";
+      "    a[i] = a[i + k];";
+      "}";
+      "void smooth(float *a, int n, int k)";
+      "{";
+      "  int i;";
+      "  for (i = 0; i < n; i++)";
+      "    a[i] = 0.5f * (a[i + k] + a[i + k + 1]);";
+      "}";
+      "void scale2(float *d, int m)";
+      "{";
+      "  int i;";
+      "  for (i = 0; i < 32 * m; i++)";
+      "    d[i] = d[i] * 2.0f;";
+      "}";
+      Printf.sprintf "float buf[%d];" n;
+      Printf.sprintf "float img[%d];" (2 * n);
+      "int main()";
+      "{";
+      "  int i, r;";
+      "  float sb;";
+      Printf.sprintf "  for (i = 0; i < %d; i++)" n;
+      "    buf[i] = 0.5f + (float)i * 0.01f;";
+      Printf.sprintf "  for (i = 0; i < %d; i++)" (2 * n);
+      Printf.sprintf "    img[i] = (float)(%d - i) * 0.125f;" (2 * n);
+      "  for (r = 0; r < 4; r++) {";
+      Printf.sprintf "    shift(buf, %d, %d);" (n / 4) (5 * n / 8);
+      Printf.sprintf "    shift(buf, %d, %d);" (n / 8) (3 * n / 4);
+      Printf.sprintf "    smooth(img, %d, %d);" ((n / 2) - 12) n;
+      Printf.sprintf "    smooth(img, %d, %d);" (2 * n / 5) n;
+      Printf.sprintf "    scale2(buf, %d);" (n / 128);
+      Printf.sprintf "    scale2(buf, %d);" (n / 256);
+      "  }";
+      "  sb = 0.0f;";
+      Printf.sprintf "  for (i = 0; i < %d; i++)" n;
+      "    sb = sb + buf[i];";
+      "  printf(\"%g %g %g\\n\", sb, buf[0], img[0]);";
+      "  return 0;";
+      "}";
+    ]
+
 (* a general compile-time workload for the bechamel timings *)
 let compile_time_workload = daxpy 100

@@ -17,7 +17,8 @@ let read_file path =
   s
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
-    no_interchange no_fuse no_vreuse no_pointsto why_scalar assume_noalias vlen
+    no_interchange no_fuse no_vreuse no_pointsto no_range lint why_scalar
+    assume_noalias vlen
     procs sched_name
     dump_stages
     dump_asm check catalogs
@@ -25,6 +26,22 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
     report =
   try
     let src = read_file file in
+    if lint then begin
+      (* lint mode: front end only, then the provable-bug checks over
+         the unoptimized IL (where source locations are intact) *)
+      let prog = Vpc.parse ~file src in
+      let findings = Vpc.Check.Lint.run prog in
+      List.iter
+        (fun v -> Printf.printf "%s\n" (Vpc.Check.Report.to_string v))
+        findings;
+      match findings with
+      | [] ->
+          if not quiet then Printf.eprintf "lint: no findings\n";
+          exit 0
+      | fs ->
+          if not quiet then Printf.eprintf "lint: %d finding(s)\n" (List.length fs);
+          exit 4
+    end;
     let sched =
       match sched_name with
       | "seq" -> Vpc.Titan.Machine.Sequential
@@ -70,6 +87,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         fuse = base.Vpc.fuse && not no_fuse;
         vreuse = base.Vpc.vreuse && not no_vreuse;
         pointsto = base.Vpc.pointsto && not no_pointsto;
+        range = base.Vpc.range && not no_range;
         assume_noalias;
         vlen;
         catalogs;
@@ -235,6 +253,20 @@ let no_pointsto_arg =
                race checker, and inline ranking fall back to worst-case \
                aliasing")
 
+let no_range_arg =
+  Arg.(value & flag & info [ "no-range" ]
+         ~doc:"Disable the interprocedural symbolic range and \
+               scalar-evolution analysis (on by default at -O2 and above); \
+               dependence testing falls back to unknown symbolic distances \
+               and strip loops keep their runtime length guards")
+
+let lint_arg =
+  Arg.(value & flag & info [ "lint" ]
+         ~doc:"Front end only: report statically-provable bugs (out-of-bounds \
+               subscripts, overflow-prone induction updates, always-false \
+               loop guards, degenerate DO loops) and exit; exit code 4 when \
+               there are findings, 0 when clean")
+
 let why_scalar_arg =
   Arg.(value & flag & info [ "why-scalar" ]
          ~doc:"Explain each loop left scalar on stderr (one [why-scalar] \
@@ -316,7 +348,8 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ opt_arg $ inline_only_arg
       $ no_parallel_arg $ no_vectorize_arg $ no_interchange_arg $ no_fuse_arg
-      $ no_vreuse_arg $ no_pointsto_arg $ why_scalar_arg $ noalias_arg
+      $ no_vreuse_arg $ no_pointsto_arg $ no_range_arg $ lint_arg
+      $ why_scalar_arg $ noalias_arg
       $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg

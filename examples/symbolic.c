@@ -1,0 +1,71 @@
+/* Kernels whose bounds and offsets are function parameters.  Nothing
+ * here is a literal constant at the loop: the trip counts and the
+ * subscript distances only become known when the symbolic range
+ * analysis joins the argument values over the visible call sites.
+ *
+ *   shift   reads a[i+k] while writing a[i]; every caller passes
+ *           k >= n, so the read and written regions cannot overlap --
+ *           but only the seeded interval for k proves it.
+ *   smooth  same story with a two-point stencil a[i+k], a[i+k+1].
+ *   scale2  trip count is 32*m, provably a multiple of the vector
+ *           length, so the strip loop needs no remainder handling.
+ *
+ * With --no-range all three loops stay scalar (shift and smooth look
+ * like self-dependences; scale2 still vectorizes but keeps its runtime
+ * strip guards).  With range analysis on, all of them vectorize clean.
+ */
+
+void shift(float *a, int n, int k)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        a[i] = a[i + k];
+}
+
+void smooth(float *a, int n, int k)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        a[i] = 0.5f * (a[i + k] + a[i + k + 1]);
+}
+
+void scale2(float *d, int m)
+{
+    int i;
+    for (i = 0; i < 32 * m; i++)
+        d[i] = d[i] * 2.0f;
+}
+
+float buf[1024];
+float img[2048];
+
+int main()
+{
+    int i, r;
+    float sb, si;
+
+    for (i = 0; i < 1024; i++)
+        buf[i] = 0.5f + (float)i * 0.01f;
+    for (i = 0; i < 2048; i++)
+        img[i] = (float)(2048 - i) * 0.125f;
+
+    for (r = 0; r < 4; r++) {
+        shift(buf, 256, 640);   /* k >= n at every call site */
+        shift(buf, 128, 768);
+        smooth(img, 500, 1000); /* writes the bottom half from the top */
+        smooth(img, 400, 1024);
+        scale2(buf, 8);         /* trip counts 256 and 128: full strips */
+        scale2(buf, 4);
+    }
+
+    sb = 0.0f;
+    for (i = 0; i < 1024; i++)
+        sb = sb + buf[i];
+    si = 0.0f;
+    for (i = 0; i < 2048; i++)
+        si = si + img[i];
+    printf("buf sum %g  img sum %g\n", sb, si);
+    printf("buf[0]=%g buf[100]=%g img[0]=%g img[399]=%g\n",
+           buf[0], buf[100], img[0], img[399]);
+    return 0;
+}

@@ -15,10 +15,18 @@ type stats = {
   mutable branches_folded : int;
   mutable loops_deleted : int;
   mutable stmts_removed : int;
+  mutable range_folds : int;
+      (* branches decided by value ranges, not literal constants *)
 }
 
 let new_stats () =
-  { substitutions = 0; branches_folded = 0; loops_deleted = 0; stmts_removed = 0 }
+  {
+    substitutions = 0;
+    branches_folded = 0;
+    loops_deleted = 0;
+    stmts_removed = 0;
+    range_folds = 0;
+  }
 
 (* One substitution pass: returns true if anything changed. *)
 let substitute_pass (prog : Prog.t) (func : Func.t) stats =
@@ -73,7 +81,14 @@ let count_stmts stmts =
 (* Fold branches whose conditions are now constant, and loops proven to
    run zero times.  Statements containing labels cannot be deleted safely
    if the label is a goto target elsewhere, so we check. *)
-let fold_pass (func : Func.t) stats =
+let fold_pass ?range (func : Func.t) stats =
+  (* [range s cond]: a truth value for [cond] at statement [s] that the
+     symbolic range analysis can prove — comparisons whose operands have
+     disjoint known ranges fold even when neither side is a literal
+     constant (the loop-bound guards the lowerer emits, typically). *)
+  let range_truth (s : Stmt.t) (c : Expr.t) =
+    match range with None -> None | Some f -> f s c
+  in
   let changed = ref false in
   (* collect goto targets *)
   let targets = Hashtbl.create 8 in
@@ -100,7 +115,17 @@ let fold_pass (func : Func.t) stats =
   and walk_stmt (s : Stmt.t) : Stmt.t list =
     match s.Stmt.desc with
     | Stmt.If (c, then_, else_) -> (
-        match Simplify.const_truth c with
+        let decided =
+          match Simplify.const_truth c with
+          | Some _ as t -> t
+          | None -> (
+              match range_truth s c with
+              | Some _ as t ->
+                  stats.range_folds <- stats.range_folds + 1;
+                  t
+              | None -> None)
+        in
+        match decided with
         | Some truth ->
             let live = if truth then then_ else else_ in
             let dead = if truth then else_ else then_ in
@@ -142,12 +167,12 @@ let fold_pass (func : Func.t) stats =
 
 let max_rounds = 25
 
-let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+let run ?(stats = new_stats ()) ?range (prog : Prog.t) (func : Func.t) =
   let any = ref false in
   let rec go round =
     if round < max_rounds then begin
       let s = substitute_pass prog func stats in
-      let f = fold_pass func stats in
+      let f = fold_pass ?range func stats in
       if s || f then begin
         any := true;
         go (round + 1)

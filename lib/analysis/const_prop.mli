@@ -13,9 +13,22 @@ type stats = {
   mutable branches_folded : int;
   mutable loops_deleted : int;   (** zero-trip loops removed *)
   mutable stmts_removed : int;
+  mutable range_folds : int;
+      (** branches decided by value ranges, not literal constants *)
 }
 
 val new_stats : unit -> stats
 
-(** Run to fixpoint on one function; returns [true] if anything changed. *)
-val run : ?stats:stats -> Prog.t -> Func.t -> bool
+(** Run to fixpoint on one function; returns [true] if anything changed.
+
+    [range s cond] may return a truth value the symbolic range analysis
+    proves for [cond] at statement [s]: comparisons whose operands have
+    disjoint ranges fold even when neither side is a literal constant
+    (the loop-bound guards the lowerer emits for constant-bound loops,
+    typically).  Must be sound — a [Some] answer deletes the other arm. *)
+val run :
+  ?stats:stats ->
+  ?range:(Stmt.t -> Expr.t -> bool option) ->
+  Prog.t ->
+  Func.t ->
+  bool

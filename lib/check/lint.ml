@@ -1,0 +1,310 @@
+(* Lint: statically-provable bugs in the source program, reported over
+   the front-end IL (where statements still carry source locations and
+   the lowerer's shapes are predictable).  Everything here must be
+   provable — a finding fires only when the symbolic range analysis or
+   exact iteration arithmetic shows the bad state is reached — because
+   the CI gate requires zero findings on clean programs.
+
+   Rules:
+   - [oob-subscript]: the byte offset of a memory access lies entirely
+     outside the accessed object, whenever the access executes;
+   - [oob-loop]: a counted loop attains a subscript past the end of the
+     object (the off-by-one the point rule cannot see, because part of
+     the offset range is in bounds);
+   - [induction-overflow]: a counted loop's induction update overflows
+     the int range before the guard can fail;
+   - [loop-guard-false]: a loop guard the ranges prove always false;
+   - [do-degenerate]: {!Wf.advise_func}'s constant zero-trip DO loops. *)
+
+open Vpc_il
+module Range = Vpc_range.Range
+
+let int32_max = 0x7fffffff
+
+type ctx = {
+  prog : Prog.t;
+  func : Func.t;
+  mutable acc : Report.violation list;
+}
+
+let report ctx ~rule ~(stmt : Stmt.t) fmt =
+  Format.kasprintf
+    (fun message ->
+      ctx.acc <-
+        Report.v ~rule ~func:ctx.func.Func.name ~stmt:stmt.Stmt.id
+          ~loc:stmt.Stmt.loc message
+        :: ctx.acc)
+    fmt
+
+let find_var ctx id = Prog.find_var ctx.prog (Some ctx.func) id
+
+let var_name ctx id =
+  match find_var ctx id with
+  | Some v -> v.Var.name
+  | None -> Printf.sprintf "var %d" id
+
+(* Addresses a statement dereferences the moment it starts executing,
+   with the element type accessed: loads anywhere in its shallow
+   expressions (those evaluate unconditionally) plus a store's target. *)
+let accesses (s : Stmt.t) =
+  let acc = ref [] in
+  let add (p : Expr.t) =
+    match p.Expr.ty with Ty.Ptr elt -> acc := (p, elt) :: !acc | _ -> ()
+  in
+  List.iter
+    (fun e ->
+      Expr.iter
+        (fun e -> match e.Expr.desc with Expr.Load p -> add p | _ -> ())
+        e)
+    (Stmt.shallow_exprs s);
+  (match s.Stmt.desc with
+  | Stmt.Assign (Stmt.Lmem p, _) | Stmt.Call (Some (Stmt.Lmem p), _, _) ->
+      add p
+  | _ -> ());
+  List.rev !acc
+
+(* Decompose an address value into a known object plus a symbolic byte
+   offset: the affine form must mention exactly one address symbol, with
+   coefficient one.  [None] for pointers whose object is unknown (a
+   parameter, a load) — no size to check against. *)
+let base_and_offset env (p : Expr.t) =
+  match (Range.eval env p).Range.aff with
+  | None -> None
+  | Some a -> (
+      let addrs =
+        List.filter
+          (fun (s, _) ->
+            match s with Range.Affine.Saddr _ -> true | Range.Affine.Svar _ -> false)
+          a.Range.Affine.terms
+      in
+      match addrs with
+      | [ (Range.Affine.Saddr g, 1) ] ->
+          Some (g, Range.Affine.sub a (Range.Affine.sym (Range.Affine.Saddr g)))
+      | _ -> None)
+
+(* The object's total size and the access width, in bytes; [None] when
+   the object is unknown or the sizes make no sense to check. *)
+let object_bytes ctx g (elt : Ty.t) =
+  match find_var ctx g with
+  | None -> None
+  | Some v ->
+      let size = Ty.sizeof ctx.prog.Prog.structs v.Var.ty in
+      let width = Ty.sizeof ctx.prog.Prog.structs elt in
+      if size > 0 && width > 0 && size >= width then Some (v, size - width)
+      else None
+
+(* Point rule: the whole offset interval misses the object. *)
+let check_access ctx env stmt (p, elt) =
+  match base_and_offset env p with
+  | None -> ()
+  | Some (g, off_aff) -> (
+      match object_bytes ctx g elt with
+      | None -> ()
+      | Some (v, valid_hi) ->
+          let off = Range.interval_of_affine env off_aff in
+          if not (Range.Interval.is_bot off) then begin
+            let below =
+              match off.Range.Interval.hi with Some h -> h < 0 | None -> false
+            in
+            let above =
+              match off.Range.Interval.lo with
+              | Some l -> l > valid_hi
+              | None -> false
+            in
+            if below || above then
+              report ctx ~rule:"oob-subscript" ~stmt
+                "access at byte offset %s of %s is out of bounds (valid \
+                 offsets 0..%d)"
+                (Range.Interval.to_string off)
+                v.Var.name valid_hi
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Counted loops: exact iteration arithmetic                          *)
+(* ------------------------------------------------------------------ *)
+
+let top_level_assigns body id =
+  List.filter_map
+    (fun (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Assign (Stmt.Lvar v, rhs) when v = id -> Some (s, rhs)
+      | _ -> None)
+    body
+
+let assigned_count body id =
+  let n = ref 0 in
+  Stmt.iter_list
+    (fun s ->
+      match Stmt.defined_var s with Some v when v = id -> incr n | _ -> ())
+    body;
+  !n
+
+(* The unique top-level constant-step update of [i]: [i = i + c], or the
+   lowerer's temp chain [temp = i; i = temp + c] with [temp] assigned
+   nowhere else.  Returns the update statement and the signed step. *)
+let const_step body i =
+  match top_level_assigns body i with
+  | [ (upd, rhs) ] when assigned_count body i = 1 ->
+      let resolves_to_i (e : Expr.t) =
+        match e.Expr.desc with
+        | Expr.Var j when j = i -> true
+        | Expr.Var j -> (
+            assigned_count body j = 1
+            &&
+            match top_level_assigns body j with
+            | [ (_, { Expr.desc = Expr.Var k; _ }) ] -> k = i
+            | _ -> false)
+        | _ -> false
+      in
+      (match rhs.Expr.desc with
+      | Expr.Binop (Expr.Add, a, b) -> (
+          match Expr.const_int_val b with
+          | Some c when resolves_to_i a -> Some (upd, c)
+          | Some _ -> None
+          | None -> (
+              match Expr.const_int_val a with
+              | Some c when resolves_to_i b -> Some (upd, c)
+              | _ -> None))
+      | Expr.Binop (Expr.Sub, a, b) -> (
+          match Expr.const_int_val b with
+          | Some c when resolves_to_i a -> Some (upd, -c)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* The exact arithmetic only holds when every iteration runs the whole
+   body in order. *)
+let straight_line body =
+  let ok = ref true in
+  Stmt.iter_list
+    (fun s ->
+      match s.Stmt.desc with
+      | Stmt.Goto _ | Stmt.Label _ | Stmt.Return _ -> ok := false
+      | _ -> ())
+    body;
+  !ok
+
+(* A store through a pointer could change an addressed index behind the
+   dataflow's back. *)
+let addressed ctx id =
+  let found = ref false in
+  Stmt.iter_list
+    (fun s ->
+      List.iter
+        (fun e ->
+          Expr.iter
+            (fun e ->
+              match e.Expr.desc with
+              | Expr.Addr_of v when v = id -> found := true
+              | _ -> ())
+            e)
+        (Stmt.shallow_exprs s))
+    ctx.func.Func.body;
+  !found
+
+(* Accesses indexed by [i] in the top-level prefix of the body before
+   [i] is reassigned: each executes once per iteration with [i] in
+   {i0, i0+step, ..., max_i}, every value attained.  Reports only the
+   cases the point rule cannot: offsets partly in bounds. *)
+let check_attained ctx env_at body i ~i0 ~max_i =
+  let live = ref true in
+  List.iter
+    (fun (s : Stmt.t) ->
+      if !live then begin
+        (match env_at s with
+        | None -> ()
+        | Some env ->
+            List.iter
+              (fun (p, elt) ->
+                match base_and_offset env p with
+                | None -> ()
+                | Some (g, off) -> (
+                    match (object_bytes ctx g elt, off.Range.Affine.terms) with
+                    | Some (v, valid_hi), [ (Range.Affine.Svar j, ci) ]
+                      when j = i ->
+                        let k = off.Range.Affine.const in
+                        let omin =
+                          k + (ci * if ci > 0 then i0 else max_i)
+                        in
+                        let omax =
+                          k + (ci * if ci > 0 then max_i else i0)
+                        in
+                        let all_out = omin > valid_hi || omax < 0 in
+                        if (omin < 0 || omax > valid_hi) && not all_out then
+                          report ctx ~rule:"oob-loop" ~stmt:s
+                            "loop attains byte offset %d..%d of %s (valid \
+                             offsets 0..%d)"
+                            omin omax v.Var.name valid_hi
+                    | _ -> ()))
+              (accesses s));
+        match Stmt.defined_var s with
+        | Some j when j = i -> live := false
+        | _ -> ()
+      end)
+    body
+
+let check_counted_loop ctx env_at (s : Stmt.t) =
+  match s.Stmt.desc with
+  | Stmt.While (_, cond, body) -> (
+      match cond.Expr.desc with
+      | Expr.Binop
+          (((Expr.Lt | Expr.Le) as op), ({ Expr.desc = Expr.Var i; _ } as ie), bexpr)
+        when Ty.is_integer ie.Expr.ty -> (
+          match Expr.const_int_val bexpr with
+          | None -> ()
+          | Some bound -> (
+              match const_step body i with
+              | Some (upd, step)
+                when step > 0 && straight_line body && not (addressed ctx i)
+                -> (
+                  let i0 =
+                    match env_at s with
+                    | None -> None
+                    | Some env ->
+                        Range.Interval.to_point
+                          (Range.interval_of_expr env ie)
+                  in
+                  match i0 with
+                  | None -> ()
+                  | Some i0 ->
+                      let last =
+                        match op with Expr.Lt -> bound - 1 | _ -> bound
+                      in
+                      if i0 <= last then begin
+                        let max_i = last - ((last - i0) mod step) in
+                        if max_i + step > int32_max then
+                          report ctx ~rule:"induction-overflow" ~stmt:upd
+                            "induction update overflows: %s reaches %d and \
+                             the next increment by %d exceeds the int range"
+                            (var_name ctx i) max_i step;
+                        check_attained ctx env_at body i ~i0 ~max_i
+                      end)
+              | _ -> ()))
+      | _ -> ())
+  | _ -> ()
+
+let check_func t prog (func : Func.t) =
+  let fe = Range.analyze_func t prog func in
+  let env_at (s : Stmt.t) = Range.env_before fe s.Stmt.id in
+  let ctx = { prog; func; acc = [] } in
+  Stmt.iter_list
+    (fun s ->
+      (match env_at s with
+      | None -> ()
+      | Some env -> (
+          List.iter (check_access ctx env s) (accesses s);
+          match s.Stmt.desc with
+          | Stmt.While (_, c, _) -> (
+              match Range.truth env c with
+              | Some false ->
+                  report ctx ~rule:"loop-guard-false" ~stmt:s
+                    "loop guard is always false: the body never runs"
+              | _ -> ())
+          | _ -> ()));
+      check_counted_loop ctx env_at s)
+    func.Func.body;
+  Wf.advise_func prog func @ List.rev ctx.acc
+
+let run (prog : Prog.t) : Report.violation list =
+  let t = Range.analyze prog in
+  Report.sort (List.concat_map (check_func t prog) prog.Prog.funcs)

@@ -1,0 +1,16 @@
+(** Lint: statically-provable bugs in the source program, reported over
+    the front-end IL ([titancc --lint]).  Every rule is conservative in
+    the reporting direction — a finding fires only when the symbolic
+    range analysis or exact iteration arithmetic proves the bad state is
+    reached — so clean programs produce no findings.
+
+    Rules: [oob-subscript] (the whole offset range misses the accessed
+    object), [oob-loop] (a counted loop attains a subscript past the
+    end — the off-by-one the point rule cannot see), [induction-overflow]
+    (the induction update overflows the int range before the guard can
+    fail), [loop-guard-false] (a loop guard the ranges prove always
+    false), and {!Wf.advise_func}'s [do-degenerate]. *)
+
+open Vpc_il
+
+val run : Prog.t -> Report.violation list

@@ -20,6 +20,12 @@ type ctx = {
   pointsto : Vpc_pointsto.Pointsto.t option;
       (* whole-program mod/ref summaries: calls in parallel bodies stop
          being worst-case when the summary bounds their footprint *)
+  range_env : Stmt.t -> Expr.t -> int option * int option;
+      (* sound interval for an integer expression on entry to a
+         statement, from the symbolic range analysis; [(None, None)]
+         when the analysis is off or knows nothing.  Needed to re-prove
+         loops the vectorizer parallelized through the range oracle:
+         symbolic base distances and symbolic trip counts. *)
   mutable acc : Report.violation list;
 }
 
@@ -200,8 +206,49 @@ let collect_refs ~affine ~bound (body : Stmt.t list) : mref list =
    and rebase both references to iteration 0.  [variant] marks variables
    the body redefines: a pointer bumped inside the loop has no single
    value, so its raw address must not decompose to a Pointer root. *)
-let check_pair ctx loop ~noalias ~variant ~trip ~step_c ~lo_c (r1 : mref)
-    (r2 : mref) =
+(* May_alias resolution through the range analysis, mirroring the
+   dependence tester's oracle path: the bases differ by a symbolic byte
+   distance whose interval, per element of each footprint, must clear
+   the interval GCD/Banerjee battery.  [trip_hi] is an upper bound on
+   the iteration count (possibly from the ranges, when the loop bound
+   itself is symbolic); an over-estimate only weakens the test. *)
+let may_alias_independent ctx loop ~trip_hi ~step_c ~lo_c (r1 : mref)
+    (r2 : mref) (a1 : Subscript.affine) (a2 : Subscript.affine) =
+  match step_c with
+  | None -> false
+  | Some step ->
+      r1.m_bounded && r2.m_bounded
+      && (a1.Subscript.coeff = a2.Subscript.coeff || lo_c <> None)
+      &&
+      let delta_e =
+        Vpc_analysis.Simplify.expr
+          (Expr.binop Expr.Sub a2.Subscript.base a1.Subscript.base Ty.Int)
+      in
+      let dlo, dhi = ctx.range_env loop delta_e in
+      let rebase =
+        match lo_c with
+        | Some lo -> lo * (a2.Subscript.coeff - a1.Subscript.coeff)
+        | None -> 0 (* equal coefficients: the difference cancels *)
+      in
+      let c1 = a1.Subscript.coeff * step and c2 = a2.Subscript.coeff * step in
+      let indep = ref true in
+      for e1 = 0 to r1.m_elts - 1 do
+        for e2 = 0 to r2.m_elts - 1 do
+          let off = rebase + (r2.m_estride * e2) - (r1.m_estride * e1) in
+          match
+            Test.interval_affine ~c1 ~c2
+              ~dlo:(Option.map (fun l -> l + off) dlo)
+              ~dhi:(Option.map (fun h -> h + off) dhi)
+              ~trip:trip_hi
+          with
+          | Test.Independent -> ()
+          | Test.Dependent _ -> indep := false
+        done
+      done;
+      !indep
+
+let check_pair ctx loop ~noalias ~variant ~trip ~trip_hi ~step_c ~lo_c
+    (r1 : mref) (r2 : mref) =
   let describe (r : mref) =
     Printf.sprintf "%s in stmt %d"
       (match r.m_kind with
@@ -223,7 +270,12 @@ let check_pair ctx loop ~noalias ~variant ~trip ~step_c ~lo_c (r1 : mref)
       with
       | Alias.No_alias -> ()
       | Alias.May_alias ->
-          flag "parallel-may-alias" "bases may alias, independence unproved"
+          if
+            not
+              (may_alias_independent ctx loop ~trip_hi ~step_c ~lo_c r1 r2 a1
+                 a2)
+          then
+            flag "parallel-may-alias" "bases may alias, independence unproved"
       | Alias.Must_alias delta -> (
           match step_c with
           | None -> flag "parallel-carried-dep" "non-constant loop step"
@@ -470,6 +522,20 @@ let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
         Some (max n 0)
     | _ -> None
   in
+  (* With a symbolic upper bound the exact trip is unknown, but the
+     ranges may still bound it — enough for the interval Banerjee span
+     when a may-alias pair's byte distance is large. *)
+  let trip_hi =
+    match trip with
+    | Some _ -> trip
+    | None -> (
+        match lo_c, step_c with
+        | Some lo, Some st when st > 0 -> (
+            match snd (ctx.range_env s d.Stmt.hi) with
+            | Some h -> Some (max 0 (((h - lo) / st) + 1))
+            | None -> None)
+        | _ -> None)
+  in
   if trip = Some 0 || trip = Some 1 then ()  (* no second iteration to race *)
   else begin
     let flat_assignments =
@@ -537,7 +603,8 @@ let check_parallel_do ctx (s : Stmt.t) (d : Stmt.do_loop) =
           for j = i to n - 1 do
             let r1 = arr.(i) and r2 = arr.(j) in
             if r1.m_kind = Subscript.Write || r2.m_kind = Subscript.Write then
-              check_pair ctx s ~noalias ~variant ~trip ~step_c ~lo_c r1 r2
+              check_pair ctx s ~noalias ~variant ~trip ~trip_hi ~step_c ~lo_c
+                r1 r2
           done
         done
       end
@@ -690,7 +757,19 @@ let check_vector_stmt ctx (s : Stmt.t) (v : Stmt.vstmt) =
 (* driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let check_func ?(assume_noalias = false) ?pointsto prog func =
+let check_func ?(assume_noalias = false) ?pointsto ?range prog func =
+  let range_env =
+    match range with
+    | None -> fun _ _ -> (None, None)
+    | Some t ->
+        let fe = lazy (Vpc_range.Range.analyze_func t prog func) in
+        fun (s : Stmt.t) e -> (
+          match Vpc_range.Range.env_before (Lazy.force fe) s.Stmt.id with
+          | None -> (None, None)
+          | Some env ->
+              let itv = Vpc_range.Range.interval_of_expr env e in
+              (itv.Vpc_range.Range.Interval.lo, itv.Vpc_range.Range.Interval.hi))
+  in
   let ctx =
     {
       prog;
@@ -699,6 +778,7 @@ let check_func ?(assume_noalias = false) ?pointsto prog func =
       unsafe = Func.addressed_vars func;
       noalias = assume_noalias;
       pointsto;
+      range_env;
       acc = [];
     }
   in
@@ -713,5 +793,7 @@ let check_func ?(assume_noalias = false) ?pointsto prog func =
     func.Func.body;
   List.rev ctx.acc
 
-let check_prog ?assume_noalias ?pointsto prog =
-  List.concat_map (check_func ?assume_noalias ?pointsto prog) prog.Prog.funcs
+let check_prog ?assume_noalias ?pointsto ?range prog =
+  List.concat_map
+    (check_func ?assume_noalias ?pointsto ?range prog)
+    prog.Prog.funcs

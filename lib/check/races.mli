@@ -35,13 +35,21 @@
     call in a parallel DO body is no longer worst-case: a callee that
     writes nothing, performs no io, and reads only storage the loop
     never writes is accepted like a scalar assignment; doacross bodies
-    accept only pure scalar callees (no memory effects at all). *)
+    accept only pure scalar callees (no memory effects at all).
+
+    [range] supplies the whole-program symbolic range analysis.  With
+    it, a may-alias access pair whose symbolic byte distance (per the
+    ranges, at the loop header) clears the interval GCD/Banerjee tests
+    is accepted — re-proving what the vectorizer established through the
+    {!Vpc_dependence.Test} oracle — and a symbolic loop bound still
+    yields a trip-count bound for the Banerjee span. *)
 
 open Vpc_il
 
 val check_func :
   ?assume_noalias:bool ->
   ?pointsto:Vpc_pointsto.Pointsto.t ->
+  ?range:Vpc_range.Range.t ->
   Prog.t ->
   Func.t ->
   Report.violation list
@@ -49,5 +57,6 @@ val check_func :
 val check_prog :
   ?assume_noalias:bool ->
   ?pointsto:Vpc_pointsto.Pointsto.t ->
+  ?range:Vpc_range.Range.t ->
   Prog.t ->
   Report.violation list

@@ -5,19 +5,21 @@ exception Failed of Diag.t list
 
 type level = [ `Off | `Final | `Each_stage ]
 
-let check_func ?assume_noalias ?pointsto prog func =
+let check_func ?assume_noalias ?pointsto ?range prog func =
   (* stage the layers: the race validator assumes a well-formed function
      (its liveness pass needs a buildable CFG), so report well-formedness
      violations alone when there are any.  Findings are sorted by source
      location so emitted reports are deterministic and diffable. *)
   Report.sort
     (match Wf.check_func prog func with
-    | [] -> Races.check_func ?assume_noalias ?pointsto prog func
+    | [] -> Races.check_func ?assume_noalias ?pointsto ?range prog func
     | violations -> violations)
 
-let check_prog ?assume_noalias ?pointsto prog =
+let check_prog ?assume_noalias ?pointsto ?range prog =
   Report.sort
-    (List.concat_map (check_func ?assume_noalias ?pointsto prog) prog.Prog.funcs)
+    (List.concat_map
+       (check_func ?assume_noalias ?pointsto ?range prog)
+       prog.Prog.funcs)
 
 let diag_of ~pass (v : Report.violation) =
   {
@@ -31,8 +33,8 @@ let fail ~pass = function
   | [] -> ()
   | violations -> raise (Failed (List.map (diag_of ~pass) violations))
 
-let run_func ?assume_noalias ?pointsto ~pass prog func =
-  fail ~pass (check_func ?assume_noalias ?pointsto prog func)
+let run_func ?assume_noalias ?pointsto ?range ~pass prog func =
+  fail ~pass (check_func ?assume_noalias ?pointsto ?range prog func)
 
-let run ?assume_noalias ?pointsto ~pass prog =
-  fail ~pass (check_prog ?assume_noalias ?pointsto prog)
+let run ?assume_noalias ?pointsto ?range ~pass prog =
+  fail ~pass (check_prog ?assume_noalias ?pointsto ?range prog)

@@ -17,6 +17,7 @@ type level = [ `Off | `Final | `Each_stage ]
 val check_func :
   ?assume_noalias:bool ->
   ?pointsto:Vpc_pointsto.Pointsto.t ->
+  ?range:Vpc_range.Range.t ->
   Prog.t ->
   Func.t ->
   Report.violation list
@@ -24,6 +25,7 @@ val check_func :
 val check_prog :
   ?assume_noalias:bool ->
   ?pointsto:Vpc_pointsto.Pointsto.t ->
+  ?range:Vpc_range.Range.t ->
   Prog.t ->
   Report.violation list
 
@@ -32,6 +34,7 @@ val diag_of : pass:string -> Report.violation -> Vpc_support.Diag.t
 val run_func :
   ?assume_noalias:bool ->
   ?pointsto:Vpc_pointsto.Pointsto.t ->
+  ?range:Vpc_range.Range.t ->
   pass:string ->
   Prog.t ->
   Func.t ->
@@ -40,6 +43,7 @@ val run_func :
 val run :
   ?assume_noalias:bool ->
   ?pointsto:Vpc_pointsto.Pointsto.t ->
+  ?range:Vpc_range.Range.t ->
   pass:string ->
   Prog.t ->
   unit

@@ -468,3 +468,36 @@ let check_func prog func =
 
 let check_prog prog =
   List.concat_map (check_func prog) prog.Prog.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Advisories                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Likely-bug patterns that are nevertheless legal IL.  Kept out of
+   {!check_func} because the verifier treats any violation as a broken
+   invariant: while→DO conversion legitimately emits [do dummy = 0, -1]
+   for a loop it proves never runs, and constant propagation deletes it
+   a pass later.  The lint driver reports these on the front-end IL,
+   where a degenerate DO can only have come from the source program. *)
+let advise_func prog func =
+  let ctx = { prog; func; acc = [] } in
+  Stmt.iter_list
+    (fun s ->
+      match s.Stmt.desc with
+      | Stmt.Do_loop d -> (
+          match
+            ( Expr.const_int_val d.Stmt.lo,
+              Expr.const_int_val d.Stmt.hi,
+              Expr.const_int_val d.Stmt.step )
+          with
+          | Some lo, Some hi, Some step
+            when (step >= 0 && lo > hi) || (step < 0 && lo < hi) ->
+              report ctx ~rule:"do-degenerate" ~stmt:s
+                "loop never runs: lo %d, hi %d, step %d" lo hi step
+          | _ -> ())
+      | _ -> ())
+    func.Func.body;
+  List.rev ctx.acc
+
+let advise_prog prog =
+  List.concat_map (advise_func prog) prog.Prog.funcs

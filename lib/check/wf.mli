@@ -33,3 +33,12 @@ open Vpc_il
 
 val check_func : Prog.t -> Func.t -> Report.violation list
 val check_prog : Prog.t -> Report.violation list
+
+(** Advisory checks: likely-bug patterns that are nevertheless legal IL,
+    so they must not fail the verifier — degenerate DO loops whose
+    constant bounds and step mean the body never runs ([do-degenerate];
+    while→DO conversion emits exactly this form for loops it proves
+    never run, which is why the verifier cannot reject it).  Consumed by
+    the lint driver over the front-end IL. *)
+val advise_func : Prog.t -> Func.t -> Report.violation list
+val advise_prog : Prog.t -> Report.violation list

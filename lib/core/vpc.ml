@@ -28,6 +28,7 @@ module Titan = Vpc_titan
 module Profile = Vpc_profile
 module Check = Vpc_check
 module Pointsto = Vpc_pointsto
+module Range = Vpc_range
 
 type options = {
   inline : [ `None | `All | `Only of string list ];
@@ -48,6 +49,11 @@ type options = {
       (* interprocedural points-to + mod/ref analysis: resolves pointer
          aliases the canonical decomposition cannot, bounds call effects
          in the race checker, and ranks inline sites *)
+  range : bool;
+      (* interprocedural symbolic range + scalar-evolution analysis:
+         dependence tests work on symbolic distances, strip loops with
+         provable trip counts drop their length guards, and constant
+         propagation folds branches decided by disjoint ranges *)
   catalogs : string list;      (* procedure databases to import (§7) *)
   dump : (string -> string -> unit) option;  (* stage name, IL text *)
   verify : Check.Verify.level; (* IL verifier / translation validator *)
@@ -78,6 +84,7 @@ let o0 =
     scalar_replacement = false;
     strength_reduction = false;
     pointsto = false;
+    range = false;
     catalogs = [];
     dump = None;
     verify = `Off;
@@ -105,6 +112,7 @@ let o2 =
     scalar_replacement = true;
     doacross = true;
     pointsto = true;
+    range = true;
   }
 
 (* -O3: everything, including automatic inlining and nest
@@ -156,22 +164,22 @@ let dump_stage options prog stage =
 (* Checkpoint after a whole-program pass: dump the IL and, at
    [`Each_stage], run the verifier over every function so the pass that
    broke an invariant is named in the diagnostic. *)
-let after_prog_pass ?pointsto options prog pass =
+let after_prog_pass ?pointsto ?range options prog pass =
   dump_stage options prog pass;
   match options.verify with
   | `Each_stage ->
-      Check.Verify.run ~assume_noalias:options.assume_noalias ?pointsto ~pass
-        prog
+      Check.Verify.run ~assume_noalias:options.assume_noalias ?pointsto ?range
+        ~pass prog
   | `Off | `Final -> ()
 
 (* Checkpoint after a per-function pass. *)
-let after_pass ?pointsto options prog (f : Il.Func.t) pass =
+let after_pass ?pointsto ?range options prog (f : Il.Func.t) pass =
   let stage = Printf.sprintf "%s(%s)" pass f.Il.Func.name in
   dump_stage options prog stage;
   match options.verify with
   | `Each_stage ->
       Check.Verify.run_func ~assume_noalias:options.assume_noalias ?pointsto
-        ~pass:stage prog f
+        ?range ~pass:stage prog f
   | `Off | `Final -> ()
 
 (* Run the optimization pipeline in place. *)
@@ -191,6 +199,14 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
     if options.pointsto then Some (Pointsto.Pointsto.analyze prog) else None
   in
   let pt = ref (analyze_pointsto ()) in
+  (* Symbolic ranges follow the same lifecycle: whole-program parameter
+     seeding up front (and again after inlining), per-function dataflow
+     on demand — optimization passes renumber statements, so each
+     consumer forces a fresh fenv over the function's current body. *)
+  let analyze_range () =
+    if options.range then Some (Range.Range.analyze prog) else None
+  in
+  let rt = ref (analyze_range ()) in
   let install_oracle () =
     match !pt with
     | None -> ()
@@ -203,8 +219,12 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   in
   install_oracle ();
   Fun.protect ~finally:Dependence.Alias.clear_oracle @@ fun () ->
-  let after_prog_pass pass = after_prog_pass ?pointsto:!pt options prog pass in
-  let after_pass f pass = after_pass ?pointsto:!pt options prog f pass in
+  let after_prog_pass pass =
+    after_prog_pass ?pointsto:!pt ?range:!rt options prog pass
+  in
+  let after_pass f pass =
+    after_pass ?pointsto:!pt ?range:!rt options prog f pass
+  in
   let inline_options only =
     {
       Inline.Inline.default_options with
@@ -220,6 +240,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
       Inline.Inline.expand ~options:(inline_options None) ~stats:stats.inline
         prog;
       pt := analyze_pointsto ();
+      rt := analyze_range ();
       install_oracle ();
       after_prog_pass "inline"
   | `Only names ->
@@ -227,11 +248,33 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
         ~options:(inline_options (Some names))
         ~stats:stats.inline prog;
       pt := analyze_pointsto ();
+      rt := analyze_range ();
       install_oracle ();
       after_prog_pass "inline");
+  (* A lazy per-function dataflow over [f]'s body right now; [None]
+     facts for statements the fenv does not know (fresh ids, or a stale
+     body) keep every consumer conservative. *)
+  let range_env_at f =
+    match !rt with
+    | None -> fun _ -> None
+    | Some t ->
+        let fe = lazy (Range.Range.analyze_func t prog f) in
+        fun (s : Il.Stmt.t) -> Range.Range.env_before (Lazy.force fe) s.Il.Stmt.id
+  in
   let scalar_cleanup f =
     if options.scalar_opt then begin
-      ignore (Analysis.Const_prop.run ~stats:stats.const_prop prog f);
+      let range =
+        match !rt with
+        | None -> None
+        | Some _ ->
+            let env_at = range_env_at f in
+            Some
+              (fun s c ->
+                match env_at s with
+                | None -> None
+                | Some env -> Range.Range.truth env c)
+      in
+      ignore (Analysis.Const_prop.run ~stats:stats.const_prop ?range prog f);
       ignore (Analysis.Dce.run ~stats:stats.dce f);
       ignore (Analysis.Unreachable.run ~stats:stats.unreachable f);
       ignore (Analysis.Dce.run ~stats:stats.dce f);
@@ -288,6 +331,38 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
         after_pass f "interchange"
       end;
       if options.vectorize || options.parallelize then begin
+        let range_facts =
+          match !rt with
+          | None -> None
+          | Some _ ->
+              let env_at = range_env_at f in
+              Some
+                {
+                  Vectorize.Vectorize.rf_interval =
+                    (fun s e ->
+                      match env_at s with
+                      | None -> (None, None)
+                      | Some env ->
+                          let itv = Range.Range.interval_of_expr env e in
+                          (itv.Range.Range.Interval.lo, itv.Range.Range.Interval.hi));
+                  rf_divisible =
+                    (fun s e n ->
+                      n > 0
+                      &&
+                      match env_at s with
+                      | None -> false
+                      | Some env -> (
+                          let v = Range.Range.eval env e in
+                          match v.Range.Range.aff with
+                          | Some a -> Range.Range.Affine.divisible_by a n
+                          | None -> (
+                              match
+                                Range.Range.Interval.to_point v.Range.Range.itv
+                              with
+                              | Some k -> k mod n = 0
+                              | None -> false)));
+                }
+        in
         let vopts =
           {
             Vectorize.Vectorize.vectorize = options.vectorize;
@@ -299,6 +374,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
             report = options.report;
             vreuse = options.vreuse;
             why_scalar = options.why_scalar;
+            range = range_facts;
           }
         in
         ignore
@@ -339,7 +415,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   (match options.verify with
   | `Final | `Each_stage ->
       Check.Verify.run ~assume_noalias:options.assume_noalias ?pointsto:!pt
-        ~pass:"final" prog
+        ?range:!rt ~pass:"final" prog
   | `Off -> ());
   stats
 

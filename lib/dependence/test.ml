@@ -169,6 +169,90 @@ let direction_vectors ~(c1 : int array) ~(c2 : int array) ~delta
     List.rev !results
   end
 
+(* ---- symbolic range oracle [§5: symbolic dependence testing] ----
+
+   When alias analysis answers May_alias the bases differ by a symbolic
+   byte distance.  A scoped oracle (installed by the vectorizer from the
+   range analysis) can evaluate that distance: a point value re-enters
+   the exact test battery above; an interval feeds interval forms of the
+   GCD and Banerjee tests.  [note] reports the distance expression whose
+   range was too weak, for [--why-scalar]. *)
+type oracle = {
+  interval : Vpc_il.Expr.t -> int option * int option;
+      (* sound bounds on an integer expression at the tested loop;
+         [(None, None)] when nothing is known *)
+  note : Vpc_il.Expr.t -> string -> unit;
+}
+
+let oracle_ref : oracle option ref = ref None
+
+let with_oracle (o : oracle) f =
+  let saved = !oracle_ref in
+  oracle_ref := Some o;
+  Fun.protect ~finally:(fun () -> oracle_ref := saved) f
+
+(* Interval counterpart of [affine]: delta is only known to lie in
+   [dlo, dhi] (either side possibly unbounded).  Independence holds when
+   no value in the interval admits a solution: either no multiple of
+   gcd(c1,c2) lies inside, or the whole interval sits outside the
+   Banerjee span of c1*i - c2*j over the trip range. *)
+let interval_affine ~c1 ~c2 ~(dlo : int option) ~(dhi : int option)
+    ~(trip : bound) : verdict =
+  let g = gcd c1 c2 in
+  let no_multiple =
+    match dlo, dhi with
+    | Some l, Some h when g > 1 ->
+        let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+        let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b) in
+        fdiv h g < cdiv l g
+    | Some l, _ when g = 0 -> l > 0
+    | _, Some h when g = 0 -> h < 0
+    | _ -> false
+  in
+  if no_multiple then Independent
+  else
+    let outside_banerjee =
+      match trip with
+      | None -> false
+      | Some u ->
+          let m = u - 1 in
+          m < 0
+          ||
+          let pos x = max x 0 and neg x = min x 0 in
+          let blo = (neg c1 * m) - (pos c2 * m) in
+          let bhi = (pos c1 * m) - (neg c2 * m) in
+          (match dlo with Some l -> l > bhi | None -> false)
+          || (match dhi with Some h -> h < blo | None -> false)
+    in
+    if outside_banerjee then Independent else Dependent { distance = None }
+
+(* May_alias with both subscripts affine: ask the oracle for the byte
+   distance between the bases. *)
+let may_alias_affine (a1 : Subscript.affine) (a2 : Subscript.affine) ~trip :
+    verdict =
+  match !oracle_ref with
+  | None -> Dependent { distance = None }
+  | Some o -> (
+      let delta_e =
+        Vpc_analysis.Simplify.expr
+          (Vpc_il.Expr.binop Vpc_il.Expr.Sub a2.Subscript.base
+             a1.Subscript.base Vpc_il.Ty.Int)
+      in
+      let c1 = a1.Subscript.coeff and c2 = a2.Subscript.coeff in
+      match o.interval delta_e with
+      | Some l, Some h when l = h -> affine ~c1 ~c2 ~delta:l ~trip
+      | (dlo, dhi) as itv -> (
+          match interval_affine ~c1 ~c2 ~dlo ~dhi ~trip with
+          | Independent -> Independent
+          | Dependent _ as dep ->
+              let side = function None -> "*" | Some n -> string_of_int n in
+              o.note delta_e
+                (if itv = (None, None) then "unknown"
+                 else
+                   Printf.sprintf "only known to lie in [%s,%s]" (side dlo)
+                     (side dhi));
+              dep))
+
 (* Test two references given their subscript decompositions and an alias
    verdict on their bases. *)
 let references ?(assume_noalias = false) ~trip (r1 : Subscript.reference)
@@ -180,7 +264,7 @@ let references ?(assume_noalias = false) ~trip (r1 : Subscript.reference)
       | Alias.No_alias -> Independent
       | Alias.Must_alias delta ->
           affine ~c1:a1.Subscript.coeff ~c2:a2.Subscript.coeff ~delta ~trip
-      | Alias.May_alias -> Dependent { distance = None })
+      | Alias.May_alias -> may_alias_affine a1 a2 ~trip)
   | _ ->
       (* a non-affine reference may touch anything its base can reach *)
       (match

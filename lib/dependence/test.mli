@@ -47,6 +47,33 @@ val direction_vectors :
   trips:bound array ->
   direction list list
 
+(** {1 Symbolic range oracle}
+
+    When alias analysis answers May_alias, the byte distance between the
+    bases is symbolic.  A scoped oracle — installed by the vectorizer
+    from the range analysis — evaluates it: a point distance re-enters
+    {!affine}; an interval feeds {!interval_affine}.  Without an
+    installed oracle May_alias stays [Dependent]. *)
+
+type oracle = {
+  interval : Vpc_il.Expr.t -> int option * int option;
+      (** sound bounds on an integer expression at the tested loop;
+          [(None, None)] when nothing is known *)
+  note : Vpc_il.Expr.t -> string -> unit;
+      (** called when a dependence survives only because the range was
+          too weak: the distance expression and what is known of it
+          (feeds [--why-scalar]) *)
+}
+
+val with_oracle : oracle -> (unit -> 'a) -> 'a
+
+(** Interval form of {!affine}: [delta] only known in [dlo, dhi] (either
+    side possibly unbounded).  Sound: [Independent] only when no value
+    in the interval admits a solution (no multiple of gcd(c1,c2) inside,
+    or the interval clears the Banerjee span). *)
+val interval_affine :
+  c1:int -> c2:int -> dlo:int option -> dhi:int option -> trip:bound -> verdict
+
 (** Test two extracted references (affine decomposition + alias
     analysis); conservative when either is non-affine. *)
 val references :

@@ -538,6 +538,10 @@ and exec_code st fr code : value =
           let iv = as_int (eval st fr (Expr.var_id index Ty.Int)) in
           let hv = as_int (eval st fr hi) in
           let sv = as_int (eval st fr step) in
+          (* a zero step never advances the index: the loop would spin
+             until the instruction budget ran out — reject it instead *)
+          if sv = 0 && iv <= hv then
+            error "DO loop step evaluates to 0 (the index would never advance)";
           let continue_ = if sv >= 0 then iv <= hv else iv >= hv in
           pc := if continue_ then next else !exit_pc
       | Oreturn e ->

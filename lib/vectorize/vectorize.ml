@@ -20,6 +20,17 @@ open Vpc_dependence
 module Profile = Vpc_profile
 module Cost = Vpc_titan.Cost
 
+(* Facts the symbolic range analysis can prove about an expression at a
+   loop header, supplied as closures so this library does not depend on
+   the analysis' representation. *)
+type range_facts = {
+  rf_interval : Stmt.t -> Expr.t -> int option * int option;
+      (* sound bounds on an integer expression's value on entry to the
+         given loop statement; (None, None) = unknown *)
+  rf_divisible : Stmt.t -> Expr.t -> int -> bool;
+      (* is the expression provably a multiple of the divisor? *)
+}
+
 type options = {
   vectorize : bool;
   parallelize : bool;
@@ -37,6 +48,10 @@ type options = {
   why_scalar : (string -> unit) option;
       (* one line per loop left scalar, naming the unresolved alias pair
          (with source locations) or the rejecting shape/dependence *)
+  range : range_facts option;
+      (* symbolic ranges: dependence tests work on symbolic distances,
+         and strips whose trip count is a proven multiple of the strip
+         length drop their per-strip length guards *)
 }
 
 let default_options =
@@ -50,6 +65,7 @@ let default_options =
     report = None;
     vreuse = false;
     why_scalar = None;
+    range = None;
   }
 
 type stats = {
@@ -64,6 +80,8 @@ type stats = {
   mutable pgo_scalar_loops : int;   (* profile said: stay scalar *)
   mutable pgo_serial_strips : int;  (* profile said: vector, drop parallel *)
   mutable pgo_strip_adjusted : int; (* profile picked a shorter strip *)
+  mutable strip_guards_dropped : int;
+      (* range analysis proved every strip full: no length clamp *)
 }
 
 let new_stats () =
@@ -79,6 +97,7 @@ let new_stats () =
     pgo_scalar_loops = 0;
     pgo_serial_strips = 0;
     pgo_strip_adjusted = 0;
+    strip_guards_dropped = 0;
   }
 
 (* ----------------------------------------------------------------- *)
@@ -101,6 +120,13 @@ let uf_union parent a b =
 (* ----------------------------------------------------------------- *)
 
 exception Not_vectorizable
+
+(* Strip codegen decision derived from the range analysis (see
+   [range_trip] in [process_loop]). *)
+type trip_shape =
+  | Trip_unknown
+  | Trip_full                   (* trip is a multiple of the strip length *)
+  | Trip_short                  (* symbolic trip proven within [1, vlen] *)
 
 (* A section's element type is read off its base's pointee type (by the
    verifier, the interpreter, and codegen), but the affine decomposition
@@ -387,8 +413,58 @@ let process_loop (opts : options) stats prog (func : Func.t)
     match pgo with Some c -> c.scalar_parallel | None -> true
   in
   let assume_noalias = opts.assume_noalias || d.independent in
+  let pp_e0 ppf e = Pp.pp_expr { Pp.prog; Pp.func = Some func } ppf e in
+  (* distances the range analysis could not bound, for --why-scalar *)
+  let range_notes = ref [] in
   let graph =
-    Graph.build ~assume_noalias ~trip:trip_const body ~index:d.index ~invariant
+    match opts.range with
+    | None ->
+        Graph.build ~assume_noalias ~trip:trip_const body ~index:d.index
+          ~invariant
+    | Some rf ->
+        (* a symbolic trip count's upper bound is a sound stand-in for
+           the exact trip everywhere the tests consume it: a larger trip
+           only widens the solution range they must exclude *)
+        let trip_bound =
+          match trip_const with
+          | Some _ as t -> t
+          | None -> snd (rf.rf_interval loop_stmt trip_expr)
+        in
+        let oracle =
+          {
+            Test.interval = (fun e -> rf.rf_interval loop_stmt e);
+            Test.note =
+              (fun e what ->
+                range_notes :=
+                  Format.asprintf "the byte distance %a is %s" pp_e0 e what
+                  :: !range_notes);
+          }
+        in
+        Test.with_oracle oracle (fun () ->
+            Graph.build ~assume_noalias ~trip:trip_bound body ~index:d.index
+              ~invariant)
+  in
+  (* What the range analysis proves about the trip count, for strip
+     codegen: a trip that is a known multiple of the strip length makes
+     every strip full (the per-strip length computation and clamp
+     disappear); a symbolic trip proven within [1, vlen] needs no strip
+     loop at all.  A constant non-multiple trip keeps the runtime clamp:
+     peeling the remainder out of a parallel strip loop would serialize
+     it against the full strips, which costs more on a multiprocessor
+     than the clamp saves. *)
+  let range_trip =
+    match opts.range with
+    | None -> Trip_unknown
+    | Some rf -> (
+        match trip_const with
+        | Some t when t > strip_vlen && t mod strip_vlen = 0 -> Trip_full
+        | Some _ -> Trip_unknown
+        | None ->
+            if rf.rf_divisible loop_stmt trip_expr strip_vlen then Trip_full
+            else (
+              match rf.rf_interval loop_stmt trip_expr with
+              | Some l, Some h when l >= 1 && h <= strip_vlen -> Trip_short
+              | _ -> Trip_unknown))
   in
   (* --why-scalar: name what kept this loop out of vector form *)
   let why fmt =
@@ -652,41 +728,63 @@ let process_loop (opts : options) stats prog (func : Func.t)
                   (Stmt.Vector { vdst; vsrc; velt = elt })
               in
               let result =
-                match trip_const with
-                | Some t when t <= strip_vlen ->
+                match trip_const, range_trip with
+                | Some t, _ when t <= strip_vlen ->
                     (* short vector: no strip loop needed (§5.2's graphics
                        remark) *)
                     stats.short_vector_loops <- stats.short_vector_loops + 1;
                     [ build_vector ~start:(Expr.int_const 0) ~count:trip_expr ]
-                | _ ->
+                | _, Trip_short ->
+                    (* symbolic trip, but the range analysis bounds it by
+                       one strip: bare short-vector code again *)
+                    stats.short_vector_loops <- stats.short_vector_loops + 1;
+                    [ build_vector ~start:(Expr.int_const 0) ~count:trip_expr ]
+                | _, shape ->
                     (* strip-mined loop, parallel across processors *)
                     let vi = Builder.fresh_temp b ~name:"vi" Ty.Int in
-                    let len = Builder.fresh_temp b ~name:"vlen" Ty.Int in
                     let vi_e = Expr.var vi in
-                    let len_stmts =
-                      [
-                        Builder.assign b len
-                          (simplify (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
-                        Builder.if_ b
-                          (Expr.binop Expr.Gt (Expr.var len)
-                             (Expr.int_const strip_vlen) Ty.Int)
-                          [ Builder.assign b len (Expr.int_const strip_vlen) ]
-                          [];
-                      ]
-                    in
-                    let vstmt = build_vector ~start:vi_e ~count:(Expr.var len) in
                     let parallel = opts.parallelize && strip_par_ok in
                     if opts.parallelize && not strip_par_ok then
                       stats.pgo_serial_strips <- stats.pgo_serial_strips + 1;
                     if strip_vlen <> opts.vlen then
                       stats.pgo_strip_adjusted <- stats.pgo_strip_adjusted + 1;
                     if parallel then any_parallel := true;
-                    [
+                    let strip_loop ~hi body_stmts =
                       Builder.do_loop b ~parallel ~independent:d.independent
-                        ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi:d.hi
-                        ~step:(Expr.int_const strip_vlen)
-                        (len_stmts @ [ vstmt ]);
-                    ]
+                        ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi
+                        ~step:(Expr.int_const strip_vlen) body_stmts
+                    in
+                    (match shape with
+                    | Trip_full ->
+                        (* every strip is full: the per-strip length
+                           computation and clamp disappear *)
+                        stats.strip_guards_dropped <-
+                          stats.strip_guards_dropped + 1;
+                        [
+                          strip_loop ~hi:d.hi
+                            [
+                              build_vector ~start:vi_e
+                                ~count:(Expr.int_const strip_vlen);
+                            ];
+                        ]
+                    | Trip_unknown | Trip_short ->
+                        let len = Builder.fresh_temp b ~name:"vlen" Ty.Int in
+                        let len_stmts =
+                          [
+                            Builder.assign b len
+                              (simplify
+                                 (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
+                            Builder.if_ b
+                              (Expr.binop Expr.Gt (Expr.var len)
+                                 (Expr.int_const strip_vlen) Ty.Int)
+                              [ Builder.assign b len (Expr.int_const strip_vlen) ]
+                              [];
+                          ]
+                        in
+                        let vstmt =
+                          build_vector ~start:vi_e ~count:(Expr.var len)
+                        in
+                        [ strip_loop ~hi:d.hi (len_stmts @ [ vstmt ]) ])
               in
               any_vector := true;
               stats.stmts_vectorized <- stats.stmts_vectorized + 1;
@@ -779,32 +877,21 @@ let process_loop (opts : options) stats prog (func : Func.t)
                   (mk ~start:(Expr.int_const 0) ~count:trip_expr
                      (st, addr, a, rhs)))
               infos;
-            match trip_const with
-            | Some t when t <= strip_vlen ->
+            match trip_const, range_trip with
+            | Some t, _ when t <= strip_vlen ->
                 (* short vectors need no strip loop; nothing to share *)
                 List.concat_map (fun (_, members) -> emit_group members) run
-            | _ ->
+            | _, Trip_short ->
+                List.concat_map (fun (_, members) -> emit_group members) run
+            | _, shape ->
                 let vi = Builder.fresh_temp b ~name:"vi" Ty.Int in
-                let len = Builder.fresh_temp b ~name:"vlen" Ty.Int in
                 let vi_e = Expr.var vi in
-                let len_stmts =
-                  [
-                    Builder.assign b len
-                      (simplify (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
-                    Builder.if_ b
-                      (Expr.binop Expr.Gt (Expr.var len)
-                         (Expr.int_const strip_vlen) Ty.Int)
-                      [ Builder.assign b len (Expr.int_const strip_vlen) ]
-                      [];
-                  ]
-                in
-                let vstmts =
+                let mk_vstmts ~start ~count ~tally =
                   List.map
                     (fun (_pos, st, addr, a, rhs) ->
-                      let loc, v =
-                        mk ~start:vi_e ~count:(Expr.var len) (st, addr, a, rhs)
-                      in
-                      stats.stmts_vectorized <- stats.stmts_vectorized + 1;
+                      let loc, v = mk ~start ~count (st, addr, a, rhs) in
+                      if tally then
+                        stats.stmts_vectorized <- stats.stmts_vectorized + 1;
                       Builder.stmt b ~loc (Stmt.Vector v))
                     infos
                 in
@@ -816,12 +903,39 @@ let process_loop (opts : options) stats prog (func : Func.t)
                 if parallel then any_parallel := true;
                 any_vector := true;
                 stats.strip_loops_shared <- stats.strip_loops_shared + 1;
-                [
+                let strip_loop ~hi body_stmts =
                   Builder.do_loop b ~parallel ~independent:d.independent
-                    ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi:d.hi
-                    ~step:(Expr.int_const strip_vlen)
-                    (len_stmts @ vstmts);
-                ]
+                    ~index:vi.Var.id ~lo:(Expr.int_const 0) ~hi
+                    ~step:(Expr.int_const strip_vlen) body_stmts
+                in
+                (match shape with
+                | Trip_full ->
+                    stats.strip_guards_dropped <-
+                      stats.strip_guards_dropped + 1;
+                    [
+                      strip_loop ~hi:d.hi
+                        (mk_vstmts ~start:vi_e
+                           ~count:(Expr.int_const strip_vlen) ~tally:true);
+                    ]
+                | Trip_unknown | Trip_short ->
+                    let len = Builder.fresh_temp b ~name:"vlen" Ty.Int in
+                    let len_stmts =
+                      [
+                        Builder.assign b len
+                          (simplify (Expr.binop Expr.Sub trip_expr vi_e Ty.Int));
+                        Builder.if_ b
+                          (Expr.binop Expr.Gt (Expr.var len)
+                             (Expr.int_const strip_vlen) Ty.Int)
+                          [ Builder.assign b len (Expr.int_const strip_vlen) ]
+                          [];
+                      ]
+                    in
+                    [
+                      strip_loop ~hi:d.hi
+                        (len_stmts
+                        @ mk_vstmts ~start:vi_e ~count:(Expr.var len)
+                            ~tally:true);
+                    ])
           with Not_vectorizable ->
             List.concat_map (fun (_, members) -> emit_group members) run)
     in
@@ -861,12 +975,24 @@ let process_loop (opts : options) stats prog (func : Func.t)
       if (not !any_vector) && not !any_parallel then begin
         stats.loops_rejected_dependence <- stats.loops_rejected_dependence + 1;
         (if opts.why_scalar <> None then
+           let missing_fact =
+             match !range_notes with
+             | note :: _ -> Printf.sprintf " (%s)" note
+             | [] -> ""
+           in
            match unresolved_alias_pair () with
-           | Some (d1, d2) -> why "cannot prove %s independent of %s" d1 d2
-           | None ->
-               why
-                 "a loop-carried dependence cycle keeps every statement \
-                  sequential");
+           | Some (d1, d2) ->
+               why "cannot prove %s independent of %s%s" d1 d2 missing_fact
+           | None -> (
+               match !range_notes with
+               | note :: _ ->
+                   why
+                     "a dependence survives the symbolic range tests: %s"
+                     note
+               | [] ->
+                   why
+                     "a loop-carried dependence cycle keeps every statement \
+                      sequential"));
         None  (* keep the original loop: nothing was gained *)
       end
       else Some pieces

@@ -17,6 +17,17 @@
 
 open Vpc_il
 
+(** Facts the symbolic range analysis proves about expressions at a loop
+    header, as closures (this library stays independent of the analysis'
+    representation). *)
+type range_facts = {
+  rf_interval : Stmt.t -> Expr.t -> int option * int option;
+      (** sound bounds on an integer expression's value on entry to the
+          given loop statement; [(None, None)] = unknown *)
+  rf_divisible : Stmt.t -> Expr.t -> int -> bool;
+      (** is the expression provably a multiple of the divisor? *)
+}
+
 type options = {
   vectorize : bool;
   parallelize : bool;
@@ -33,7 +44,14 @@ type options = {
   why_scalar : (string -> unit) option;
       (** one line per loop left scalar, naming the unresolved alias
           pair with source locations, the rejecting statement, or the
-          carried dependence cycle *)
+          carried dependence cycle — including the symbolic distance
+          whose range was too weak, when range analysis ran *)
+  range : range_facts option;
+      (** symbolic ranges: dependence testing works on symbolic
+          distances and trip counts, and strips whose trip count is a
+          proven multiple of the strip length drop their per-strip
+          length guards (a constant remainder peels into one short
+          epilogue vector) *)
 }
 
 val default_options : options
@@ -50,6 +68,8 @@ type stats = {
   mutable pgo_scalar_loops : int;   (** profile said: stay scalar *)
   mutable pgo_serial_strips : int;  (** profile said: drop do-parallel *)
   mutable pgo_strip_adjusted : int; (** profile picked a shorter strip *)
+  mutable strip_guards_dropped : int;
+      (** range analysis proved every strip full: no length clamp *)
 }
 
 val new_stats : unit -> stats

@@ -1,0 +1,26 @@
+/* Seeded bugs for the --lint CI gate: every finding below is provable
+ * from the ranges alone, so titancc --lint must report each rule and
+ * exit 4.  Kept out of examples/ -- the examples must stay clean. */
+
+int a[10];
+int sum;
+
+int main()
+{
+    int i, s;
+
+    a[12] = 5;                 /* oob-subscript: byte offset 48 of a */
+
+    s = 0;
+    for (i = 0; i <= 10; i++)  /* oob-loop: attains a[10], one past */
+        s = s + a[i];
+
+    for (i = 5; i < 3; i++)    /* loop-guard-false: 5 < 3 never */
+        s = s + 1;
+
+    for (i = 0; i <= 2147483600; i = i + 1000)  /* induction-overflow */
+        s = s + 1;
+
+    sum = s;
+    return 0;
+}

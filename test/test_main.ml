@@ -23,5 +23,6 @@ let () =
       ("vreuse", Test_vreuse.tests);
       ("verify", Test_verify.tests);
       ("pointsto", Test_pointsto.tests);
+      ("range", Test_range.tests);
       ("profile", Test_profile.tests);
     ]
