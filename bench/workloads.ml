@@ -504,3 +504,65 @@ let symbolic ~n =
 
 (* a general compile-time workload for the bechamel timings *)
 let compile_time_workload = daxpy 100
+
+(* ----------------------------------------------------------------- *)
+(* Monorepo for the compile service (MONOREPO)                       *)
+(* ----------------------------------------------------------------- *)
+
+(* One synthetic translation unit of a generated monorepo.  [variant]
+   picks the kernel family — units sharing a variant are textually
+   identical, so a content-addressed cache dedups them across the repo.
+   [leaf_edit] and [kern_edit] are per-unit edit counters simulating an
+   editing session: bumping one changes exactly one function body.
+
+   The unit splits into two invalidation components: a three-level call
+   chain (top -> mid -> leaf, sharing the [src]/[acc] globals) and an
+   independent kernel on its own globals.  A leaf edit must invalidate
+   the whole chain but leave the kernel's cache entry live. *)
+let monorepo_tu ~variant ~leaf_edit ~kern_edit =
+  nl
+    [
+      "/* synthetic monorepo unit */";
+      "static float acc[64];";
+      "static float src[64];";
+      "static float kacc[128];";
+      "static float ksrc[128];";
+      Printf.sprintf "float leaf(float x) { return x * %d.0f + %d.0f; }"
+        (variant + 2) (leaf_edit + 1);
+      "float mid(float x) { return leaf(x) + leaf(x + 1.0f); }";
+      "float top(int n)";
+      "{";
+      "  int i;";
+      "  float s;";
+      "  s = 0.0f;";
+      "  for (i = 0; i < n; i++) {";
+      "    acc[i] = mid(src[i]);";
+      "    s = s + acc[i];";
+      "  }";
+      "  return s;";
+      "}";
+      (* a 2-deep nest in the chain component so the optimizer earns its
+         keep per unit: interchange/fusion/vectorization all engage *)
+      "float sweep(int n)";
+      "{";
+      "  int i, j;";
+      "  float s;";
+      "  s = 0.0f;";
+      "  for (j = 0; j < 8; j++)";
+      "    for (i = 0; i < n; i++)";
+      "      acc[i] = acc[i] + src[i] * leaf((float)j);";
+      "  for (i = 0; i < n; i++)";
+      "    s = s + acc[i];";
+      "  return s;";
+      "}";
+      "int kernel(int n)";
+      "{";
+      "  int i, j;";
+      Printf.sprintf "  for (i = 0; i < n; i++) kacc[i] = ksrc[i] * %d.0f;"
+        (kern_edit + variant + 1);
+      "  for (j = 0; j < 4; j++)";
+      "    for (i = 0; i < n; i++)";
+      "      kacc[i] = kacc[i] + ksrc[i] * (float)j;";
+      "  return n;";
+      "}";
+    ]

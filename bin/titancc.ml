@@ -23,9 +23,67 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
     dump_stages
     dump_asm check catalogs
     save_catalog quiet verify_il no_run inject_fault profile_gen profile_use
-    report =
+    report serve cache_dir client timings =
   try
+    (* the cacheable option subset, shared by daemon keys and client
+       requests; callbacks (dump, report, ...) stay local *)
+    let copts =
+      {
+        Vpc_server.Service.opt_level;
+        inline_only;
+        no_parallel;
+        no_vectorize;
+        no_interchange;
+        no_fuse;
+        no_vreuse;
+        no_pointsto;
+        no_range;
+        assume_noalias;
+        vlen;
+        catalogs;
+        profile_use;
+      }
+    in
+    (match serve with
+    | Some socket_path ->
+        let cache = Vpc_server.Cache.create ?dir:cache_dir () in
+        Vpc_server.Daemon.serve
+          { Vpc_server.Daemon.socket_path; verbose = not quiet }
+          cache;
+        exit 0
+    | None -> ());
+    let file =
+      match file with
+      | Some f -> f
+      | None ->
+          Printf.eprintf "titancc: FILE.c required unless --serve\n";
+          exit 1
+    in
     let src = read_file file in
+    (match client with
+    | Some socket -> (
+        let req =
+          { Vpc_server.Service.req_file = file; req_src = src; req_opts = copts }
+        in
+        match Vpc_server.Protocol.request ~socket (Vpc_server.Protocol.Compile req) with
+        | Vpc_server.Protocol.Compiled r ->
+            (* print the artifact a local --no-run compile would print:
+               the asm listing under --dump-asm, the optimized IL
+               otherwise *)
+            if dump_asm then print_string r.Vpc_server.Service.res_asm
+            else print_string r.Vpc_server.Service.res_il;
+            if not quiet then
+              Printf.eprintf "[client] %d funcs, %d/%d components cached\n"
+                r.Vpc_server.Service.res_funcs r.Vpc_server.Service.res_cached
+                r.Vpc_server.Service.res_components;
+            exit 0
+        | Vpc_server.Protocol.Error m ->
+            Printf.eprintf "server error: %s\n" m;
+            exit 1
+        | _ ->
+            Printf.eprintf "unexpected server reply\n";
+            exit 1)
+    | None -> ());
     if lint then begin
       (* lint mode: front end only, then the provable-bug checks over
          the unoptimized IL (where source locations are intact) *)
@@ -108,7 +166,11 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
            else None);
       }
     in
-    let prog, stats = Vpc.compile ~options ~file src in
+    let timer =
+      if timings then Some (Vpc.Support.Timing.create ()) else None
+    in
+    let prog, stats = Vpc.compile ~options ?timer ~file src in
+    Option.iter (fun t -> Vpc.Support.Timing.report t stderr) timer;
     (match inject_fault with
     | None -> ()
     | Some kind_name -> (
@@ -138,9 +200,13 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         Vpc.Titan.Codegen.gen_program prog ~global_addr:(fun id ->
             Hashtbl.find layout.Vpc.Titan.Machine.addr_of id)
       in
-      Hashtbl.iter
-        (fun _ f -> Format.printf "%a@." Vpc.Titan.Isa.pp_func f)
-        tprog.Vpc.Titan.Isa.funcs
+      (* name-sorted so the listing is deterministic and matches the
+         assembly served from the compile daemon's cache *)
+      Hashtbl.fold (fun name f acc -> (name, f) :: acc)
+        tprog.Vpc.Titan.Isa.funcs []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (_, f) ->
+             Format.printf "%a@." Vpc.Titan.Isa.pp_func f)
     end;
     if no_run then exit 0;
     let result = Vpc.run_titan ~config ~vreuse:options.Vpc.vreuse prog in
@@ -218,7 +284,8 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
       exit 1
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc:"C source file")
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"FILE.c" ~doc:"C source file (optional with --serve)")
 
 let opt_arg =
   Arg.(value & opt int 3 & info [ "O" ] ~docv:"N" ~doc:"Optimization level 0-3")
@@ -341,6 +408,28 @@ let report_arg =
          ~doc:"Explain each profile-guided decision on stderr (one [pgo] \
                line per loop or call site, with the cost-model estimates)")
 
+let serve_arg =
+  Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"SOCKET"
+         ~doc:"Run as a compile daemon on a Unix-domain socket, serving \
+               requests from a content-addressed procedure cache; no FILE \
+               argument is needed")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist cache entries to DIR (one file per component key) \
+               so a restarted daemon starts warm")
+
+let client_arg =
+  Arg.(value & opt (some string) None & info [ "client" ] ~docv:"SOCKET"
+         ~doc:"Send FILE.c and the current option set to a daemon started \
+               with --serve, and print the served artifact (optimized IL, \
+               or the Titan listing under --dump-asm)")
+
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ]
+         ~doc:"Print a per-phase wall-clock profile of the compilation \
+               pipeline to stderr")
+
 let cmd =
   let doc = "vectorizing, parallelizing, inlining C compiler for the Titan" in
   Cmd.v
@@ -353,6 +442,7 @@ let cmd =
       $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
-      $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg)
+      $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg
+      $ serve_arg $ cache_dir_arg $ client_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -182,12 +182,17 @@ let after_pass ?pointsto ?range options prog (f : Il.Func.t) pass =
         ?range ~pass:stage prog f
   | `Off | `Final -> ()
 
-(* Run the optimization pipeline in place. *)
-let optimize ?(options = default_options) ?(stats = new_stats ())
+(* Run the optimization pipeline in place.  [timer] buckets the wall
+   time of each phase group for [--timings]. *)
+let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
     (prog : Il.Prog.t) =
-  List.iter
-    (fun file -> Inline.Catalog.import ~into:prog (Inline.Catalog.load file))
-    options.catalogs;
+  let timed phase f =
+    match timer with Some t -> Support.Timing.time t phase f | None -> f ()
+  in
+  timed "catalog-import" (fun () ->
+      List.iter
+        (fun file -> Inline.Catalog.import ~into:prog (Inline.Catalog.load file))
+        options.catalogs);
   (* Whole-program points-to runs after catalog import so argument-to-
      parameter bindings at known call sites are visible.  The verdicts
      back the {!Dependence.Alias} oracle consulted wherever canonical
@@ -196,7 +201,9 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
      program must not see this one's graph.  Inlining rewrites bodies
      wholesale, so the analysis is recomputed after it. *)
   let analyze_pointsto () =
-    if options.pointsto then Some (Pointsto.Pointsto.analyze prog) else None
+    if options.pointsto then
+      Some (timed "pointsto" (fun () -> Pointsto.Pointsto.analyze prog))
+    else None
   in
   let pt = ref (analyze_pointsto ()) in
   (* Symbolic ranges follow the same lifecycle: whole-program parameter
@@ -204,7 +211,9 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
      on demand — optimization passes renumber statements, so each
      consumer forces a fresh fenv over the function's current body. *)
   let analyze_range () =
-    if options.range then Some (Range.Range.analyze prog) else None
+    if options.range then
+      Some (timed "range" (fun () -> Range.Range.analyze prog))
+    else None
   in
   let rt = ref (analyze_range ()) in
   let install_oracle () =
@@ -237,16 +246,18 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
   (match options.inline with
   | `None -> ()
   | `All ->
-      Inline.Inline.expand ~options:(inline_options None) ~stats:stats.inline
-        prog;
+      timed "inline" (fun () ->
+          Inline.Inline.expand ~options:(inline_options None)
+            ~stats:stats.inline prog);
       pt := analyze_pointsto ();
       rt := analyze_range ();
       install_oracle ();
       after_prog_pass "inline"
   | `Only names ->
-      Inline.Inline.expand
-        ~options:(inline_options (Some names))
-        ~stats:stats.inline prog;
+      timed "inline" (fun () ->
+          Inline.Inline.expand
+            ~options:(inline_options (Some names))
+            ~stats:stats.inline prog);
       pt := analyze_pointsto ();
       rt := analyze_range ();
       install_oracle ();
@@ -281,6 +292,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
       after_pass f "scalar-cleanup"
     end
   in
+  timed "transforms" (fun () ->
   List.iter
     (fun f ->
       scalar_cleanup f;
@@ -410,7 +422,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
         ignore (Analysis.Dce.run ~stats:stats.dce f);
         after_pass f "dce"
       end)
-    prog.Il.Prog.funcs;
+    prog.Il.Prog.funcs);
   dump_stage options prog "final";
   (match options.verify with
   | `Final | `Each_stage ->
@@ -423,10 +435,14 @@ let optimize ?(options = default_options) ?(stats = new_stats ())
 let parse ?file src : Il.Prog.t = Cfront.Frontend.compile ?file src
 
 (* Parse and optimize. *)
-let compile ?(options = default_options) ?file src : Il.Prog.t * stats =
-  let prog = parse ?file src in
+let compile ?(options = default_options) ?timer ?file src : Il.Prog.t * stats =
+  let prog =
+    match timer with
+    | Some t -> Support.Timing.time t "parse" (fun () -> parse ?file src)
+    | None -> parse ?file src
+  in
   after_prog_pass options prog "front-end";
-  let stats = optimize ~options prog in
+  let stats = optimize ~options ?timer prog in
   (prog, stats)
 
 (* Reference execution on the IL interpreter. *)

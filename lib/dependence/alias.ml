@@ -40,12 +40,16 @@ type result =
    would answer May_alias.  Installed by the pipeline driver for the
    duration of one optimization run (Vpc.optimize), cleared afterwards so
    stale program facts never leak into a later compilation. *)
-let oracle : (Expr.t -> Expr.t -> result option) ref = ref (fun _ _ -> None)
-let set_oracle f = oracle := f
-let clear_oracle () = oracle := fun _ _ -> None
+let oracle : (Expr.t -> Expr.t -> result option) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> fun _ _ -> None)
+(* Domain-local: the compile server runs independent pipelines on
+   separate domains, and each must see only its own program's graph. *)
+
+let set_oracle f = Domain.DLS.set oracle f
+let clear_oracle () = Domain.DLS.set oracle (fun _ _ -> None)
 
 let refine b1 b2 =
-  match !oracle b1 b2 with Some r -> r | None -> May_alias
+  match (Domain.DLS.get oracle) b1 b2 with Some r -> r | None -> May_alias
 
 exception Not_canonical
 

@@ -184,12 +184,14 @@ type oracle = {
   note : Vpc_il.Expr.t -> string -> unit;
 }
 
-let oracle_ref : oracle option ref = ref None
+(* Domain-local for the same reason as {!Alias.oracle}: concurrent
+   server pipelines each install their own range oracle. *)
+let oracle_ref : oracle option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let with_oracle (o : oracle) f =
-  let saved = !oracle_ref in
-  oracle_ref := Some o;
-  Fun.protect ~finally:(fun () -> oracle_ref := saved) f
+  let saved = Domain.DLS.get oracle_ref in
+  Domain.DLS.set oracle_ref (Some o);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set oracle_ref saved) f
 
 (* Interval counterpart of [affine]: delta is only known to lie in
    [dlo, dhi] (either side possibly unbounded).  Independence holds when
@@ -230,7 +232,7 @@ let interval_affine ~c1 ~c2 ~(dlo : int option) ~(dhi : int option)
    distance between the bases. *)
 let may_alias_affine (a1 : Subscript.affine) (a2 : Subscript.affine) ~trip :
     verdict =
-  match !oracle_ref with
+  match Domain.DLS.get oracle_ref with
   | None -> Dependent { distance = None }
   | Some o -> (
       let delta_e =

@@ -6,11 +6,20 @@ type ctx = { prog : Prog.t; func : Func.t }
 
 let ctx prog func = { prog; func }
 
+(* Temporaries are numbered per function, not by their program-wide
+   variable id: a name that embedded the global id would change whenever
+   an unrelated earlier function allocated a different number of
+   variables, defeating content-addressed caching of printed IL. *)
 let fresh_temp ctx ?(name = "temp") ty =
   let id = Prog.fresh_var_id ctx.prog in
+  let k =
+    Hashtbl.fold
+      (fun _ (v : Var.t) n -> if v.is_temp then n + 1 else n)
+      ctx.func.Func.vars 0
+  in
   let v =
     Var.make ~id
-      ~name:(Printf.sprintf "%s_%d" name id)
+      ~name:(Printf.sprintf "%s_%d" name k)
       ~ty ~storage:Var.Auto ~is_temp:true ()
   in
   Func.add_var ctx.func v;

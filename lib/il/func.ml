@@ -77,7 +77,7 @@ let to_sexp t =
       Ty.to_sexp t.ret_ty;
       bool t.is_static;
       list (List.map int t.params);
-      list (Hashtbl.fold (fun _ v acc -> Var.to_sexp v :: acc) t.vars []);
+      list (List.map Var.to_sexp (locals t));
       list (List.map Stmt.to_sexp t.body);
       int (Gensym.peek t.stmt_gen);
       int (Gensym.peek t.label_gen);

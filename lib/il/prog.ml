@@ -86,15 +86,14 @@ let ginit_of_sexp s =
 let to_sexp t =
   let open Sexp in
   let structs =
-    Hashtbl.fold
-      (fun _ (def : Ty.struct_def) acc ->
-        list
-          (atom def.tag
-          :: List.map
-               (fun (name, ty) -> list [ atom name; Ty.to_sexp ty ])
-               def.fields)
-        :: acc)
-      t.structs []
+    Hashtbl.fold (fun _ (def : Ty.struct_def) acc -> def :: acc) t.structs []
+    |> List.sort (fun (a : Ty.struct_def) b -> compare a.tag b.tag)
+    |> List.map (fun (def : Ty.struct_def) ->
+           list
+             (atom def.tag
+             :: List.map
+                  (fun (name, ty) -> list [ atom name; Ty.to_sexp ty ])
+                  def.fields))
   in
   let globals =
     List.map

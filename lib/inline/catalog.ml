@@ -63,14 +63,16 @@ let import ~(into : Prog.t) (src : Prog.t) =
             Func.create ~name:f.Func.name ~ret_ty:f.Func.ret_ty
               ~is_static:f.Func.is_static ()
           in
-          (* remap every local var to a fresh id in [into] *)
+          (* remap every local var to a fresh id in [into], in ascending
+             source-id order so the new ids preserve the relative order
+             (frame layout and printed names follow it) *)
           let local_map = Hashtbl.copy var_map in
-          Hashtbl.iter
-            (fun old_id (v : Var.t) ->
+          List.iter
+            (fun (v : Var.t) ->
               let id = Prog.fresh_var_id into in
-              Hashtbl.replace local_map old_id id;
+              Hashtbl.replace local_map v.Var.id id;
               Func.add_var nf { v with id })
-            f.Func.vars;
+            (Func.locals f);
           let renaming =
             {
               Clone.var_map = local_map;

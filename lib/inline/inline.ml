@@ -73,18 +73,26 @@ let expand_call (prog : Prog.t) (caller : Func.t) (callee : Func.t)
     (dst : Stmt.lvalue option) (args : Expr.t list) : Stmt.t list =
   let b = Builder.ctx prog caller in
   let var_map = Hashtbl.create 16 in
-  (* fresh copies of every callee-local variable *)
-  Hashtbl.iter
-    (fun old_id (v : Var.t) ->
+  (* Fresh copies of every callee-local variable, cloned in ascending
+     callee-id order and renamed with a caller-local index (the size of
+     the caller's variable table, which grows by one per clone): both
+     the clone order and the printed names are then functions of the
+     two functions alone, never of how many variables the rest of the
+     program happened to allocate first. *)
+  List.iter
+    (fun (v : Var.t) ->
+      let old_id = v.Var.id in
       let id = Prog.fresh_var_id prog in
       let name =
         if List.mem old_id callee.Func.params then "in_" ^ v.Var.name
-        else Printf.sprintf "%s_i%d" v.Var.name id
+        else
+          Printf.sprintf "%s_i%d" v.Var.name
+            (Hashtbl.length caller.Func.vars)
       in
       Hashtbl.replace var_map old_id id;
       Func.add_var caller
         { v with Var.id; name; storage = Var.Auto; is_temp = true })
-    callee.Func.vars;
+    (Func.locals callee);
   (* fresh labels *)
   let label_map = Hashtbl.create 4 in
   Stmt.iter_list

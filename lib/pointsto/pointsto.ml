@@ -403,7 +403,10 @@ let scalar_slot vartab (o : obj) : slot =
       | _ -> Smem o)
   | o -> Smem o
 
-let solve vartab (constraints : constr list) =
+(* Naive reference solver: re-evaluate every constraint (plus the escape
+   closure) until a full round changes nothing.  Kept as the oracle the
+   worklist solver is differentially tested against. *)
+let solve_naive vartab (constraints : constr list) =
   let pts : (slot, (obj, off) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
   let changed = ref true in
   let cell slot =
@@ -480,6 +483,156 @@ let solve vartab (constraints : constr list) =
       esc
   done;
   pts
+
+(* Worklist solver: same least fixpoint as {!solve_naive}, reached by
+   re-evaluating only the constraints whose inputs changed.
+
+   Every [contents] read during the evaluation of a constraint
+   subscribes that constraint to the slot it read (the read set is
+   dynamic — [Sload] chases the current points-to graph — so
+   subscriptions accumulate across re-evaluations).  When a slot gains
+   an object or widens an offset, its subscribers are re-queued.
+
+   The escape closure is expressed as ordinary constraints materialized
+   on demand: the first time object [o] appears in the escaped set
+   (the contents of [Smem Unknown]) we append
+
+     slot(o) ⊇ {Unknown}        — unknown code may store fresh storage
+     slot(o) ⊇ contents(⊥)      — … or any other escaped pointer
+     ⊥ ⊇ contents(slot(o))      — … and may read pointers back out
+
+   which is exactly one unrolling of the naive loop's closure step, made
+   permanent and incremental. *)
+let solve_worklist vartab (constraints : constr list) =
+  let pts : (slot, (obj, off) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let cons : (int, constr) Hashtbl.t = Hashtbl.create 256 in
+  let ncons = ref 0 in
+  let queue = Queue.create () in
+  let queued : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let subs : (slot, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let sub_set : (slot * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let enqueue i =
+    if not (Hashtbl.mem queued i) then begin
+      Hashtbl.replace queued i ();
+      Queue.add i queue
+    end
+  in
+  let push_constr c =
+    let i = !ncons in
+    incr ncons;
+    Hashtbl.replace cons i c;
+    enqueue i
+  in
+  (* the constraint currently being evaluated, for read subscriptions *)
+  let current = ref (-1) in
+  let subscribe slot =
+    let i = !current in
+    if i >= 0 && not (Hashtbl.mem sub_set (slot, i)) then begin
+      Hashtbl.replace sub_set (slot, i) ();
+      let l =
+        match Hashtbl.find_opt subs slot with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace subs slot l;
+            l
+      in
+      l := i :: !l
+    end
+  in
+  let notify slot =
+    match Hashtbl.find_opt subs slot with
+    | None -> ()
+    | Some l -> List.iter enqueue !l
+  in
+  let cell slot =
+    match Hashtbl.find_opt pts slot with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.add pts slot h;
+        h
+  in
+  let escaped_done : (obj, unit) Hashtbl.t = Hashtbl.create 16 in
+  let escape_obj o =
+    if o <> Unknown && not (Hashtbl.mem escaped_done o) then begin
+      Hashtbl.replace escaped_done o ();
+      let slot = scalar_slot vartab o in
+      push_constr (Into (slot, Sunknown));
+      push_constr (Into (slot, Scopy (Smem Unknown)));
+      push_constr (Into (Smem Unknown, Scopy slot))
+    end
+  in
+  let add slot (o, f) =
+    let h = cell slot in
+    let changed =
+      match Hashtbl.find_opt h o with
+      | None ->
+          Hashtbl.replace h o f;
+          true
+      | Some f0 ->
+          let j = join_off f0 f in
+          if j <> f0 then (
+            Hashtbl.replace h o j;
+            true)
+          else false
+    in
+    if changed then begin
+      notify slot;
+      if slot = Smem Unknown then escape_obj o
+    end
+  in
+  let contents slot =
+    subscribe slot;
+    match Hashtbl.find_opt pts slot with
+    | None -> []
+    | Some h -> Hashtbl.fold (fun o f acc -> (o, f) :: acc) h []
+  in
+  let rec eval = function
+    | Sbase v -> [ (Obj v, Known 0) ]
+    | Slit k -> [ (Lit, Known k) ]
+    | Sunknown -> [ (Unknown, Any) ]
+    | Scopy s -> contents s
+    | Sshift (s, Known k) ->
+        List.map
+          (fun (o, f) ->
+            (o, match f with Known x -> Known (x + k) | Any -> Any))
+          (eval s)
+    | Sshift (s, Any) -> List.map (fun (o, _) -> (o, Any)) (eval s)
+    | Sunion xs -> List.concat_map eval xs
+    | Sload a ->
+        List.concat_map
+          (fun (o, _) ->
+            let back = if o = Unknown then [ (Unknown, Any) ] else [] in
+            back @ contents (scalar_slot vartab o))
+          (eval a)
+  in
+  List.iter push_constr constraints;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    Hashtbl.remove queued i;
+    current := i;
+    (match Hashtbl.find cons i with
+    | Into (slot, s) -> List.iter (add slot) (eval s)
+    | Store (a, v) ->
+        let vals = eval v in
+        List.iter
+          (fun (o, _) ->
+            let tgt =
+              if o = Unknown then Smem Unknown else scalar_slot vartab o
+            in
+            List.iter (add tgt) vals)
+          (eval a));
+    current := -1
+  done;
+  pts
+
+type solver = [ `Worklist | `Naive ]
+
+let solve ?(solver = `Worklist) vartab constraints =
+  match solver with
+  | `Worklist -> solve_worklist vartab constraints
+  | `Naive -> solve_naive vartab constraints
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -679,7 +832,7 @@ let compute_summaries t (facts : (string * Func.t * fun_facts) list) =
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 
-let analyze (prog : Prog.t) : t =
+let analyze ?(solver = `Worklist) (prog : Prog.t) : t =
   let vartab = Hashtbl.create 64 in
   List.iter
     (fun (g : Prog.global) ->
@@ -708,7 +861,7 @@ let analyze (prog : Prog.t) : t =
     @ entry_constraints prog ~has_indirect
     @ List.concat_map (fun (_, _, fx) -> fx.constraints) facts
   in
-  let pts = solve vartab constraints in
+  let pts = solve ~solver vartab constraints in
   let t = { prog; vartab; pts; summaries = Hashtbl.create 16 } in
   compute_summaries t facts;
   t

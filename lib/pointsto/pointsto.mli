@@ -25,10 +25,16 @@ type summary = { mods : Objset.t; refs : Objset.t; io : bool }
 
 type t
 
+(** Constraint solver choice.  [`Worklist] (the default) re-evaluates
+    only constraints whose inputs changed; [`Naive] re-runs every
+    constraint each round.  Both compute the same least fixpoint — the
+    naive solver survives as the differential-testing oracle. *)
+type solver = [ `Worklist | `Naive ]
+
 (** Analyze the whole program: constraint generation over every
     procedure (including catalog-imported ones already in [Prog.t]),
     inclusion solving to a fixpoint, then mod/ref summaries. *)
-val analyze : Prog.t -> t
+val analyze : ?solver:solver -> Prog.t -> t
 
 (** Every (object, offset) an address expression may denote.  Total:
     unknown provenance shows up as [Unknown], never an exception. *)

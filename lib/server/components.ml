@@ -1,0 +1,195 @@
+(* Invalidation components for the compilation cache.
+
+   The optimizer is interprocedural: inlining follows call edges,
+   points-to and range summaries flow along them, and two procedures
+   that touch the same global can influence each other's dependence
+   tests.  A cached result for one procedure is therefore only reusable
+   when everything that could have fed its optimization is unchanged.
+
+   Rather than tracking fine-grained dataflow we over-approximate with
+   an undirected partition of the translation unit's procedures:
+
+   - a direct call edge joins caller and callee;
+   - two procedures mentioning the same global are joined;
+   - procedures whose analysis couples through unknown memory — those
+     calling undefined procedures, and those with pointer parameters
+     (their parameters seed the points-to Unknown object when no caller
+     is visible) — form one "tainted" group;
+   - an indirect call or an extern global anywhere collapses the whole
+     unit into a single component: the points-to solver then routes
+     information through objects shared program-wide.
+
+   A component is the unit of caching: its key covers the fingerprints
+   of all members plus the option set and every analysis input, so a
+   hit guarantees the optimizer would see bit-identical inputs. *)
+
+open Vpc_il
+
+type t = {
+  comp_of : (string, int) Hashtbl.t;  (* function name -> component index *)
+  members : string list array;        (* index -> sorted member names *)
+  whole_tu : bool;                    (* single component, unit-wide *)
+  tainted : (string, unit) Hashtbl.t; (* members of the unknown-memory group *)
+}
+
+(* Union-find over function names ---------------------------------------- *)
+
+let find parent x =
+  let rec go x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+        let r = go p in
+        Hashtbl.replace parent x r;
+        r
+    | _ -> x
+  in
+  go x
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then Hashtbl.replace parent ra rb
+
+(* Per-function facts ----------------------------------------------------- *)
+
+type facts = {
+  mutable callees : string list;
+  mutable globals_used : int list;
+  mutable has_indirect : bool;
+}
+
+let collect_facts (prog : Prog.t) (f : Func.t) : facts =
+  let fa = { callees = []; globals_used = []; has_indirect = false } in
+  let note_global id =
+    if Hashtbl.mem prog.Prog.globals id then
+      fa.globals_used <- id :: fa.globals_used
+  in
+  let rec expr (e : Expr.t) =
+    match e.Expr.desc with
+    | Expr.Var id | Expr.Addr_of id -> note_global id
+    | Expr.Load p -> expr p
+    | Expr.Binop (_, a, b) -> expr a; expr b
+    | Expr.Unop (_, a) | Expr.Cast (_, a) -> expr a
+    | Expr.Const_int _ | Expr.Const_float _ -> ()
+  in
+  let lvalue = function
+    | Stmt.Lvar id -> note_global id
+    | Stmt.Lmem e -> expr e
+  in
+  let section (s : Stmt.section) =
+    expr s.Stmt.base; expr s.Stmt.count; expr s.Stmt.stride
+  in
+  let rec vexpr = function
+    | Stmt.Vsec s -> section s
+    | Stmt.Vscalar e -> expr e
+    | Stmt.Viota (a, b) -> expr a; expr b
+    | Stmt.Vcast (_, v) | Stmt.Vun (_, v) -> vexpr v
+    | Stmt.Vbin (_, a, b) -> vexpr a; vexpr b
+    | Stmt.Vtmp _ -> ()
+  in
+  Stmt.iter_list
+    (fun (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Assign (lv, e) -> lvalue lv; expr e
+      | Stmt.Call (dst, tgt, args) ->
+          Option.iter lvalue dst;
+          (match tgt with
+          | Stmt.Direct name -> fa.callees <- name :: fa.callees
+          | Stmt.Indirect e ->
+              fa.has_indirect <- true;
+              expr e);
+          List.iter expr args
+      | Stmt.If (c, _, _) -> expr c
+      | Stmt.While (_, c, _) -> expr c
+      | Stmt.Do_loop d -> expr d.Stmt.lo; expr d.Stmt.hi; expr d.Stmt.step
+      | Stmt.Return (Some e) -> expr e
+      | Stmt.Vector v -> section v.Stmt.vdst; vexpr v.Stmt.vsrc
+      | Stmt.Vdef vd -> vexpr vd.Stmt.vval; expr vd.Stmt.vcount
+      | Stmt.Goto _ | Stmt.Label _ | Stmt.Return None | Stmt.Nop -> ())
+    f.Func.body;
+  fa
+
+let has_pointer_param (f : Func.t) =
+  List.exists
+    (fun id ->
+      match Hashtbl.find_opt f.Func.vars id with
+      | Some (v : Var.t) -> (
+          match Ty.decay v.Var.ty with Ty.Ptr _ -> true | _ -> false)
+      | None -> false)
+    f.Func.params
+
+let compute (prog : Prog.t) : t =
+  let funcs = prog.Prog.funcs in
+  let defined = Hashtbl.create 16 in
+  List.iter (fun (f : Func.t) -> Hashtbl.replace defined f.Func.name ()) funcs;
+  let parent = Hashtbl.create 16 in
+  List.iter (fun (f : Func.t) -> Hashtbl.replace parent f.Func.name f.Func.name)
+    funcs;
+  let tainted = Hashtbl.create 8 in
+  let any_indirect = ref false in
+  let extern_global =
+    List.exists
+      (fun (g : Prog.global) -> g.Prog.gvar.Var.storage = Var.Extern)
+      (Prog.globals_list prog)
+  in
+  let users_of_global : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fa = collect_facts prog f in
+      if fa.has_indirect then any_indirect := true;
+      List.iter
+        (fun callee ->
+          if Hashtbl.mem defined callee then union parent f.Func.name callee
+          else Hashtbl.replace tainted f.Func.name ())
+        fa.callees;
+      List.iter
+        (fun gid ->
+          (match Hashtbl.find_opt users_of_global gid with
+          | Some other -> union parent f.Func.name other
+          | None -> ());
+          Hashtbl.replace users_of_global gid f.Func.name)
+        fa.globals_used;
+      if has_pointer_param f then Hashtbl.replace tainted f.Func.name ())
+    funcs;
+  (* all tainted procedures couple through unknown memory *)
+  let taint_rep = ref None in
+  Hashtbl.iter
+    (fun name () ->
+      match !taint_rep with
+      | None -> taint_rep := Some name
+      | Some rep -> union parent name rep)
+    tainted;
+  let whole_tu = !any_indirect || extern_global in
+  if whole_tu then
+    (match funcs with
+    | first :: rest ->
+        List.iter
+          (fun (f : Func.t) -> union parent first.Func.name f.Func.name)
+          rest
+    | [] -> ());
+  (* number components in order of first appearance in [prog.funcs] so
+     indices are deterministic *)
+  let comp_of = Hashtbl.create 16 in
+  let idx_of_rep = Hashtbl.create 16 in
+  let n = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let rep = find parent f.Func.name in
+      let idx =
+        match Hashtbl.find_opt idx_of_rep rep with
+        | Some i -> i
+        | None ->
+            let i = !n in
+            incr n;
+            Hashtbl.replace idx_of_rep rep i;
+            i
+      in
+      Hashtbl.replace comp_of f.Func.name idx)
+    funcs;
+  let members = Array.make !n [] in
+  List.iter
+    (fun (f : Func.t) ->
+      let i = Hashtbl.find comp_of f.Func.name in
+      members.(i) <- f.Func.name :: members.(i))
+    funcs;
+  Array.iteri (fun i l -> members.(i) <- List.sort compare l) members;
+  { comp_of; members; whole_tu; tainted }

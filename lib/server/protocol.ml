@@ -1,0 +1,125 @@
+(* Wire protocol for the compile daemon: length-prefixed sexp frames
+   over a Unix-domain stream socket.
+
+   A frame is a 4-byte big-endian payload length followed by the
+   payload.  Framing is deliberately independent of the sexp syntax so
+   arbitrary source bytes survive the trip without the reader having to
+   re-lex partial input off the wire. *)
+
+open Vpc_support
+
+type client_msg =
+  | Compile of Service.request
+  | Stats
+  | Shutdown
+
+type server_msg =
+  | Compiled of Service.response
+  | Stats_reply of Cache.stats
+  | Error of string
+  | Bye
+
+(* Frames ----------------------------------------------------------------- *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_frame oc (s : string) =
+  if String.length s > max_frame then failwith "protocol: frame too large";
+  output_binary_int oc (String.length s);
+  output_string oc s;
+  flush oc
+
+let read_frame ic : string =
+  let n = input_binary_int ic in
+  if n < 0 || n > max_frame then failwith "protocol: bad frame length";
+  really_input_string ic n
+
+(* Encoding --------------------------------------------------------------- *)
+
+let client_to_sexp = function
+  | Compile r ->
+      Sexp.list
+        [
+          Sexp.atom "compile";
+          Sexp.atom r.Service.req_file;
+          Sexp.atom r.Service.req_src;
+          Service.copts_to_sexp r.Service.req_opts;
+        ]
+  | Stats -> Sexp.list [ Sexp.atom "stats" ]
+  | Shutdown -> Sexp.list [ Sexp.atom "shutdown" ]
+
+let client_of_sexp s =
+  match s with
+  | Sexp.List [ Sexp.Atom "compile"; Sexp.Atom file; Sexp.Atom src; opts ] ->
+      Compile
+        {
+          Service.req_file = file;
+          req_src = src;
+          req_opts = Service.copts_of_sexp opts;
+        }
+  | Sexp.List [ Sexp.Atom "stats" ] -> Stats
+  | Sexp.List [ Sexp.Atom "shutdown" ] -> Shutdown
+  | _ -> raise (Sexp.Parse_error "protocol: bad client message")
+
+let server_to_sexp = function
+  | Compiled r ->
+      Sexp.list
+        [
+          Sexp.atom "compiled";
+          Sexp.atom r.Service.res_il;
+          Sexp.atom r.Service.res_asm;
+          Sexp.int r.Service.res_components;
+          Sexp.int r.Service.res_cached;
+          Sexp.int r.Service.res_funcs;
+        ]
+  | Stats_reply s ->
+      Sexp.list
+        [
+          Sexp.atom "stats";
+          Sexp.int s.Cache.s_hits;
+          Sexp.int s.Cache.s_misses;
+          Sexp.int s.Cache.s_stores;
+          Sexp.int s.Cache.s_entries;
+        ]
+  | Error m -> Sexp.list [ Sexp.atom "error"; Sexp.atom m ]
+  | Bye -> Sexp.list [ Sexp.atom "bye" ]
+
+let server_of_sexp s =
+  match s with
+  | Sexp.List
+      [
+        Sexp.Atom "compiled"; Sexp.Atom il; Sexp.Atom asm; comps; cached; funcs;
+      ] ->
+      Compiled
+        {
+          Service.res_il = il;
+          res_asm = asm;
+          res_components = Sexp.as_int comps;
+          res_cached = Sexp.as_int cached;
+          res_funcs = Sexp.as_int funcs;
+        }
+  | Sexp.List [ Sexp.Atom "stats"; h; m; st; e ] ->
+      Stats_reply
+        {
+          Cache.s_hits = Sexp.as_int h;
+          s_misses = Sexp.as_int m;
+          s_stores = Sexp.as_int st;
+          s_entries = Sexp.as_int e;
+        }
+  | Sexp.List [ Sexp.Atom "error"; Sexp.Atom m ] -> Error m
+  | Sexp.List [ Sexp.Atom "bye" ] -> Bye
+  | _ -> raise (Sexp.Parse_error "protocol: bad server message")
+
+(* Client side ------------------------------------------------------------ *)
+
+(* One request per connection: connect, send, read the reply. *)
+let request ~socket (msg : client_msg) : server_msg =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      write_frame oc (Sexp.to_string (client_to_sexp msg));
+      server_of_sexp (Sexp.of_string (read_frame ic)))

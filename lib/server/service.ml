@@ -1,0 +1,371 @@
+(* The compilation service: one compile request = one translation unit
+   under one option set; the response carries the printed optimized IL
+   and the Titan assembly listing.
+
+   The fast path never runs the optimizer.  A request is parsed (cheap,
+   and unavoidable: fingerprints are computed over lowered IL, which is
+   what makes them robust against comment/whitespace edits), catalogs
+   are imported, the unit is partitioned into invalidation components
+   ({!Components}), and each component's key is probed in the cache.
+   When every component hits, the response is assembled from cached
+   per-function text — the printers emit plain newline-terminated
+   pieces, so concatenation reproduces [Pp.prog_to_string] and the
+   [--dump-asm] listing byte for byte.  Any miss falls back to a full
+   fresh compile of the whole unit (the optimizer is interprocedural;
+   recompiling a component in isolation would change inlining and
+   summary inputs), whose outputs seed the cache for next time.
+
+   Thread-safety: requests may be served from concurrent domains — all
+   compiler state is per-program or domain-local, and the cache handles
+   its own locking — so {!compile_batch} runs a domain pool over a
+   shared request queue. *)
+
+open Vpc_support
+open Vpc.Il
+
+(* Cache-relevant options: the serializable mirror of titancc's flags.
+   Callback options (dump, report, ...) are deliberately absent — they
+   do not change the compiled artifact.  Catalog and profile inputs are
+   carried as paths here but enter cache keys as content digests. *)
+type copts = {
+  opt_level : int;  (* 0..3 *)
+  inline_only : string list;
+  no_parallel : bool;
+  no_vectorize : bool;
+  no_interchange : bool;
+  no_fuse : bool;
+  no_vreuse : bool;
+  no_pointsto : bool;
+  no_range : bool;
+  assume_noalias : bool;
+  vlen : int;
+  catalogs : string list;
+  profile_use : string option;
+}
+
+let default_copts =
+  {
+    opt_level = 3;
+    inline_only = [];
+    no_parallel = false;
+    no_vectorize = false;
+    no_interchange = false;
+    no_fuse = false;
+    no_vreuse = false;
+    no_pointsto = false;
+    no_range = false;
+    assume_noalias = false;
+    vlen = 32;
+    catalogs = [];
+    profile_use = None;
+  }
+
+let copts_to_sexp (c : copts) =
+  let open Sexp in
+  list
+    [
+      int c.opt_level;
+      list (List.map atom c.inline_only);
+      bool c.no_parallel;
+      bool c.no_vectorize;
+      bool c.no_interchange;
+      bool c.no_fuse;
+      bool c.no_vreuse;
+      bool c.no_pointsto;
+      bool c.no_range;
+      bool c.assume_noalias;
+      int c.vlen;
+      list (List.map atom c.catalogs);
+      list (List.map atom (Option.to_list c.profile_use));
+    ]
+
+let copts_of_sexp s =
+  let open Sexp in
+  match s with
+  | List
+      [
+        lvl; List only; np; nv; ni; nf; nvr; npt; nr; na; vlen; List cats;
+        List prof;
+      ] ->
+      {
+        opt_level = as_int lvl;
+        inline_only = List.map as_atom only;
+        no_parallel = as_bool np;
+        no_vectorize = as_bool nv;
+        no_interchange = as_bool ni;
+        no_fuse = as_bool nf;
+        no_vreuse = as_bool nvr;
+        no_pointsto = as_bool npt;
+        no_range = as_bool nr;
+        assume_noalias = as_bool na;
+        vlen = as_int vlen;
+        catalogs = List.map as_atom cats;
+        profile_use =
+          (match prof with [] -> None | [ p ] -> Some (as_atom p)
+          | _ -> raise (Parse_error "copts: bad profile"));
+      }
+  | _ -> raise (Parse_error "copts: bad shape")
+
+let to_options (c : copts) : Vpc.options =
+  let base =
+    match c.opt_level with
+    | 0 -> Vpc.o0
+    | 1 -> Vpc.o1
+    | 2 -> Vpc.o2
+    | _ -> Vpc.o3
+  in
+  {
+    base with
+    Vpc.inline =
+      (match c.inline_only with [] -> base.Vpc.inline | ns -> `Only ns);
+    parallelize = base.Vpc.parallelize && not c.no_parallel;
+    vectorize = base.Vpc.vectorize && not c.no_vectorize;
+    interchange = base.Vpc.interchange && not c.no_interchange;
+    fuse = base.Vpc.fuse && not c.no_fuse;
+    vreuse = base.Vpc.vreuse && not c.no_vreuse;
+    pointsto = base.Vpc.pointsto && not c.no_pointsto;
+    range = base.Vpc.range && not c.no_range;
+    assume_noalias = c.assume_noalias;
+    vlen = c.vlen;
+    catalogs = c.catalogs;
+    profile = Option.map Vpc.Profile.Data.load c.profile_use;
+  }
+
+type request = {
+  req_file : string;  (* display name; locations flow into the IL *)
+  req_src : string;
+  req_opts : copts;
+}
+
+type response = {
+  res_il : string;   (* == Pp.prog_to_string of the optimized unit *)
+  res_asm : string;  (* name-sorted Titan listing, one pp_func each *)
+  res_components : int;
+  res_cached : int;  (* components served from cache (= components on a
+                        full hit, else 0: misses recompile the unit) *)
+  res_funcs : int;
+}
+
+(* Rendering -------------------------------------------------------------- *)
+
+(* The globals header exactly as [Pp.pp_prog] prints it. *)
+let header_text (prog : Prog.t) =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (g : Prog.global) ->
+      Buffer.add_string buf
+        (Fmt.str "%a %s;@." Ty.pp g.Prog.gvar.Var.ty g.Prog.gvar.Var.name))
+    (Prog.globals_list prog);
+  Buffer.contents buf
+
+(* One function's slice of [Pp.pp_prog]: a blank separator line, then
+   the function text. *)
+let func_dump_text (prog : Prog.t) (f : Func.t) =
+  "\n" ^ Pp.func_to_string prog f
+
+let asm_texts (prog : Prog.t) : (string * string) list =
+  let layout = Vpc.Titan.Machine.layout_globals prog in
+  let tprog =
+    Vpc.Titan.Codegen.gen_program prog ~global_addr:(fun id ->
+        Hashtbl.find layout.Vpc.Titan.Machine.addr_of id)
+  in
+  Hashtbl.fold
+    (fun name f acc ->
+      (name, Format.asprintf "%a@." Vpc.Titan.Isa.pp_func f) :: acc)
+    tprog.Vpc.Titan.Isa.funcs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Keys ------------------------------------------------------------------- *)
+
+let schema_tag = "titancc-cache-1"
+
+let options_fp (c : copts) =
+  (* paths out, contents in: the same catalog reached via a different
+     path must hit, an edited catalog at the same path must miss *)
+  Fingerprint.digest_string
+    (Sexp.to_string
+       (copts_to_sexp { c with catalogs = []; profile_use = None }))
+
+type keyed = {
+  k_comps : Components.t;
+  k_keys : string array;        (* component index -> cache key *)
+  k_fp_of : (string, string) Hashtbl.t;  (* func name -> fingerprint *)
+}
+
+let component_keys (prog : Prog.t) (c : copts) : keyed =
+  let comps = Components.compute prog in
+  let opts_fp = options_fp c in
+  let structs_fp = Fingerprint.structs prog in
+  let globals_fp = Fingerprint.globals prog in
+  let catalog_fps = List.map Fingerprint.file c.catalogs in
+  let profile_fp = Option.map Fingerprint.file c.profile_use in
+  let fp_of = Hashtbl.create 16 in
+  let locs_of = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      Hashtbl.replace fp_of f.Func.name (Fingerprint.func prog f);
+      if profile_fp <> None then
+        Hashtbl.replace locs_of f.Func.name (Fingerprint.func_locs f))
+    prog.Prog.funcs;
+  let key_of members =
+    let buf = Buffer.create 512 in
+    let add s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+    add schema_tag;
+    add opts_fp;
+    add structs_fp;
+    add globals_fp;
+    add (if comps.Components.whole_tu then "whole-tu" else "component");
+    List.iter add catalog_fps;
+    (match profile_fp with
+    | None -> add "no-profile"
+    | Some d -> add ("profile " ^ d));
+    List.iter
+      (fun name ->
+        add name;
+        add (Hashtbl.find fp_of name);
+        if Hashtbl.mem comps.Components.tainted name then add "tainted";
+        match Hashtbl.find_opt locs_of name with
+        | Some d -> add ("locs " ^ d)
+        | None -> ())
+      members;
+    Fingerprint.digest_string (Buffer.contents buf)
+  in
+  let keys = Array.map key_of comps.Components.members in
+  { k_comps = comps; k_keys = keys; k_fp_of = fp_of }
+
+(* Compilation ------------------------------------------------------------ *)
+
+let compile ?timer (cache : Cache.t) (req : request) : response =
+  let timed phase f =
+    match timer with Some t -> Timing.time t phase f | None -> f ()
+  in
+  let options = to_options req.req_opts in
+  let prog =
+    timed "parse" (fun () -> Vpc.parse ~file:req.req_file req.req_src)
+  in
+  timed "catalog-import" (fun () ->
+      List.iter
+        (fun file ->
+          Vpc.Inline.Catalog.import ~into:prog (Vpc.Inline.Catalog.load file))
+        options.Vpc.catalogs);
+  let keyed = timed "fingerprint" (fun () -> component_keys prog req.req_opts) in
+  let n = Array.length keyed.k_keys in
+  let entries = Array.map (Cache.find cache) keyed.k_keys in
+  let all_hit = n > 0 && Array.for_all Option.is_some entries in
+  if all_hit then begin
+    (* assemble from cached text; the optimizer never runs *)
+    timed "assemble" (fun () ->
+        let dump_of = Hashtbl.create 16 in
+        let asm = Buffer.create 1024 in
+        let asm_pieces = ref [] in
+        Array.iter
+          (fun e ->
+            let e = Option.get e in
+            List.iter
+              (fun (fe : Cache.func_entry) ->
+                Hashtbl.replace dump_of fe.Cache.fe_name fe.Cache.fe_dump;
+                asm_pieces := (fe.Cache.fe_name, fe.Cache.fe_asm) :: !asm_pieces)
+              e.Cache.funcs)
+          entries;
+        let il = Buffer.create 1024 in
+        Buffer.add_string il (header_text prog);
+        List.iter
+          (fun (f : Func.t) ->
+            Buffer.add_string il (Hashtbl.find dump_of f.Func.name))
+          prog.Prog.funcs;
+        List.iter
+          (fun (_, text) -> Buffer.add_string asm text)
+          (List.sort (fun (a, _) (b, _) -> compare a b) !asm_pieces);
+        {
+          res_il = Buffer.contents il;
+          res_asm = Buffer.contents asm;
+          res_components = n;
+          res_cached = n;
+          res_funcs = List.length prog.Prog.funcs;
+        })
+  end
+  else begin
+    (* miss: compile the whole unit fresh.  [optimize] re-imports the
+       catalogs, which is idempotent (present functions and globals
+       win), so the result is bit-identical to a from-scratch compile
+       of the same source. *)
+    ignore (timed "optimize" (fun () -> Vpc.optimize ~options prog));
+    let il = Pp.prog_to_string prog in
+    let asms = timed "codegen" (fun () -> asm_texts prog) in
+    let summaries =
+      if options.Vpc.pointsto then
+        timed "summaries" (fun () ->
+            let pt = Vpc.Pointsto.Pointsto.analyze prog in
+            List.map
+              (fun (f : Func.t) ->
+                ( f.Func.name,
+                  Fmt.str "%a" (Vpc.Pointsto.Pointsto.pp_summary pt) f.Func.name
+                ))
+              prog.Prog.funcs)
+      else []
+    in
+    timed "store" (fun () ->
+        Array.iteri
+          (fun i members_key ->
+            let members = keyed.k_comps.Components.members.(i) in
+            let funcs =
+              List.map
+                (fun name ->
+                  let f = Option.get (Prog.find_func prog name) in
+                  {
+                    Cache.fe_name = name;
+                    fe_il = Sexp.to_string (Func.to_sexp f);
+                    fe_dump = func_dump_text prog f;
+                    fe_asm =
+                      (try List.assoc name asms
+                       with Not_found -> "");
+                  })
+                members
+            in
+            let summaries =
+              List.filter (fun (n, _) -> List.mem n members) summaries
+            in
+            Cache.store cache
+              { Cache.key = members_key; funcs; summaries })
+          keyed.k_keys);
+    {
+      res_il = il;
+      res_asm =
+        String.concat "" (List.map snd asms);
+      res_components = n;
+      res_cached = 0;
+      res_funcs = List.length prog.Prog.funcs;
+    }
+  end
+
+(* Parallel batches ------------------------------------------------------- *)
+
+(* Compile a batch of independent requests on a pool of domains pulling
+   from a shared index.  All compiler state is per-request or
+   domain-local; the cache synchronizes itself. *)
+let compile_batch ?(jobs = 4) (cache : Cache.t) (reqs : request list) :
+    response list =
+  let arr = Array.of_list reqs in
+  let out = Array.make (Array.length arr) None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length arr then begin
+        out.(i) <- Some (compile cache arr.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = max 1 (min jobs (Array.length arr)) in
+  if jobs = 1 then worker ()
+  else begin
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.to_list out
+  |> List.map (function
+       | Some r -> r
+       | None -> failwith "compile_batch: unreached request")

@@ -20,15 +20,20 @@ let error ?(loc = Loc.dummy) fmt =
 
 let internal fmt = Format.kasprintf (fun m -> raise (Internal m)) fmt
 
-(* Warnings are collected rather than printed so tests can assert on them. *)
-let warnings : t list ref = ref []
+(* Warnings are collected rather than printed so tests can assert on
+   them.  The buffer is domain-local so concurrent server compiles do
+   not interleave their diagnostics. *)
+let warning_buf : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let reset_warnings () = warnings := []
+let warnings () = List.rev !(Domain.DLS.get warning_buf)
+
+let reset_warnings () = Domain.DLS.get warning_buf := []
 
 let warn ?(loc = Loc.dummy) fmt =
   Format.kasprintf
     (fun message ->
-      warnings := { severity = Warning; loc; message } :: !warnings)
+      let buf = Domain.DLS.get warning_buf in
+      buf := { severity = Warning; loc; message } :: !buf)
     fmt
 
 let pp ppf t =

@@ -16,9 +16,10 @@ val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [internal fmt ...] raises {!Internal}; never returns. *)
 val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
-(** Warnings accumulate here (most recent first) so tests can assert on
-    them; they are not printed automatically. *)
-val warnings : t list ref
+(** Warnings accumulated by the current domain, oldest first; they are
+    collected rather than printed so tests can assert on them.  Each
+    domain has its own buffer. *)
+val warnings : unit -> t list
 
 val reset_warnings : unit -> unit
 val warn : ?loc:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a

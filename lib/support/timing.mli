@@ -1,0 +1,28 @@
+(** Per-phase wall-clock self-profile ([titancc --timings]).
+
+    A [t] accumulates elapsed seconds into named buckets in first-use
+    order.  Phases may nest; each bucket records its full span, so
+    nested buckets overlap and the printed total is the sum of buckets,
+    not end-to-end wall time. *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t phase f] runs [f], charging its wall time to [phase]
+    (accumulating across calls).  Exceptions still charge the bucket. *)
+
+val add : t -> string -> float -> unit
+(** Charge [seconds] measured externally to a bucket. *)
+
+val phases : t -> (string * float) list
+(** Buckets in first-use order. *)
+
+val total : t -> float
+
+val to_string : t -> string
+(** The [--timings] table: one [[timings] phase seconds percent] line
+    per bucket plus a total line. *)
+
+val report : t -> out_channel -> unit

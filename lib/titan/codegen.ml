@@ -767,9 +767,12 @@ let gen_func ?(instrument = false) ?(vreuse = false) (prog : Prog.t)
   in
   let addressed = Func.addressed_vars f in
   let ce = { e = env; addressed } in
-  (* frame slots for addressed / memory-object locals *)
-  Hashtbl.iter
-    (fun id (v : Var.t) ->
+  (* frame slots for addressed / memory-object locals, in ascending
+     variable-id order so the layout is a function of the IL alone, not
+     of hash-table insertion history *)
+  List.iter
+    (fun (v : Var.t) ->
+      let id = v.id in
       if
         (not (Var.is_global v))
         && (Hashtbl.mem addressed id || Var.is_memory_object v || v.volatile)
@@ -780,7 +783,7 @@ let gen_func ?(instrument = false) ?(vreuse = false) (prog : Prog.t)
         Hashtbl.replace env.frame_offset id off;
         env.frame_size <- off + size
       end)
-    f.Func.vars;
+    (Func.locals f);
   (* parameters arrive in their registers (or frame slots: the machine
      stores them on entry) *)
   List.iter

@@ -181,8 +181,10 @@ let process_loop prog (func : Func.t) stats (s : Stmt.t)
             (* copies of carried vars the parallel part reads *)
             let copies = ref [] in
             let substs = ref [] in
-            Hashtbl.iter
-              (fun v () ->
+            (* ascending var-id order: the emitted copy statements must
+               not depend on hash-bucket layout *)
+            List.iter
+              (fun v ->
                 let read_by_parallel =
                   List.exists
                     (fun pos ->
@@ -202,7 +204,8 @@ let process_loop prog (func : Func.t) stats (s : Stmt.t)
                   copies := Builder.assign b cur (Expr.var meta) :: !copies;
                   substs := (v, Expr.var cur) :: !substs
                 end)
-              carried;
+              (Hashtbl.fold (fun v () acc -> v :: acc) carried []
+              |> List.sort compare);
             let subst_deep (st : Stmt.t) =
               let rewrite e =
                 List.fold_left

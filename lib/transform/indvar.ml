@@ -363,9 +363,11 @@ let process_loop stats prog func (loop_stmt : Stmt.t) (d : Stmt.do_loop) :
       stats.passes <- stats.passes + 1;
       progress := false;
       blocked_last_pass := 0;
-      (* 1. try to recognize new IVs *)
-      Hashtbl.iter
-        (fun v positions ->
+      (* 1. try to recognize new IVs, in ascending var-id order so the
+         recognition (and hence substitution) order never depends on
+         hash-bucket layout *)
+      List.iter
+        (fun (v, positions) ->
           if
             (not (Hashtbl.mem env.tainted v))
             && (not (List.mem_assoc v env.ivs))
@@ -380,7 +382,8 @@ let process_loop stats prog func (loop_stmt : Stmt.t) (d : Stmt.do_loop) :
                 incr blocked_last_pass;
                 stats.blocked_events <- stats.blocked_events + 1
             | Error _ -> ())
-        env.defs_of;
+        (Hashtbl.fold (fun v ps acc -> (v, ps) :: acc) env.defs_of []
+        |> List.sort (fun (a, _) (b, _) -> compare a b));
       (* 2. try to resolve single-def temps to closed forms *)
       Array.iteri
         (fun pos s ->

@@ -25,4 +25,5 @@ let () =
       ("pointsto", Test_pointsto.tests);
       ("range", Test_range.tests);
       ("profile", Test_profile.tests);
+      ("server", Test_server.tests);
     ]
