@@ -34,16 +34,18 @@ let record id ?(procs = 1) ?(sched = Vpc.Titan.Machine.Overlap_full)
       Printf.sprintf
         "{\"cycles\": %d, \"mflops\": %.3f, \"procs\": %d, \"sched\": \"%s\", \
          \"mem_ops\": %d, \"vector_mem_elems_avoided\": %d, \"busy_iu\": %d, \
-         \"busy_fpu\": %d, \"busy_mem\": %d}"
+         \"busy_fpu\": %d, \"busy_mem\": %d, \"posts\": %d, \"waits\": %d, \
+         \"post_wait_stalls\": %d}"
         r.metrics.cycles r.mflops_rate procs
         (Vpc.Titan.Machine.sched_name sched)
         r.metrics.mem_ops r.metrics.vector_mem_elems_avoided r.metrics.busy_iu
-        r.metrics.busy_fpu r.metrics.busy_mem )
+        r.metrics.busy_fpu r.metrics.busy_mem r.metrics.posts r.metrics.waits
+        r.metrics.post_wait_stalls )
     :: !json_results
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"pr\": 7,\n  \"results\": {\n";
+  output_string oc "{\n  \"pr\": 8,\n  \"results\": {\n";
   let entries = List.rev !json_results in
   let last = List.length entries - 1 in
   List.iteri
@@ -659,6 +661,51 @@ let range_exp () =
     ]
 
 (* ----------------------------------------------------------------- *)
+(* DOACROSS: post/wait pipelining of carried-dependence loops         *)
+(* ----------------------------------------------------------------- *)
+
+let doacross_exp () =
+  section "DOACROSS" "post/wait pipelining (carried-dependence DO loops)"
+    "loops whose carried dependences have constant distance pipeline \
+     across processors with post/wait counters; the win at 4 processors \
+     must be at least 1.5x with identical output, and turning the pass \
+     off must leave a plain serial loop";
+  row "  %-14s %-6s %12s %12s %8s %8s\n" "workload" "procs" "serial cyc"
+    "pipelined" "ratio" "stalls";
+  let case name src ~procs =
+    let build sync =
+      Vpc.compile ~options:{ Vpc.o2 with Vpc.doacross_sync = sync } src
+    in
+    let prog_off, _ = build false in
+    let prog_on, s_on = build true in
+    let r_off = run ~procs prog_off in
+    let r_on = run ~procs prog_on in
+    if r_on.stdout_text <> r_off.stdout_text then
+      failwith
+        (Printf.sprintf "DOACROSS/%s: output mismatch sync on vs off" name);
+    if s_on.Vpc.doacross.do_pipelined < 1 then
+      failwith (Printf.sprintf "DOACROSS/%s: loop did not pipeline" name);
+    record (Printf.sprintf "DOACROSS/%s/procs=%d/off" name procs) ~procs r_off;
+    record (Printf.sprintf "DOACROSS/%s/procs=%d/on" name procs) ~procs r_on;
+    let ratio =
+      float_of_int r_off.metrics.cycles /. float_of_int r_on.metrics.cycles
+    in
+    row "  %-14s %-6d %12d %12d %7.2fx %8d\n" name procs r_off.metrics.cycles
+      r_on.metrics.cycles ratio r_on.metrics.post_wait_stalls;
+    if procs = 4 && ratio < 1.5 then
+      failwith
+        (Printf.sprintf "DOACROSS/%s: %.2fx at 4 procs, floor is 1.5x" name
+           ratio)
+  in
+  List.iter
+    (fun (name, src) ->
+      List.iter (fun procs -> case name src ~procs) [ 1; 2; 4 ])
+    [
+      ("recurrence", Workloads.doacross_recurrence);
+      ("wavefront", Workloads.doacross_wavefront);
+    ]
+
+(* ----------------------------------------------------------------- *)
 (* MONOREPO: the compile service and its procedure cache (lib/server)*)
 (* ----------------------------------------------------------------- *)
 
@@ -921,7 +968,8 @@ let all =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
     ("PGO", pgo_exp); ("NEST", nest_exp); ("REUSE", reuse_exp);
-    ("PTR", ptr_exp); ("RANGE", range_exp); ("MONOREPO", monorepo_exp);
+    ("PTR", ptr_exp); ("RANGE", range_exp); ("DOACROSS", doacross_exp);
+    ("MONOREPO", monorepo_exp);
   ]
 
 let () =

@@ -566,3 +566,55 @@ let monorepo_tu ~variant ~leaf_edit ~kern_edit =
       "  return n;";
       "}";
     ]
+
+(* ---- doacross pipelining workloads (post/wait synchronization) ----
+
+   Counted loops whose every carried dependence has a known constant
+   distance: the post/wait path spreads iterations round-robin while
+   sync counters order the crossing edges.  The heavy polynomial bodies
+   sit inside the dependence cycle on purpose — work outside it would be
+   distributed into a vector loop instead of pipelined. *)
+
+(* linear recurrence at carried distance 8: one sync channel *)
+let doacross_recurrence =
+  nl
+    [
+      "double a[4200];";
+      "int main() {";
+      "  int i;";
+      "  double t, p;";
+      "  for (i = 0; i < 8; i = i + 1)";
+      "    a[i] = 0.25 + (double)i * 0.0625;";
+      "  for (i = 0; i < 4096; i++) {";
+      "    t = a[i];";
+      "    p = (t * 0.5 + 1.0) * (t - 0.25) + (t * t) * 0.125;";
+      "    p = p * (t * 0.0625 - 2.0) + (t + 3.0) * 0.75;";
+      "    a[i + 8] = p * 0.125 + t * 0.875;";
+      "  }";
+      "  printf(\"a[2048]=%g a[4103]=%g\\n\", a[2048], a[4103]);";
+      "  return 0;";
+      "}";
+    ]
+
+(* wavefront update with two carried distances (63 and 64): redundant
+   synchronization elimination keeps the chain minimal *)
+let doacross_wavefront =
+  nl
+    [
+      "double u[8400];";
+      "int main() {";
+      "  int k;";
+      "  double s, q, r, w;";
+      "  for (k = 0; k < 64; k = k + 1)";
+      "    u[k] = 0.25 + (double)k * 0.015625;";
+      "  for (k = 0; k < 8192; k++) {";
+      "    s = u[k] * 0.3 + u[k + 1] * 0.3;";
+      "    q = u[k] * u[k + 1];";
+      "    r = q * (1.0 - q * 0.5) * 0.02 + s;";
+      "    w = q * (0.5 + q * 0.25) * 0.015625;";
+      "    u[k + 64] = u[k + 64] * 0.35 + r + w + 0.05;";
+      "  }";
+      "  printf(\"u[4096]=%.15g u[8255]=%.15g\\n\", u[4096], u[8255]);";
+      "  return 0;";
+      "}";
+    ]

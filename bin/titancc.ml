@@ -17,7 +17,8 @@ let read_file path =
   s
 
 let run_compiler file opt_level inline_only no_parallel no_vectorize
-    no_interchange no_fuse no_vreuse no_pointsto no_range lint why_scalar
+    no_interchange no_fuse no_vreuse no_doacross_sync no_pointsto no_range
+    lint why_scalar
     assume_noalias vlen
     procs sched_name
     dump_stages
@@ -36,6 +37,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         no_interchange;
         no_fuse;
         no_vreuse;
+        no_doacross_sync;
         no_pointsto;
         no_range;
         assume_noalias;
@@ -144,6 +146,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         interchange = base.Vpc.interchange && not no_interchange;
         fuse = base.Vpc.fuse && not no_fuse;
         vreuse = base.Vpc.vreuse && not no_vreuse;
+        doacross_sync = base.Vpc.doacross_sync && not no_doacross_sync;
         pointsto = base.Vpc.pointsto && not no_pointsto;
         range = base.Vpc.range && not no_range;
         assume_noalias;
@@ -170,7 +173,16 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
       if timings then Some (Vpc.Support.Timing.create ()) else None
     in
     let prog, stats = Vpc.compile ~options ?timer ~file src in
-    Option.iter (fun t -> Vpc.Support.Timing.report t stderr) timer;
+    Option.iter
+      (fun t ->
+        Vpc.Support.Timing.report t stderr;
+        let hits, lookups = Vpc.Dependence.Test.cache_stats () in
+        Printf.eprintf "[timings] dependence memo: %d/%d hits (%.1f%%)\n"
+          hits lookups
+          (if lookups > 0 then
+             100.0 *. float_of_int hits /. float_of_int lookups
+           else 0.0))
+      timer;
     (match inject_fault with
     | None -> ()
     | Some kind_name -> (
@@ -259,7 +271,13 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         "[vreuse] strips_interchanged=%d accumulators=%d loads_hoisted=%d \
          stores_forwarded=%d loads_shared=%d\n"
         v.Vpc.Transform.Vreuse.strips_interchanged v.accumulators_localized
-        v.invariant_loads_hoisted v.stores_forwarded v.loads_shared
+        v.invariant_loads_hoisted v.stores_forwarded v.loads_shared;
+      let da = stats.Vpc.doacross in
+      Printf.eprintf
+        "[doacross] pipelined=%d syncs=%d eliminated=%d posts=%d waits=%d \
+         post_wait_stalls=%d\n"
+        da.Vpc.Transform.Doacross.do_pipelined da.syncs_placed
+        da.syncs_eliminated m.posts m.waits m.post_wait_stalls
     end;
     (match result.return_value with
     | Vpc.Titan.Machine.Vi n -> exit (n land 0xFF)
@@ -312,6 +330,12 @@ let no_vreuse_arg =
   Arg.(value & flag & info [ "no-vreuse" ]
          ~doc:"Disable vector-register reuse (invariant Vload hoisting, \
                Vstore-to-Vload forwarding, strip-resident accumulators)")
+
+let no_doacross_sync_arg =
+  Arg.(value & flag & info [ "no-doacross-sync" ]
+         ~doc:"Disable doacross pipelining of carried-dependence DO loops \
+               with post/wait synchronization (on by default at -O2 and \
+               above); such loops stay serial")
 
 let no_pointsto_arg =
   Arg.(value & flag & info [ "no-pointsto" ]
@@ -437,7 +461,8 @@ let cmd =
     Term.(
       const run_compiler $ file_arg $ opt_arg $ inline_only_arg
       $ no_parallel_arg $ no_vectorize_arg $ no_interchange_arg $ no_fuse_arg
-      $ no_vreuse_arg $ no_pointsto_arg $ no_range_arg $ lint_arg
+      $ no_vreuse_arg $ no_doacross_sync_arg $ no_pointsto_arg $ no_range_arg
+      $ lint_arg
       $ why_scalar_arg $ noalias_arg
       $ vlen_arg $ procs_arg
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg

@@ -700,6 +700,114 @@ let check_doacross ctx (s : Stmt.t) (li : Stmt.loop_info) cond body =
   done
 
 (* ------------------------------------------------------------------ *)
+(* doacross DO loops (post/wait pipelining)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent re-derivation of the transform's coverage rule: a carried
+   edge (src, dst, dist) is ordered by a chain of sync edges e1..em when
+   src <= post(e1), wait(e_j) <= post(e_(j+1)), wait(em) <= dst — each
+   <= supplied by same-iteration program order — and the chain's
+   distances sum to exactly [dist].  A partial sum proves nothing:
+   iterations at the two ends run on different processors with no
+   per-statement ordering between them. *)
+let sync_covers (syncs : Stmt.dsync list) ~src ~dst ~dist =
+  let seen = Hashtbl.create 16 in
+  let budget = ref 4096 in
+  let rec from_pos pos remaining =
+    decr budget;
+    !budget > 0
+    && (not (Hashtbl.mem seen (pos, remaining)))
+    && begin
+         Hashtbl.replace seen (pos, remaining) ();
+         List.exists
+           (fun (y : Stmt.dsync) ->
+             y.Stmt.post_after >= pos
+             && y.Stmt.distance <= remaining
+             && ((y.Stmt.distance = remaining && y.Stmt.wait_before <= dst)
+                || from_pos y.Stmt.wait_before (remaining - y.Stmt.distance)))
+           syncs
+       end
+  in
+  from_pos src dist
+
+(* A doacross-synchronized DO loop spreads iterations round-robin with
+   only the post/wait edges ordering them, so every carried dependence
+   must be covered by the sync chain.  The body must be flat normalized
+   assignments: each iteration then executes every post unconditionally,
+   which (with wf's position bounds) is the deadlock-freedom argument —
+   a wait's producer iteration always reaches its post. *)
+let check_do_sync ctx (s : Stmt.t) (d : Stmt.do_loop) =
+  let body = d.Stmt.body in
+  let flat =
+    List.for_all
+      (fun (st : Stmt.t) ->
+        match st.Stmt.desc with Stmt.Assign _ | Stmt.Nop -> true | _ -> false)
+      body
+  in
+  if
+    (not flat)
+    || (not (Expr.is_zero d.Stmt.lo))
+    || Expr.const_int_val d.Stmt.step <> Some 1
+  then
+    report ctx ~rule:"doacross-sync-shape" ~stmt:s
+      "doacross-synchronized loop is not a flat normalized assignment loop"
+  else begin
+    let defined_in_body, mem_written =
+      Vpc_analysis.Reaching.vars_defined_in body
+    in
+    let invariant =
+      invariant_pred ctx ~index:d.Stmt.index ~defined_in_body ~mem_written
+    in
+    let trip =
+      match Expr.const_int_val d.Stmt.hi with
+      | Some h -> Some (max 0 (h + 1))
+      | None -> (
+          match snd (ctx.range_env s d.Stmt.hi) with
+          | Some h -> Some (max 0 (h + 1))
+          | None -> None)
+    in
+    let oracle =
+      { Test.interval = (fun e -> ctx.range_env s e);
+        Test.note = (fun _ _ -> ()) }
+    in
+    let g =
+      Test.with_oracle oracle (fun () ->
+          Graph.build ~assume_noalias:ctx.noalias ~trip body
+            ~index:d.Stmt.index ~invariant)
+    in
+    if not g.Graph.analyzable then
+      report ctx ~rule:"doacross-sync-shape" ~stmt:s
+        "doacross-synchronized loop body has unanalyzable references"
+    else
+      (* carried scalar edges are left to [check_scalar_discipline]: the
+         graph's are conservative (a temp updated after a same-iteration
+         def gets a self edge), while the discipline walk reports exactly
+         the genuine use-before-def recurrences on this straight-line
+         body *)
+      List.iter
+        (fun (e : Graph.edge) ->
+          if e.Graph.through_memory then
+            match e.Graph.distance with
+            | Some dist when dist >= 1 ->
+                if
+                  not
+                    (sync_covers d.Stmt.sync ~src:e.Graph.src ~dst:e.Graph.dst
+                       ~dist)
+                then
+                  report ctx ~rule:"doacross-unsync-dep" ~stmt:s
+                    "carried %s dependence (stmt %d -> stmt %d, distance %d) \
+                     is not covered by the loop's post/wait chain"
+                    (kind_name e.Graph.kind) e.Graph.src e.Graph.dst dist
+            | _ ->
+                report ctx ~rule:"doacross-unsync-dep" ~stmt:s
+                  "carried %s dependence (stmt %d -> stmt %d) has no \
+                   constant distance to synchronize"
+                  (kind_name e.Graph.kind) e.Graph.src e.Graph.dst)
+        (Graph.carried_edges g);
+    check_scalar_discipline ctx s ~index:d.Stmt.index body
+  end
+
+(* ------------------------------------------------------------------ *)
 (* vector statements                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -786,6 +894,7 @@ let check_func ?(assume_noalias = false) ?pointsto ?range prog func =
     (fun s ->
       match s.Stmt.desc with
       | Stmt.Do_loop d when d.Stmt.parallel -> check_parallel_do ctx s d
+      | Stmt.Do_loop d when d.Stmt.sync <> [] -> check_do_sync ctx s d
       | Stmt.While (li, cond, body) when li.Stmt.doacross ->
           check_doacross ctx s li cond body
       | Stmt.Vector v -> check_vector_stmt ctx s v

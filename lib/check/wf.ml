@@ -354,7 +354,30 @@ let check_stmt ctx (s : Stmt.t) =
   | Stmt.Return None -> ()
   | Stmt.Do_loop d ->
       check_do_bounds ctx s d;
-      if d.Stmt.parallel then check_no_volatile_parallel ctx s d.Stmt.body
+      if d.Stmt.parallel then check_no_volatile_parallel ctx s d.Stmt.body;
+      if d.Stmt.sync <> [] then begin
+        let n = List.length d.Stmt.body in
+        List.iter
+          (fun (y : Stmt.dsync) ->
+            if
+              y.Stmt.post_after < 0 || y.Stmt.post_after >= n
+              || y.Stmt.wait_before < 0
+              || y.Stmt.wait_before >= n
+            then
+              report ctx ~rule:"doacross-sync" ~stmt:s
+                "sync c%d positions (post %d, wait %d) out of range for \
+                 %d-statement body"
+                y.Stmt.chan y.Stmt.post_after y.Stmt.wait_before n;
+            if y.Stmt.distance < 1 then
+              report ctx ~rule:"doacross-sync" ~stmt:s
+                "sync c%d has non-positive distance %d" y.Stmt.chan
+                y.Stmt.distance)
+          d.Stmt.sync;
+        if d.Stmt.parallel then
+          report ctx ~rule:"doacross-sync" ~stmt:s
+            "loop is both parallel and doacross-synchronized";
+        check_no_volatile_parallel ctx s d.Stmt.body
+      end
   | Stmt.While (li, _, body) ->
       let n = List.length body in
       if li.Stmt.serial_prefix < 0 || li.Stmt.serial_prefix > n then

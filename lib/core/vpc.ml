@@ -33,6 +33,9 @@ module Range = Vpc_range
 type options = {
   inline : [ `None | `All | `Only of string list ];
   doacross : bool;             (* §10: parallelize pragma-marked list loops *)
+  doacross_sync : bool;
+      (* pipeline carried-dependence DO loops across processors with
+         post/wait synchronization *)
   scalar_opt : bool;           (* constant propagation + DCE + unreachable *)
   while_conversion : bool;     (* §5.2 *)
   indvar_substitution : bool;  (* §5.3 *)
@@ -71,6 +74,7 @@ let o0 =
   {
     inline = `None;
     doacross = false;
+    doacross_sync = false;
     scalar_opt = false;
     while_conversion = false;
     indvar_substitution = false;
@@ -111,6 +115,7 @@ let o2 =
     parallelize = true;
     scalar_replacement = true;
     doacross = true;
+    doacross_sync = true;
     pointsto = true;
     range = true;
   }
@@ -404,8 +409,36 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
         ignore (Transform.Vreuse.run ~options:ropts ~stats:stats.vreuse prog f);
         after_pass f "vreuse"
       end;
-      if options.doacross then begin
-        ignore (Transform.Doacross.run ~stats:stats.doacross prog f);
+      if options.doacross || options.doacross_sync then begin
+        let range_facts =
+          match !rt with
+          | None -> None
+          | Some _ ->
+              let env_at = range_env_at f in
+              Some
+                (fun (s : Il.Stmt.t) e ->
+                  match env_at s with
+                  | None -> (None, None)
+                  | Some env ->
+                      let itv = Range.Range.interval_of_expr env e in
+                      (itv.Range.Range.Interval.lo, itv.Range.Range.Interval.hi))
+        in
+        let dopts =
+          {
+            Transform.Doacross.default_options with
+            Transform.Doacross.pragma = options.doacross;
+            sync = options.doacross_sync;
+            assume_noalias = options.assume_noalias;
+            profile = options.profile;
+            report = options.report;
+            why_scalar = options.why_scalar;
+            range = range_facts;
+          }
+        in
+        timed "doacross" (fun () ->
+            ignore
+              (Transform.Doacross.run ~stats:stats.doacross ~options:dopts prog
+                 f));
         after_pass f "doacross"
       end;
       if options.scalar_replacement then begin

@@ -75,7 +75,10 @@ val interval_affine :
   c1:int -> c2:int -> dlo:int option -> dhi:int option -> trip:bound -> verdict
 
 (** Test two extracted references (affine decomposition + alias
-    analysis); conservative when either is non-affine. *)
+    analysis); conservative when either is non-affine.  Verdicts are
+    memoized per domain, keyed on the canonicalized subscript pair, the
+    trip bound, [assume_noalias], and the generations of both installed
+    oracles (range and points-to) — see {!cache_stats}. *)
 val references :
   ?assume_noalias:bool ->
   trip:bound ->
@@ -83,3 +86,7 @@ val references :
   Subscript.reference ->
   (string, Vpc_il.Ty.struct_def) Hashtbl.t ->
   verdict
+
+(** [(hits, lookups)] of the domain's memoized {!references} cache since
+    the domain started; [--timings] prints the hit rate. *)
+val cache_stats : unit -> int * int

@@ -43,10 +43,10 @@ let if_ ctx ?loc cond then_ else_ = stmt ctx ?loc (Stmt.If (cond, then_, else_))
 let while_ ctx ?loc ?(info = Stmt.no_info) cond body =
   stmt ctx ?loc (Stmt.While (info, cond, body))
 
-let do_loop ctx ?loc ?(parallel = false) ?(independent = false) ~index ~lo
-    ~hi ~step body =
+let do_loop ctx ?loc ?(parallel = false) ?(independent = false)
+    ?(sync = []) ~index ~lo ~hi ~step body =
   stmt ctx ?loc
-    (Stmt.Do_loop { index; lo; hi; step; body; parallel; independent })
+    (Stmt.Do_loop { index; lo; hi; step; body; parallel; independent; sync })
 
 let return ctx ?loc e = stmt ctx ?loc (Stmt.Return e)
 

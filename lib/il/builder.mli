@@ -40,6 +40,7 @@ val do_loop :
   ?loc:Vpc_support.Loc.t ->
   ?parallel:bool ->
   ?independent:bool ->
+  ?sync:Stmt.dsync list ->
   index:int ->
   lo:Expr.t ->
   hi:Expr.t ->

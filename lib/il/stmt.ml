@@ -32,7 +32,9 @@ and desc =
 
 (* Counted loop: index runs lo, lo+step, ... while (step>0 ? index<=hi :
    index>=hi).  [parallel] marks iterations proven independent and spread
-   over processors ("do parallel"). *)
+   over processors ("do parallel").  [sync] non-empty marks a *doacross*
+   loop: iterations are pipelined across processors and each carried
+   dependence is ordered by a post/wait pair recorded here. *)
 and do_loop = {
   index : int;
   lo : Expr.t;
@@ -41,6 +43,19 @@ and do_loop = {
   body : t list;
   parallel : bool;
   independent : bool;  (* user pragma: iterations independent *)
+  sync : dsync list;   (* doacross post/wait placement; [] = not doacross *)
+}
+
+(* One synchronized carried dependence of a doacross loop.  Iteration i
+   posts counter [chan] after executing body position [post_after]; before
+   executing body position [wait_before], iteration i waits for iteration
+   i - [distance] to have posted [chan] (iterations below the lower bound
+   count as already posted). *)
+and dsync = {
+  chan : int;         (* counter id, unique within the loop *)
+  distance : int;     (* carried dependence distance, >= 1 *)
+  post_after : int;   (* body position after which the post fires *)
+  wait_before : int;  (* body position guarded by the wait *)
 }
 
 and loop_info = {
@@ -245,6 +260,18 @@ let rec vexpr_of_sexp s =
   | [ Sexp.Atom "vtmp"; t; ty ] -> Vtmp (Sexp.as_int t, Ty.of_sexp ty)
   | _ -> raise (Sexp.Parse_error "bad vexpr sexp")
 
+let dsync_to_sexp (y : dsync) =
+  Sexp.list
+    [ Sexp.int y.chan; Sexp.int y.distance; Sexp.int y.post_after;
+      Sexp.int y.wait_before ]
+
+let dsync_of_sexp s =
+  match Sexp.as_list s with
+  | [ c; d; p; w ] ->
+      { chan = Sexp.as_int c; distance = Sexp.as_int d;
+        post_after = Sexp.as_int p; wait_before = Sexp.as_int w }
+  | _ -> raise (Sexp.Parse_error "bad dsync sexp")
+
 let rec to_sexp s =
   let open Sexp in
   let tail =
@@ -265,9 +292,15 @@ let rec to_sexp s =
         [ atom "while"; bool li.pragma_independent; bool li.doacross;
           int li.serial_prefix; Expr.to_sexp c; list (List.map to_sexp body) ]
     | Do_loop d ->
-        [ atom "do"; int d.index; Expr.to_sexp d.lo; Expr.to_sexp d.hi;
-          Expr.to_sexp d.step; bool d.parallel; bool d.independent;
-          list (List.map to_sexp d.body) ]
+        let base =
+          [ atom "do"; int d.index; Expr.to_sexp d.lo; Expr.to_sexp d.hi;
+            Expr.to_sexp d.step; bool d.parallel; bool d.independent;
+            list (List.map to_sexp d.body) ]
+        in
+        (* the sync slot is trailing and omitted when empty, so pre-doacross
+           dumps keep parsing and byte-compare equal *)
+        if d.sync = [] then base
+        else base @ [ list (List.map dsync_to_sexp d.sync) ]
     | Goto l -> [ atom "goto"; atom l ]
     | Label l -> [ atom "label"; atom l ]
     | Return None -> [ atom "return" ]
@@ -310,7 +343,14 @@ let rec of_sexp s =
                   serial_prefix = as_int sp },
                 Expr.of_sexp c,
                 List.map of_sexp body )
-        | [ Atom "do"; idx; lo; hi; step; par; indep; List body ] ->
+        | Atom "do" :: idx :: lo :: hi :: step :: par :: indep :: List body
+          :: sync_tl ->
+            let sync =
+              match sync_tl with
+              | [] -> []
+              | [ List ys ] -> List.map dsync_of_sexp ys
+              | _ -> raise (Parse_error "bad stmt sexp")
+            in
             Do_loop
               {
                 index = as_int idx;
@@ -320,6 +360,7 @@ let rec of_sexp s =
                 parallel = as_bool par;
                 independent = as_bool indep;
                 body = List.map of_sexp body;
+                sync;
               }
         | [ Atom "goto"; l ] -> Goto (as_atom l)
         | [ Atom "label"; l ] -> Label (as_atom l)

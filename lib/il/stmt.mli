@@ -39,6 +39,21 @@ and do_loop = {
   body : t list;
   parallel : bool;
   independent : bool;  (** user pragma: iterations independent *)
+  sync : dsync list;
+      (** non-empty marks a doacross loop: iterations are pipelined
+          across processors, each carried dependence ordered by the
+          post/wait pair recorded here *)
+}
+
+(** One synchronized carried dependence of a doacross loop: iteration [i]
+    posts counter [chan] after body position [post_after]; before body
+    position [wait_before] it waits for iteration [i - distance] to have
+    posted (iterations below the lower bound count as posted). *)
+and dsync = {
+  chan : int;
+  distance : int;     (** carried distance, >= 1 *)
+  post_after : int;
+  wait_before : int;
 }
 
 and loop_info = {
@@ -115,5 +130,7 @@ val section_to_sexp : section -> Vpc_support.Sexp.t
 val section_of_sexp : Vpc_support.Sexp.t -> section
 val vexpr_to_sexp : vexpr -> Vpc_support.Sexp.t
 val vexpr_of_sexp : Vpc_support.Sexp.t -> vexpr
+val dsync_to_sexp : dsync -> Vpc_support.Sexp.t
+val dsync_of_sexp : Vpc_support.Sexp.t -> dsync
 val to_sexp : t -> Vpc_support.Sexp.t
 val of_sexp : Vpc_support.Sexp.t -> t

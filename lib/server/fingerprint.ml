@@ -111,7 +111,9 @@ let func_sexp (prog : Prog.t) (f : Func.t) : Sexp.t =
         list
           [ atom "do"; atom (vtok d.Stmt.index); expr d.Stmt.lo;
             expr d.Stmt.hi; expr d.Stmt.step; bool d.Stmt.parallel;
-            bool d.Stmt.independent; list (List.map stmt d.Stmt.body) ]
+            bool d.Stmt.independent;
+            list (List.map Stmt.dsync_to_sexp d.Stmt.sync);
+            list (List.map stmt d.Stmt.body) ]
     | Stmt.Goto l -> list [ atom "goto"; atom l ]
     | Stmt.Label l -> list [ atom "label"; atom l ]
     | Stmt.Return None -> list [ atom "return" ]

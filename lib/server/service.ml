@@ -35,6 +35,7 @@ type copts = {
   no_interchange : bool;
   no_fuse : bool;
   no_vreuse : bool;
+  no_doacross_sync : bool;
   no_pointsto : bool;
   no_range : bool;
   assume_noalias : bool;
@@ -52,6 +53,7 @@ let default_copts =
     no_interchange = false;
     no_fuse = false;
     no_vreuse = false;
+    no_doacross_sync = false;
     no_pointsto = false;
     no_range = false;
     assume_noalias = false;
@@ -71,6 +73,7 @@ let copts_to_sexp (c : copts) =
       bool c.no_interchange;
       bool c.no_fuse;
       bool c.no_vreuse;
+      bool c.no_doacross_sync;
       bool c.no_pointsto;
       bool c.no_range;
       bool c.assume_noalias;
@@ -84,8 +87,8 @@ let copts_of_sexp s =
   match s with
   | List
       [
-        lvl; List only; np; nv; ni; nf; nvr; npt; nr; na; vlen; List cats;
-        List prof;
+        lvl; List only; np; nv; ni; nf; nvr; nds; npt; nr; na; vlen;
+        List cats; List prof;
       ] ->
       {
         opt_level = as_int lvl;
@@ -95,6 +98,7 @@ let copts_of_sexp s =
         no_interchange = as_bool ni;
         no_fuse = as_bool nf;
         no_vreuse = as_bool nvr;
+        no_doacross_sync = as_bool nds;
         no_pointsto = as_bool npt;
         no_range = as_bool nr;
         assume_noalias = as_bool na;
@@ -123,6 +127,7 @@ let to_options (c : copts) : Vpc.options =
     interchange = base.Vpc.interchange && not c.no_interchange;
     fuse = base.Vpc.fuse && not c.no_fuse;
     vreuse = base.Vpc.vreuse && not c.no_vreuse;
+    doacross_sync = base.Vpc.doacross_sync && not c.no_doacross_sync;
     pointsto = base.Vpc.pointsto && not c.no_pointsto;
     range = base.Vpc.range && not c.no_range;
     assume_noalias = c.assume_noalias;

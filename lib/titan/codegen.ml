@@ -462,8 +462,10 @@ and gen_do_loop ce ~par_depth ~stmt (d : Stmt.do_loop) =
   let l_head = fresh_label ce.e "do" in
   let l_end = fresh_label ce.e "done" in
   let parallel = d.parallel && par_depth = 0 in
+  let doacross = d.sync <> [] && (not parallel) && par_depth = 0 in
   emit_prof ce.e stmt (fun k -> Ploop_enter k);
   if parallel then emit ce.e Par_enter;
+  if doacross then emit ce.e Da_enter;
   emit ce.e (Label_def l_head);
   (* continue while (step >= 0 ? idx <= hi : idx >= hi) *)
   let cond = fresh_reg ce.e in
@@ -484,13 +486,31 @@ and gen_do_loop ce ~par_depth ~stmt (d : Stmt.do_loop) =
       emit ce.e (Ialu (Iand, t2, Reg np, Reg ge));
       emit ce.e (Ialu (Ior, cond, Reg t1, Reg t2)));
   emit ce.e (Branch_zero (Reg cond, l_end));
-  if parallel then emit ce.e Par_iter;
+  if parallel || doacross then emit ce.e Par_iter;
   emit_prof ce.e stmt (fun k -> Ploop_iter k);
-  List.iter (gen_stmt ce ~par_depth:(par_depth + if parallel then 1 else 0)) d.body;
+  let inner_depth = par_depth + if parallel || doacross then 1 else 0 in
+  if doacross then
+    (* interleave the recorded post/wait pairs: wait before the first
+       read of each crossing edge, post after its last write *)
+    List.iteri
+      (fun i s ->
+        List.iter
+          (fun (y : Stmt.dsync) ->
+            if y.Stmt.wait_before = i then
+              emit ce.e (Wait { chan = y.Stmt.chan; dist = y.Stmt.distance }))
+          d.sync;
+        gen_stmt ce ~par_depth:inner_depth s;
+        List.iter
+          (fun (y : Stmt.dsync) ->
+            if y.Stmt.post_after = i then
+              emit ce.e (Post { chan = y.Stmt.chan }))
+          d.sync)
+      d.body
+  else List.iter (gen_stmt ce ~par_depth:inner_depth) d.body;
   emit ce.e (Ialu (Iadd, idx, Reg idx, Reg step));
   emit ce.e (Jump l_head);
   emit ce.e (Label_def l_end);
-  if parallel then emit ce.e Par_exit;
+  if parallel || doacross then emit ce.e Par_exit;
   emit_prof ce.e stmt (fun k -> Ploop_exit k)
 
 and gen_vector ce (v : Stmt.vstmt) =
@@ -613,7 +633,8 @@ module Vload_cleanup = struct
 
   let segment_end = function
     | Label_def _ | Jump _ | Branch_zero _ | Branch_nonzero _ | Call _
-    | Ret _ | Par_enter | Par_iter | Par_serial_end | Par_exit ->
+    | Ret _ | Par_enter | Par_iter | Par_serial_end | Par_exit | Da_enter
+    | Post _ | Wait _ ->
         true
     | _ -> false
 

@@ -188,6 +188,55 @@ let reuse_vector_loop_cycles (s : shape) ~trips ~vlen ~resident ~reps =
   end
 
 (* ----------------------------------------------------------------- *)
+(* Doacross pipelining                                                *)
+(* ----------------------------------------------------------------- *)
+
+(* The post/wait counter primitives: a post stamps a per-loop iteration
+   counter, a wait spins until the producer iteration's stamp appears.
+   Both are cheap scalar operations on the shared synchronization RAM. *)
+let post_cycles = 4
+let wait_cycles = 6
+
+(* One synchronized carried edge of a doacross candidate, summarized for
+   the pipeline model: cycle offsets of the post (completion of the source
+   statement) and the wait (start of the destination statement) within a
+   single iteration, plus the carried distance in iterations. *)
+type dedge = { post_offset : int; wait_offset : int; ddist : int }
+
+(* Per-iteration pipeline delay.  Edge (p, w, d) forces iteration i to
+   hold its wait point until iteration i-d clears its post point, so the
+   iteration-start spacing is at least (p - w + sync cost) / d; the
+   round-robin assignment bounds it below by iter/procs (P iterations in
+   flight share a processor).  The per-iteration delay of the loop is the
+   max over its edges and the processor bound. *)
+let doacross_iter_delay ~iter_cycles ~procs (edges : dedge list) =
+  let edge_delay (e : dedge) =
+    let lag = e.post_offset - e.wait_offset + post_cycles + wait_cycles in
+    let d = max 1 e.ddist in
+    if lag <= 0 then 0 else (lag + d - 1) / d
+  in
+  List.fold_left
+    (fun acc e -> max acc (edge_delay e))
+    ((iter_cycles + max 1 procs - 1) / max 1 procs)
+    edges
+
+(* Whole doacross loop: pipeline fill (the first iteration runs in full)
+   plus one delay per remaining iteration plus the closing barrier.  Each
+   iteration also pays its own post/wait instructions, folded into
+   [iter_cycles] here. *)
+let doacross_loop_cycles ~sched (s : shape) ~trips ~procs
+    (edges : dedge list) =
+  if trips <= 0 then 0
+  else begin
+    let sync = List.length edges * (post_cycles + wait_cycles) in
+    let iter = scalar_iter_cycles ~sched s + sync in
+    if procs <= 1 then (trips * iter) + barrier_cycles
+    else
+      let delay = doacross_iter_delay ~iter_cycles:iter ~procs edges in
+      iter + ((trips - 1) * delay) + barrier_cycles
+  end
+
+(* ----------------------------------------------------------------- *)
 (* Nest-traversal estimates for loop restructuring                    *)
 (* ----------------------------------------------------------------- *)
 

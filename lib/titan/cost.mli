@@ -100,6 +100,31 @@ val strip_port_cycles : shape -> len:int -> resident:int -> int
 val reuse_vector_loop_cycles :
   shape -> trips:int -> vlen:int -> resident:int -> reps:int -> int
 
+(** {2 Doacross pipelining} *)
+
+(** Cycles a post / a wait instruction charges the issuing iteration. *)
+val post_cycles : int
+
+val wait_cycles : int
+
+(** One synchronized carried edge, summarized for the pipeline model:
+    cycle offsets of the post (source-statement completion) and the wait
+    (destination-statement start) within a single iteration, plus the
+    carried distance in iterations. *)
+type dedge = { post_offset : int; wait_offset : int; ddist : int }
+
+(** Minimum spacing between successive iteration starts: the max over
+    the edges' distance-normalized stage latencies
+    [(post_offset - wait_offset + sync cost) / ddist] and the
+    round-robin processor bound [iter_cycles / procs]. *)
+val doacross_iter_delay : iter_cycles:int -> procs:int -> dedge list -> int
+
+(** Whole doacross loop: pipeline fill + one delay per remaining
+    iteration + the closing barrier; each iteration also pays its
+    post/wait instructions. *)
+val doacross_loop_cycles :
+  sched:sched -> shape -> trips:int -> procs:int -> dedge list -> int
+
 (** {2 Nest-traversal estimates for loop restructuring} *)
 
 (** Trip count assumed when neither bounds nor a profile reveal one. *)

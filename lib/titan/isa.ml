@@ -64,6 +64,16 @@ type inst =
   | Par_serial_end
       (* end of a doacross iteration's serialized prefix (§10) *)
   | Par_exit
+  (* doacross region: like [Par_enter] but iterations are pipelined
+     round-robin with point-to-point post/wait ordering rather than
+     proven independent.  The region is closed by [Par_exit] and each
+     iteration begins with [Par_iter]. *)
+  | Da_enter
+  | Post of { chan : int }
+      (* iteration i records counter [chan] as posted at the current cycle *)
+  | Wait of { chan : int; dist : int }
+      (* block until iteration i-dist has posted [chan]; iterations below
+         the loop's lower bound count as already posted *)
   (* profiling markers (zero cost, zero semantics): emitted only by
      instrumented codegen; the simulator feeds them to a collector *)
   | Prof of prof_event
@@ -175,6 +185,9 @@ let pp_inst ppf = function
   | Par_iter -> Fmt.string ppf "par.iter"
   | Par_serial_end -> Fmt.string ppf "par.serial_end"
   | Par_exit -> Fmt.string ppf "par.exit"
+  | Da_enter -> Fmt.string ppf "da.enter"
+  | Post { chan } -> Fmt.pf ppf "post c%d" chan
+  | Wait { chan; dist } -> Fmt.pf ppf "wait c%d, dist=%d" chan dist
   | Prof (Ploop_enter k) ->
       Fmt.pf ppf "prof.loop_enter %a" Vpc_profile.Key.pp k
   | Prof (Ploop_iter k) -> Fmt.pf ppf "prof.loop_iter %a" Vpc_profile.Key.pp k

@@ -81,6 +81,11 @@ type metrics = {
   mutable vector_elems : int;
   mutable parallel_regions : int;
   mutable calls : int;
+  (* cycles doacross iterations spent blocked in [Wait] for a producer
+     iteration's post (in pipeline virtual time, summed over iterations) *)
+  mutable post_wait_stalls : int;
+  mutable posts : int;  (* post instructions executed *)
+  mutable waits : int;  (* wait instructions executed *)
   (* vector memory traffic (in elements) avoided by register reuse:
      accumulated from Vsaved markers *)
   mutable vector_mem_elems_avoided : int;
@@ -101,6 +106,9 @@ let new_metrics () =
     vector_elems = 0;
     parallel_regions = 0;
     calls = 0;
+    post_wait_stalls = 0;
+    posts = 0;
+    waits = 0;
     vector_mem_elems_avoided = 0;
     busy_iu = 0;
     busy_fpu = 0;
@@ -132,6 +140,18 @@ type state = {
   mutable par_enter_clock : int;
   mutable par_active : bool;
   mutable par_serial_total : int;  (* doacross: serialized prefix time *)
+  (* doacross (post/wait) region bookkeeping.  The simulator executes the
+     loop serially; the pipeline schedule is reconstructed in *virtual*
+     time relative to region entry: iteration i starts at the max of its
+     processor's previous completion and is pushed later by wait stalls,
+     with per-iteration progress measured by real-clock deltas. *)
+  mutable da_active : bool;
+  mutable da_proc_done : int array;  (* virtual completion per processor *)
+  mutable da_iter : int;             (* current iteration, -1 before first *)
+  mutable da_iter_vstart : int;      (* virtual start of current iteration *)
+  mutable da_iter_base : int;        (* real clock at its first instruction *)
+  mutable da_stall : int;            (* virtual wait stalls, this iteration *)
+  da_posts : (int * int, int) Hashtbl.t;  (* (chan, iter) -> virtual time *)
   mutable insts_executed : int;
   mutable issued : int;  (* instructions issued, for the issue-width floor *)
   collect : Vpc_profile.Collect.t option;  (* profile collector, if any *)
@@ -505,6 +525,18 @@ and operand st fr (o : operand) : value * int =
   | Imm_int n -> (Vi n, 0)
   | Imm_float f -> (Vf f, 0)
 
+(* Virtual (pipeline) time of the current doacross iteration: its virtual
+   start, plus the real cycles it has executed, plus the wait stalls that
+   pushed it later in the pipeline schedule. *)
+and da_now st =
+  st.da_iter_vstart + (st.clock - st.da_iter_base) + st.da_stall
+
+and da_finish_iter st =
+  if st.da_iter >= 0 then begin
+    let p = st.da_iter mod Array.length st.da_proc_done in
+    st.da_proc_done.(p) <- da_now st
+  end
+
 and exec st fr : value * int =
   let f = fr.func in
   let pc = ref 0 in
@@ -830,7 +862,15 @@ and exec st fr : value * int =
         end;
         pc := next
     | Par_iter ->
-        if st.par_active then begin
+        if st.da_active then begin
+          da_finish_iter st;
+          st.da_iter <- st.da_iter + 1;
+          let p = st.da_iter mod Array.length st.da_proc_done in
+          st.da_iter_vstart <- st.da_proc_done.(p);
+          st.da_iter_base <- st.clock;
+          st.da_stall <- 0
+        end
+        else if st.par_active then begin
           if st.par_iter >= 0 then begin
             let dt = st.clock - st.par_iter_start in
             let p = st.par_iter mod Array.length st.par_buckets in
@@ -840,8 +880,63 @@ and exec st fr : value * int =
           st.par_iter_start <- st.clock
         end;
         pc := next
+    | Da_enter ->
+        if st.par_active then ()  (* nested: account serially *)
+        else begin
+          st.par_active <- true;
+          st.da_active <- true;
+          st.par_enter_clock <- st.clock;
+          st.da_proc_done <- Array.make (max st.config.procs 1) 0;
+          st.da_iter <- -1;
+          st.da_iter_vstart <- 0;
+          st.da_iter_base <- st.clock;
+          st.da_stall <- 0;
+          Hashtbl.reset st.da_posts;
+          st.metrics.parallel_regions <- st.metrics.parallel_regions + 1
+        end;
+        pc := next
+    | Post { chan } ->
+        st.metrics.posts <- st.metrics.posts + 1;
+        st.clock <- st.clock + Cost.post_cycles;
+        if st.da_active then
+          Hashtbl.replace st.da_posts (chan, st.da_iter) (da_now st);
+        pc := next
+    | Wait { chan; dist } ->
+        st.metrics.waits <- st.metrics.waits + 1;
+        st.clock <- st.clock + Cost.wait_cycles;
+        (if st.da_active && st.da_iter >= 0 then begin
+           let target = st.da_iter - dist in
+           (* iterations below the loop's lower bound count as posted *)
+           if target >= 0 then
+             match Hashtbl.find_opt st.da_posts (chan, target) with
+             | Some post_v ->
+                 let stall = post_v - da_now st in
+                 if stall > 0 then begin
+                   st.da_stall <- st.da_stall + stall;
+                   st.metrics.post_wait_stalls <-
+                     st.metrics.post_wait_stalls + stall
+                 end
+             | None ->
+                 error
+                   "doacross wait on c%d in iteration %d: iteration %d never \
+                    posted (deadlock)"
+                   chan st.da_iter target
+         end);
+        pc := next
     | Par_exit ->
-        if st.par_active then begin
+        if st.da_active then begin
+          da_finish_iter st;
+          let serial_time = st.clock - st.par_enter_clock in
+          let par_time =
+            Array.fold_left max 0 st.da_proc_done + Cost.barrier_cycles
+          in
+          if par_time < serial_time then
+            st.saved <- st.saved + (serial_time - par_time);
+          st.da_active <- false;
+          st.par_active <- false;
+          Hashtbl.reset st.da_posts
+        end
+        else if st.par_active then begin
           (if st.par_iter >= 0 then begin
              let dt = st.clock - st.par_iter_start in
              let p = st.par_iter mod Array.length st.par_buckets in
@@ -927,6 +1022,13 @@ let create_state ?(config = default_config) ?collect (program : Isa.program)
       par_enter_clock = 0;
       par_active = false;
       par_serial_total = 0;
+      da_active = false;
+      da_proc_done = [||];
+      da_iter = -1;
+      da_iter_vstart = 0;
+      da_iter_base = 0;
+      da_stall = 0;
+      da_posts = Hashtbl.create 64;
       insts_executed = 0;
       issued = 0;
     }

@@ -55,6 +55,11 @@ type metrics = {
   mutable vector_elems : int;
   mutable parallel_regions : int;
   mutable calls : int;
+  mutable post_wait_stalls : int;
+      (** cycles doacross iterations spent blocked in a wait for a
+          producer iteration's post (pipeline virtual time) *)
+  mutable posts : int;  (** post instructions executed *)
+  mutable waits : int;  (** wait instructions executed *)
   mutable vector_mem_elems_avoided : int;
       (** vector memory traffic (elements) avoided by register reuse *)
   mutable busy_iu : int;  (** integer-unit occupancy, cycles *)

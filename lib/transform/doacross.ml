@@ -1,4 +1,7 @@
-(* Parallelization of pointer-chasing while loops (paper §10):
+(* Doacross parallelization.
+
+   Two paths live here.  The original §10 path handles pointer-chasing
+   while loops under the independence pragma:
 
      "a prime example of such a loop is code that operates on a linked
       list.  Such a loop cannot be vectorized with any benefit, but it can
@@ -13,18 +16,86 @@
    needs) — and a *parallel rest* (the memory work).  The prefix is moved
    to the front behind per-iteration copies of the values the rest reads,
    and the loop is marked [doacross]; the Titan simulator then charges
-   the prefix serially and spreads the rest over processors. *)
+   the prefix serially and spreads the rest over processors.
+
+   The second path pipelines counted DO loops whose carried dependences
+   all have known constant distance — recurrences, wavefronts,
+   Gauss–Seidel sweeps the vectorizer must leave serial.  Iterations are
+   spread round-robin over processors and each crossing dependence is
+   ordered point-to-point: the source iteration posts a counter after the
+   last statement of the edge's source, the sink iteration waits before
+   its first read.  Redundant synchronization is then eliminated — an
+   edge is covered when a chain of retained sync edges transitively
+   orders it — and a pipeline cost model decides doacross vs serial. *)
 
 open Vpc_il
+open Vpc_dependence
+module Cost = Vpc_titan.Cost
+module Profile = Vpc_profile
 
 type stats = {
+  (* §10 while-loop doacross *)
   mutable loops_transformed : int;
   mutable rejected_shape : int;     (* calls, gotos, non-assign serial *)
   mutable rejected_dependence : int;(* parallel part feeds serial part *)
+  mutable no_carried : int;         (* no carried scalar state to serialize,
+                                       or nothing left to spread *)
+  (* DO-loop post/wait pipelining *)
+  mutable do_pipelined : int;
+  mutable syncs_placed : int;       (* post/wait pairs kept *)
+  mutable syncs_eliminated : int;   (* carried edges covered transitively *)
+  mutable do_rejected_scalar : int; (* carried register recurrence *)
+  mutable do_rejected_distance : int;(* carried distance unknown/unbounded *)
+  mutable do_rejected_cost : int;   (* pipeline model prefers serial *)
 }
 
 let new_stats () =
-  { loops_transformed = 0; rejected_shape = 0; rejected_dependence = 0 }
+  {
+    loops_transformed = 0;
+    rejected_shape = 0;
+    rejected_dependence = 0;
+    no_carried = 0;
+    do_pipelined = 0;
+    syncs_placed = 0;
+    syncs_eliminated = 0;
+    do_rejected_scalar = 0;
+    do_rejected_distance = 0;
+    do_rejected_cost = 0;
+  }
+
+type options = {
+  pragma : bool;  (* enable the §10 while-loop path *)
+  sync : bool;    (* enable the DO-loop post/wait path *)
+  procs : int;  (* static processor assumption for the pipeline model *)
+  sched : Cost.sched;
+  assume_noalias : bool;
+  profile : Profile.Data.t option;
+      (* measured trips/procs/sched override the static assumptions *)
+  report : (string -> unit) option;   (* one line per pipelined loop *)
+  why_scalar : (string -> unit) option;
+      (* one line per candidate left serial: the unsynchronizable edge
+         or the cost-model loss *)
+  range : (Stmt.t -> Expr.t -> int option * int option) option;
+      (* symbolic range oracle: bounds symbolic byte distances and trip
+         counts for the dependence tests *)
+}
+
+let default_options =
+  {
+    pragma = true;
+    sync = false;
+    procs = 4;
+    sched = Cost.Full;
+    assume_noalias = false;
+    profile = None;
+    report = None;
+    why_scalar = None;
+    range = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §10 while-loop path                                                *)
+(* ------------------------------------------------------------------ *)
 
 (* Top-level positions defining each scalar var, or None when some var has
    a nested definition (we do not untangle those). *)
@@ -138,7 +209,13 @@ let process_loop prog (func : Func.t) stats (s : Stmt.t)
         let parallel_pos =
           List.filter (fun i -> not (is_serial i)) (List.init n (fun i -> i))
         in
-        if serial_pos = [] || parallel_pos = [] then None
+        if serial_pos = [] || parallel_pos = [] then begin
+          (* distinct outcomes, distinct counters: a loop with no carried
+             scalar state (or nothing but that state) is not a dependence
+             rejection — --why-scalar must not conflate the two *)
+          stats.no_carried <- stats.no_carried + 1;
+          None
+        end
         else begin
           (* safety: parallel statements must not define carried vars, and
              every parallel read of a carried var must precede its first
@@ -238,15 +315,379 @@ let process_loop prog (func : Func.t) stats (s : Stmt.t)
           end
         end
 
-(* Apply to pragma-marked while loops the earlier phases could not turn
-   into DO loops. *)
-let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
+(* ------------------------------------------------------------------ *)
+(* DO-loop post/wait pipelining                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_normalized (d : Stmt.do_loop) =
+  Expr.is_zero d.Stmt.lo
+  && (match d.Stmt.step.Expr.desc with Expr.Const_int 1 -> true | _ -> false)
+
+let contains_inner_loop (body : Stmt.t list) =
+  List.exists
+    (fun s ->
+      let found = ref false in
+      Stmt.iter
+        (fun inner ->
+          match inner.Stmt.desc with
+          | Stmt.While _ | Stmt.Do_loop _ -> found := true
+          | _ -> ())
+        s;
+      !found)
+    body
+
+(* Does a chain of sync edges from [syncs] transitively order the carried
+   edge (src, dst, dist)?  A chain e1..em works when src <= post(e1),
+   wait(e_j) <= post(e_{j+1}), wait(em) <= dst — each <= supplied by
+   same-iteration program order — and the distances sum to *exactly*
+   [dist].  A partial sum is unsound: nothing orders the same statement
+   across two iterations running on different processors, so "covered at
+   distance k < dist" proves nothing about distance dist. *)
+let covers (syncs : Stmt.dsync list) ~src ~dst ~dist =
+  let seen = Hashtbl.create 16 in
+  let budget = ref 4096 in
+  let rec from_pos pos remaining =
+    (* invariant: the chain so far is ordered after the completion of
+       body position [pos - 1] (i.e. may attach to any post >= pos) at
+       iteration offset dist - remaining *)
+    decr budget;
+    !budget > 0
+    && (not (Hashtbl.mem seen (pos, remaining)))
+    && begin
+         Hashtbl.replace seen (pos, remaining) ();
+         List.exists
+           (fun (y : Stmt.dsync) ->
+             y.Stmt.post_after >= pos
+             && y.Stmt.distance <= remaining
+             && ((y.Stmt.distance = remaining && y.Stmt.wait_before <= dst)
+                || from_pos y.Stmt.wait_before (remaining - y.Stmt.distance)))
+           syncs
+       end
+  in
+  from_pos src dist
+
+(* One post/wait pair per carried edge — post after the edge's source
+   statement, wait before its destination — then redundant-sync
+   elimination.  Long-distance edges are considered for removal first
+   (chains of shorter retained edges are what cover them); the survivors
+   get channels in ascending (post, wait, distance) order so the output
+   is deterministic.  Returns the retained syncs and the number of
+   eliminated candidates. *)
+let place_syncs (carried : Graph.edge list) : Stmt.dsync list * int =
+  let triples =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Graph.edge) ->
+           match e.Graph.distance with
+           | Some d when d >= 1 -> Some (e.Graph.src, e.Graph.dst, d)
+           | _ -> None)
+         carried)
+  in
+  let order =
+    List.sort
+      (fun (s1, t1, d1) (s2, t2, d2) -> compare (-d1, s1, t1) (-d2, s2, t2))
+      triples
+  in
+  let to_sync (s, t, d) =
+    { Stmt.chan = 0; distance = d; post_after = s; wait_before = t }
+  in
+  let rec prune kept = function
+    | [] -> kept
+    | ((s, t, d) as e) :: rest ->
+        let others = List.map to_sync (kept @ rest) in
+        if covers others ~src:s ~dst:t ~dist:d then prune kept rest
+        else prune (e :: kept) rest
+  in
+  let kept = List.sort compare (prune [] order) in
+  ( List.mapi
+      (fun i (s, t, d) ->
+        { Stmt.chan = i; distance = d; post_after = s; wait_before = t })
+      kept,
+    List.length triples - List.length kept )
+
+let kind_name = function
+  | Graph.Flow -> "flow"
+  | Graph.Anti -> "anti"
+  | Graph.Output -> "output"
+
+let process_do (opts : options) stats prog (func : Func.t)
+    (live : Vpc_analysis.Liveness.t Lazy.t) (s : Stmt.t) (d : Stmt.do_loop) :
+    Stmt.t option =
+  let body = d.Stmt.body in
+  let n = List.length body in
+  let why fmt =
+    Format.kasprintf
+      (fun msg ->
+        match opts.why_scalar with
+        | Some say ->
+            say
+              (Printf.sprintf "%s: loop at %s stays serial: %s" func.Func.name
+                 (Vpc_support.Loc.to_string s.Stmt.loc)
+                 msg)
+        | None -> ())
+      fmt
+  in
+  let straight =
+    List.for_all
+      (fun (st : Stmt.t) ->
+        match st.Stmt.desc with Stmt.Assign _ | Stmt.Nop -> true | _ -> false)
+      body
+  in
+  if n = 0 || not straight then begin
+    stats.rejected_shape <- stats.rejected_shape + 1;
+    None
+  end
+  else begin
+    let defined_in_body, mem_written =
+      Vpc_analysis.Reaching.vars_defined_in body
+    in
+    let unsafe = Func.addressed_vars func in
+    let invariant (e : Expr.t) =
+      ((not (Expr.contains_load e)) || not mem_written)
+      && List.for_all
+           (fun v ->
+             v <> d.Stmt.index
+             && (not (Hashtbl.mem defined_in_body v))
+             && ((not mem_written) || not (Hashtbl.mem unsafe v))
+             &&
+             match Prog.find_var prog (Some func) v with
+             | Some vm -> not vm.Var.volatile
+             | None -> false)
+           (Expr.read_vars e)
+    in
+    let volatile_var v =
+      match Prog.find_var prog (Some func) v with
+      | Some vm -> vm.Var.volatile
+      | None -> false
+    in
+    let touches_volatile =
+      List.exists
+        (fun (st : Stmt.t) ->
+          List.exists volatile_var (Stmt.shallow_uses st)
+          || match Stmt.defined_var st with
+             | Some v -> volatile_var v
+             | None -> false)
+        body
+    in
+    if touches_volatile then begin
+      stats.rejected_shape <- stats.rejected_shape + 1;
+      None
+    end
+    else begin
+      let trip_expr =
+        Vpc_analysis.Simplify.expr
+          (Expr.binop Expr.Add d.Stmt.hi (Expr.int_const 1) Ty.Int)
+      in
+      let trip_const = Expr.const_int_val trip_expr in
+      let graph =
+        match opts.range with
+        | None ->
+            Graph.build ~assume_noalias:opts.assume_noalias ~trip:trip_const
+              body ~index:d.Stmt.index ~invariant
+        | Some itv ->
+            (* a symbolic trip's upper bound is a sound stand-in: a larger
+               trip only widens what the tests must exclude *)
+            let trip_bound =
+              match trip_const with
+              | Some _ as t -> t
+              | None -> snd (itv s trip_expr)
+            in
+            let oracle =
+              { Test.interval = (fun e -> itv s e); Test.note = (fun _ _ -> ()) }
+            in
+            Test.with_oracle oracle (fun () ->
+                Graph.build ~assume_noalias:opts.assume_noalias
+                  ~trip:trip_bound body ~index:d.Stmt.index ~invariant)
+      in
+      if not graph.Graph.analyzable then begin
+        stats.rejected_shape <- stats.rejected_shape + 1;
+        None
+      end
+      else begin
+        let carried = Graph.carried_edges graph in
+        let mem_carried =
+          List.filter (fun (e : Graph.edge) -> e.Graph.through_memory) carried
+        in
+        if mem_carried = [] then None  (* nothing to synchronize *)
+        else begin
+          (* The graph's carried scalar edges are conservative: a
+             statement updating a temp it read gets a self edge even when
+             an earlier same-iteration def kills the carried value.  The
+             body is straight-line, so the precise test is direct: a
+             genuine register recurrence reads some variable before the
+             iteration's first definition of it. *)
+          let first_def = Hashtbl.create 8 in
+          List.iteri
+            (fun pos (st : Stmt.t) ->
+              match Stmt.defined_var st with
+              | Some v when not (Hashtbl.mem first_def v) ->
+                  Hashtbl.replace first_def v pos
+              | _ -> ())
+            body;
+          let scalar_rec = ref None in
+          List.iteri
+            (fun pos (st : Stmt.t) ->
+              List.iter
+                (fun v ->
+                  if v <> d.Stmt.index && !scalar_rec = None then
+                    match Hashtbl.find_opt first_def v with
+                    | Some dp when dp >= pos -> scalar_rec := Some v
+                    | _ -> ())
+                (Stmt.shallow_uses st))
+            body;
+          let scalar_rec = !scalar_rec in
+          let live_out =
+            List.find_opt
+              (fun v ->
+                v <> d.Stmt.index
+                && Vpc_analysis.Liveness.live_out_of (Lazy.force live)
+                     ~stmt_id:s.Stmt.id ~var:v)
+              (List.filter_map Stmt.defined_var body)
+          in
+          let unknown_dist =
+            List.find_opt
+              (fun (e : Graph.edge) ->
+                match e.Graph.distance with
+                | Some dd when dd >= 1 -> false
+                | _ -> true)
+              mem_carried
+          in
+          match scalar_rec, live_out, unknown_dist with
+          | Some v, _, _ ->
+              stats.do_rejected_scalar <- stats.do_rejected_scalar + 1;
+              why
+                "%s carries a register recurrence post/wait cannot order"
+                (match Prog.find_var prog (Some func) v with
+                | Some vm -> vm.Var.name
+                | None -> Printf.sprintf "var%d" v);
+              None
+          | None, Some v, _ ->
+              stats.do_rejected_scalar <- stats.do_rejected_scalar + 1;
+              why
+                "body defines %s, which is live after the loop (another \
+                 processor would hold the final value)"
+                (match Prog.find_var prog (Some func) v with
+                | Some vm -> vm.Var.name
+                | None -> Printf.sprintf "var%d" v);
+              None
+          | None, None, Some e ->
+              stats.do_rejected_distance <- stats.do_rejected_distance + 1;
+              (* only worth a why-line when some other edge *was*
+                 synchronizable: an all-unknown loop was already explained
+                 by the vectorizer (the unresolved alias pair), and this
+                 pass adds nothing *)
+              let some_known =
+                List.exists
+                  (fun (e' : Graph.edge) ->
+                    match e'.Graph.distance with
+                    | Some dd when dd >= 1 -> true
+                    | _ -> false)
+                  mem_carried
+              in
+              if some_known then
+                why
+                  "carried %s dependence (stmt %d -> stmt %d) has no \
+                   constant distance to synchronize"
+                  (kind_name e.Graph.kind) e.Graph.src e.Graph.dst;
+              None
+          | None, None, None ->
+              let syncs, eliminated = place_syncs mem_carried in
+              (* pipeline cost model: per-statement cycle offsets give
+                 each edge its distance-normalized stage latency *)
+              let shape = Cost.shape_of_stmts body in
+              let stmt_cost st =
+                let sh = Cost.shape_of_stmts [ st ] in
+                max 1 (sh.Cost.mem_refs + sh.Cost.flops + sh.Cost.iops)
+              in
+              let prefix = Array.make (n + 1) 0 in
+              List.iteri
+                (fun i st -> prefix.(i + 1) <- prefix.(i) + stmt_cost st)
+                body;
+              let dedges =
+                List.map
+                  (fun (y : Stmt.dsync) ->
+                    {
+                      Cost.post_offset = prefix.(y.Stmt.post_after + 1);
+                      Cost.wait_offset = prefix.(y.Stmt.wait_before);
+                      Cost.ddist = y.Stmt.distance;
+                    })
+                  syncs
+              in
+              let static () =
+                ( (match trip_const with
+                  | Some t when t > 0 -> t
+                  | _ -> Cost.default_trip),
+                  opts.procs,
+                  opts.sched )
+              in
+              let trips, procs, sched =
+                match opts.profile with
+                | None -> static ()
+                | Some data -> (
+                    match Profile.Key.of_loc s.Stmt.loc with
+                    | None -> static ()
+                    | Some key -> (
+                        match Profile.Data.find_loop data key with
+                        | None -> static ()
+                        | Some lp -> (
+                            match Profile.Data.mean_trips lp with
+                            | Some t when t > 0 ->
+                                ( t,
+                                  data.Profile.Data.procs,
+                                  Cost.sched_of_name data.Profile.Data.sched )
+                            | _ -> static ())))
+              in
+              let serial = Cost.scalar_loop_cycles ~sched shape ~trips in
+              let pipelined =
+                Cost.doacross_loop_cycles ~sched shape ~trips ~procs dedges
+              in
+              if pipelined >= serial then begin
+                stats.do_rejected_cost <- stats.do_rejected_cost + 1;
+                why
+                  "pipeline model prefers serial (est doacross=%d serial=%d \
+                   at %d procs, %d syncs)"
+                  pipelined serial procs (List.length syncs);
+                None
+              end
+              else begin
+                stats.do_pipelined <- stats.do_pipelined + 1;
+                stats.syncs_placed <- stats.syncs_placed + List.length syncs;
+                stats.syncs_eliminated <-
+                  stats.syncs_eliminated + eliminated;
+                (match opts.report with
+                | Some report ->
+                    report
+                      (Printf.sprintf
+                         "%s: loop at %s: doacross est serial=%d pipelined=%d \
+                          at %d procs (%d syncs, %d eliminated)"
+                         func.Func.name
+                         (Vpc_support.Loc.to_string s.Stmt.loc)
+                         serial pipelined procs (List.length syncs) eliminated)
+                | None -> ());
+                Some { s with Stmt.desc = Stmt.Do_loop { d with sync = syncs } }
+              end
+        end
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply the while path to pragma-marked loops the earlier phases could
+   not turn into DO loops, and the post/wait path to serial counted
+   loops whose carried dependences have constant distance. *)
+let run ?(stats = new_stats ()) ?(options = default_options) (prog : Prog.t)
+    (func : Func.t) =
   let changed = ref false in
+  let live = lazy (Vpc_analysis.Liveness.build func) in
   let rec walk stmts = List.map walk_stmt stmts
   and walk_stmt (s : Stmt.t) =
     match s.Stmt.desc with
     | Stmt.While (li, cond, body)
-      when li.Stmt.pragma_independent && not li.Stmt.doacross -> (
+      when options.pragma && li.Stmt.pragma_independent && not li.Stmt.doacross
+      -> (
         match process_loop prog func stats s li cond (walk body) with
         | Some s' ->
             changed := true;
@@ -256,7 +697,19 @@ let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
         { s with desc = Stmt.While (li, c, walk body) }
     | Stmt.If (c, t, e) -> { s with desc = Stmt.If (c, walk t, walk e) }
     | Stmt.Do_loop d ->
-        { s with desc = Stmt.Do_loop { d with body = walk d.body } }
+        let d = { d with Stmt.body = walk d.Stmt.body } in
+        let s = { s with desc = Stmt.Do_loop d } in
+        if
+          options.sync && (not d.Stmt.parallel) && d.Stmt.sync = []
+          && is_normalized d
+          && not (contains_inner_loop d.Stmt.body)
+        then
+          match process_do options stats prog func live s d with
+          | Some s' ->
+              changed := true;
+              s'
+          | None -> s
+        else s
     | _ -> s
   in
   func.Func.body <- walk func.Func.body;

@@ -1,18 +1,66 @@
-(** Parallelization of pointer-chasing while loops (paper §10): the body
+(** Doacross parallelization.
+
+    The §10 path parallelizes pointer-chasing while loops: the body
     splits into a serialized prefix — the statements computing the
     loop-carried scalar state (the pointer advance, counters, the
     condition's inputs) — and a parallel rest (the memory work), which
     the Titan spreads over processors.  Applied only to loops carrying
     the independence pragma, which supplies the paper's "assumption that
-    each motion down a pointer goes to independent storage". *)
+    each motion down a pointer goes to independent storage".
+
+    The post/wait path pipelines counted DO loops whose carried
+    dependences all have known constant distance: iterations spread
+    round-robin over processors, each crossing dependence ordered by a
+    post after its source statement and a wait before its sink, with
+    redundant synchronization eliminated and a pipeline cost model
+    gating the transformation. *)
 
 open Vpc_il
 
 type stats = {
+  (* §10 while-loop doacross *)
   mutable loops_transformed : int;
   mutable rejected_shape : int;
   mutable rejected_dependence : int;
+  mutable no_carried : int;
+      (** no carried scalar state to serialize, or nothing to spread *)
+  (* DO-loop post/wait pipelining *)
+  mutable do_pipelined : int;
+  mutable syncs_placed : int;
+  mutable syncs_eliminated : int;
+  mutable do_rejected_scalar : int;
+      (** carried register recurrence, or a live-out scalar definition *)
+  mutable do_rejected_distance : int;
+      (** a carried dependence with no constant distance *)
+  mutable do_rejected_cost : int;  (** pipeline model prefers serial *)
 }
 
 val new_stats : unit -> stats
-val run : ?stats:stats -> Prog.t -> Func.t -> bool
+
+type options = {
+  pragma : bool;  (** enable the §10 while-loop path *)
+  sync : bool;  (** enable the DO-loop post/wait path *)
+  procs : int;  (** static processor assumption for the pipeline model *)
+  sched : Vpc_titan.Cost.sched;
+  assume_noalias : bool;
+  profile : Vpc_profile.Data.t option;
+      (** measured trips/procs/sched override the static assumptions *)
+  report : (string -> unit) option;  (** one line per pipelined loop *)
+  why_scalar : (string -> unit) option;
+      (** one line per candidate left serial: the unsynchronizable edge
+          or the cost-model loss *)
+  range : (Stmt.t -> Expr.t -> int option * int option) option;
+      (** symbolic range oracle for dependence tests *)
+}
+
+(** While path on, post/wait path off; 4 processors, [Full]
+    scheduling. *)
+val default_options : options
+
+(** Does a chain of sync edges transitively order the carried edge
+    (src, dst, dist)?  Distances along the chain must sum to [dist]
+    exactly.  The race checker re-derives the same rule independently
+    when it validates doacross loops. *)
+val covers : Stmt.dsync list -> src:int -> dst:int -> dist:int -> bool
+
+val run : ?stats:stats -> ?options:options -> Prog.t -> Func.t -> bool

@@ -130,7 +130,7 @@ let run ?(stats = new_stats ()) (prog : Prog.t) (func : Func.t) =
   let rec walk stmts = List.concat_map walk_stmt stmts
   and walk_stmt (s : Stmt.t) : Stmt.t list =
     match s.Stmt.desc with
-    | Stmt.Do_loop d when is_normalized d && not d.parallel -> (
+    | Stmt.Do_loop d when is_normalized d && (not d.parallel) && d.sync = [] -> (
         let d = { d with body = walk d.body } in
         let s = { s with Stmt.desc = Stmt.Do_loop d } in
         match process_loop prog func stats s d with

@@ -284,6 +284,7 @@ let convert_loop (prog : Prog.t) (func : Func.t)
                                   body;
                                   parallel = false;
                                   independent;
+                                  sync = [];
                                 };
                           };
                         ])))
