@@ -45,7 +45,7 @@ let record id ?(procs = 1) ?(sched = Vpc.Titan.Machine.Overlap_full)
 
 let write_json path =
   let oc = open_out path in
-  output_string oc "{\n  \"pr\": 8,\n  \"results\": {\n";
+  output_string oc "{\n  \"pr\": 9,\n  \"results\": {\n";
   let entries = List.rev !json_results in
   let last = List.length entries - 1 in
   List.iteri
@@ -706,6 +706,61 @@ let doacross_exp () =
     ]
 
 (* ----------------------------------------------------------------- *)
+(* TUNE: simulator-in-the-loop autotuning (titancc --tune)           *)
+(* ----------------------------------------------------------------- *)
+
+let tune_exp () =
+  section "TUNE" "simulator-in-the-loop autotuning (--tune / --tune-use)"
+    "searching the joint per-nest space with the simulator as the oracle \
+     must never lose to the static pipeline, must win at least 5% of \
+     cycles on at least two workloads, and replaying the stored winners \
+     must reproduce the searched cycle count exactly";
+  row "  %-14s %12s %12s %8s  %s\n" "workload" "static cyc" "tuned" "gain"
+    "evals";
+  let procs = 4 in
+  let config = machine ~procs () in
+  let wins = ref 0 in
+  let case name src =
+    let options = Vpc.o3 in
+    let tr = Vpc.tune ~options ~config ~budget:4 ~stamp:1 src in
+    (* replay through the store exactly as --tune-use would: the search
+       result must be reproducible from the persisted winners alone *)
+    let tuned_prog =
+      compile { options with Vpc.tune = `Use tr.Vpc.tuned } src
+    in
+    let static_prog = compile options src in
+    let r_static = run ~procs static_prog in
+    let r_tuned = run ~procs tuned_prog in
+    if r_tuned.stdout_text <> r_static.stdout_text then
+      failwith (Printf.sprintf "TUNE/%s: output mismatch tuned vs static" name);
+    if r_tuned.metrics.cycles > r_static.metrics.cycles then
+      failwith
+        (Printf.sprintf "TUNE/%s: tuned %d cycles > static %d" name
+           r_tuned.metrics.cycles r_static.metrics.cycles);
+    if r_tuned.metrics.cycles <> tr.Vpc.tuned_cycles then
+      failwith
+        (Printf.sprintf "TUNE/%s: replay gave %d cycles, search found %d"
+           name r_tuned.metrics.cycles tr.Vpc.tuned_cycles);
+    record (Printf.sprintf "TUNE/%s/static" name) ~procs r_static;
+    record (Printf.sprintf "TUNE/%s/tuned" name) ~procs r_tuned;
+    let gain =
+      100.0
+      *. float_of_int (r_static.metrics.cycles - r_tuned.metrics.cycles)
+      /. float_of_int (max 1 r_static.metrics.cycles)
+    in
+    if gain >= 5.0 then incr wins;
+    row "  %-14s %12d %12d %7.1f%%  %d\n" name r_static.metrics.cycles
+      r_tuned.metrics.cycles gain tr.Vpc.tune_stats.Vpc.Tune.Search.evaluated
+  in
+  case "saxpy_chain" (Workloads.saxpy_chain ~n:512);
+  case "stencil5" (Workloads.stencil5 ~n:24 ~m:24);
+  case "transpose" (Workloads.transpose ~n:32 ~m:32);
+  case "backsolve" (Workloads.backsolve 600);
+  if !wins < 2 then
+    failwith
+      (Printf.sprintf "TUNE: only %d workload(s) won >= 5%%, floor is 2" !wins)
+
+(* ----------------------------------------------------------------- *)
 (* MONOREPO: the compile service and its procedure cache (lib/server)*)
 (* ----------------------------------------------------------------- *)
 
@@ -969,7 +1024,7 @@ let all =
     ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4);
     ("PGO", pgo_exp); ("NEST", nest_exp); ("REUSE", reuse_exp);
     ("PTR", ptr_exp); ("RANGE", range_exp); ("DOACROSS", doacross_exp);
-    ("MONOREPO", monorepo_exp);
+    ("TUNE", tune_exp); ("MONOREPO", monorepo_exp);
   ]
 
 let () =

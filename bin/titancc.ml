@@ -24,7 +24,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
     dump_stages
     dump_asm check catalogs
     save_catalog quiet verify_il no_run inject_fault profile_gen profile_use
-    report serve cache_dir client timings =
+    report serve cache_dir client timings tune_out tune_use no_tune tune_budget =
   try
     (* the cacheable option subset, shared by daemon keys and client
        requests; callbacks (dump, report, ...) stay local *)
@@ -44,6 +44,7 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
         vlen;
         catalogs;
         profile_use;
+        tune_use = (if no_tune then None else tune_use);
       }
     in
     (match serve with
@@ -171,6 +172,59 @@ let run_compiler file opt_level inline_only no_parallel no_vectorize
     in
     let timer =
       if timings then Some (Vpc.Support.Timing.create ()) else None
+    in
+    (* simulator-in-the-loop autotuning: --tune searches (and persists
+       winners), --tune-use replays a store, --no-tune forces both off;
+       the compile below replays through [`Use], so a --tune run's
+       artifact is exactly what a later --tune-use run reproduces *)
+    let tuned_store =
+      if no_tune then None
+      else
+        match (tune_out, tune_use) with
+        | Some path, _ ->
+            let existing = Vpc.Profile.Tuned.load_or_empty path in
+            let stamp =
+              1
+              + List.fold_left
+                  (fun m (r : Vpc.Profile.Tuned.record) ->
+                    max m r.Vpc.Profile.Tuned.stamp)
+                  0 existing.Vpc.Profile.Tuned.records
+            in
+            let tr =
+              Vpc.tune ~options ~config ~budget:tune_budget ~stamp
+                ?report:
+                  (if quiet then None
+                   else Some (fun l -> Printf.eprintf "%s\n" l))
+                ?timer ~file src
+            in
+            let merged = Vpc.Profile.Tuned.merge existing tr.Vpc.tuned in
+            Vpc.Profile.Tuned.save merged path;
+            if not quiet then begin
+              let st = tr.Vpc.tune_stats in
+              Printf.eprintf
+                "[tune] %d nests considered, %d improved; %d candidates \
+                 evaluated, %d pruned by cost, %d rejected; %.2fs \
+                 simulating -> %s\n"
+                tr.Vpc.nests_considered tr.Vpc.nests_improved
+                st.Vpc.Tune.Search.evaluated st.Vpc.Tune.Search.pruned
+                st.Vpc.Tune.Search.rejected st.Vpc.Tune.Search.sim_seconds
+                path;
+              Printf.eprintf "[tune] static=%d tuned=%d cycles (%.1f%%)\n"
+                tr.Vpc.static_cycles tr.Vpc.tuned_cycles
+                (if tr.Vpc.static_cycles > 0 then
+                   100.0
+                   *. float_of_int (tr.Vpc.static_cycles - tr.Vpc.tuned_cycles)
+                   /. float_of_int tr.Vpc.static_cycles
+                 else 0.0)
+            end;
+            Some merged
+        | None, Some path -> Some (Vpc.Profile.Tuned.load_or_empty path)
+        | None, None -> None
+    in
+    let options =
+      match tuned_store with
+      | None -> options
+      | Some s -> { options with Vpc.tune = `Use s }
     in
     let prog, stats = Vpc.compile ~options ?timer ~file src in
     Option.iter
@@ -454,6 +508,34 @@ let timings_arg =
          ~doc:"Print a per-phase wall-clock profile of the compilation \
                pipeline to stderr")
 
+let tune_arg =
+  Arg.(value & opt (some string) None & info [ "tune" ] ~docv:"FILE"
+         ~doc:"Search the joint per-nest optimization space (mode, strip \
+               length, interchange, fusion, register reuse, doacross, \
+               per-site inlining) with the Titan simulator as the oracle, \
+               merge the cycle-minimal winners into FILE (keyed by a \
+               location-free loop fingerprint), and compile with them; \
+               every candidate is differential-checked against the \
+               unoptimized program")
+
+let tune_use_arg =
+  Arg.(value & opt (some string) None & info [ "tune-use" ] ~docv:"FILE"
+         ~doc:"Replay tuned configurations written by --tune without \
+               searching: nests whose fingerprint matches a stored winner \
+               compile under it, everything else follows the static \
+               policy (a missing or empty FILE compiles identically to \
+               no tuning)")
+
+let no_tune_arg =
+  Arg.(value & flag & info [ "no-tune" ]
+         ~doc:"Ignore --tune and --tune-use: compile with the static \
+               policy only")
+
+let tune_budget_arg =
+  Arg.(value & opt int 4 & info [ "tune-budget" ] ~docv:"N"
+         ~doc:"Tune at most the N hottest loop nests (profile-ranked \
+               under --profile-use, else by static cost estimate)")
+
 let cmd =
   let doc = "vectorizing, parallelizing, inlining C compiler for the Titan" in
   Cmd.v
@@ -468,6 +550,7 @@ let cmd =
       $ sched_arg $ dump_arg $ dump_asm_arg $ check_arg $ catalog_arg
       $ save_catalog_arg $ quiet_arg $ verify_il_arg $ no_run_arg
       $ inject_fault_arg $ profile_gen_arg $ profile_use_arg $ report_arg
-      $ serve_arg $ cache_dir_arg $ client_arg $ timings_arg)
+      $ serve_arg $ cache_dir_arg $ client_arg $ timings_arg
+      $ tune_arg $ tune_use_arg $ no_tune_arg $ tune_budget_arg)
 
 let () = exit (Cmd.eval cmd)

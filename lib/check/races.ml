@@ -306,10 +306,10 @@ let check_pair ctx loop ~noalias ~variant ~trip ~trip_hi ~step_c ~lo_c
                         in
                         match Test.affine ~c1 ~c2 ~delta:delta' ~trip with
                         | Test.Independent -> ()
-                        | Test.Dependent { distance = Some 0 }
+                        | Test.Dependent { distance = Some 0; _ }
                           when not (c1 = 0 && c2 = 0) ->
                             ()  (* same iteration: ordered on one processor *)
-                        | Test.Dependent { distance } ->
+                        | Test.Dependent { distance; _ } ->
                             flag "parallel-carried-dep"
                               "loop-carried dependence (distance %s)"
                               (match distance with
@@ -709,8 +709,14 @@ let check_doacross ctx (s : Stmt.t) (li : Stmt.loop_info) cond body =
    <= supplied by same-iteration program order — and the chain's
    distances sum to exactly [dist].  A partial sum proves nothing:
    iterations at the two ends run on different processors with no
-   per-statement ordering between them. *)
-let sync_covers (syncs : Stmt.dsync list) ~src ~dst ~dist =
+   per-statement ordering between them.  A cumulative sync (wait until
+   EVERY iteration <= i - d has posted) may terminate a chain early:
+   once the partial sum so far is <= the remaining distance it orders
+   against all iterations at least that far back, including the source.
+   An edge with only a symbolic distance bounded below by [dist] is
+   coverable by a cumulative sync alone — exact chains prove a single
+   distance, not a half-line. *)
+let sync_covers (syncs : Stmt.dsync list) ~src ~dst ~dist ~(exact : bool) =
   let seen = Hashtbl.create 16 in
   let budget = ref 4096 in
   let rec from_pos pos remaining =
@@ -723,12 +729,23 @@ let sync_covers (syncs : Stmt.dsync list) ~src ~dst ~dist =
            (fun (y : Stmt.dsync) ->
              y.Stmt.post_after >= pos
              && y.Stmt.distance <= remaining
-             && ((y.Stmt.distance = remaining && y.Stmt.wait_before <= dst)
-                || from_pos y.Stmt.wait_before (remaining - y.Stmt.distance)))
+             &&
+             if y.Stmt.cum then
+               (* covers every distance >= y.distance at once *)
+               y.Stmt.wait_before <= dst
+             else
+               (y.Stmt.distance = remaining && y.Stmt.wait_before <= dst)
+               || from_pos y.Stmt.wait_before (remaining - y.Stmt.distance))
            syncs
        end
   in
-  from_pos src dist
+  if exact then from_pos src dist
+  else
+    List.exists
+      (fun (y : Stmt.dsync) ->
+        y.Stmt.cum && y.Stmt.post_after >= src && y.Stmt.wait_before <= dst
+        && y.Stmt.distance <= dist)
+      syncs
 
 (* A doacross-synchronized DO loop spreads iterations round-robin with
    only the post/wait edges ordering them, so every carried dependence
@@ -787,17 +804,27 @@ let check_do_sync ctx (s : Stmt.t) (d : Stmt.do_loop) =
       List.iter
         (fun (e : Graph.edge) ->
           if e.Graph.through_memory then
-            match e.Graph.distance with
-            | Some dist when dist >= 1 ->
+            match (e.Graph.distance, e.Graph.dist_lo) with
+            | Some dist, _ when dist >= 1 ->
                 if
                   not
                     (sync_covers d.Stmt.sync ~src:e.Graph.src ~dst:e.Graph.dst
-                       ~dist)
+                       ~dist ~exact:true)
                 then
                   report ctx ~rule:"doacross-unsync-dep" ~stmt:s
                     "carried %s dependence (stmt %d -> stmt %d, distance %d) \
                      is not covered by the loop's post/wait chain"
                     (kind_name e.Graph.kind) e.Graph.src e.Graph.dst dist
+            | None, Some lo when lo >= 1 ->
+                if
+                  not
+                    (sync_covers d.Stmt.sync ~src:e.Graph.src ~dst:e.Graph.dst
+                       ~dist:lo ~exact:false)
+                then
+                  report ctx ~rule:"doacross-unsync-dep" ~stmt:s
+                    "carried %s dependence (stmt %d -> stmt %d, distance >= \
+                     %d) is not covered by a cumulative post/wait"
+                    (kind_name e.Graph.kind) e.Graph.src e.Graph.dst lo
             | _ ->
                 report ctx ~rule:"doacross-unsync-dep" ~stmt:s
                   "carried %s dependence (stmt %d -> stmt %d) has no \
@@ -827,8 +854,8 @@ let check_vector_stmt ctx (s : Stmt.t) (v : Stmt.vstmt) =
         | Alias.Must_alias delta -> (
             match Test.affine ~c1:s1 ~c2 ~delta ~trip with
             | Test.Independent -> ()
-            | Test.Dependent { distance = Some d } when d <= 0 && c2 <> 0 -> ()
-            | Test.Dependent { distance } ->
+            | Test.Dependent { distance = Some d; _ } when d <= 0 && c2 <> 0 -> ()
+            | Test.Dependent { distance; _ } ->
                 report ctx ~rule:"vector-overlap" ~stmt:s
                   "%s overlaps destination elements already overwritten in \
                    element order (distance %s)"

@@ -29,6 +29,19 @@ module Profile = Vpc_profile
 module Check = Vpc_check
 module Pointsto = Vpc_pointsto
 module Range = Vpc_range
+module Tune = Vpc_tune
+
+(* A resolved autotuning plan: per-nest configurations keyed by source
+   location (every loop header of a tuned nest maps to its nest's
+   configuration) plus per-call-site inline verdicts.  [`Use] resolves a
+   fingerprint-keyed store into this form with a scout compile; the
+   search driver ({!tune}) builds it directly. *)
+type tune_plan = {
+  tp_nests : (Support.Loc.t * Tune.Config.t) list;
+  tp_calls : (Support.Loc.t * bool) list;
+}
+
+let empty_plan = { tp_nests = []; tp_calls = [] }
 
 type options = {
   inline : [ `None | `All | `Only of string list ];
@@ -67,6 +80,12 @@ type options = {
   why_scalar : (string -> unit) option;
       (* one line per loop left scalar: the unresolved alias pair with
          source locations, the rejecting statement, or the cycle *)
+  tune : [ `Off | `Use of Profile.Tuned.t | `Plan of tune_plan ];
+      (* autotuned per-nest overrides: [`Use store] replays winners from
+         a fingerprint-keyed store (a scout compile maps fingerprints
+         back to this program's loops); [`Plan] applies an already
+         resolved plan (the search driver's internal path).  [`Off] and
+         an empty store compile byte-identically to no tuning. *)
 }
 
 (* -O0: the naive translation. *)
@@ -95,6 +114,7 @@ let o0 =
     profile = None;
     report = None;
     why_scalar = None;
+    tune = `Off;
   }
 
 (* -O1: classical scalar optimization. *)
@@ -187,12 +207,97 @@ let after_pass ?pointsto ?range options prog (f : Il.Func.t) pass =
         ?range ~pass:stage prog f
   | `Off | `Final -> ()
 
+(* The pass subset that shapes loop nests ahead of restructuring: what a
+   scout compile runs so {!Tune.Fingerprint} sees the nests exactly as
+   the search driver did.  Restructuring, codegen-facing passes,
+   diagnostics, and tuning itself are off; inlining and the scalar
+   pipeline keep their static policy. *)
+let scout_options options =
+  {
+    options with
+    vectorize = false;
+    parallelize = false;
+    interchange = false;
+    fuse = false;
+    vreuse = false;
+    doacross = false;
+    doacross_sync = false;
+    scalar_replacement = false;
+    strength_reduction = false;
+    verify = `Off;
+    dump = None;
+    report = None;
+    why_scalar = None;
+    tune = `Off;
+  }
+
 (* Run the optimization pipeline in place.  [timer] buckets the wall
    time of each phase group for [--timings]. *)
-let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
+let rec optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
     (prog : Il.Prog.t) =
   let timed phase f =
     match timer with Some t -> Support.Timing.time t phase f | None -> f ()
+  in
+  (* Resolve the tuning request into a per-location plan before anything
+     mutates [prog]: [`Use] fingerprints a scout clone (which runs the
+     same prefix pipeline, including its own catalog import) and maps
+     matching store records back to this program's loops.  An empty store
+     resolves to no plan, so every hook below stays [None] and the
+     compile is byte-identical to an untuned one. *)
+  let plan =
+    match options.tune with
+    | `Off -> None
+    | `Plan p -> Some p
+    | `Use store ->
+        if Profile.Tuned.is_empty store then None
+        else
+          Some
+            (timed "tune" (fun () ->
+                 let clone = Il.Prog.clone prog in
+                 ignore (optimize ~options:(scout_options options) clone);
+                 let nests = Tune.Fingerprint.nests clone in
+                 List.fold_left
+                   (fun acc (n : Tune.Fingerprint.nest) ->
+                     match Profile.Tuned.find store n.Tune.Fingerprint.fp with
+                     | None -> acc
+                     | Some r -> (
+                         match
+                           Tune.Config.of_fields r.Profile.Tuned.fields
+                         with
+                         | exception _ -> acc (* unknown fields: skip *)
+                         | cfg ->
+                             {
+                               tp_nests =
+                                 List.map
+                                   (fun l -> (l, cfg))
+                                   n.Tune.Fingerprint.loop_locs
+                                 @ acc.tp_nests;
+                               tp_calls =
+                                 List.filter_map
+                                   (fun (site, callee) ->
+                                     match
+                                       List.assoc_opt callee
+                                         cfg.Tune.Config.inline_calls
+                                     with
+                                     | Some v -> Some (site, v)
+                                     | None -> None)
+                                   n.Tune.Fingerprint.calls
+                                 @ acc.tp_calls;
+                             }))
+                   empty_plan nests))
+  in
+  let nest_cfg loc =
+    match plan with None -> None | Some p -> List.assoc_opt loc p.tp_nests
+  in
+  let bool_gate get =
+    match plan with
+    | None -> None
+    | Some _ -> Some (fun loc -> Option.bind (nest_cfg loc) get)
+  in
+  let site_tune =
+    match plan with
+    | None -> None
+    | Some p -> Some (fun loc -> List.assoc_opt loc p.tp_calls)
   in
   timed "catalog-import" (fun () ->
       List.iter
@@ -246,6 +351,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
       profile = options.profile;
       pointsto = !pt;
       report = options.report;
+      site_tune;
     }
   in
   (match options.inline with
@@ -327,6 +433,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
             vlen = options.vlen;
             profile = options.profile;
             report = options.report;
+            tune = bool_gate (fun c -> c.Tune.Config.fuse);
           }
         in
         ignore (Transform.Fuse.run ~options:fopts ~stats:stats.fuse prog f);
@@ -340,6 +447,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
             vlen = options.vlen;
             profile = options.profile;
             report = options.report;
+            tune = bool_gate (fun c -> c.Tune.Config.interchange);
           }
         in
         ignore
@@ -392,6 +500,56 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
             vreuse = options.vreuse;
             why_scalar = options.why_scalar;
             range = range_facts;
+            tune =
+              (match plan with
+              | None -> None
+              | Some _ ->
+                  Some
+                    (fun (s : Il.Stmt.t) ->
+                      match nest_cfg s.Il.Stmt.loc with
+                      | None -> None
+                      | Some (c : Tune.Config.t) -> (
+                          let vlen =
+                            match c.Tune.Config.strip with
+                            | Some v -> v
+                            | None -> options.vlen
+                          in
+                          match c.Tune.Config.mode with
+                          | Some Tune.Config.Scalar ->
+                              Some
+                                {
+                                  Vectorize.Vectorize.keep_scalar = true;
+                                  strip_parallel = false;
+                                  scalar_parallel = false;
+                                  chosen_vlen = vlen;
+                                }
+                          | Some Tune.Config.Vector ->
+                              Some
+                                {
+                                  Vectorize.Vectorize.keep_scalar = false;
+                                  strip_parallel = false;
+                                  scalar_parallel = false;
+                                  chosen_vlen = vlen;
+                                }
+                          | Some Tune.Config.Parallel ->
+                              Some
+                                {
+                                  Vectorize.Vectorize.keep_scalar = false;
+                                  strip_parallel = true;
+                                  scalar_parallel = true;
+                                  chosen_vlen = vlen;
+                                }
+                          | None -> (
+                              match c.Tune.Config.strip with
+                              | None -> None
+                              | Some v ->
+                                  Some
+                                    {
+                                      Vectorize.Vectorize.keep_scalar = false;
+                                      strip_parallel = options.parallelize;
+                                      scalar_parallel = options.parallelize;
+                                      chosen_vlen = v;
+                                    }))));
           }
         in
         ignore
@@ -404,6 +562,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
             Transform.Vreuse.assume_noalias = options.assume_noalias;
             profile = options.profile;
             report = options.report;
+            tune = bool_gate (fun c -> c.Tune.Config.vreuse);
           }
         in
         ignore (Transform.Vreuse.run ~options:ropts ~stats:stats.vreuse prog f);
@@ -433,6 +592,7 @@ let optimize ?(options = default_options) ?(stats = new_stats ()) ?timer
             report = options.report;
             why_scalar = options.why_scalar;
             range = range_facts;
+            tune = bool_gate (fun c -> c.Tune.Config.doacross);
           }
         in
         timed "doacross" (fun () ->
@@ -507,3 +667,270 @@ let profile_gen ?(config = Titan.Machine.default_config) ?entry ?args ?file
   in
   let result = Titan.Machine.run ~config ?entry ?args ~collect prog in
   (Profile.Collect.data collect, result)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator-in-the-loop autotuning                                    *)
+(* ------------------------------------------------------------------ *)
+
+type tune_result = {
+  tuned : Profile.Tuned.t;     (* winners only: nests that beat static *)
+  tune_stats : Tune.Search.stats;
+  nests_considered : int;      (* nests that entered the search *)
+  nests_improved : int;
+  static_cycles : int;         (* whole program, untuned *)
+  tuned_cycles : int;          (* whole program with every winner *)
+}
+
+(* Search the joint per-nest configuration space with the Titan
+   simulator as the oracle.  Nests are ranked hottest-first (measured
+   trips when a profile covers the outer loop, else the static weight)
+   and tuned greedily in that order, each nest's search seeing the
+   winners already chosen for hotter nests; the score is whole-program
+   cycles, so a "win" that slows everything else down is rejected by
+   construction.  Every candidate is differential-checked against the
+   unoptimized program on the IL interpreter — a configuration whose
+   output differs is discarded, so legality never rests on the search.
+   Deterministic: dimensions are swept in a fixed order and ties break
+   toward the static default. *)
+let tune ?(options = default_options) ?(config = Titan.Machine.default_config)
+    ?(budget = 4) ?(stamp = 1) ?report ?timer ?file src : tune_result =
+  let timed phase f =
+    match timer with Some t -> Support.Timing.time t phase f | None -> f ()
+  in
+  timed "tune" @@ fun () ->
+  let say fmt =
+    Printf.ksprintf
+      (fun m -> match report with Some r -> r ("[tune] " ^ m) | None -> ())
+      fmt
+  in
+  let base = parse ?file src in
+  (* catalogs import once into the pristine base; every clone below then
+     compiles with [catalogs = []] against the already-imported set *)
+  List.iter
+    (fun f -> Inline.Catalog.import ~into:base (Inline.Catalog.load f))
+    options.catalogs;
+  let options = { options with catalogs = [] } in
+  let reference = run_interp (Il.Prog.clone base) in
+  let compile_with plan =
+    let p = Il.Prog.clone base in
+    let opts =
+      {
+        options with
+        tune = (match plan with None -> `Off | Some pl -> `Plan pl);
+        dump = None;
+        report = None;
+        why_scalar = None;
+        verify = `Off;
+      }
+    in
+    ignore (optimize ~options:opts p);
+    p
+  in
+  let simulate p = run_titan ~config ~vreuse:options.vreuse p in
+  let matches (r : Titan.Machine.run_result) =
+    r.Titan.Machine.stdout_text = reference.Il.Interp.stdout_text
+    &&
+    match (r.Titan.Machine.return_value, reference.Il.Interp.return_value) with
+    | Titan.Machine.Vi a, Il.Interp.V_int b -> a = b
+    | Titan.Machine.Vf a, Il.Interp.V_float b -> a = b
+    | _ -> false
+  in
+  (* scout: the nests as the prefix pipeline shapes them — the same
+     point [`Use] replay fingerprints, so winners recorded here match *)
+  let nests =
+    let p = Il.Prog.clone base in
+    ignore (optimize ~options:(scout_options options) p);
+    Tune.Fingerprint.nests p
+  in
+  let score (n : Tune.Fingerprint.nest) =
+    let measured =
+      match options.profile with
+      | None -> None
+      | Some data -> (
+          match Profile.Key.of_loc n.Tune.Fingerprint.loc with
+          | None -> None
+          | Some key -> (
+              match Profile.Data.find_loop data key with
+              | None -> None
+              | Some lp -> Profile.Data.mean_trips lp))
+    in
+    match (measured, n.Tune.Fingerprint.trips) with
+    | Some t, None :: _ when t > 0 -> n.Tune.Fingerprint.weight * t
+    | _ -> n.Tune.Fingerprint.weight
+  in
+  let ranked =
+    let scored = List.map (fun n -> (score n, n)) nests in
+    let sorted =
+      List.stable_sort (fun (a, _) (b, _) -> Int.compare b a) scored
+    in
+    List.filteri (fun i _ -> i < budget) (List.map snd sorted)
+  in
+  if List.length nests > budget then
+    say "%d nests found, tuning the %d hottest" (List.length nests) budget;
+  let static_prog = compile_with None in
+  let static_run = simulate static_prog in
+  let static_cycles = static_run.Titan.Machine.metrics.Titan.Machine.cycles in
+  if not (matches static_run) then
+    say "static compile disagrees with the interpreter; tuning anyway";
+  let stats = Tune.Search.new_stats () in
+  let store = ref Profile.Tuned.empty in
+  let winners = ref [] in
+  let plan_of extra =
+    List.fold_left
+      (fun acc ((n : Tune.Fingerprint.nest), (cfg : Tune.Config.t)) ->
+        {
+          tp_nests =
+            List.map (fun l -> (l, cfg)) n.Tune.Fingerprint.loop_locs
+            @ acc.tp_nests;
+          tp_calls =
+            List.filter_map
+              (fun (site, callee) ->
+                Option.map
+                  (fun v -> (site, v))
+                  (List.assoc_opt callee cfg.Tune.Config.inline_calls))
+              n.Tune.Fingerprint.calls
+            @ acc.tp_calls;
+        })
+      empty_plan extra
+  in
+  let current = ref static_cycles in
+  let improved = ref 0 in
+  List.iter
+    (fun (n : Tune.Fingerprint.nest) ->
+      let opt3 set = List.map set [ None; Some false; Some true ] in
+      let dims =
+        (if options.vectorize then
+           [
+             {
+               Tune.Search.dim_name = "mode";
+               values =
+                 List.map
+                   (fun m (c : Tune.Config.t) -> { c with Tune.Config.mode = m })
+                   [
+                     None;
+                     Some Tune.Config.Scalar;
+                     Some Tune.Config.Vector;
+                     Some Tune.Config.Parallel;
+                   ];
+             };
+             {
+               Tune.Search.dim_name = "strip";
+               values =
+                 List.map
+                   (fun v (c : Tune.Config.t) ->
+                     { c with Tune.Config.strip = v })
+                   [ None; Some 8; Some 16; Some 32; Some 64 ];
+             };
+           ]
+         else [])
+        @ (if options.interchange && n.Tune.Fingerprint.depth >= 2 then
+             [
+               {
+                 Tune.Search.dim_name = "interchange";
+                 values =
+                   opt3 (fun v (c : Tune.Config.t) ->
+                       { c with Tune.Config.interchange = v });
+               };
+             ]
+           else [])
+        @ (if options.fuse then
+             [
+               {
+                 Tune.Search.dim_name = "fuse";
+                 values =
+                   opt3 (fun v (c : Tune.Config.t) ->
+                       { c with Tune.Config.fuse = v });
+               };
+             ]
+           else [])
+        @ (if options.vreuse then
+             [
+               {
+                 Tune.Search.dim_name = "vreuse";
+                 values =
+                   opt3 (fun v (c : Tune.Config.t) ->
+                       { c with Tune.Config.vreuse = v });
+               };
+             ]
+           else [])
+        @ (if options.doacross_sync then
+             [
+               {
+                 Tune.Search.dim_name = "doacross";
+                 values =
+                   opt3 (fun v (c : Tune.Config.t) ->
+                       { c with Tune.Config.doacross = v });
+               };
+             ]
+           else [])
+        @ List.map
+            (fun callee ->
+              {
+                Tune.Search.dim_name = "inline:" ^ callee;
+                values =
+                  List.map
+                    (fun v (c : Tune.Config.t) ->
+                      let rest =
+                        List.remove_assoc callee c.Tune.Config.inline_calls
+                      in
+                      {
+                        c with
+                        Tune.Config.inline_calls =
+                          (match v with
+                          | None -> rest
+                          | Some b -> List.sort compare ((callee, b) :: rest));
+                      })
+                    [ None; Some false; Some true ];
+              })
+            (List.sort_uniq compare
+               (List.map snd n.Tune.Fingerprint.calls))
+      in
+      (* a loop pinned scalar gets nothing from a strip length or from
+         vector-register reuse: skip those points without simulating *)
+      let prune (cfg : Tune.Config.t) =
+        cfg.Tune.Config.mode = Some Tune.Config.Scalar
+        && (cfg.Tune.Config.strip <> None
+           || cfg.Tune.Config.vreuse = Some true)
+      in
+      let eval (cfg : Tune.Config.t) =
+        let plan = plan_of ((n, cfg) :: !winners) in
+        let p = compile_with (Some plan) in
+        let r = simulate p in
+        if matches r then Some r.Titan.Machine.metrics.Titan.Machine.cycles
+        else None
+      in
+      match
+        Tune.Search.search ~stats ~prune ~dims ~eval ~init:Tune.Config.default
+          ~init_cycles:!current ()
+      with
+      | None ->
+          say "nest at %s (fp %s..): static stays best at %d cycles"
+            (Support.Loc.to_string n.Tune.Fingerprint.loc)
+            (String.sub n.Tune.Fingerprint.fp 0 8)
+            !current
+      | Some (cfg, cycles) ->
+          incr improved;
+          say "nest at %s (fp %s..): %s -> %d cycles (was %d)"
+            (Support.Loc.to_string n.Tune.Fingerprint.loc)
+            (String.sub n.Tune.Fingerprint.fp 0 8)
+            (Tune.Config.to_string cfg) cycles !current;
+          store :=
+            Profile.Tuned.add !store
+              {
+                Profile.Tuned.fp = n.Tune.Fingerprint.fp;
+                stamp;
+                cycles;
+                static_cycles = !current;
+                fields = Tune.Config.to_fields cfg;
+              };
+          winners := (n, cfg) :: !winners;
+          current := cycles)
+    ranked;
+  {
+    tuned = !store;
+    tune_stats = stats;
+    nests_considered = List.length ranked;
+    nests_improved = !improved;
+    static_cycles;
+    tuned_cycles = !current;
+  }

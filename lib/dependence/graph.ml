@@ -15,6 +15,10 @@ type edge = {
   kind : dep_kind;
   carried : bool;
   distance : int option;  (* iterations, when exact *)
+  dist_lo : int option;
+      (* when [distance = None]: proven lower bound (>= 1) on the
+         carried distance — the dependence is strictly forward but its
+         exact distance is symbolic *)
   through_memory : bool;
 }
 
@@ -76,7 +80,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                 Test.references ~assume_noalias ~trip r1 r2 (Hashtbl.create 0)
               with
               | Test.Independent -> ()
-              | Test.Dependent { distance } -> (
+              | Test.Dependent { distance; dist_lo } -> (
                   (* distance d: r2 touches the common location d
                      iterations after r1 (d < 0: before). *)
                   let ziv =
@@ -97,6 +101,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind;
                           carried = true;
                           distance = None;
+                          dist_lo = None;
                           through_memory = true;
                         };
                       if r1.Subscript.ref_pos <> r2.Subscript.ref_pos then
@@ -111,6 +116,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                               | Output -> Output);
                             carried = true;
                             distance = None;
+                            dist_lo = None;
                             through_memory = true;
                           }
                   | Some 0 ->
@@ -121,6 +127,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind;
                           carried = false;
                           distance = Some 0;
+                          dist_lo = None;
                           through_memory = true;
                         }
                   | Some d when d > 0 ->
@@ -131,6 +138,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind;
                           carried = true;
                           distance = Some d;
+                          dist_lo = None;
                           through_memory = true;
                         }
                   | Some d ->
@@ -149,6 +157,21 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind = dual;
                           carried = true;
                           distance = Some (-d);
+                          dist_lo = None;
+                          through_memory = true;
+                        }
+                  | None when (match dist_lo with Some l -> l >= 1 | None -> false)
+                    ->
+                      (* symbolic distance with proven lower bound >= 1:
+                         strictly forward, so no dual reverse edge *)
+                      add_edge
+                        {
+                          src = r1.Subscript.ref_pos;
+                          dst = r2.Subscript.ref_pos;
+                          kind;
+                          carried = true;
+                          distance = None;
+                          dist_lo;
                           through_memory = true;
                         }
                   | None ->
@@ -160,6 +183,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind;
                           carried = true;
                           distance = None;
+                          dist_lo = None;
                           through_memory = true;
                         };
                       if r1.Subscript.ref_pos <> r2.Subscript.ref_pos then
@@ -174,6 +198,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                               | Output -> Output);
                             carried = true;
                             distance = None;
+                            dist_lo = None;
                             through_memory = true;
                           }))
       end
@@ -199,6 +224,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
             kind = Output;
             carried = true;
             distance = None;
+            dist_lo = None;
             through_memory = true;
           })
     arr;
@@ -232,6 +258,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind = Flow;
                           carried = false;
                           distance = Some 0;
+                          dist_lo = None;
                           through_memory = false;
                         }
                     else begin
@@ -243,6 +270,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind = Flow;
                           carried = true;
                           distance = Some 1;
+                          dist_lo = None;
                           through_memory = false;
                         };
                       (* and the def kills the value the use read: anti *)
@@ -253,6 +281,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                           kind = Anti;
                           carried = false;
                           distance = Some 0;
+                          dist_lo = None;
                           through_memory = false;
                         }
                     end)
@@ -276,6 +305,7 @@ let build ?(assume_noalias = false) ~trip (body : Stmt.t list) ~index
                     kind = Output;
                     carried = false;
                     distance = Some 0;
+                    dist_lo = None;
                     through_memory = false;
                   };
                 pairs rest

@@ -15,6 +15,9 @@ type edge = {
   kind : dep_kind;
   carried : bool;
   distance : int option;  (** iterations, when exact *)
+  dist_lo : int option;
+      (** when [distance = None]: proven lower bound (>= 1) on the
+          carried distance — strictly forward, symbolic distance *)
   through_memory : bool;  (** false: a scalar (register) dependence *)
 }
 

@@ -10,18 +10,25 @@
 
 type verdict =
   | Independent
-  | Dependent of { distance : int option }
-      (* distance in iterations when both strides are equal and the
+  | Dependent of { distance : int option; dist_lo : int option }
+      (* [distance]: iterations when both strides are equal and the
          solution is unique; [None] = unknown/varying.  distance > 0:
          reference 2's access happens that many iterations after
-         reference 1 touches the same location. *)
+         reference 1 touches the same location.  [dist_lo]: meaningful
+         only when [distance = None] — [Some l] with l >= 1 asserts
+         every solution has distance >= l (the dependence is strictly
+         forward, at least [l] iterations apart), proven from the range
+         oracle's interval on the symbolic byte distance.  [None] = no
+         bound known. *)
+
+let dep ?dist_lo distance = Dependent { distance; dist_lo }
 
 let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
 
 (* Conservative iteration-count bound; [None] = unknown (unbounded). *)
 type bound = int option
 
-let ziv ~delta = if delta = 0 then Dependent { distance = Some 0 } else Independent
+let ziv ~delta = if delta = 0 then dep (Some 0) else Independent
 
 (* strong SIV: equal strides c: c*i - c*j = delta  ⇒  i - j = delta/c *)
 let strong_siv ~c ~delta ~(trip : bound) =
@@ -33,20 +40,20 @@ let strong_siv ~c ~delta ~(trip : bound) =
     let in_range =
       match trip with None -> true | Some u -> abs d < u
     in
-    if in_range then Dependent { distance = Some d } else Independent
+    if in_range then dep (Some d) else Independent
 
 (* weak-zero SIV: one reference is loop-invariant (stride 0); the other
    hits it in at most one iteration. *)
 let weak_zero_siv ~c ~delta ~(trip : bound) =
   (* c*i = delta *)
-  if c = 0 then if delta = 0 then Dependent { distance = None } else Independent
+  if c = 0 then if delta = 0 then dep None else Independent
   else if delta mod c <> 0 then Independent
   else
     let i = delta / c in
     let in_range =
       i >= 0 && match trip with None -> true | Some u -> i < u
     in
-    if in_range then Dependent { distance = None } else Independent
+    if in_range then dep None else Independent
 
 (* GCD test for c1*i - c2*j = delta. *)
 let gcd_test ~c1 ~c2 ~delta =
@@ -80,7 +87,7 @@ let affine ~c1 ~c2 ~delta ~trip =
   else if c2 = 0 then weak_zero_siv ~c:c1 ~delta ~trip
   else if not (gcd_test ~c1 ~c2 ~delta) then Independent
   else if not (banerjee ~c1 ~c2 ~delta ~trip) then Independent
-  else Dependent { distance = None }
+  else dep None
 
 (* ---- direction vectors over loop nests [Wolf 78, Alle 83] ---- *)
 
@@ -237,14 +244,37 @@ let interval_affine ~c1 ~c2 ~(dlo : int option) ~(dhi : int option)
           (match dlo with Some l -> l > bhi | None -> false)
           || (match dhi with Some h -> h < blo | None -> false)
     in
-    if outside_banerjee then Independent else Dependent { distance = None }
+    if outside_banerjee then Independent
+    else
+      (* Equal strides c: every surviving solution has iteration distance
+         d = -delta/c.  The interval endpoint on the side that minimizes
+         d then bounds it below; a bound >= 1 proves the dependence
+         strictly forward, which is what a doacross loop can order with a
+         cumulative sync even though the exact distance stays symbolic. *)
+      let dist_lo =
+        if c1 = c2 && c1 <> 0 then begin
+          let c = c1 in
+          let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+          let lo =
+            if c > 0 then
+              (* d = -delta/c decreases in delta: min at delta = dhi *)
+              Option.map (fun h -> -fdiv h c) dhi
+            else
+              (* c < 0: d = delta/|c| increases in delta: min at dlo *)
+              Option.map (fun l -> -fdiv (-l) (-c)) dlo
+          in
+          match lo with Some l when l >= 1 -> Some l | _ -> None
+        end
+        else None
+      in
+      dep ?dist_lo None
 
 (* May_alias with both subscripts affine: ask the oracle for the byte
    distance between the bases. *)
 let may_alias_affine (a1 : Subscript.affine) (a2 : Subscript.affine) ~trip :
     verdict =
   match Domain.DLS.get oracle_ref with
-  | None -> Dependent { distance = None }
+  | None -> dep None
   | Some o -> (
       let delta_e =
         Vpc_analysis.Simplify.expr
@@ -286,7 +316,7 @@ let references_uncached ?(assume_noalias = false) ~trip
        with
       | Some b1, Some b2 when Alias.bases ~assume_noalias b1 b2 = Alias.No_alias ->
           Independent
-      | _ -> Dependent { distance = None })
+      | _ -> dep None)
 
 (* ---- memoization ----
 

@@ -8,10 +8,18 @@
 
 type verdict =
   | Independent
-  | Dependent of { distance : int option }
+  | Dependent of { distance : int option; dist_lo : int option }
       (** [distance d]: reference 2 touches the common location [d]
           iterations after reference 1 ([d] < 0: before); [None]:
-          unknown or varying. *)
+          unknown or varying.  [dist_lo] (meaningful only when
+          [distance = None]): [Some l], l >= 1, asserts every solution
+          is at distance >= l — the dependence is strictly forward but
+          its exact distance is symbolic (proven from the range oracle's
+          interval). *)
+
+(** [dep ?dist_lo distance] builds a [Dependent] verdict ([dist_lo]
+    defaults to [None]). *)
+val dep : ?dist_lo:int -> int option -> verdict
 
 val gcd : int -> int -> int
 

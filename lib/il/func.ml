@@ -29,6 +29,20 @@ let create ~name ~ret_ty ?(is_static = false) ?(loc = Loc.dummy) () =
     loc;
   }
 
+(* An independent copy sharing no mutable state: statements are
+   immutable and so stay shared, but the body cell, variable table, and
+   gensyms are fresh — passes run on the clone cannot perturb the
+   original's numbering (and vice versa).  Unlike the sexp round-trip,
+   source locations survive. *)
+let clone t =
+  {
+    t with
+    vars = Hashtbl.copy t.vars;
+    body = t.body;
+    stmt_gen = Gensym.create ~start:(Gensym.peek t.stmt_gen) ();
+    label_gen = Gensym.create ~start:(Gensym.peek t.label_gen) ();
+  }
+
 let add_var t (v : Var.t) = Hashtbl.replace t.vars v.id v
 
 let find_var t id = Hashtbl.find_opt t.vars id

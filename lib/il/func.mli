@@ -22,6 +22,13 @@ val create :
   unit ->
   t
 
+(** An independent copy sharing no mutable state with the original
+    (fresh body cell, variable table, and gensym counters); statements —
+    immutable — stay shared.  Unlike a sexp round-trip, source locations
+    survive, which is what lets the tuner's scout compile map loop nests
+    back to the locations the real pipeline will see. *)
+val clone : t -> t
+
 val add_var : t -> Var.t -> unit
 val find_var : t -> int -> Var.t option
 val var_exn : t -> int -> Var.t

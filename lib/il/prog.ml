@@ -29,6 +29,17 @@ let create () =
 
 let fresh_var_id t = Gensym.fresh t.var_gen
 
+(* An independent copy: cloned functions, copied tables, and a var
+   counter frozen at the original's position, so passes run on the clone
+   cannot perturb the original's numbering.  Locations survive. *)
+let clone t =
+  {
+    structs = Hashtbl.copy t.structs;
+    globals = Hashtbl.copy t.globals;
+    funcs = List.map Func.clone t.funcs;
+    var_gen = Gensym.create ~start:(Gensym.peek t.var_gen) ();
+  }
+
 let add_global t ?(ginit = Init_none) (gvar : Var.t) =
   Hashtbl.replace t.globals gvar.id { gvar; ginit }
 

@@ -19,6 +19,10 @@ type t = {
 
 val create : unit -> t
 val fresh_var_id : t -> int
+
+(** An independent copy sharing no mutable state (cloned functions,
+    copied tables, frozen gensym), with source locations preserved. *)
+val clone : t -> t
 val add_global : t -> ?ginit:ginit -> Var.t -> unit
 val add_func : t -> Func.t -> unit
 val find_func : t -> string -> Func.t option

@@ -50,12 +50,17 @@ and do_loop = {
    posts counter [chan] after executing body position [post_after]; before
    executing body position [wait_before], iteration i waits for iteration
    i - [distance] to have posted [chan] (iterations below the lower bound
-   count as already posted). *)
+   count as already posted).  A *cumulative* sync ([cum] set) waits for
+   EVERY iteration <= i - [distance] to have posted: that orders the sink
+   after any source at distance >= [distance], which is what a carried
+   dependence of symbolic distance with proven lower bound [distance]
+   needs (an exact sync only orders multiples of its distance). *)
 and dsync = {
   chan : int;         (* counter id, unique within the loop *)
   distance : int;     (* carried dependence distance, >= 1 *)
   post_after : int;   (* body position after which the post fires *)
   wait_before : int;  (* body position guarded by the wait *)
+  cum : bool;         (* wait covers all iterations <= i - distance *)
 }
 
 and loop_info = {
@@ -261,15 +266,24 @@ let rec vexpr_of_sexp s =
   | _ -> raise (Sexp.Parse_error "bad vexpr sexp")
 
 let dsync_to_sexp (y : dsync) =
+  (* the [cum] slot is trailing and omitted when false, so exact-sync
+     dumps keep their pre-cumulative spelling *)
   Sexp.list
-    [ Sexp.int y.chan; Sexp.int y.distance; Sexp.int y.post_after;
-      Sexp.int y.wait_before ]
+    ([ Sexp.int y.chan; Sexp.int y.distance; Sexp.int y.post_after;
+       Sexp.int y.wait_before ]
+    @ if y.cum then [ Sexp.atom "cum" ] else [])
 
 let dsync_of_sexp s =
   match Sexp.as_list s with
-  | [ c; d; p; w ] ->
+  | c :: d :: p :: w :: cum_tl ->
+      let cum =
+        match cum_tl with
+        | [] -> false
+        | [ Sexp.Atom "cum" ] -> true
+        | _ -> raise (Sexp.Parse_error "bad dsync sexp")
+      in
       { chan = Sexp.as_int c; distance = Sexp.as_int d;
-        post_after = Sexp.as_int p; wait_before = Sexp.as_int w }
+        post_after = Sexp.as_int p; wait_before = Sexp.as_int w; cum }
   | _ -> raise (Sexp.Parse_error "bad dsync sexp")
 
 let rec to_sexp s =

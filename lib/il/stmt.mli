@@ -48,12 +48,16 @@ and do_loop = {
 (** One synchronized carried dependence of a doacross loop: iteration [i]
     posts counter [chan] after body position [post_after]; before body
     position [wait_before] it waits for iteration [i - distance] to have
-    posted (iterations below the lower bound count as posted). *)
+    posted (iterations below the lower bound count as posted).  With
+    [cum] set the wait is cumulative — every iteration [<= i - distance]
+    must have posted — which soundly orders carried dependences whose
+    distance is symbolic with proven lower bound [distance]. *)
 and dsync = {
   chan : int;
-  distance : int;     (** carried distance, >= 1 *)
+  distance : int;     (** carried distance (or its lower bound), >= 1 *)
   post_after : int;
   wait_before : int;
+  cum : bool;
 }
 
 and loop_info = {

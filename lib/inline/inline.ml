@@ -30,6 +30,11 @@ type options = {
   max_total_growth : int;
       (* per-caller statement budget, enforced only with a profile *)
   report : (string -> unit) option;
+  site_tune : (Vpc_support.Loc.t -> bool option) option;
+      (* autotuned per-call-site override, keyed by the call's location:
+         [Some false] keeps the call, [Some true] inlines past the size
+         threshold and the profile plan (the recursion cutoff still
+         applies); [None] follows the static/profile policy *)
 }
 
 let default_options =
@@ -41,6 +46,7 @@ let default_options =
     pointsto = None;
     max_total_growth = 4000;
     report = None;
+    site_tune = None;
   }
 
 type stats = {
@@ -289,13 +295,19 @@ let rec expand_in_function (opts : options) stats (prog : Prog.t)
       | None, None -> None
       | _ -> Some (plan_sites opts stats prog caller ~eligible)
     in
+    let site_tuned (s : Stmt.t) =
+      match opts.site_tune with None -> None | Some f -> f s.Stmt.loc
+    in
     let site_selected (s : Stmt.t) =
-      match plan with
-      | None -> true
-      | Some verdicts -> (
-          match Hashtbl.find_opt verdicts s.Stmt.id with
-          | Some (Cold_site | Budget_site) -> false
-          | Some Inline_site | None -> true)
+      match site_tuned s with
+      | Some v -> v
+      | None -> (
+          match plan with
+          | None -> true
+          | Some verdicts -> (
+              match Hashtbl.find_opt verdicts s.Stmt.id with
+              | Some (Cold_site | Budget_site) -> false
+              | Some Inline_site | None -> true))
     in
     let replace (s : Stmt.t) : Stmt.t list =
       match s.Stmt.desc with
@@ -312,7 +324,10 @@ let rec expand_in_function (opts : options) stats (prog : Prog.t)
                   stats.calls_skipped_recursive + 1;
                 [ s ]
               end
-              else if func_size callee > opts.max_callee_stmts then begin
+              else if
+                site_tuned s <> Some true
+                && func_size callee > opts.max_callee_stmts
+              then begin
                 stats.calls_skipped_size <- stats.calls_skipped_size + 1;
                 [ s ]
               end

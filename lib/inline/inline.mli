@@ -24,6 +24,11 @@ type options = {
           ranked ahead of every other site. *)
   max_total_growth : int;  (** per-caller budget, applies with a profile *)
   report : (string -> unit) option;  (** decision explanations *)
+  site_tune : (Vpc_support.Loc.t -> bool option) option;
+      (** autotuned per-call-site override, keyed by the call's location:
+          [Some false] keeps the call, [Some true] inlines past the size
+          threshold and the profile plan (the recursion cutoff still
+          applies); [None] follows the static/profile policy *)
 }
 
 val default_options : options

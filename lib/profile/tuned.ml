@@ -1,0 +1,140 @@
+(* The tuned-configuration store: winners found by [titancc --tune],
+   keyed by the location-free loop-nest fingerprint, replayed by
+   [--tune-use] without searching.
+
+   The configuration itself is carried as opaque sorted [key=value]
+   fields (the codec lives in the tune library; this store neither
+   parses nor interprets them), so the store's format survives new
+   search dimensions unchanged.  Records are versioned with a caller-
+   supplied [stamp] (a tuning-run sequence number or wall-clock second):
+   when two stores disagree about a fingerprint, {!merge} keeps the
+   newer record, breaking stamp ties toward the lower cycle count and
+   then lexicographically — commutative, associative, deterministic.
+
+   The serialized form follows the profile store: a pointer-free
+   s-expression with a versioned header, records sorted by fingerprint,
+   printed canonically so equal stores print byte-identically. *)
+
+open Vpc_support
+
+let version = 1
+
+type record = {
+  fp : string;            (* hex fingerprint of the loop nest *)
+  stamp : int;            (* tuning-run version; newer wins on merge *)
+  cycles : int;           (* measured cycles with this configuration *)
+  static_cycles : int;    (* measured cycles of the static default *)
+  fields : (string * string) list;  (* sorted config codec *)
+}
+
+type t = { records : record list }  (* sorted by fp, unique *)
+
+let empty = { records = [] }
+let is_empty t = t.records = []
+let find t fp = List.find_opt (fun r -> r.fp = fp) t.records
+
+(* The record that survives a conflict: newer stamp, then fewer cycles,
+   then lexicographically smaller fields. *)
+let better (a : record) (b : record) : record =
+  if a.stamp <> b.stamp then if a.stamp > b.stamp then a else b
+  else if a.cycles <> b.cycles then if a.cycles < b.cycles then a else b
+  else if a.fields <= b.fields then a
+  else b
+
+let add t (r : record) =
+  let r = { r with fields = List.sort compare r.fields } in
+  let merged, rest =
+    match find t r.fp with
+    | Some old -> (better r old, List.filter (fun x -> x.fp <> r.fp) t.records)
+    | None -> (r, t.records)
+  in
+  { records = List.sort (fun a b -> compare a.fp b.fp) (merged :: rest) }
+
+let merge a b = List.fold_left add a b.records
+
+let equal (a : t) (b : t) = a.records = b.records
+
+let to_sexp t =
+  let record_sexp (r : record) =
+    Sexp.list
+      [
+        Sexp.atom r.fp;
+        Sexp.int r.stamp;
+        Sexp.int r.cycles;
+        Sexp.int r.static_cycles;
+        Sexp.list
+          (List.map
+             (fun (k, v) -> Sexp.list [ Sexp.atom k; Sexp.atom v ])
+             r.fields);
+      ]
+  in
+  Sexp.list
+    [
+      Sexp.atom "vpc-tuned";
+      Sexp.list [ Sexp.atom "version"; Sexp.int version ];
+      Sexp.list (Sexp.atom "records" :: List.map record_sexp t.records);
+    ]
+
+let malformed what = raise (Sexp.Parse_error ("malformed tuned store: " ^ what))
+
+let of_sexp (s : Sexp.t) : t =
+  match s with
+  | Sexp.List
+      (Sexp.Atom "vpc-tuned" :: Sexp.List [ Sexp.Atom "version"; v ] :: rest)
+    ->
+      let v = Sexp.as_int v in
+      if v <> version then
+        malformed
+          (Printf.sprintf "unsupported version %d (expected %d)" v version);
+      let acc = ref empty in
+      List.iter
+        (fun field ->
+          match field with
+          | Sexp.List (Sexp.Atom "records" :: entries) ->
+              List.iter
+                (fun e ->
+                  match e with
+                  | Sexp.List
+                      [ fp; stamp; cycles; static_cycles; Sexp.List fields ] ->
+                      let fields =
+                        List.map
+                          (function
+                            | Sexp.List [ k; v ] ->
+                                (Sexp.as_atom k, Sexp.as_atom v)
+                            | _ -> malformed "config field")
+                          fields
+                      in
+                      acc :=
+                        add !acc
+                          {
+                            fp = Sexp.as_atom fp;
+                            stamp = Sexp.as_int stamp;
+                            cycles = Sexp.as_int cycles;
+                            static_cycles = Sexp.as_int static_cycles;
+                            fields;
+                          }
+                  | _ -> malformed "record")
+                entries
+          | _ -> malformed "unknown field")
+        rest;
+      !acc
+  | _ -> malformed "missing vpc-tuned header"
+
+let to_string t = Sexp.to_string (to_sexp t) ^ "\n"
+let of_string s = of_sexp (Sexp.of_string s)
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(* Missing file = never tuned: the empty store, under which compilation
+   is byte-identical to an untuned build. *)
+let load_or_empty path = if Sys.file_exists path then load path else empty

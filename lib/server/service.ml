@@ -42,6 +42,7 @@ type copts = {
   vlen : int;
   catalogs : string list;
   profile_use : string option;
+  tune_use : string option;  (* tuned-configuration store (--tune-use) *)
 }
 
 let default_copts =
@@ -60,6 +61,7 @@ let default_copts =
     vlen = 32;
     catalogs = [];
     profile_use = None;
+    tune_use = None;
   }
 
 let copts_to_sexp (c : copts) =
@@ -80,6 +82,7 @@ let copts_to_sexp (c : copts) =
       int c.vlen;
       list (List.map atom c.catalogs);
       list (List.map atom (Option.to_list c.profile_use));
+      list (List.map atom (Option.to_list c.tune_use));
     ]
 
 let copts_of_sexp s =
@@ -88,7 +91,7 @@ let copts_of_sexp s =
   | List
       [
         lvl; List only; np; nv; ni; nf; nvr; nds; npt; nr; na; vlen;
-        List cats; List prof;
+        List cats; List prof; List tune;
       ] ->
       {
         opt_level = as_int lvl;
@@ -107,6 +110,9 @@ let copts_of_sexp s =
         profile_use =
           (match prof with [] -> None | [ p ] -> Some (as_atom p)
           | _ -> raise (Parse_error "copts: bad profile"));
+        tune_use =
+          (match tune with [] -> None | [ p ] -> Some (as_atom p)
+          | _ -> raise (Parse_error "copts: bad tune store"));
       }
   | _ -> raise (Parse_error "copts: bad shape")
 
@@ -134,6 +140,10 @@ let to_options (c : copts) : Vpc.options =
     vlen = c.vlen;
     catalogs = c.catalogs;
     profile = Option.map Vpc.Profile.Data.load c.profile_use;
+    tune =
+      (match c.tune_use with
+      | None -> `Off
+      | Some p -> `Use (Vpc.Profile.Tuned.load_or_empty p));
   }
 
 type request = {
@@ -182,14 +192,15 @@ let asm_texts (prog : Prog.t) : (string * string) list =
 
 (* Keys ------------------------------------------------------------------- *)
 
-let schema_tag = "titancc-cache-1"
+let schema_tag = "titancc-cache-2"
 
 let options_fp (c : copts) =
   (* paths out, contents in: the same catalog reached via a different
      path must hit, an edited catalog at the same path must miss *)
   Fingerprint.digest_string
     (Sexp.to_string
-       (copts_to_sexp { c with catalogs = []; profile_use = None }))
+       (copts_to_sexp
+          { c with catalogs = []; profile_use = None; tune_use = None }))
 
 type keyed = {
   k_comps : Components.t;
@@ -204,6 +215,13 @@ let component_keys (prog : Prog.t) (c : copts) : keyed =
   let globals_fp = Fingerprint.globals prog in
   let catalog_fps = List.map Fingerprint.file c.catalogs in
   let profile_fp = Option.map Fingerprint.file c.profile_use in
+  (* a missing store is the empty store (compiles untuned), so it keys
+     like no store at all *)
+  let tune_fp =
+    match c.tune_use with
+    | Some p when Sys.file_exists p -> Some (Fingerprint.file p)
+    | _ -> None
+  in
   let fp_of = Hashtbl.create 16 in
   let locs_of = Hashtbl.create 16 in
   List.iter
@@ -224,6 +242,9 @@ let component_keys (prog : Prog.t) (c : copts) : keyed =
     (match profile_fp with
     | None -> add "no-profile"
     | Some d -> add ("profile " ^ d));
+    (match tune_fp with
+    | None -> add "no-tune"
+    | Some d -> add ("tune " ^ d));
     List.iter
       (fun name ->
         add name;

@@ -497,7 +497,10 @@ and gen_do_loop ce ~par_depth ~stmt (d : Stmt.do_loop) =
         List.iter
           (fun (y : Stmt.dsync) ->
             if y.Stmt.wait_before = i then
-              emit ce.e (Wait { chan = y.Stmt.chan; dist = y.Stmt.distance }))
+              emit ce.e
+                (Wait
+                   { chan = y.Stmt.chan; dist = y.Stmt.distance;
+                     cum = y.Stmt.cum }))
           d.sync;
         gen_stmt ce ~par_depth:inner_depth s;
         List.iter

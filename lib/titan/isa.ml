@@ -71,9 +71,11 @@ type inst =
   | Da_enter
   | Post of { chan : int }
       (* iteration i records counter [chan] as posted at the current cycle *)
-  | Wait of { chan : int; dist : int }
+  | Wait of { chan : int; dist : int; cum : bool }
       (* block until iteration i-dist has posted [chan]; iterations below
-         the loop's lower bound count as already posted *)
+         the loop's lower bound count as already posted.  [cum] = wait
+         until EVERY iteration <= i-dist has posted — used when the
+         carried distance is symbolic with proven lower bound [dist] *)
   (* profiling markers (zero cost, zero semantics): emitted only by
      instrumented codegen; the simulator feeds them to a collector *)
   | Prof of prof_event
@@ -187,7 +189,8 @@ let pp_inst ppf = function
   | Par_exit -> Fmt.string ppf "par.exit"
   | Da_enter -> Fmt.string ppf "da.enter"
   | Post { chan } -> Fmt.pf ppf "post c%d" chan
-  | Wait { chan; dist } -> Fmt.pf ppf "wait c%d, dist=%d" chan dist
+  | Wait { chan; dist; cum } ->
+      Fmt.pf ppf "%s c%d, dist=%d" (if cum then "cwait" else "wait") chan dist
   | Prof (Ploop_enter k) ->
       Fmt.pf ppf "prof.loop_enter %a" Vpc_profile.Key.pp k
   | Prof (Ploop_iter k) -> Fmt.pf ppf "prof.loop_iter %a" Vpc_profile.Key.pp k

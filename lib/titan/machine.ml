@@ -152,6 +152,10 @@ type state = {
   mutable da_iter_base : int;        (* real clock at its first instruction *)
   mutable da_stall : int;            (* virtual wait stalls, this iteration *)
   da_posts : (int * int, int) Hashtbl.t;  (* (chan, iter) -> virtual time *)
+  da_post_pre : (int * int, int) Hashtbl.t;
+      (* (chan, iter) -> max virtual post time over iterations <= iter:
+         iterations run in order here, so each post extends a running
+         prefix max — what a cumulative wait needs in O(1) *)
   mutable insts_executed : int;
   mutable issued : int;  (* instructions issued, for the issue-width floor *)
   collect : Vpc_profile.Collect.t option;  (* profile collector, if any *)
@@ -892,23 +896,33 @@ and exec st fr : value * int =
           st.da_iter_base <- st.clock;
           st.da_stall <- 0;
           Hashtbl.reset st.da_posts;
+          Hashtbl.reset st.da_post_pre;
           st.metrics.parallel_regions <- st.metrics.parallel_regions + 1
         end;
         pc := next
     | Post { chan } ->
         st.metrics.posts <- st.metrics.posts + 1;
         st.clock <- st.clock + Cost.post_cycles;
-        if st.da_active then
-          Hashtbl.replace st.da_posts (chan, st.da_iter) (da_now st);
+        if st.da_active then begin
+          let now = da_now st in
+          Hashtbl.replace st.da_posts (chan, st.da_iter) now;
+          let prev =
+            Option.value
+              (Hashtbl.find_opt st.da_post_pre (chan, st.da_iter - 1))
+              ~default:min_int
+          in
+          Hashtbl.replace st.da_post_pre (chan, st.da_iter) (max now prev)
+        end;
         pc := next
-    | Wait { chan; dist } ->
+    | Wait { chan; dist; cum } ->
         st.metrics.waits <- st.metrics.waits + 1;
         st.clock <- st.clock + Cost.wait_cycles;
         (if st.da_active && st.da_iter >= 0 then begin
            let target = st.da_iter - dist in
            (* iterations below the loop's lower bound count as posted *)
            if target >= 0 then
-             match Hashtbl.find_opt st.da_posts (chan, target) with
+             let table = if cum then st.da_post_pre else st.da_posts in
+             match Hashtbl.find_opt table (chan, target) with
              | Some post_v ->
                  let stall = post_v - da_now st in
                  if stall > 0 then begin
@@ -918,8 +932,9 @@ and exec st fr : value * int =
                  end
              | None ->
                  error
-                   "doacross wait on c%d in iteration %d: iteration %d never \
-                    posted (deadlock)"
+                   "doacross %swait on c%d in iteration %d: iteration %d \
+                    never posted (deadlock)"
+                   (if cum then "cumulative " else "")
                    chan st.da_iter target
          end);
         pc := next
@@ -934,7 +949,8 @@ and exec st fr : value * int =
             st.saved <- st.saved + (serial_time - par_time);
           st.da_active <- false;
           st.par_active <- false;
-          Hashtbl.reset st.da_posts
+          Hashtbl.reset st.da_posts;
+          Hashtbl.reset st.da_post_pre
         end
         else if st.par_active then begin
           (if st.par_iter >= 0 then begin
@@ -1029,6 +1045,7 @@ let create_state ?(config = default_config) ?collect (program : Isa.program)
       da_iter_base = 0;
       da_stall = 0;
       da_posts = Hashtbl.create 64;
+      da_post_pre = Hashtbl.create 64;
       insts_executed = 0;
       issued = 0;
     }

@@ -78,6 +78,10 @@ type options = {
   range : (Stmt.t -> Expr.t -> int option * int option) option;
       (* symbolic range oracle: bounds symbolic byte distances and trip
          counts for the dependence tests *)
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (* autotuned per-loop gate: [Some false] keeps the loop serial,
+         [Some true] pipelines a synchronizable loop even when the
+         pipeline model prefers serial; [None] follows the model *)
 }
 
 let default_options =
@@ -91,6 +95,7 @@ let default_options =
     report = None;
     why_scalar = None;
     range = None;
+    tune = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -342,29 +347,51 @@ let contains_inner_loop (body : Stmt.t list) =
    same-iteration program order — and the distances sum to *exactly*
    [dist].  A partial sum is unsound: nothing orders the same statement
    across two iterations running on different processors, so "covered at
-   distance k < dist" proves nothing about distance dist. *)
-let covers (syncs : Stmt.dsync list) ~src ~dst ~dist =
-  let seen = Hashtbl.create 16 in
-  let budget = ref 4096 in
-  let rec from_pos pos remaining =
-    (* invariant: the chain so far is ordered after the completion of
-       body position [pos - 1] (i.e. may attach to any post >= pos) at
-       iteration offset dist - remaining *)
-    decr budget;
-    !budget > 0
-    && (not (Hashtbl.mem seen (pos, remaining)))
-    && begin
-         Hashtbl.replace seen (pos, remaining) ();
-         List.exists
-           (fun (y : Stmt.dsync) ->
-             y.Stmt.post_after >= pos
-             && y.Stmt.distance <= remaining
-             && ((y.Stmt.distance = remaining && y.Stmt.wait_before <= dst)
-                || from_pos y.Stmt.wait_before (remaining - y.Stmt.distance)))
-           syncs
-       end
-  in
-  from_pos src dist
+   distance k < dist" proves nothing about distance dist.
+
+   A *cumulative* sync of distance c orders its wait at iteration i after
+   the posts of ALL iterations <= i-c, so it closes a chain whenever its
+   remaining budget is at least c (any distance >= c is covered at once);
+   it is always terminal — what follows its wait would need exact
+   arithmetic it no longer has.
+
+   With [cum] set the covered edge itself is only a lower bound: every
+   distance >= [dist] must be ordered, which only a single cumulative
+   sync of distance <= [dist] (post after [src], wait before [dst])
+   provides — exact chains cover one distance at a time. *)
+let covers (syncs : Stmt.dsync list) ~src ~dst ~dist ~cum =
+  if cum then
+    List.exists
+      (fun (y : Stmt.dsync) ->
+        y.Stmt.cum && y.Stmt.post_after >= src && y.Stmt.wait_before <= dst
+        && y.Stmt.distance <= dist)
+      syncs
+  else begin
+    let seen = Hashtbl.create 16 in
+    let budget = ref 4096 in
+    let rec from_pos pos remaining =
+      (* invariant: the chain so far is ordered after the completion of
+         body position [pos - 1] (i.e. may attach to any post >= pos) at
+         iteration offset dist - remaining *)
+      decr budget;
+      !budget > 0
+      && (not (Hashtbl.mem seen (pos, remaining)))
+      && begin
+           Hashtbl.replace seen (pos, remaining) ();
+           List.exists
+             (fun (y : Stmt.dsync) ->
+               y.Stmt.post_after >= pos
+               && y.Stmt.distance <= remaining
+               &&
+               if y.Stmt.cum then y.Stmt.wait_before <= dst
+               else
+                 (y.Stmt.distance = remaining && y.Stmt.wait_before <= dst)
+                 || from_pos y.Stmt.wait_before (remaining - y.Stmt.distance))
+             syncs
+         end
+    in
+    from_pos src dist
+  end
 
 (* One post/wait pair per carried edge — post after the edge's source
    statement, wait before its destination — then redundant-sync
@@ -374,36 +401,41 @@ let covers (syncs : Stmt.dsync list) ~src ~dst ~dist =
    is deterministic.  Returns the retained syncs and the number of
    eliminated candidates. *)
 let place_syncs (carried : Graph.edge list) : Stmt.dsync list * int =
-  let triples =
+  let quads =
     List.sort_uniq compare
       (List.filter_map
          (fun (e : Graph.edge) ->
-           match e.Graph.distance with
-           | Some d when d >= 1 -> Some (e.Graph.src, e.Graph.dst, d)
+           match e.Graph.distance, e.Graph.dist_lo with
+           | Some d, _ when d >= 1 -> Some (e.Graph.src, e.Graph.dst, d, false)
+           | None, Some l when l >= 1 ->
+               (* symbolic distance, proven >= l: cumulative sync at l *)
+               Some (e.Graph.src, e.Graph.dst, l, true)
            | _ -> None)
          carried)
   in
   let order =
     List.sort
-      (fun (s1, t1, d1) (s2, t2, d2) -> compare (-d1, s1, t1) (-d2, s2, t2))
-      triples
+      (fun (s1, t1, d1, c1) (s2, t2, d2, c2) ->
+        compare (-d1, s1, t1, c1) (-d2, s2, t2, c2))
+      quads
   in
-  let to_sync (s, t, d) =
-    { Stmt.chan = 0; distance = d; post_after = s; wait_before = t }
+  let to_sync (s, t, d, c) =
+    { Stmt.chan = 0; distance = d; post_after = s; wait_before = t; cum = c }
   in
   let rec prune kept = function
     | [] -> kept
-    | ((s, t, d) as e) :: rest ->
+    | ((s, t, d, c) as e) :: rest ->
         let others = List.map to_sync (kept @ rest) in
-        if covers others ~src:s ~dst:t ~dist:d then prune kept rest
+        if covers others ~src:s ~dst:t ~dist:d ~cum:c then prune kept rest
         else prune (e :: kept) rest
   in
   let kept = List.sort compare (prune [] order) in
   ( List.mapi
-      (fun i (s, t, d) ->
-        { Stmt.chan = i; distance = d; post_after = s; wait_before = t })
+      (fun i (s, t, d, c) ->
+        { Stmt.chan = i; distance = d; post_after = s; wait_before = t;
+          cum = c })
       kept,
-    List.length triples - List.length kept )
+    List.length quads - List.length kept )
 
 let kind_name = function
   | Graph.Flow -> "flow"
@@ -415,6 +447,9 @@ let process_do (opts : options) stats prog (func : Func.t)
     Stmt.t option =
   let body = d.Stmt.body in
   let n = List.length body in
+  let tuned =
+    match opts.tune with None -> None | Some f -> f s.Stmt.loc
+  in
   let why fmt =
     Format.kasprintf
       (fun msg ->
@@ -433,7 +468,8 @@ let process_do (opts : options) stats prog (func : Func.t)
         match st.Stmt.desc with Stmt.Assign _ | Stmt.Nop -> true | _ -> false)
       body
   in
-  if n = 0 || not straight then begin
+  if tuned = Some false then None  (* autotuner pinned this loop serial *)
+  else if n = 0 || not straight then begin
     stats.rejected_shape <- stats.rejected_shape + 1;
     None
   end
@@ -544,13 +580,14 @@ let process_do (opts : options) stats prog (func : Func.t)
                      ~stmt_id:s.Stmt.id ~var:v)
               (List.filter_map Stmt.defined_var body)
           in
+          let synchronizable (e : Graph.edge) =
+            match e.Graph.distance, e.Graph.dist_lo with
+            | Some dd, _ -> dd >= 1
+            | None, Some l -> l >= 1  (* cumulative sync on the bound *)
+            | None, None -> false
+          in
           let unknown_dist =
-            List.find_opt
-              (fun (e : Graph.edge) ->
-                match e.Graph.distance with
-                | Some dd when dd >= 1 -> false
-                | _ -> true)
-              mem_carried
+            List.find_opt (fun e -> not (synchronizable e)) mem_carried
           in
           match scalar_rec, live_out, unknown_dist with
           | Some v, _, _ ->
@@ -576,18 +613,11 @@ let process_do (opts : options) stats prog (func : Func.t)
                  synchronizable: an all-unknown loop was already explained
                  by the vectorizer (the unresolved alias pair), and this
                  pass adds nothing *)
-              let some_known =
-                List.exists
-                  (fun (e' : Graph.edge) ->
-                    match e'.Graph.distance with
-                    | Some dd when dd >= 1 -> true
-                    | _ -> false)
-                  mem_carried
-              in
+              let some_known = List.exists synchronizable mem_carried in
               if some_known then
                 why
                   "carried %s dependence (stmt %d -> stmt %d) has no \
-                   constant distance to synchronize"
+                   constant distance (nor a lower bound) to synchronize"
                   (kind_name e.Graph.kind) e.Graph.src e.Graph.dst;
               None
           | None, None, None ->
@@ -641,7 +671,7 @@ let process_do (opts : options) stats prog (func : Func.t)
               let pipelined =
                 Cost.doacross_loop_cycles ~sched shape ~trips ~procs dedges
               in
-              if pipelined >= serial then begin
+              if tuned <> Some true && pipelined >= serial then begin
                 stats.do_rejected_cost <- stats.do_rejected_cost + 1;
                 why
                   "pipeline model prefers serial (est doacross=%d serial=%d \

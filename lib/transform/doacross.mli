@@ -51,6 +51,10 @@ type options = {
           or the cost-model loss *)
   range : (Stmt.t -> Expr.t -> int option * int option) option;
       (** symbolic range oracle for dependence tests *)
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (** autotuned per-loop gate: [Some false] keeps the loop serial,
+          [Some true] pipelines a synchronizable loop even when the
+          pipeline model prefers serial; [None] follows the model *)
 }
 
 (** While path on, post/wait path off; 4 processors, [Full]
@@ -58,9 +62,14 @@ type options = {
 val default_options : options
 
 (** Does a chain of sync edges transitively order the carried edge
-    (src, dst, dist)?  Distances along the chain must sum to [dist]
-    exactly.  The race checker re-derives the same rule independently
-    when it validates doacross loops. *)
-val covers : Stmt.dsync list -> src:int -> dst:int -> dist:int -> bool
+    (src, dst, dist)?  For an exact edge ([cum = false]) distances along
+    the chain must sum to [dist] exactly, except that a cumulative sync
+    may terminate the chain early — it orders against every iteration at
+    least its distance back.  For a symbolic edge known only to have
+    distance >= [dist] ([cum = true]) only a single cumulative sync of
+    distance <= [dist] qualifies.  The race checker re-derives the same
+    rule independently when it validates doacross loops. *)
+val covers :
+  Stmt.dsync list -> src:int -> dst:int -> dist:int -> cum:bool -> bool
 
 val run : ?stats:stats -> ?options:options -> Prog.t -> Func.t -> bool

@@ -31,6 +31,10 @@ type options = {
   vlen : int;
   profile : Profile.Data.t option;
   report : (string -> unit) option;
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (* autotuned per-nest gate, keyed by either loop's head location:
+         [Some false] keeps the pair separate, [Some true] fuses a legal
+         pair even when the cost model prefers them apart *)
 }
 
 let default_options =
@@ -40,6 +44,7 @@ let default_options =
     vlen = 32;
     profile = None;
     report = None;
+    tune = None;
   }
 
 type stats = {
@@ -351,7 +356,22 @@ let run ?(options = default_options) ?(stats = new_stats ())
                       fused_cost_report options ~shape1 ~shape2
                         ~trips:cost_trips ~v1 ~v2 ~vf
                     in
-                    if cf >= c1 + c2 then begin
+                    let tuned =
+                      match options.tune with
+                      | None -> None
+                      | Some f -> (
+                          match (f s1.Stmt.loc, f s2.Stmt.loc) with
+                          | Some false, _ | _, Some false -> Some false
+                          | Some true, _ | _, Some true -> Some true
+                          | None, None -> None)
+                    in
+                    let keep_separate =
+                      match tuned with
+                      | Some false -> true
+                      | Some true -> false
+                      | None -> cf >= c1 + c2
+                    in
+                    if keep_separate then begin
                       stats.rejected_cost <- stats.rejected_cost + 1;
                       (match options.report with
                       | Some report ->

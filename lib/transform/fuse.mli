@@ -12,6 +12,11 @@ type options = {
   vlen : int;
   profile : Vpc_profile.Data.t option;
   report : (string -> unit) option;
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (** autotuned per-nest gate, keyed by either loop's head location:
+          [Some false] keeps the pair separate, [Some true] fuses a
+          legal pair even when the cost model prefers them apart;
+          [None] follows the static policy *)
 }
 
 val default_options : options

@@ -28,6 +28,11 @@ type options = {
   vlen : int;
   profile : Profile.Data.t option;
   report : (string -> unit) option;
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (* autotuned per-nest gate, keyed by the outer loop's location:
+         [Some false] keeps the source order regardless of the cost
+         model, [Some true] takes the cheapest legal reorder even on a
+         cost tie; [None] follows the static policy *)
 }
 
 let default_options =
@@ -37,6 +42,7 @@ let default_options =
     vlen = 32;
     profile = None;
     report = None;
+    tune = None;
   }
 
 type stats = {
@@ -179,7 +185,15 @@ let run ?(options = default_options) ?(stats = new_stats ())
             (fun (bc, bp) (c, p) -> if c < bc then (c, p) else (bc, bp))
             (id_cost, id_perm) scored
         in
-        let interchange = best <> id_perm && best_cost < id_cost in
+        let tuned =
+          match options.tune with None -> None | Some f -> f s.Stmt.loc
+        in
+        let interchange =
+          match tuned with
+          | Some false -> false
+          | Some true -> best <> id_perm && best_cost <= id_cost
+          | None -> best <> id_perm && best_cost < id_cost
+        in
         (match options.report with
         | Some report ->
             report

@@ -13,6 +13,11 @@ type options = {
   vlen : int;
   profile : Vpc_profile.Data.t option;
   report : (string -> unit) option;
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (** autotuned per-nest gate, keyed by the outer loop's location:
+          [Some false] keeps the source order regardless of the cost
+          model, [Some true] takes the cheapest legal reorder even on a
+          cost tie; [None] follows the static policy *)
 }
 
 val default_options : options

@@ -52,9 +52,14 @@ type options = {
   assume_noalias : bool;  (* pointer params get Fortran semantics *)
   profile : Profile.Data.t option;  (* refines repetition counts *)
   report : (string -> unit) option;  (* one line per decision *)
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (* autotuned per-loop gate: [Some false] leaves this DO loop's
+         vector statements untouched (no residency interchange, no
+         localization); [Some true]/[None] follow the static policy *)
 }
 
-let default_options = { assume_noalias = false; profile = None; report = None }
+let default_options =
+  { assume_noalias = false; profile = None; report = None; tune = None }
 
 type stats = {
   mutable strips_interchanged : int;  (* strip loop hoisted over a DO *)
@@ -884,9 +889,17 @@ let run ?(options = default_options) ?(stats = new_stats ()) (prog : Prog.t)
     | Stmt.Do_loop d -> (
         let d = { d with Stmt.body = walk d.Stmt.body } in
         let s = { s with Stmt.desc = Stmt.Do_loop d } in
-        match try_strip_residency env s d with
-        | Some stmts -> stmts
-        | None -> ( match localize env s d with Some stmts -> stmts | None -> [ s ]))
+        let gated_off =
+          match options.tune with
+          | None -> false
+          | Some f -> f s.Stmt.loc = Some false
+        in
+        if gated_off then [ s ]
+        else
+          match try_strip_residency env s d with
+          | Some stmts -> stmts
+          | None -> (
+              match localize env s d with Some stmts -> stmts | None -> [ s ]))
     | Stmt.If (c, t, e) -> [ { s with Stmt.desc = Stmt.If (c, walk t, walk e) } ]
     | Stmt.While (li, c, b) ->
         [ { s with Stmt.desc = Stmt.While (li, c, walk b) } ]

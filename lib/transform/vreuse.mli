@@ -32,6 +32,10 @@ type options = {
   assume_noalias : bool;  (** pointer params get Fortran semantics *)
   profile : Vpc_profile.Data.t option;  (** refines repetition counts *)
   report : (string -> unit) option;  (** one line per decision *)
+  tune : (Vpc_support.Loc.t -> bool option) option;
+      (** autotuned per-loop gate: [Some false] leaves this DO loop's
+          vector statements untouched; [Some true]/[None] follow the
+          static policy *)
 }
 
 val default_options : options

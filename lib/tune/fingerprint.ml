@@ -1,0 +1,319 @@
+(* Location-free loop-nest fingerprints.
+
+   The canonical shape string enumerates what the optimizer's decisions
+   can actually depend on — depth, trips, strides, dependences, op mix —
+   and nothing tied to a position in the file: no source locations, no
+   statement ids, and variable ids replaced by first-appearance ordinals
+   (so renaming every variable, or inserting code before the nest, leaves
+   the digest unchanged).  Two nests with equal digests are interchange-
+   able as far as the tuner's search space is concerned, which is exactly
+   the license [--tune-use] needs to replay a cached winner. *)
+
+open Vpc_il
+module Cost = Vpc_titan.Cost
+module Subscript = Vpc_dependence.Subscript
+module Graph = Vpc_dependence.Graph
+
+type nest = {
+  loc : Vpc_support.Loc.t;
+  fp : string;
+  depth : int;
+  loop_locs : Vpc_support.Loc.t list;
+  calls : (Vpc_support.Loc.t * string) list;
+  trips : int option list;
+  weight : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canonical rendering with alpha-normalized variables                 *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { buf : Buffer.t; ids : (int, int) Hashtbl.t }
+
+let norm_id ctx id =
+  match Hashtbl.find_opt ctx.ids id with
+  | Some k -> k
+  | None ->
+      let k = Hashtbl.length ctx.ids in
+      Hashtbl.replace ctx.ids id k;
+      k
+
+let add ctx s = Buffer.add_string ctx.buf s
+
+let binop_name : Expr.binop -> string = function
+  | Expr.Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+  | Rem -> "rem" | Shl -> "shl" | Shr -> "shr" | Band -> "band"
+  | Bor -> "bor" | Bxor -> "bxor" | Eq -> "eq" | Ne -> "ne" | Lt -> "lt"
+  | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let unop_name : Expr.unop -> string = function
+  | Expr.Neg -> "neg" | Lognot -> "lognot" | Bitnot -> "bitnot"
+
+let rec render_expr ctx (e : Expr.t) =
+  match e.Expr.desc with
+  | Expr.Const_int n -> add ctx (string_of_int n)
+  | Expr.Const_float f -> add ctx (Printf.sprintf "%h" f)
+  | Expr.Var id -> add ctx (Printf.sprintf "v%d" (norm_id ctx id))
+  | Expr.Addr_of id -> add ctx (Printf.sprintf "&v%d" (norm_id ctx id))
+  | Expr.Load a ->
+      add ctx "(load ";
+      render_expr ctx a;
+      add ctx ")"
+  | Expr.Binop (op, a, b) ->
+      add ctx ("(" ^ binop_name op ^ " ");
+      render_expr ctx a;
+      add ctx " ";
+      render_expr ctx b;
+      add ctx ")"
+  | Expr.Unop (op, a) ->
+      add ctx ("(" ^ unop_name op ^ " ");
+      render_expr ctx a;
+      add ctx ")"
+  | Expr.Cast (ty, a) ->
+      add ctx ("(cast " ^ Ty.to_string ty ^ " ");
+      render_expr ctx a;
+      add ctx ")"
+
+(* ------------------------------------------------------------------ *)
+(* Nest discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The nest spine: starting at an outermost DO loop, descend while the
+   body holds exactly one DO loop (ignoring Nops) — the form interchange
+   works on.  Returns the per-level loops, outermost first. *)
+let spine (d0 : Stmt.do_loop) : Stmt.do_loop list * Stmt.t list =
+  let live (d : Stmt.do_loop) =
+    List.filter
+      (fun (s : Stmt.t) -> match s.Stmt.desc with Stmt.Nop -> false | _ -> true)
+      d.Stmt.body
+  in
+  let rec go acc (d : Stmt.do_loop) =
+    match live d with
+    | [ { Stmt.desc = Stmt.Do_loop inner; _ } ] -> go (d :: acc) inner
+    | _ -> (List.rev (d :: acc), d.Stmt.body)
+  in
+  go [] d0
+
+(* All direct call sites anywhere under the statements. *)
+let calls_of (stmts : Stmt.t list) =
+  let acc = ref [] in
+  Stmt.iter_list
+    (fun (s : Stmt.t) ->
+      match s.Stmt.desc with
+      | Stmt.Call (_, Stmt.Direct callee, _) ->
+          acc := (s.Stmt.loc, callee) :: !acc
+      | _ -> ())
+    stmts;
+  List.rev !acc
+
+(* Operation mix over every statement of the nest: binop/unop counts,
+   loads, stores, calls by callee. *)
+let op_mix ctx (stmts : Stmt.t list) =
+  let tbl = Hashtbl.create 16 in
+  let bump k =
+    Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+  in
+  let rec expr (e : Expr.t) =
+    (match e.Expr.desc with
+    | Expr.Binop (op, _, _) -> bump (binop_name op)
+    | Expr.Unop (op, _) -> bump (unop_name op)
+    | Expr.Load _ -> bump "load"
+    | _ -> ());
+    match e.Expr.desc with
+    | Expr.Load a | Expr.Unop (_, a) | Expr.Cast (_, a) -> expr a
+    | Expr.Binop (_, a, b) ->
+        expr a;
+        expr b
+    | _ -> ()
+  in
+  Stmt.iter_list
+    (fun (s : Stmt.t) ->
+      (match s.Stmt.desc with
+      | Stmt.Assign (Stmt.Lmem _, _) -> bump "store"
+      | Stmt.Call (_, Stmt.Direct callee, _) -> bump ("call " ^ callee)
+      | Stmt.Call (_, Stmt.Indirect _, _) -> bump "call *"
+      | _ -> ());
+      List.iter expr (Stmt.shallow_exprs s))
+    stmts;
+  let entries = Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [] in
+  List.iter
+    (fun (k, n) -> add ctx (Printf.sprintf "(%s %d)" k n))
+    (List.sort compare entries)
+
+(* ------------------------------------------------------------------ *)
+(* Shape rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let render_nest ctx (levels : Stmt.do_loop list) (innermost_body : Stmt.t list)
+    (trips : int option list) =
+  add ctx (Printf.sprintf "(depth %d)" (List.length levels));
+  add ctx "(trips";
+  List.iter
+    (fun t ->
+      add ctx
+        (match t with Some n -> Printf.sprintf " %d" n | None -> " ?"))
+    trips;
+  add ctx ")";
+  let innermost = List.nth levels (List.length levels - 1) in
+  (* loop-invariance for the subscript decomposition: no loads, and no
+     variable assigned inside the innermost body or used as an index *)
+  let defined = Hashtbl.create 8 in
+  Stmt.iter_list
+    (fun s ->
+      match Stmt.defined_var s with
+      | Some v -> Hashtbl.replace defined v ()
+      | None -> ())
+    innermost_body;
+  let indices = List.map (fun (d : Stmt.do_loop) -> d.Stmt.index) levels in
+  let invariant (e : Expr.t) =
+    (not (Expr.contains_load e))
+    && List.for_all
+         (fun v -> (not (Hashtbl.mem defined v)) && not (List.mem v indices))
+         (Expr.read_vars e)
+  in
+  (* subscript strides: every affine reference of the innermost body,
+     with its per-level coefficients and alpha-normalized base *)
+  (match
+     Subscript.references ~index:innermost.Stmt.index ~invariant innermost_body
+   with
+  | None -> add ctx "(refs unanalyzable)"
+  | Some refs ->
+      add ctx "(refs";
+      List.iter
+        (fun (r : Subscript.reference) ->
+          add ctx
+            (Printf.sprintf "(%d %s %s "
+               r.Subscript.ref_pos
+               (match r.Subscript.kind with
+               | Subscript.Read -> "r"
+               | Subscript.Write -> "w")
+               (Ty.to_string r.Subscript.elt));
+          (match
+             Subscript.affine_multi ~indices
+               ~invariant:(fun e ->
+                 invariant e
+                 && List.for_all
+                      (fun i -> not (List.mem i (Expr.read_vars e)))
+                      indices)
+               r.Subscript.addr
+           with
+          | Some m ->
+              add ctx "(coeffs";
+              Array.iter
+                (fun c -> add ctx (Printf.sprintf " %d" c))
+                m.Subscript.mcoeffs;
+              add ctx ") ";
+              render_expr ctx m.Subscript.mbase
+          | None -> add ctx "nonaffine");
+          add ctx ")")
+        refs;
+      add ctx ")";
+      (* dependence summary of the innermost body: the carried /
+         independent edge structure the vectorizer will see *)
+      let trip = List.nth trips (List.length trips - 1) in
+      let g =
+        Graph.build ~trip innermost_body ~index:innermost.Stmt.index ~invariant
+      in
+      if g.Graph.analyzable then begin
+        add ctx "(deps";
+        let edges =
+          List.sort compare
+            (List.map
+               (fun (e : Graph.edge) ->
+                 ( e.Graph.src,
+                   e.Graph.dst,
+                   (match e.Graph.kind with
+                   | Graph.Flow -> "f"
+                   | Graph.Anti -> "a"
+                   | Graph.Output -> "o"),
+                   e.Graph.carried,
+                   e.Graph.distance,
+                   e.Graph.through_memory ))
+               g.Graph.edges)
+        in
+        List.iter
+          (fun (src, dst, kind, carried, dist, mem) ->
+            add ctx
+              (Printf.sprintf "(%d %d %s%s%s %s)" src dst kind
+                 (if carried then "c" else "i")
+                 (match dist with Some d -> string_of_int d | None -> "?")
+                 (if mem then "m" else "s")))
+          edges;
+        add ctx ")"
+      end
+      else add ctx "(deps unanalyzable)")
+
+let trip_of (d : Stmt.do_loop) : int option =
+  match
+    (Expr.const_int_val d.Stmt.lo, Expr.const_int_val d.Stmt.hi,
+     Expr.const_int_val d.Stmt.step)
+  with
+  | Some lo, Some hi, Some step when step <> 0 ->
+      let n = if step > 0 then (hi - lo) / step + 1 else (lo - hi) / -step + 1 in
+      Some (max 0 n)
+  | _ -> None
+
+let nest_of_loop (s : Stmt.t) (d0 : Stmt.do_loop) : nest =
+  let levels, innermost_body = spine d0 in
+  let trips = List.map trip_of levels in
+  (* loop_locs: the outermost loc is the statement's; inner levels carry
+     their own statement locs, recovered by walking the spine again *)
+  let rec level_locs acc (st : Stmt.t) =
+    match st.Stmt.desc with
+    | Stmt.Do_loop d -> (
+        let live =
+          List.filter
+            (fun (x : Stmt.t) ->
+              match x.Stmt.desc with Stmt.Nop -> false | _ -> true)
+            d.Stmt.body
+        in
+        match live with
+        | [ ({ Stmt.desc = Stmt.Do_loop _; _ } as inner) ] ->
+            level_locs (st.Stmt.loc :: acc) inner
+        | _ -> List.rev (st.Stmt.loc :: acc))
+    | _ -> List.rev acc
+  in
+  let loop_locs = level_locs [] s in
+  let ctx = { buf = Buffer.create 512; ids = Hashtbl.create 16 } in
+  render_nest ctx levels innermost_body trips;
+  (* whole-nest op mix (render_nest covered shape; mix spans all levels) *)
+  add ctx "(mix";
+  op_mix ctx d0.Stmt.body;
+  add ctx ")";
+  let fp = Digest.to_hex (Digest.string (Buffer.contents ctx.buf)) in
+  let shape = Cost.shape_of_stmts innermost_body in
+  let body_cost = max 1 (shape.Cost.mem_refs + shape.Cost.flops + shape.Cost.iops) in
+  let weight =
+    List.fold_left
+      (fun acc t -> acc * Option.value t ~default:Cost.default_trip)
+      body_cost trips
+  in
+  {
+    loc = s.Stmt.loc;
+    fp;
+    depth = List.length levels;
+    loop_locs;
+    calls = calls_of [ s ];
+    trips;
+    weight = max 1 weight;
+  }
+
+let nests_of_func _prog (func : Func.t) : nest list =
+  let acc = ref [] in
+  let rec walk (stmts : Stmt.t list) =
+    List.iter
+      (fun (s : Stmt.t) ->
+        match s.Stmt.desc with
+        | Stmt.Do_loop d -> acc := nest_of_loop s d :: !acc
+        | Stmt.If (_, a, b) ->
+            walk a;
+            walk b
+        | Stmt.While (_, _, body) -> walk body
+        | _ -> ())
+      stmts
+  in
+  walk func.Func.body;
+  List.rev !acc
+
+let nests prog =
+  List.concat_map (fun f -> nests_of_func prog f) prog.Prog.funcs

@@ -31,6 +31,15 @@ type range_facts = {
       (* is the expression provably a multiple of the divisor? *)
 }
 
+(* What to do with one loop, resolved ahead of the static policy — the
+   shape both the profile (PGO) and the autotuner speak. *)
+type pgo_choice = {
+  keep_scalar : bool;      (* below break-even: leave the DO loop alone *)
+  strip_parallel : bool;   (* spread vector strips over processors *)
+  scalar_parallel : bool;  (* spread sequential groups over processors *)
+  chosen_vlen : int;
+}
+
 type options = {
   vectorize : bool;
   parallelize : bool;
@@ -52,6 +61,8 @@ type options = {
       (* symbolic ranges: dependence tests work on symbolic distances,
          and strips whose trip count is a proven multiple of the strip
          length drop their per-strip length guards *)
+  tune : (Stmt.t -> pgo_choice option) option;
+      (* autotuned per-nest override, consulted before the profile *)
 }
 
 let default_options =
@@ -66,6 +77,7 @@ let default_options =
     vreuse = false;
     why_scalar = None;
     range = None;
+    tune = None;
   }
 
 type stats = {
@@ -249,14 +261,6 @@ let residency_candidates ~noalias (body : Stmt.t list) : int =
       | _ -> acc)
     0 body
 
-(* What the profile says to do with one loop. *)
-type pgo_choice = {
-  keep_scalar : bool;      (* below break-even: leave the DO loop alone *)
-  strip_parallel : bool;   (* spread vector strips over processors *)
-  scalar_parallel : bool;  (* spread sequential groups over processors *)
-  chosen_vlen : int;
-}
-
 (* Consult the measured mean trip count against the Titan cost model.
    Absent data (no key, never measured) returns [None]: the static
    policy applies unchanged, which keeps compilation with an empty
@@ -383,11 +387,18 @@ let process_loop (opts : options) stats prog (func : Func.t)
   in
   let trip_expr = simplify (Expr.binop Expr.Add d.hi (Expr.int_const 1) Ty.Int) in
   let trip_const = Expr.const_int_val trip_expr in
-  (* measured trip counts, when a profile has them for this loop *)
+  (* a tuned per-nest override pins the treatment outright; otherwise
+     measured trip counts, when a profile has them for this loop *)
+  let tuned =
+    match opts.tune with None -> None | Some f -> f loop_stmt
+  in
   let pgo =
-    match opts.profile with
-    | None -> None
-    | Some data -> pgo_decide opts data loop_stmt d.body
+    match tuned with
+    | Some _ -> tuned
+    | None -> (
+        match opts.profile with
+        | None -> None
+        | Some data -> pgo_decide opts data loop_stmt d.body)
   in
   match pgo with
   | Some { keep_scalar = true; _ } ->
@@ -396,10 +407,12 @@ let process_loop (opts : options) stats prog (func : Func.t)
       | Some say ->
           say
             (Printf.sprintf
-               "%s: loop at %s stays scalar: profile puts it below the \
-                vector break-even"
+               "%s: loop at %s stays scalar: %s puts it below the vector \
+                break-even"
                func.Func.name
-               (Vpc_support.Loc.to_string loop_stmt.Stmt.loc))
+               (Vpc_support.Loc.to_string loop_stmt.Stmt.loc)
+               (if tuned <> None then "the tuned configuration"
+                else "profile"))
       | None -> ());
       None  (* below break-even: the serial DO loop is the fast version *)
   | _ ->

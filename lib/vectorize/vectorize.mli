@@ -28,6 +28,15 @@ type range_facts = {
       (** is the expression provably a multiple of the divisor? *)
 }
 
+(** What to do with one loop, resolved ahead of the static policy — the
+    shape both the profile (PGO) and the autotuner ([--tune]) speak. *)
+type pgo_choice = {
+  keep_scalar : bool;      (** below break-even: leave the DO loop alone *)
+  strip_parallel : bool;   (** spread vector strips over processors *)
+  scalar_parallel : bool;  (** spread sequential groups over processors *)
+  chosen_vlen : int;
+}
+
 type options = {
   vectorize : bool;
   parallelize : bool;
@@ -52,6 +61,10 @@ type options = {
           proven multiple of the strip length drop their per-strip
           length guards (a constant remainder peels into one short
           epilogue vector) *)
+  tune : (Stmt.t -> pgo_choice option) option;
+      (** autotuned per-nest override, consulted before the profile:
+          [Some choice] pins this loop's treatment (mode and strip
+          length); [None] falls through to PGO then the static policy *)
 }
 
 val default_options : options

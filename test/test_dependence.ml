@@ -6,33 +6,33 @@ open Vpc.Dependence
 let check_verdict name expected got =
   let show = function
     | Test.Independent -> "independent"
-    | Test.Dependent { distance = Some d } -> Printf.sprintf "dep(%d)" d
-    | Test.Dependent { distance = None } -> "dep(?)"
+    | Test.Dependent { distance = Some d; _ } -> Printf.sprintf "dep(%d)" d
+    | Test.Dependent { distance = None; _ } -> "dep(?)"
   in
   Alcotest.(check string) name (show expected) (show got)
 
 let ziv_tests () =
-  check_verdict "same location" (Test.Dependent { distance = Some 0 })
+  check_verdict "same location" (Test.dep (Some 0))
     (Test.affine ~c1:0 ~c2:0 ~delta:0 ~trip:(Some 100));
   check_verdict "different locations" Test.Independent
     (Test.affine ~c1:0 ~c2:0 ~delta:8 ~trip:(Some 100))
 
 let strong_siv () =
   (* backsolve: write base+4, read base+0, both stride 4: distance 1 *)
-  check_verdict "distance 1" (Test.Dependent { distance = Some 1 })
+  check_verdict "distance 1" (Test.dep (Some 1))
     (Test.affine ~c1:4 ~c2:4 ~delta:(-4) ~trip:(Some 100));
-  check_verdict "distance -2" (Test.Dependent { distance = Some (-2) })
+  check_verdict "distance -2" (Test.dep (Some (-2)))
     (Test.affine ~c1:4 ~c2:4 ~delta:8 ~trip:(Some 100));
   check_verdict "not divisible" Test.Independent
     (Test.affine ~c1:4 ~c2:4 ~delta:2 ~trip:(Some 100));
   check_verdict "beyond trip count" Test.Independent
     (Test.affine ~c1:4 ~c2:4 ~delta:(-400) ~trip:(Some 100));
-  check_verdict "unknown trip keeps dep" (Test.Dependent { distance = Some 100 })
+  check_verdict "unknown trip keeps dep" (Test.dep (Some 100))
     (Test.affine ~c1:4 ~c2:4 ~delta:(-400) ~trip:None)
 
 let weak_zero_siv_cases () =
   (* write a[i], read a[5]: conflict only when 5 < trip *)
-  check_verdict "invariant read hit" (Test.Dependent { distance = None })
+  check_verdict "invariant read hit" (Test.dep None)
     (Test.affine ~c1:4 ~c2:0 ~delta:20 ~trip:(Some 100));
   check_verdict "invariant read beyond trip" Test.Independent
     (Test.affine ~c1:4 ~c2:0 ~delta:20 ~trip:(Some 5));
@@ -40,7 +40,7 @@ let weak_zero_siv_cases () =
     (Test.affine ~c1:4 ~c2:0 ~delta:18 ~trip:(Some 100));
   check_verdict "invariant read before array" Test.Independent
     (Test.affine ~c1:4 ~c2:0 ~delta:(-8) ~trip:(Some 100));
-  check_verdict "symmetric case" (Test.Dependent { distance = None })
+  check_verdict "symmetric case" (Test.dep None)
     (Test.affine ~c1:0 ~c2:4 ~delta:(-20) ~trip:(Some 100))
 
 let gcd_test_cases () =
@@ -48,14 +48,14 @@ let gcd_test_cases () =
   check_verdict "odd/even" Test.Independent
     (Test.affine ~c1:2 ~c2:2 ~delta:1 ~trip:(Some 100));
   (* 4i vs 6j, delta 2: gcd 2 divides 2: may depend *)
-  check_verdict "gcd passes" (Test.Dependent { distance = None })
+  check_verdict "gcd passes" (Test.dep None)
     (Test.affine ~c1:4 ~c2:6 ~delta:2 ~trip:(Some 100))
 
 let banerjee_bounds () =
   (* 4i vs 4j+delta with tiny trip: delta outside reachable range *)
   check_verdict "out of range" Test.Independent
     (Test.affine ~c1:4 ~c2:8 ~delta:1000 ~trip:(Some 4));
-  check_verdict "in range" (Test.Dependent { distance = None })
+  check_verdict "in range" (Test.dep None)
     (Test.affine ~c1:4 ~c2:8 ~delta:12 ~trip:(Some 10))
 
 (* brute force: does c1*i = delta + c2*j have a solution with
@@ -101,9 +101,9 @@ let strong_siv_exact_prop =
          Printf.sprintf "c=%d delta=%d trip=%d" c d t))
     (fun (c, delta, trip) ->
       match Test.affine ~c1:c ~c2:c ~delta ~trip:(Some trip) with
-      | Test.Dependent { distance = Some d } ->
+      | Test.Dependent { distance = Some d; _ } ->
           delta mod c = 0 && d = -(delta / c) && abs d < trip
-      | Test.Dependent { distance = None } -> false
+      | Test.Dependent { distance = None; _ } -> false
       | Test.Independent -> delta mod c <> 0 || abs (delta / c) >= trip)
 
 let alias_rules () =

@@ -279,18 +279,58 @@ let do_sync_rejects_call () =
   Alcotest.(check int) "no posts" 0 (titan_metrics prog).posts;
   assert_all_configs_agree "call in body" src
 
-let do_sync_rejects_unknown_distance () =
-  (* n is only known to lie in [7, 9]: no constant carried distance, so
-     the loop must stay serial with no sync instructions emitted *)
+let asm_text prog =
+  let layout = Vpc.Titan.Machine.layout_globals prog in
+  let tprog =
+    Vpc.Titan.Codegen.gen_program prog ~global_addr:(fun id ->
+        Hashtbl.find layout.Vpc.Titan.Machine.addr_of id)
+  in
+  Hashtbl.fold (fun name f acc -> (name, f) :: acc)
+    tprog.Vpc.Titan.Isa.funcs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (_, f) -> Fmt.str "%a" Vpc.Titan.Isa.pp_func f)
+  |> String.concat "\n"
+
+let do_sync_pipelines_bounded_distance () =
+  (* n is only known to lie in [7, 9]: no constant carried distance, but
+     the range bound proves every carried distance >= 7, so the loop
+     pipelines behind a cumulative wait (block until every iteration
+     <= i - 7 has posted) — sound for n = 7, 8, or 9 alike.  Exact-sum
+     chains alone left this loop serial. *)
+  let src =
+    {|double a[1100];
+      int n;
+      int main() {
+        int i;
+        if (a[0] < 0.5) n = 7; else n = 9;
+        for (i = 0; i < 1024; i++)
+          a[i + n] = (a[i] * 0.5 + 1.0) * (a[i] * 0.25 + 2.0)
+                   + (a[i] * 0.125 + 3.0) * (a[i] * 0.0625 + 4.0);
+        printf("%g %g\n", a[100], a[1000]);
+        return 0;
+      }|}
+  in
+  let prog, stats = compile_stats ~options:Vpc.o2 src in
+  Alcotest.(check int) "pipelined" 1 stats.doacross.do_pipelined;
+  Alcotest.(check int) "posts once per iteration" 1024
+    (titan_metrics prog).posts;
+  check_contains "cumulative wait emitted" ~needle:"cwait"
+    (asm_text prog);
+  assert_all_configs_agree "bounded symbolic distance" src
+
+let do_sync_rejects_unbounded_distance () =
+  (* n may be 7 or -9: the carried distance has no usable lower bound
+     (it is not even directionally consistent), so the loop must stay
+     serial with no sync instructions emitted *)
   let src =
     {|double a[300];
       int n;
       int main() {
         int i;
-        if (a[0] < 0.5) n = 7; else n = 9;
-        for (i = 0; i < 128; i++)
+        if (a[0] < 0.5) n = 7; else n = -9;
+        for (i = 9; i < 128; i++)
           a[i + n] = a[i] * 0.5 + 1.0;
-        printf("%g %g\n", a[100], a[200]);
+        printf("%g %g\n", a[100], a[20]);
         return 0;
       }|}
   in
@@ -299,7 +339,7 @@ let do_sync_rejects_unknown_distance () =
   Alcotest.(check bool) "rejected for distance" true
     (stats.doacross.do_rejected_distance > 0);
   Alcotest.(check int) "no posts" 0 (titan_metrics prog).posts;
-  assert_all_configs_agree "unknown distance" src
+  assert_all_configs_agree "unbounded distance" src
 
 let do_sync_rejects_scalar_recurrence () =
   (* s carries a register recurrence: post/wait order memory, not
@@ -327,10 +367,12 @@ let do_sync_rejects_scalar_recurrence () =
 
 (* ---- the exact-sum coverage rule, directly ---- *)
 
-let sync chan distance post_after wait_before : Vpc.Il.Stmt.dsync =
-  { Vpc.Il.Stmt.chan; distance; post_after; wait_before }
+let sync ?(cum = false) chan distance post_after wait_before :
+    Vpc.Il.Stmt.dsync =
+  { Vpc.Il.Stmt.chan; distance; post_after; wait_before; cum }
 
-let covers = Vpc.Transform.Doacross.covers
+let covers syncs ~src ~dst ~dist =
+  Vpc.Transform.Doacross.covers syncs ~src ~dst ~dist ~cum:false
 
 let covers_exact_sum () =
   let s1 = sync 0 1 2 0 in
@@ -393,7 +435,10 @@ let tests =
     Alcotest.test_case "sync: any proc count" `Quick do_sync_any_proc_count;
     Alcotest.test_case "sync: counts stalls" `Quick do_sync_counts_stalls;
     Alcotest.test_case "sync: rejects call" `Quick do_sync_rejects_call;
-    Alcotest.test_case "sync: rejects unknown distance" `Quick do_sync_rejects_unknown_distance;
+    Alcotest.test_case "sync: pipelines bounded symbolic distance" `Quick
+      do_sync_pipelines_bounded_distance;
+    Alcotest.test_case "sync: rejects unbounded distance" `Quick
+      do_sync_rejects_unbounded_distance;
     Alcotest.test_case "sync: rejects scalar recurrence" `Quick do_sync_rejects_scalar_recurrence;
     Alcotest.test_case "sync: exact-sum coverage" `Quick covers_exact_sum;
     Alcotest.test_case "sync: chain order" `Quick covers_respects_order;

@@ -25,5 +25,6 @@ let () =
       ("pointsto", Test_pointsto.tests);
       ("range", Test_range.tests);
       ("profile", Test_profile.tests);
+      ("tune", Test_tune.tests);
       ("server", Test_server.tests);
     ]

@@ -1,0 +1,277 @@
+(* Simulator-in-the-loop autotuning: the location-free nest fingerprint,
+   the configuration codec, the tuned store's merge, and the replay
+   path's determinism and byte-identity guarantees. *)
+
+module Tune = Vpc.Tune
+module Tuned = Vpc.Profile.Tuned
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The nests the scout compile fingerprints, at [options]'s pipeline. *)
+let nests_of ?(options = Vpc.o3) src =
+  let prog = Vpc.parse src in
+  ignore (Vpc.optimize ~options:(Vpc.scout_options options) prog);
+  Tune.Fingerprint.nests prog
+
+(* Deterministic name-sorted Titan listing, as --dump-asm prints it. *)
+let asm_text prog =
+  let layout = Vpc.Titan.Machine.layout_globals prog in
+  let tprog =
+    Vpc.Titan.Codegen.gen_program prog ~global_addr:(fun id ->
+        Hashtbl.find layout.Vpc.Titan.Machine.addr_of id)
+  in
+  Hashtbl.fold (fun name f acc -> (name, f) :: acc) tprog.Vpc.Titan.Isa.funcs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (_, f) -> Format.asprintf "%a@." Vpc.Titan.Isa.pp_func f)
+  |> String.concat ""
+
+let compile_text ~options src =
+  let prog, _ = Vpc.compile ~options src in
+  (Vpc.Il.Pp.prog_to_string prog, asm_text prog)
+
+(* ---- configuration codec ---- *)
+
+let codec_round_trip () =
+  let configs =
+    [
+      Tune.Config.default;
+      { Tune.Config.default with Tune.Config.mode = Some Tune.Config.Scalar };
+      {
+        Tune.Config.mode = Some Tune.Config.Parallel;
+        strip = Some 16;
+        interchange = Some true;
+        fuse = Some false;
+        vreuse = Some true;
+        doacross = Some false;
+        inline_calls = [ ("f", true); ("g", false) ];
+      };
+      { Tune.Config.default with Tune.Config.strip = Some 64 };
+    ]
+  in
+  List.iter
+    (fun c ->
+      let fields = Tune.Config.to_fields c in
+      let c' = Tune.Config.of_fields fields in
+      if not (Tune.Config.equal c c') then
+        Alcotest.failf "codec: %s round-tripped to %s"
+          (Tune.Config.to_string c) (Tune.Config.to_string c'))
+    configs;
+  Alcotest.(check (list (pair string string)))
+    "default encodes to no fields" []
+    (Tune.Config.to_fields Tune.Config.default);
+  (match Tune.Config.of_fields [ ("frobnicate", "yes") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "codec: unknown key accepted");
+  match Tune.Config.of_fields [ ("strip", "many") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "codec: malformed strip accepted"
+
+(* ---- fingerprint stability ---- *)
+
+(* The same nest under alpha-renaming of every variable: fingerprints
+   must agree (they key the store across edits that rename). *)
+let fp_alpha_rename () =
+  let src_a =
+    {|
+      double a[300]; double b[300];
+      int main() {
+        int i;
+        for (i = 0; i < 200; i++)
+          a[i] = b[i] * 2.0 + 1.0;
+        return 0;
+      }
+    |}
+  in
+  let src_b =
+    {|
+      double xs[300]; double ys[300];
+      int main() {
+        int k;
+        for (k = 0; k < 200; k++)
+          xs[k] = ys[k] * 2.0 + 1.0;
+        return 0;
+      }
+    |}
+  in
+  match (nests_of src_a, nests_of src_b) with
+  | [ na ], [ nb ] ->
+      Alcotest.(check string)
+        "alpha-renamed nest keeps its fingerprint" na.Tune.Fingerprint.fp
+        nb.Tune.Fingerprint.fp
+  | a, b ->
+      Alcotest.failf "expected one nest each, got %d and %d" (List.length a)
+        (List.length b)
+
+(* Statements added and shifted *outside* the nest (so every location in
+   the file moves) must not disturb the fingerprint; a genuine change of
+   the nest's shape must. *)
+let fp_outside_reorder () =
+  let src_a =
+    {|
+      double a[300]; double b[300];
+      int main() {
+        int i;
+        for (i = 0; i < 200; i++)
+          a[i] = b[i] * 2.0 + 1.0;
+        return 0;
+      }
+    |}
+  in
+  let src_shifted =
+    {|
+      double a[300]; double b[300];
+      int pad1;
+      int pad2;
+
+      int main() {
+        int i;
+        pad1 = 7;
+        pad2 = pad1 + 1;
+
+        for (i = 0; i < 200; i++)
+          a[i] = b[i] * 2.0 + 1.0;
+        return 0;
+      }
+    |}
+  in
+  let src_changed =
+    {|
+      double a[300]; double b[300];
+      int main() {
+        int i;
+        for (i = 0; i < 200; i++)
+          a[i] = b[i] * b[i] + 1.0;
+        return 0;
+      }
+    |}
+  in
+  let fp_of src =
+    match nests_of src with
+    | [ n ] -> n.Tune.Fingerprint.fp
+    | ns -> Alcotest.failf "expected one nest, got %d" (List.length ns)
+  in
+  let fa = fp_of src_a in
+  Alcotest.(check string)
+    "outside-nest edits keep the fingerprint" fa (fp_of src_shifted);
+  if fa = fp_of src_changed then
+    Alcotest.fail "a changed body kept the same fingerprint"
+
+(* ---- tuned store ---- *)
+
+let record fp ~stamp ~cycles ?(static = 1000) fields =
+  { Tuned.fp; stamp; cycles; static_cycles = static; fields }
+
+let store_round_trip () =
+  let t =
+    Tuned.add
+      (Tuned.add Tuned.empty
+         (record "aa" ~stamp:2 ~cycles:500 [ ("mode", "vector") ]))
+      (record "bb" ~stamp:1 ~cycles:700 [ ("strip", "16") ])
+  in
+  let t' = Tuned.of_string (Tuned.to_string t) in
+  if not (Tuned.equal t t') then Alcotest.fail "store did not round-trip";
+  Alcotest.(check string)
+    "canonical printing is stable" (Tuned.to_string t) (Tuned.to_string t');
+  match Tuned.of_string "(vpc-tuned (version 99) (records))" with
+  | exception Vpc.Support.Sexp.Parse_error _ -> ()
+  | _ -> Alcotest.fail "future version accepted"
+
+let store_merge_newer_wins () =
+  let old_store =
+    Tuned.add Tuned.empty
+      (record "aa" ~stamp:1 ~cycles:400 [ ("mode", "vector") ])
+  in
+  let new_store =
+    Tuned.add Tuned.empty
+      (record "aa" ~stamp:2 ~cycles:600 [ ("mode", "scalar") ])
+  in
+  let merged = Tuned.merge old_store new_store in
+  (match Tuned.find merged "aa" with
+  | Some r ->
+      Alcotest.(check int) "newer stamp wins even when slower" 2
+        r.Tuned.stamp;
+      Alcotest.(check int) "winner's cycles kept" 600 r.Tuned.cycles
+  | None -> Alcotest.fail "record lost in merge");
+  (* symmetric direction: merging old into new keeps the same winner *)
+  let merged' = Tuned.merge new_store old_store in
+  if not (Tuned.equal merged merged') then
+    Alcotest.fail "merge is not symmetric on stamps";
+  (* equal stamps: the lower cycle count wins *)
+  let a = Tuned.add Tuned.empty (record "cc" ~stamp:3 ~cycles:100 []) in
+  let b =
+    Tuned.add Tuned.empty (record "cc" ~stamp:3 ~cycles:90 [ ("fuse", "off") ])
+  in
+  match Tuned.find (Tuned.merge a b) "cc" with
+  | Some r -> Alcotest.(check int) "stamp tie: fewer cycles win" 90 r.Tuned.cycles
+  | None -> Alcotest.fail "record lost in tie merge"
+
+(* ---- replay guarantees ---- *)
+
+(* An empty (or missing) store must compile byte-identically to no
+   tuning at every optimization level: IL text and Titan listing. *)
+let empty_store_byte_identity () =
+  let src = read_file "../examples/saxpy_chain.c" in
+  List.iter
+    (fun (lname, base) ->
+      let plain = compile_text ~options:base src in
+      let replay =
+        compile_text ~options:{ base with Vpc.tune = `Use Tuned.empty } src
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "IL identical under empty store at %s" lname)
+        (fst plain) (fst replay);
+      Alcotest.(check string)
+        (Printf.sprintf "asm identical under empty store at %s" lname)
+        (snd plain) (snd replay))
+    Helpers.all_levels
+
+(* Search a small program, then replay the winners: the tuned compile
+   must be deterministic (byte-identical asm across replays), no slower
+   than static, and output-equal to the unoptimized reference. *)
+let search_and_replay () =
+  let src = read_file "../examples/saxpy_chain.c" in
+  let tr = Vpc.tune ~options:Vpc.o3 ~budget:2 ~stamp:1 src in
+  if tr.Vpc.tuned_cycles > tr.Vpc.static_cycles then
+    Alcotest.failf "tuning made the program slower: %d > %d"
+      tr.Vpc.tuned_cycles tr.Vpc.static_cycles;
+  let options = { Vpc.o3 with Vpc.tune = `Use tr.Vpc.tuned } in
+  let il1, asm1 = compile_text ~options src in
+  let il2, asm2 = compile_text ~options src in
+  Alcotest.(check string) "replayed IL is deterministic" il1 il2;
+  Alcotest.(check string) "replayed asm is deterministic" asm1 asm2;
+  let reference = Helpers.interp_output (Helpers.compile ~options:Vpc.o0 src) in
+  let tuned_prog, _ = Vpc.compile ~options src in
+  Alcotest.(check string)
+    "tuned program agrees with the unoptimized reference" reference
+    (Helpers.titan_output
+       ~config:{ Vpc.Titan.Machine.default_config with procs = 4 }
+       tuned_prog);
+  (* the store's fingerprints resolve on a fresh parse of the same
+     source: replay does not depend on any state from the search *)
+  if not (Tuned.is_empty tr.Vpc.tuned) then begin
+    let plain = compile_text ~options:Vpc.o3 src in
+    if (il1, asm1) = plain then
+      Alcotest.fail "winners found but replay equals the static compile"
+  end
+
+let tests =
+  [
+    Alcotest.test_case "config: codec round-trip" `Quick codec_round_trip;
+    Alcotest.test_case "fingerprint: stable under alpha-renaming" `Quick
+      fp_alpha_rename;
+    Alcotest.test_case "fingerprint: stable under outside-nest edits" `Quick
+      fp_outside_reorder;
+    Alcotest.test_case "store: canonical sexp round-trip" `Quick
+      store_round_trip;
+    Alcotest.test_case "store: merge keeps the newer record" `Quick
+      store_merge_newer_wins;
+    Alcotest.test_case "replay: empty store is byte-identical O0-O3" `Quick
+      empty_store_byte_identity;
+    Alcotest.test_case "tune: search, replay determinism, differential"
+      `Quick search_and_replay;
+  ]
